@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestCSV creates a CSV with a labeled cluster and one obvious outlier
+// named "anomaly".
+func writeTestCSV(t *testing.T, withLabels bool) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	var b strings.Builder
+	if withLabels {
+		b.WriteString("name,x,y\n")
+	}
+	for i := 0; i < 60; i++ {
+		if withLabels {
+			fmt.Fprintf(&b, "pt-%02d,", i)
+		}
+		fmt.Fprintf(&b, "%.4f,%.4f\n", rng.NormFloat64(), rng.NormFloat64())
+	}
+	if withLabels {
+		b.WriteString("anomaly,")
+	}
+	b.WriteString("30,30\n")
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseOptions(path string) options {
+	return options{
+		in: path, labelCol: -1,
+		minPtsLB: 10, minPtsUB: 15,
+		agg: "max", metric: "euclidean", indexKind: "auto",
+		top: 3,
+	}
+}
+
+func TestRunRankingOutput(t *testing.T) {
+	path := writeTestCSV(t, false)
+	var out bytes.Buffer
+	if err := run(&out, baseOptions(path)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# 61 objects, 2 dims, MinPts 10..15, max aggregate") {
+		t.Fatalf("header missing: %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// The top-ranked object is the planted outlier (#60).
+	if !strings.Contains(lines[2], "#60") {
+		t.Fatalf("top outlier line: %q", lines[2])
+	}
+}
+
+func TestRunWithLabelsAndThreshold(t *testing.T) {
+	path := writeTestCSV(t, true)
+	o := baseOptions(path)
+	o.header = true
+	o.labelCol = 0
+	o.threshold = 2
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "anomaly") {
+		t.Fatalf("label missing: %q", s)
+	}
+	if !strings.Contains(s, "objects with score > 2") {
+		t.Fatalf("threshold section missing: %q", s)
+	}
+}
+
+func TestRunScoresMode(t *testing.T) {
+	path := writeTestCSV(t, false)
+	o := baseOptions(path)
+	o.allScores = true
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 61 {
+		t.Fatalf("lines=%d", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, ",") {
+			t.Fatalf("bad scores line %q", l)
+		}
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	path := writeTestCSV(t, false)
+	o := baseOptions(path)
+	o.top = 1
+	o.explain = true
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dim 0: z=") {
+		t.Fatalf("explain output missing: %q", out.String())
+	}
+}
+
+func TestRunSingleMinPts(t *testing.T) {
+	path := writeTestCSV(t, false)
+	o := baseOptions(path)
+	o.minPts = 12
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "MinPts 12..12") {
+		t.Fatalf("single MinPts not honored: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestCSV(t, false)
+	cases := []func(*options){
+		func(o *options) { o.in = "/nonexistent/file.csv" },
+		func(o *options) { o.agg = "median" },
+		func(o *options) { o.indexKind = "btree" },
+		func(o *options) { o.metric = "cosine" },
+		func(o *options) { o.minPtsLB = 100; o.minPtsUB = 200 }, // too few rows
+	}
+	for i, mod := range cases {
+		o := baseOptions(path)
+		mod(&o)
+		if err := run(&bytes.Buffer{}, o); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRunAllIndexKindsAndAggregates(t *testing.T) {
+	path := writeTestCSV(t, false)
+	for _, kind := range []string{"auto", "linear", "grid", "kdtree", "xtree", "vafile"} {
+		o := baseOptions(path)
+		o.indexKind = kind
+		if err := run(&bytes.Buffer{}, o); err != nil {
+			t.Errorf("index %s: %v", kind, err)
+		}
+	}
+	for _, agg := range []string{"max", "mean", "min"} {
+		o := baseOptions(path)
+		o.agg = agg
+		if err := run(&bytes.Buffer{}, o); err != nil {
+			t.Errorf("agg %s: %v", agg, err)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeTestCSV(t, true)
+	o := baseOptions(path)
+	o.header = true
+	o.labelCol = 0
+	o.jsonOut = true
+	o.threshold = 2
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Objects int `json:"objects"`
+		Dims    int `json:"dims"`
+		Top     []struct {
+			Label string  `json:"label"`
+			Score float64 `json:"score"`
+		} `json:"top"`
+		Flagged []struct {
+			Label string `json:"label"`
+		} `json:"flagged"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid json: %v\n%s", err, out.String())
+	}
+	if rep.Objects != 61 || rep.Dims != 2 {
+		t.Fatalf("report=%+v", rep)
+	}
+	if len(rep.Top) != 3 || rep.Top[0].Label != "anomaly" {
+		t.Fatalf("top=%+v", rep.Top)
+	}
+	if len(rep.Flagged) == 0 || rep.Flagged[0].Label != "anomaly" {
+		t.Fatalf("flagged=%+v", rep.Flagged)
+	}
+}
+
+func TestRunWeights(t *testing.T) {
+	path := writeTestCSV(t, false)
+	o := baseOptions(path)
+	o.weights = "1,1"
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "#60") {
+		t.Fatalf("weighted run missed the outlier: %q", out.String())
+	}
+	o.weights = "1,notanumber"
+	if err := run(&bytes.Buffer{}, o); err == nil {
+		t.Error("bad weights accepted")
+	}
+	o.weights = "1" // wrong arity for 2-d data
+	if err := run(&bytes.Buffer{}, o); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+}

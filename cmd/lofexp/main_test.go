@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+)
+
+// Every registered experiment must run in quick mode and produce at least
+// one non-empty table — the smoke test behind `lofexp -exp all -quick`.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range experiments() {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			tables, err := e.run(42, true)
+			if err != nil {
+				t.Fatalf("%s: %v", e.name, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.name)
+			}
+			for ti, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("%s table %d is empty", e.name, ti)
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments() {
+		if seen[e.name] {
+			t.Fatalf("duplicate experiment name %q", e.name)
+		}
+		seen[e.name] = true
+		if e.desc == "" {
+			t.Fatalf("experiment %q lacks a description", e.name)
+		}
+	}
+}

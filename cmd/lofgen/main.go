@@ -1,0 +1,76 @@
+// Command lofgen writes the library's synthetic datasets as CSV for use
+// with lofcli or external tools.
+//
+// Usage:
+//
+//	lofgen -dataset ds1 > ds1.csv
+//	lofgen -dataset clusters -n 10000 -dim 5 -k 8 -seed 7 > big.csv
+//	lofgen -dataset soccer -labels > players.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lof/internal/dataset"
+	"lof/internal/geom"
+)
+
+func main() {
+	var (
+		name   = flag.String("dataset", "clusters", "ds1, fig7, fig8, fig9, soccer, hockey1, hockey2, colorhist or clusters")
+		seed   = flag.Int64("seed", 42, "random seed")
+		n      = flag.Int("n", 1000, "points for -dataset clusters / fig7")
+		dim    = flag.Int("dim", 2, "dimensionality for -dataset clusters")
+		k      = flag.Int("k", 5, "cluster count for -dataset clusters")
+		labels = flag.Bool("labels", false, "emit a label column (column 0) and a header row")
+	)
+	flag.Parse()
+
+	d, err := build(*name, *seed, *n, *dim, *k)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lofgen: %v\n", err)
+		os.Exit(2)
+	}
+	opts := dataset.CSVOptions{LabelColumn: -1}
+	if *labels {
+		opts = dataset.CSVOptions{Header: true, LabelColumn: 0}
+	}
+	if err := dataset.WriteCSV(os.Stdout, d, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "lofgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func build(name string, seed int64, n, dim, k int) (*dataset.Dataset, error) {
+	switch name {
+	case "ds1":
+		return dataset.DS1(seed), nil
+	case "fig7":
+		return dataset.Fig7Gaussian(seed, n), nil
+	case "fig8":
+		return dataset.Fig8Dataset(seed).Dataset, nil
+	case "fig9":
+		return dataset.Fig9Dataset(seed), nil
+	case "soccer":
+		return dataset.Soccer(seed).Dataset(), nil
+	case "hockey1":
+		return dataset.Hockey(seed).Test1(), nil
+	case "hockey2":
+		return dataset.Hockey(seed).Test2(), nil
+	case "colorhist":
+		return dataset.ColorHistograms(seed, dataset.DefaultColorHistSpec()), nil
+	case "clusters":
+		return dataset.RandomClusters(seed, n, dim, k), nil
+	case "uniform":
+		lo := make(geom.Point, dim)
+		hi := make(geom.Point, dim)
+		for i := range hi {
+			hi[i] = 1
+		}
+		return dataset.UniformBox(seed, lo, hi, n), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}

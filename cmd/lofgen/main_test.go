@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildKnownDatasets(t *testing.T) {
+	cases := []struct {
+		name    string
+		wantLen int
+		wantDim int
+	}{
+		{"ds1", 502, 2},
+		{"fig7", 100, 2},
+		{"fig8", 545, 2},
+		{"fig9", 1707, 2},
+		{"soccer", 375, 3},
+		{"hockey1", 0, 3}, // size depends on the league; only dim checked
+		{"hockey2", 0, 3},
+		{"colorhist", 730, 64},
+		{"clusters", 100, 4},
+		{"uniform", 100, 4},
+	}
+	for _, c := range cases {
+		d, err := build(c.name, 42, 100, 4, 3)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		if c.wantLen > 0 && d.Len() != c.wantLen {
+			t.Errorf("%s: len=%d want %d", c.name, d.Len(), c.wantLen)
+		}
+		if d.Dim() != c.wantDim {
+			t.Errorf("%s: dim=%d want %d", c.name, d.Dim(), c.wantDim)
+		}
+	}
+}
+
+func TestBuildUnknownDataset(t *testing.T) {
+	if _, err := build("mystery", 1, 10, 2, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := build("clusters", 7, 50, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build("clusters", 7, 50, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Points.At(i).Equal(b.Points.At(i)) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}

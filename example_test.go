@@ -1,0 +1,66 @@
+package lof_test
+
+import (
+	"fmt"
+	"log"
+
+	"lof"
+)
+
+// grid9 is a tiny deterministic dataset: a 5×5 unit grid plus one distant
+// point, so the examples have stable output.
+func grid9() [][]float64 {
+	var data [][]float64
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			data = append(data, []float64{float64(x), float64(y)})
+		}
+	}
+	data = append(data, []float64{12, 12})
+	return data
+}
+
+// The simplest path: one MinPts value, one call.
+func ExampleScores() {
+	scores, err := lof.Scores(grid9(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid point: %.2f\n", scores[12]) // center of the grid
+	fmt.Printf("far point:  %.2f\n", scores[25])
+	// Output:
+	// grid point: 0.91
+	// far point:  8.47
+}
+
+// The full API: a MinPts range with max aggregation and a ranking.
+func ExampleDetector_Fit() {
+	det, err := lof.New(lof.Config{MinPtsLB: 4, MinPtsUB: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := det.Fit(grid9())
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := res.TopN(1)
+	fmt.Printf("top outlier: object %d with LOF %.2f\n", top[0].Index, top[0].Score)
+	// Output:
+	// top outlier: object 25 with LOF 8.47
+}
+
+// Maintaining scores under insertions.
+func ExampleStream() {
+	s, err := lof.NewStream(2, 4, "euclidean")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range grid9() {
+		if _, err := s.Insert(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("far point: %.2f\n", s.Score(25))
+	// Output:
+	// far point: 8.47
+}

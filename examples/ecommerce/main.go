@@ -1,0 +1,114 @@
+// Ecommerce demonstrates the paper's motivating scenario — detecting
+// unusual activity in electronic commerce — with purely public-API usage.
+// Customer sessions are described by (order value, items per order,
+// minutes on site, returns rate). Legitimate behaviour forms several
+// segments of very different densities: bargain hunters are a broad,
+// sparse population while subscription renewals are an extremely tight
+// one. A fraudulent session close to the tight segment would pass a global
+// distance threshold — LOF flags it because it is isolated *relative to
+// its local neighborhood*.
+//
+//	go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lof"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	var data [][]float64
+	var names []string
+
+	add := func(name string, n int, f func() []float64) {
+		for i := 0; i < n; i++ {
+			data = append(data, f())
+			names = append(names, fmt.Sprintf("%s-%03d", name, i))
+		}
+	}
+
+	uniform := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+
+	// Segment 1: bargain hunters — low value, long sessions, high spread.
+	add("bargain", 400, func() []float64 {
+		return []float64{
+			uniform(5, 45),  // order value ($)
+			uniform(1, 4),   // items
+			uniform(10, 70), // minutes on site
+			uniform(0, 12),  // returns rate (%)
+		}
+	})
+	// Segment 2: subscription renewals — identical flows, tiny spread,
+	// well separated from the bargain segment.
+	add("renewal", 300, func() []float64 {
+		return []float64{
+			99 + rng.NormFloat64()*2,
+			1 + rng.NormFloat64()*0.3,
+			2 + rng.NormFloat64()*1.2,
+			0.5 + rng.NormFloat64()*0.4,
+		}
+	})
+	// Segment 3: bulk buyers — high value, many items.
+	add("bulk", 200, func() []float64 {
+		return []float64{
+			uniform(250, 650),
+			uniform(15, 45),
+			uniform(10, 45),
+			uniform(0, 8),
+		}
+	})
+
+	// Fraud case A: card testing near the renewal segment — a $99-ish
+	// order but with an abnormal flow. Globally it is *closer* to data
+	// than a typical bargain hunter is to its own neighbors.
+	fraudA := len(data)
+	data = append(data, []float64{102, 1, 9, 0.4})
+	names = append(names, "FRAUD-card-testing")
+	// Fraud case B: obvious global outlier — huge order, instant session.
+	fraudB := len(data)
+	data = append(data, []float64{2100, 3, 1, 0})
+	names = append(names, "FRAUD-stolen-card")
+
+	// Standardize columns before detection: order values span thousands of
+	// dollars while returns rates span a few percent, and unstandardized
+	// Euclidean distances would be dominated by the dollar column.
+	data, _, _, err := lof.Standardize(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	det, err := lof.New(lof.Config{MinPtsLB: 10, MinPtsUB: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := det.Fit(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("top 6 sessions by local outlier factor:")
+	for rank, o := range res.TopN(6) {
+		fmt.Printf("%2d. LOF %6.2f  %s\n", rank+1, o.Score, names[o.Index])
+	}
+
+	scores := res.Scores()
+	fmt.Printf("\ncard-testing session: LOF %.2f (flagged despite being globally unremarkable)\n", scores[fraudA])
+	fmt.Printf("stolen-card session:  LOF %.2f\n", scores[fraudB])
+
+	// A fixed alert threshold on the LOF score separates the fraud cases
+	// cleanly; a *global* distance threshold could not, because the
+	// card-testing session is closer to legitimate renewals than bargain
+	// hunters are to each other.
+	flagged := res.OutliersAbove(3)
+	fp := 0
+	for _, o := range flagged {
+		if o.Index != fraudA && o.Index != fraudB {
+			fp++
+		}
+	}
+	fmt.Printf("\nsessions with LOF > 3: %d (false positives among them: %d)\n", len(flagged), fp)
+}

@@ -1,0 +1,47 @@
+// Hockey reproduces the two NHL experiments of section 7.2 on the
+// synthetic NHL96-like league: test 1 ranks players in the subspace
+// (points, plus-minus, penalty minutes), test 2 in (games played, goals,
+// shooting percentage), both by maximum LOF over MinPts 30..50.
+//
+//	go run ./examples/hockey
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lof"
+	"lof/internal/dataset"
+)
+
+func main() {
+	league := dataset.Hockey(42)
+
+	run := func(title string, d *dataset.Dataset, cols [3]string) {
+		rows := make([][]float64, d.Len())
+		for i := range rows {
+			rows[i] = d.Points.At(i)
+		}
+		det, err := lof.New(lof.Config{MinPtsLB: 30, MinPtsUB: 50})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := det.Fit(rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", title)
+		fmt.Printf("rank  LOF    %-22s %10s %10s %10s\n", "player", cols[0], cols[1], cols[2])
+		for rank, o := range res.TopN(5) {
+			p := d.Points.At(o.Index)
+			fmt.Printf("%4d  %5.2f  %-22s %10.1f %10.1f %10.1f\n",
+				rank+1, o.Score, d.Label(o.Index), p[0], p[1], p[2])
+		}
+		fmt.Println()
+	}
+
+	run("test 1: points / plus-minus / penalty minutes (paper: Konstantinov, then Barnaby)",
+		league.Test1(), [3]string{"points", "plus-minus", "pim"})
+	run("test 2: games / goals / shooting%% (paper: Osgood, Lemieux, Poapst)",
+		league.Test2(), [3]string{"games", "goals", "shoot%"})
+}

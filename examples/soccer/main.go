@@ -1,0 +1,63 @@
+// Soccer reproduces Table 3 of the paper on the synthetic Bundesliga
+// 1998/99 league: every player whose maximum LOF over MinPts 30..50
+// exceeds 1.5 is reported, together with the dataset's summary statistics.
+//
+//	go run ./examples/soccer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lof"
+	"lof/internal/dataset"
+)
+
+func main() {
+	league := dataset.Soccer(42)
+	d := league.Dataset()
+
+	rows := make([][]float64, d.Len())
+	for i := range rows {
+		rows[i] = d.Points.At(i)
+	}
+	det, err := lof.New(lof.Config{MinPtsLB: 30, MinPtsUB: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := det.Fit(rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("rank  LOF   player               games  goals  position")
+	for rank, o := range res.OutliersAbove(1.5) {
+		p := league.Players[o.Index]
+		fmt.Printf("%4d  %.2f  %-19s  %5.0f  %5.0f  %s\n",
+			rank+1, o.Score, p.Name, p.Games, p.Goals, p.Position)
+	}
+
+	games := summarize(league.GamesColumn())
+	goals := summarize(league.GoalsColumn())
+	fmt.Printf("\n%-19s %8s %8s\n", "", "games", "goals")
+	fmt.Printf("%-19s %8.0f %8.0f\n", "minimum", games.min, goals.min)
+	fmt.Printf("%-19s %8.1f %8.1f\n", "mean", games.mean, goals.mean)
+	fmt.Printf("%-19s %8.0f %8.0f\n", "maximum", games.max, goals.max)
+}
+
+type summary struct{ min, max, mean float64 }
+
+func summarize(xs []float64) summary {
+	s := summary{min: xs[0], max: xs[0]}
+	for _, x := range xs {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+		s.mean += x
+	}
+	s.mean /= float64(len(xs))
+	return s
+}

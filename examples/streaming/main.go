@@ -1,0 +1,85 @@
+// Streaming demonstrates incremental LOF maintenance (lof.Stream): sensor
+// readings arrive one at a time, each insertion updates only the affected
+// scores, and an alert fires the moment a reading's LOF exceeds a
+// threshold. A sliding window keeps the reference set bounded by removing
+// the oldest readings.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"lof"
+)
+
+const (
+	minPts    = 10
+	window    = 300 // sliding-window size
+	threshold = 2.5 // alert when a new reading's LOF exceeds this
+)
+
+func main() {
+	s, err := lof.NewStream(2, minPts, "euclidean")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+
+	// The "sensor": a daily cycle in (temperature, vibration) with noise,
+	// plus occasional injected faults.
+	reading := func(step int) ([]float64, bool) {
+		phase := float64(step) / 50 * 2 * math.Pi
+		if step%97 == 96 { // injected fault: vibration spike
+			return []float64{20 + 5*math.Sin(phase), 9 + rng.Float64()}, true
+		}
+		return []float64{
+			20 + 5*math.Sin(phase) + rng.NormFloat64()*0.4,
+			1 + 0.5*math.Sin(phase/2) + rng.NormFloat64()*0.15,
+		}, false
+	}
+
+	var oldest int // index of the oldest live point
+	alerts, faults, falseAlerts := 0, 0, 0
+	totalAffected := 0
+	for step := 0; step < 600; step++ {
+		p, isFault := reading(step)
+		if isFault {
+			faults++
+		}
+		id, err := s.Insert(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalAffected += s.LastAffected()
+
+		// Alert on the just-inserted reading.
+		if score := s.Score(id); s.Len() > minPts+1 && score > threshold {
+			alerts++
+			if !isFault {
+				falseAlerts++
+			}
+			tag := "FAULT"
+			if !isFault {
+				tag = "normal"
+			}
+			fmt.Printf("step %3d: alert, LOF %5.2f (%s reading)\n", step, score, tag)
+		}
+
+		// Slide the window.
+		for s.Len() > window {
+			if err := s.Remove(oldest); err != nil {
+				log.Fatal(err)
+			}
+			oldest++
+		}
+	}
+
+	fmt.Printf("\n%d readings, %d injected faults, %d alerts (%d false)\n",
+		600, faults, alerts, falseAlerts)
+	fmt.Printf("average points touched per insertion: %.1f of %d in the window\n",
+		float64(totalAffected)/600, window)
+}

@@ -1,0 +1,112 @@
+package lof
+
+import (
+	"fmt"
+	"math"
+
+	"lof/internal/explain"
+	"lof/internal/optics"
+	"lof/internal/stats"
+)
+
+// This file exposes the explanation facilities built for the paper's
+// "ongoing work" directions (Sec. 8): per-dimension outlier profiles and
+// cluster context via an OPTICS handshake.
+
+// DimensionContribution quantifies one feature dimension's share of an
+// object's outlier-ness relative to its MinPts-neighborhood.
+type DimensionContribution struct {
+	// Dim is the feature column.
+	Dim int
+	// ZScore is the object's absolute deviation from the neighborhood mean
+	// on this dimension, in neighborhood standard deviations.
+	ZScore float64
+	// Delta is the signed raw deviation from the neighborhood mean.
+	Delta float64
+}
+
+// ExplainDimensions decomposes object i's deviation from its
+// MinPts-neighborhood per feature dimension, most deviating first. For
+// high-dimensional data this answers the paper's explanation question: a
+// local outlier "may be outlying only on some, but not on all, dimensions".
+func (r *Result) ExplainDimensions(i, minPts int) ([]DimensionContribution, error) {
+	prof, err := explain.DimensionProfile(r.db, r.pts, i, minPts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DimensionContribution, len(prof))
+	for j, c := range prof {
+		out[j] = DimensionContribution{Dim: c.Dim, ZScore: c.ZScore, Delta: c.Delta}
+	}
+	return out, nil
+}
+
+// ClusterContext locates the cluster an object is outlying relative to.
+type ClusterContext struct {
+	// Found reports whether any cluster was extracted; the remaining
+	// fields are meaningful only when true.
+	Found bool
+	// ClusterSize is the member count of the nearest extracted cluster.
+	ClusterSize int
+	// Distance is the distance from the object to that cluster's nearest
+	// member.
+	Distance float64
+	// Separation is Distance in units of the cluster's own density scale
+	// (its mean reachability distance): large values mean "far away
+	// relative to how tightly that cluster packs" — the locality LOF
+	// measures.
+	Separation float64
+}
+
+// ClusterContext runs the OPTICS handshake lazily (once per Result) and
+// reports which extracted cluster object i is closest to and how separated
+// from it the object is. The extraction uses the detector's MinPtsLB and a
+// threshold of twice the median MinPts-distance.
+func (r *Result) ClusterContext(i int) (ClusterContext, error) {
+	if i < 0 || i >= r.pts.Len() {
+		return ClusterContext{}, fmt.Errorf("lof: point %d out of range", i)
+	}
+	r.opticsOnce.Do(func() {
+		res, err := optics.Run(r.pts, r.ix, optics.Params{MinPts: r.cfg.MinPtsLB})
+		if err != nil {
+			r.opticsErr = err
+			return
+		}
+		threshold := r.extractionThreshold()
+		clusters, _ := res.ExtractClusters(threshold, r.cfg.MinPtsLB)
+		r.opticsClusters = clusters
+	})
+	if r.opticsErr != nil {
+		return ClusterContext{}, r.opticsErr
+	}
+	ctx, err := explain.NearestCluster(r.pts, r.metric, r.opticsClusters, i)
+	if err != nil {
+		return ClusterContext{}, err
+	}
+	if ctx.Cluster < 0 {
+		return ClusterContext{Found: false}, nil
+	}
+	return ClusterContext{
+		Found:       true,
+		ClusterSize: len(r.opticsClusters[ctx.Cluster].Members),
+		Distance:    ctx.Distance,
+		Separation:  ctx.Separation,
+	}, nil
+}
+
+// extractionThreshold derives the OPTICS reachability cut: twice the median
+// MinPtsLB-distance over all objects.
+func (r *Result) extractionThreshold() float64 {
+	n := r.db.Len()
+	kdists := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if kd := r.db.KDistance(i, r.cfg.MinPtsLB); !math.IsInf(kd, 1) {
+			kdists = append(kdists, kd)
+		}
+	}
+	med, err := stats.Quantile(kdists, 0.5)
+	if err != nil || med == 0 {
+		return math.Inf(1)
+	}
+	return 2 * med
+}

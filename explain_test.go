@@ -1,0 +1,124 @@
+package lof
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// explainScene: a dense cluster, a sparse cluster, and an outlier near the
+// dense one that deviates mainly on dimension 0.
+func explainScene(t *testing.T) ([][]float64, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	var data [][]float64
+	for i := 0; i < 120; i++ {
+		data = append(data, []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3})
+	}
+	for i := 0; i < 120; i++ {
+		data = append(data, []float64{40 + rng.NormFloat64()*3, rng.NormFloat64() * 3})
+	}
+	outlier := len(data)
+	data = append(data, []float64{5, 0.1})
+	return data, outlier
+}
+
+func TestExplainDimensions(t *testing.T) {
+	data, outlier := explainScene(t)
+	det, err := New(Config{MinPtsLB: 10, MinPtsUB: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := res.ExplainDimensions(outlier, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 2 {
+		t.Fatalf("profile len=%d", len(prof))
+	}
+	if prof[0].Dim != 0 {
+		t.Fatalf("dominant dimension=%d want 0: %v", prof[0].Dim, prof)
+	}
+	if prof[0].ZScore <= prof[1].ZScore {
+		t.Fatalf("profile not sorted: %v", prof)
+	}
+	if prof[0].Delta <= 0 {
+		t.Fatalf("delta should be positive (outlier is to the right): %v", prof[0])
+	}
+	if _, err := res.ExplainDimensions(outlier, 99); err == nil {
+		t.Error("MinPts beyond K accepted")
+	}
+}
+
+func TestClusterContext(t *testing.T) {
+	data, outlier := explainScene(t)
+	det, err := New(Config{MinPtsLB: 10, MinPtsUB: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := res.ClusterContext(outlier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Found {
+		t.Fatal("no cluster context found")
+	}
+	// The nearest cluster is the dense one (~120 members), and the outlier
+	// sits many cluster spacings away from it.
+	if ctx.ClusterSize < 80 {
+		t.Fatalf("cluster size=%d", ctx.ClusterSize)
+	}
+	if ctx.Distance < 3 || math.IsInf(ctx.Distance, 1) {
+		t.Fatalf("distance=%v", ctx.Distance)
+	}
+	if ctx.Separation < 3 {
+		t.Fatalf("separation=%v", ctx.Separation)
+	}
+
+	// A deep cluster member has a much smaller separation.
+	memberCtx, err := res.ClusterContext(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !memberCtx.Found || memberCtx.Separation >= ctx.Separation {
+		t.Fatalf("member ctx=%+v outlier ctx=%+v", memberCtx, ctx)
+	}
+
+	if _, err := res.ClusterContext(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := res.ClusterContext(len(data)); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestClusterContextCachedAcrossCalls(t *testing.T) {
+	data, _ := explainScene(t)
+	det, err := New(Config{MinPtsLB: 10, MinPtsUB: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := res.ClusterContext(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.ClusterContext(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("context changed across calls: %+v vs %+v", a, b)
+	}
+}

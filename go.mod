@@ -1,0 +1,3 @@
+module lof
+
+go 1.22

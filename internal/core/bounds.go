@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lof/internal/geom"
+	"lof/internal/matdb"
+)
+
+// DirectIndirect holds the four quantities Theorem 1 is stated in:
+// the extreme reachability distances within p's direct neighborhood
+// (p to its MinPts-nearest neighbors) and within its indirect neighborhood
+// (p's neighbors to their MinPts-nearest neighbors).
+type DirectIndirect struct {
+	DirectMin, DirectMax     float64
+	IndirectMin, IndirectMax float64
+}
+
+// Direct returns the mean of DirectMin and DirectMax, the "direct(p)"
+// shorthand of Sec. 5.3.
+func (d DirectIndirect) Direct() float64 { return (d.DirectMin + d.DirectMax) / 2 }
+
+// Indirect returns the mean of IndirectMin and IndirectMax.
+func (d DirectIndirect) Indirect() float64 { return (d.IndirectMin + d.IndirectMax) / 2 }
+
+// DirectIndirectOf computes the Theorem 1 quantities for point i from the
+// materialization database.
+func DirectIndirectOf(db *matdb.DB, i, minPts int) (DirectIndirect, error) {
+	if err := db.CheckMinPts(minPts); err != nil {
+		return DirectIndirect{}, err
+	}
+	di := DirectIndirect{
+		DirectMin:   math.Inf(1),
+		DirectMax:   math.Inf(-1),
+		IndirectMin: math.Inf(1),
+		IndirectMax: math.Inf(-1),
+	}
+	nn := db.Neighborhood(i, minPts)
+	if len(nn) == 0 {
+		return DirectIndirect{}, fmt.Errorf("core: point %d has no neighbors", i)
+	}
+	for _, q := range nn {
+		rd := ReachDist(db.KDistance(q.Index, minPts), q.Dist)
+		di.DirectMin = math.Min(di.DirectMin, rd)
+		di.DirectMax = math.Max(di.DirectMax, rd)
+		for _, o := range db.Neighborhood(q.Index, minPts) {
+			ird := ReachDist(db.KDistance(o.Index, minPts), o.Dist)
+			di.IndirectMin = math.Min(di.IndirectMin, ird)
+			di.IndirectMax = math.Max(di.IndirectMax, ird)
+		}
+	}
+	return di, nil
+}
+
+// Theorem1Bounds returns the general lower and upper bound of Theorem 1:
+//
+//	direct_min(p)/indirect_max(p) ≤ LOF(p) ≤ direct_max(p)/indirect_min(p)
+func Theorem1Bounds(db *matdb.DB, i, minPts int) (lower, upper float64, err error) {
+	di, err := DirectIndirectOf(db, i, minPts)
+	if err != nil {
+		return 0, 0, err
+	}
+	return di.DirectMin / di.IndirectMax, di.DirectMax / di.IndirectMin, nil
+}
+
+// Theorem2Bounds returns the sharper multi-cluster bounds of Theorem 2 for
+// point i, with its MinPts-nearest neighbors partitioned by the group
+// function (e.g. a ground-truth cluster id). Every neighbor must be
+// assigned a group; groups are identified by arbitrary ints.
+//
+//	LOF(p) ≥ (Σ ξ_i · direct^i_min) · (Σ ξ_i / indirect^i_max)
+//	LOF(p) ≤ (Σ ξ_i · direct^i_max) · (Σ ξ_i / indirect^i_min)
+func Theorem2Bounds(db *matdb.DB, i, minPts int, group func(pointIndex int) int) (lower, upper float64, err error) {
+	if err := db.CheckMinPts(minPts); err != nil {
+		return 0, 0, err
+	}
+	nn := db.Neighborhood(i, minPts)
+	if len(nn) == 0 {
+		return 0, 0, fmt.Errorf("core: point %d has no neighbors", i)
+	}
+	type part struct {
+		count                  int
+		dMin, dMax, iMin, iMax float64
+	}
+	parts := map[int]*part{}
+	for _, q := range nn {
+		g := group(q.Index)
+		pt, ok := parts[g]
+		if !ok {
+			pt = &part{
+				dMin: math.Inf(1), dMax: math.Inf(-1),
+				iMin: math.Inf(1), iMax: math.Inf(-1),
+			}
+			parts[g] = pt
+		}
+		pt.count++
+		rd := ReachDist(db.KDistance(q.Index, minPts), q.Dist)
+		pt.dMin = math.Min(pt.dMin, rd)
+		pt.dMax = math.Max(pt.dMax, rd)
+		for _, o := range db.Neighborhood(q.Index, minPts) {
+			ird := ReachDist(db.KDistance(o.Index, minPts), o.Dist)
+			pt.iMin = math.Min(pt.iMin, ird)
+			pt.iMax = math.Max(pt.iMax, ird)
+		}
+	}
+	total := float64(len(nn))
+	var sumDMin, sumDMax, sumInvIMax, sumInvIMin float64
+	for _, pt := range parts {
+		xi := float64(pt.count) / total
+		sumDMin += xi * pt.dMin
+		sumDMax += xi * pt.dMax
+		sumInvIMax += xi / pt.iMax
+		sumInvIMin += xi / pt.iMin
+	}
+	return sumDMin * sumInvIMax, sumDMax * sumInvIMin, nil
+}
+
+// Lemma1Epsilon computes the ε of Lemma 1 for a collection C of points:
+// ε = reach-dist-max/reach-dist-min − 1 over all ordered pairs in C. For
+// every point deep inside C, 1/(1+ε) ≤ LOF ≤ 1+ε. The original points and
+// metric are needed because the lemma quantifies over all pairs, not just
+// materialized neighbor pairs.
+func Lemma1Epsilon(db *matdb.DB, pts *geom.Points, m geom.Metric, members []int, minPts int) (eps float64, err error) {
+	if err := db.CheckMinPts(minPts); err != nil {
+		return 0, err
+	}
+	if len(members) < 2 {
+		return 0, fmt.Errorf("core: Lemma1Epsilon needs at least 2 members, got %d", len(members))
+	}
+	if m == nil {
+		m = geom.Euclidean{}
+	}
+	rdMin, rdMax := math.Inf(1), math.Inf(-1)
+	for _, p := range members {
+		for _, q := range members {
+			if p == q {
+				continue
+			}
+			rd := ReachDist(db.KDistance(q, minPts), m.Distance(pts.At(p), pts.At(q)))
+			rdMin = math.Min(rdMin, rd)
+			rdMax = math.Max(rdMax, rd)
+		}
+	}
+	if rdMin <= 0 {
+		return math.Inf(1), nil
+	}
+	return rdMax/rdMin - 1, nil
+}
+
+// DeepInCluster reports whether point i is "deep" in the member set in the
+// sense of Lemma 1: all its MinPts-nearest neighbors are members, and all
+// their MinPts-nearest neighbors are members too.
+func DeepInCluster(db *matdb.DB, i, minPts int, isMember func(int) bool) bool {
+	for _, q := range db.Neighborhood(i, minPts) {
+		if !isMember(q.Index) {
+			return false
+		}
+		for _, o := range db.Neighborhood(q.Index, minPts) {
+			if !isMember(o.Index) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// --- Analytic curves of Sec. 5.3 (figures 4 and 5) ----------------------
+
+// AnalyticBounds returns LOFmin and LOFmax under the Sec. 5.3
+// simplification: direct and indirect reachability distances fluctuate by
+// the same percentage pct around their means, i.e.
+// direct_max = direct·(1+pct/100), direct_min = direct·(1−pct/100), and
+// likewise for indirect. These are the curves of figure 4.
+func AnalyticBounds(direct, indirect, pct float64) (lofMin, lofMax float64) {
+	f := pct / 100
+	lofMin = direct * (1 - f) / (indirect * (1 + f))
+	lofMax = direct * (1 + f) / (indirect * (1 - f))
+	return lofMin, lofMax
+}
+
+// RelativeSpan returns (LOFmax − LOFmin)/(direct/indirect) as a function of
+// pct alone — the closed form of figure 5:
+//
+//	4·(pct/100) / (1 − (pct/100)²)
+func RelativeSpan(pct float64) float64 {
+	f := pct / 100
+	return 4 * f / (1 - f*f)
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lof/internal/geom"
+)
+
+// Theorem 1: for every object, direct_min/indirect_max ≤ LOF ≤
+// direct_max/indirect_min.
+func TestTheorem1BracketsLOF(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		pts := randomPoints(t, 100+seed, 200, 2)
+		db := buildDB(t, pts, 12)
+		for _, minPts := range []int{3, 8, 12} {
+			lofs, err := LOFs(db, minPts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range lofs {
+				lo, hi, err := Theorem1Bounds(db, i, minPts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lofs[i] < lo-1e-9 || lofs[i] > hi+1e-9 {
+					t.Fatalf("seed=%d minPts=%d point %d: LOF=%v outside [%v, %v]",
+						seed, minPts, i, lofs[i], lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// Theorem 2 holds for ANY partition of the neighborhood, so random
+// groupings must still bracket the true LOF.
+func TestTheorem2BracketsLOFForRandomPartitions(t *testing.T) {
+	pts := randomPoints(t, 9, 150, 3)
+	db := buildDB(t, pts, 10)
+	lofs, err := LOFs(db, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		groups := rng.Intn(4) + 1
+		assign := make([]int, pts.Len())
+		for i := range assign {
+			assign[i] = rng.Intn(groups)
+		}
+		for i := 0; i < pts.Len(); i += 7 {
+			lo, hi, err := Theorem2Bounds(db, i, 10, func(j int) int { return assign[j] })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lofs[i] < lo-1e-9 || lofs[i] > hi+1e-9 {
+				t.Fatalf("trial %d point %d: LOF=%v outside theorem-2 [%v, %v]",
+					trial, i, lofs[i], lo, hi)
+			}
+		}
+	}
+}
+
+// Corollary 1: with a single partition, Theorem 2's bounds coincide with
+// Theorem 1's.
+func TestCorollary1SinglePartitionEqualsTheorem1(t *testing.T) {
+	pts := randomPoints(t, 10, 120, 2)
+	db := buildDB(t, pts, 8)
+	for i := 0; i < pts.Len(); i += 5 {
+		lo1, hi1, err := Theorem1Bounds(db, i, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo2, hi2, err := Theorem2Bounds(db, i, 8, func(int) int { return 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lo1-lo2) > 1e-9 || math.Abs(hi1-hi2) > 1e-9 {
+			t.Fatalf("point %d: thm1=[%v,%v] thm2=[%v,%v]", i, lo1, hi1, lo2, hi2)
+		}
+	}
+}
+
+// Theorem 2's bounds are at least as tight as Theorem 1's when partitioning
+// by a meaningful grouping — here, a two-cluster dataset split by cluster.
+func TestTheorem2TighterAcrossClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := geom.NewPoints(2, 0)
+	for i := 0; i < 30; i++ { // dense cluster
+		if err := pts.Append(geom.Point{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ { // sparse cluster
+		if err := pts.Append(geom.Point{10 + rng.NormFloat64()*2, rng.NormFloat64() * 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A point between the clusters whose neighborhood straddles both.
+	if err := pts.Append(geom.Point{5, 0}); err != nil {
+		t.Fatal(err)
+	}
+	db := buildDB(t, pts, 20)
+	p := 60
+	group := func(j int) int {
+		if j < 30 {
+			return 0
+		}
+		return 1
+	}
+	lo1, hi1, err := Theorem1Bounds(db, p, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := Theorem2Bounds(db, p, 20, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lofs, err := LOFs(db, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lofs[p] < lo2-1e-9 || lofs[p] > hi2+1e-9 {
+		t.Fatalf("LOF=%v outside thm2 [%v, %v]", lofs[p], lo2, hi2)
+	}
+	if (hi2 - lo2) > (hi1-lo1)+1e-9 {
+		t.Fatalf("thm2 spread %v wider than thm1 spread %v", hi2-lo2, hi1-lo1)
+	}
+}
+
+// Lemma 1: deep-in-cluster points obey 1/(1+ε) ≤ LOF ≤ 1+ε.
+func TestLemma1DeepClusterPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pts := geom.NewPoints(2, 0)
+	for i := 0; i < 120; i++ {
+		if err := pts.Append(geom.Point{rng.Float64() * 10, rng.Float64() * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := buildDB(t, pts, 6)
+	const minPts = 5
+	members := make([]int, pts.Len())
+	isMember := func(int) bool { return true }
+	for i := range members {
+		members[i] = i
+	}
+	eps, err := Lemma1Epsilon(db, pts, nil, members, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(eps, 1) {
+		t.Fatal("epsilon infinite for distinct points")
+	}
+	lofs, err := LOFs(db, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deepCount := 0
+	for i := range lofs {
+		if !DeepInCluster(db, i, minPts, isMember) {
+			continue
+		}
+		deepCount++
+		if lofs[i] < 1/(1+eps)-1e-9 || lofs[i] > (1+eps)+1e-9 {
+			t.Fatalf("deep point %d: LOF=%v outside [%v, %v]", i, lofs[i], 1/(1+eps), 1+eps)
+		}
+	}
+	if deepCount == 0 {
+		t.Fatal("no deep points found; test is vacuous")
+	}
+}
+
+func TestLemma1Validation(t *testing.T) {
+	pts := randomPoints(t, 13, 20, 2)
+	db := buildDB(t, pts, 5)
+	if _, err := Lemma1Epsilon(db, pts, nil, []int{0}, 5); err == nil {
+		t.Error("singleton member set accepted")
+	}
+	if _, err := Lemma1Epsilon(db, pts, nil, []int{0, 1}, 99); err == nil {
+		t.Error("MinPts>K accepted")
+	}
+}
+
+func TestLemma1DuplicateMembersInfiniteEpsilon(t *testing.T) {
+	rows := []geom.Point{{0, 0}, {0, 0}, {1, 1}, {2, 2}}
+	pts, err := geom.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := buildDB(t, pts, 2)
+	eps, err := Lemma1Epsilon(db, pts, nil, []int{0, 1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(eps, 1) {
+		t.Fatalf("eps=%v want +Inf for zero reach-dist pairs", eps)
+	}
+}
+
+func TestDirectIndirectErrors(t *testing.T) {
+	pts := randomPoints(t, 14, 20, 2)
+	db := buildDB(t, pts, 5)
+	if _, err := DirectIndirectOf(db, 0, 0); err == nil {
+		t.Error("MinPts=0 accepted")
+	}
+	if _, _, err := Theorem1Bounds(db, 0, 9); err == nil {
+		t.Error("MinPts>K accepted")
+	}
+	if _, _, err := Theorem2Bounds(db, 0, 9, func(int) int { return 0 }); err == nil {
+		t.Error("MinPts>K accepted by theorem 2")
+	}
+}
+
+func TestDirectIndirectMeans(t *testing.T) {
+	di := DirectIndirect{DirectMin: 2, DirectMax: 4, IndirectMin: 1, IndirectMax: 3}
+	if di.Direct() != 3 || di.Indirect() != 2 {
+		t.Fatalf("Direct=%v Indirect=%v", di.Direct(), di.Indirect())
+	}
+}
+
+// Figure 5's closed form must equal the figure 4 construction:
+// (LOFmax − LOFmin)/(direct/indirect) is independent of direct/indirect.
+func TestRelativeSpanMatchesAnalyticBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		direct := 0.5 + rng.Float64()*10
+		indirect := 0.5 + rng.Float64()*10
+		pct := rng.Float64() * 90
+		lofMin, lofMax := AnalyticBounds(direct, indirect, pct)
+		span := (lofMax - lofMin) / (direct / indirect)
+		want := RelativeSpan(pct)
+		return math.Abs(span-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelativeSpanKnownValues(t *testing.T) {
+	// pct → 4(pct/100)/(1-(pct/100)²)
+	cases := []struct{ pct, want float64 }{
+		{0, 0},
+		{50, 4 * 0.5 / 0.75},
+		{10, 0.4 / 0.99},
+	}
+	for _, c := range cases {
+		if got := RelativeSpan(c.pct); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelativeSpan(%v)=%v want %v", c.pct, got, c.want)
+		}
+	}
+	// Approaches infinity as pct → 100.
+	if RelativeSpan(99.999) < 1000 {
+		t.Error("RelativeSpan near 100 should blow up")
+	}
+}
+
+// The figure 4 observation: for fixed pct the spread grows linearly in
+// direct/indirect.
+func TestBoundSpreadLinearInRatio(t *testing.T) {
+	const pct = 5.0
+	span1 := spreadAt(1, pct)
+	span2 := spreadAt(2, pct)
+	span4 := spreadAt(4, pct)
+	if math.Abs(span2/span1-2) > 1e-9 || math.Abs(span4/span1-4) > 1e-9 {
+		t.Fatalf("spread not linear: %v %v %v", span1, span2, span4)
+	}
+}
+
+func spreadAt(ratio, pct float64) float64 {
+	lofMin, lofMax := AnalyticBounds(ratio, 1, pct)
+	return lofMax - lofMin
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lof/internal/geom"
+	"lof/internal/index/linear"
+	"lof/internal/matdb"
+)
+
+// LOF is a ratio of densities, so it must be invariant under global
+// translation and uniform scaling of the data, and equivariant under
+// permutation of the points. These properties pin down the implementation
+// against subtle bookkeeping bugs (e.g. index mix-ups after sorting).
+
+func lofsOf(t *testing.T, pts *geom.Points, minPts int) []float64 {
+	t.Helper()
+	db, err := matdb.Materialize(pts, linear.New(pts, nil), minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lofs, err := LOFs(db, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lofs
+}
+
+func randomCloud(t *testing.T, seed int64, n, dim int) *geom.Points {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := geom.NewPoints(dim, n)
+	for i := 0; i < n; i++ {
+		p := make(geom.Point, dim)
+		for d := range p {
+			// Mixture of two densities so LOF values are nontrivial.
+			if i%3 == 0 {
+				p[d] = rng.NormFloat64() * 4
+			} else {
+				p[d] = rng.NormFloat64()
+			}
+		}
+		if err := pts.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pts
+}
+
+func TestLOFTranslationInvariance(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		pts := randomCloud(t, 60+seed, 120, 3)
+		shift := geom.Point{100, -50, 7}
+		shifted := geom.NewPoints(3, pts.Len())
+		for i := 0; i < pts.Len(); i++ {
+			p := pts.At(i).Clone()
+			for d := range p {
+				p[d] += shift[d]
+			}
+			if err := shifted.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a := lofsOf(t, pts, 8)
+		b := lofsOf(t, shifted, 8)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-6*(1+math.Abs(a[i])) {
+				t.Fatalf("seed %d point %d: %v vs %v after translation", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLOFScaleInvariance(t *testing.T) {
+	for _, scale := range []float64{0.001, 3, 1e4} {
+		pts := randomCloud(t, 70, 120, 2)
+		scaled := geom.NewPoints(2, pts.Len())
+		for i := 0; i < pts.Len(); i++ {
+			p := pts.At(i).Clone()
+			for d := range p {
+				p[d] *= scale
+			}
+			if err := scaled.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a := lofsOf(t, pts, 8)
+		b := lofsOf(t, scaled, 8)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-6*(1+math.Abs(a[i])) {
+				t.Fatalf("scale %v point %d: %v vs %v", scale, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLOFPermutationEquivariance(t *testing.T) {
+	pts := randomCloud(t, 80, 150, 2)
+	rng := rand.New(rand.NewSource(81))
+	perm := rng.Perm(pts.Len())
+	permuted := geom.NewPoints(2, pts.Len())
+	for _, src := range perm {
+		if err := permuted.Append(pts.At(src).Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := lofsOf(t, pts, 10)
+	b := lofsOf(t, permuted, 10)
+	for dst, src := range perm {
+		if math.Abs(a[src]-b[dst]) > 1e-9 {
+			t.Fatalf("point %d→%d: %v vs %v after permutation", src, dst, a[src], b[dst])
+		}
+	}
+}
+
+// LOF values are always positive (or +Inf in degenerate duplicate cases).
+func TestLOFPositivity(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		pts := randomCloud(t, 90+seed, 100, 2)
+		for _, minPts := range []int{2, 5, 15} {
+			for i, l := range lofsOf(t, pts, minPts) {
+				if !(l > 0) {
+					t.Fatalf("seed %d minPts %d: LOF[%d]=%v", seed, minPts, i, l)
+				}
+			}
+		}
+	}
+}
+
+// Adding a far-away point must not change the LOF of points whose
+// neighborhoods it cannot enter (a locality property of the definition).
+func TestLOFLocalityUnderDistantAddition(t *testing.T) {
+	pts := randomCloud(t, 99, 100, 2)
+	const minPts = 8
+	before := lofsOf(t, pts, minPts)
+
+	extended := pts.Clone()
+	if err := extended.Append(geom.Point{1e6, 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	after := lofsOf(t, extended, minPts)
+	for i := range before {
+		if math.Abs(before[i]-after[i]) > 1e-9 {
+			t.Fatalf("point %d: %v vs %v after distant addition", i, before[i], after[i])
+		}
+	}
+}

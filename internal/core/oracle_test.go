@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"lof/internal/geom"
+)
+
+// oracleLOF recomputes LOF straight from Definitions 3–7 with naive O(n²)
+// loops and no shared helpers — an independent oracle for the whole
+// materialize→two-scan pipeline.
+func oracleLOF(pts *geom.Points, minPts int) []float64 {
+	n := pts.Len()
+	dist := func(a, b int) float64 {
+		var s float64
+		pa, pb := pts.At(a), pts.At(b)
+		for d := range pa {
+			diff := pa[d] - pb[d]
+			s += diff * diff
+		}
+		return math.Sqrt(s)
+	}
+
+	// Definition 3: the k-distance of p is the distance to its MinPts-th
+	// closest other object.
+	kdistance := func(p int) float64 {
+		ds := make([]float64, 0, n-1)
+		for o := 0; o < n; o++ {
+			if o != p {
+				ds = append(ds, dist(p, o))
+			}
+		}
+		sort.Float64s(ds)
+		return ds[minPts-1]
+	}
+
+	// Definition 4: all objects within the k-distance (ties included).
+	neighborhood := func(p int) []int {
+		kd := kdistance(p)
+		var out []int
+		for o := 0; o < n; o++ {
+			if o != p && dist(p, o) <= kd {
+				out = append(out, o)
+			}
+		}
+		return out
+	}
+
+	// Definition 5 + 6: local reachability density.
+	lrd := func(p int) float64 {
+		nn := neighborhood(p)
+		var sum float64
+		for _, o := range nn {
+			rd := kdistance(o)
+			if d := dist(p, o); d > rd {
+				rd = d
+			}
+			sum += rd
+		}
+		if sum == 0 {
+			return math.Inf(1)
+		}
+		return float64(len(nn)) / sum
+	}
+
+	// Definition 7: the local outlier factor.
+	out := make([]float64, n)
+	for p := 0; p < n; p++ {
+		nn := neighborhood(p)
+		lrdP := lrd(p)
+		var sum float64
+		for _, o := range nn {
+			sum += lrd(o) / lrdP
+		}
+		out[p] = sum / float64(len(nn))
+	}
+	return out
+}
+
+func TestPipelineMatchesDefinitionOracle(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		pts := randomPoints(t, 200+seed, 70, 2)
+		for _, minPts := range []int{2, 5, 11} {
+			db := buildDB(t, pts, minPts)
+			got, err := LOFs(db, minPts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracleLOF(pts, minPts)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					t.Fatalf("seed=%d minPts=%d point %d: pipeline=%v oracle=%v",
+						seed, minPts, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSweepShape(t *testing.T) {
+	pts := randomPoints(t, 20, 80, 2)
+	db := buildDB(t, pts, 15)
+	res, err := Sweep(db, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MinPts) != 11 || len(res.Values) != 11 {
+		t.Fatalf("minpts=%d values=%d", len(res.MinPts), len(res.Values))
+	}
+	if res.MinPts[0] != 5 || res.MinPts[10] != 15 {
+		t.Fatalf("MinPts=%v", res.MinPts)
+	}
+	if res.NumPoints() != 80 {
+		t.Fatalf("NumPoints=%d", res.NumPoints())
+	}
+	// Each row must equal a direct computation at that MinPts.
+	for m, minPts := range res.MinPts {
+		want, err := LOFs(db, minPts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if res.Values[m][i] != want[i] {
+				t.Fatalf("row %d point %d differs", m, i)
+			}
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	pts := randomPoints(t, 21, 40, 2)
+	db := buildDB(t, pts, 10)
+	if _, err := Sweep(db, 8, 5); err == nil {
+		t.Error("lb>ub accepted")
+	}
+	if _, err := Sweep(db, 0, 5); err == nil {
+		t.Error("lb=0 accepted")
+	}
+	if _, err := Sweep(db, 5, 11); err == nil {
+		t.Error("ub>K accepted")
+	}
+}
+
+func TestAggregateOrdering(t *testing.T) {
+	pts := randomPoints(t, 22, 100, 2)
+	db := buildDB(t, pts, 12)
+	res, err := Sweep(db, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxA := res.Aggregate(AggMax)
+	meanA := res.Aggregate(AggMean)
+	minA := res.Aggregate(AggMin)
+	for i := range maxA {
+		if !(minA[i] <= meanA[i]+1e-12 && meanA[i] <= maxA[i]+1e-12) {
+			t.Fatalf("point %d: min=%v mean=%v max=%v", i, minA[i], meanA[i], maxA[i])
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	pts := randomPoints(t, 23, 50, 2)
+	db := buildDB(t, pts, 8)
+	res, err := Sweep(db, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Series(7)
+	if len(s) != len(res.MinPts) {
+		t.Fatalf("series len=%d", len(s))
+	}
+	for m := range s {
+		if s[m] != res.Values[m][7] {
+			t.Fatalf("series[%d] mismatch", m)
+		}
+	}
+}
+
+func TestEmptySweepResult(t *testing.T) {
+	r := &SweepResult{}
+	if r.NumPoints() != 0 {
+		t.Fatalf("NumPoints=%d", r.NumPoints())
+	}
+	if got := r.Aggregate(AggMax); len(got) != 0 {
+		t.Fatalf("Aggregate=%v", got)
+	}
+}
+
+func TestRankOrdering(t *testing.T) {
+	scores := []float64{1.0, 3.5, 2.2, 3.5, 0.1}
+	ranked := Rank(scores)
+	wantOrder := []int{1, 3, 2, 0, 4} // ties (1,3) broken by index
+	for i, w := range wantOrder {
+		if ranked[i].Index != w {
+			t.Fatalf("rank %d: got %d want %d (full: %v)", i, ranked[i].Index, w, ranked)
+		}
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Fatal("scores not descending")
+		}
+	}
+}
+
+func TestTopN(t *testing.T) {
+	scores := []float64{1, 5, 3}
+	if got := TopN(scores, 2); len(got) != 2 || got[0].Index != 1 || got[1].Index != 2 {
+		t.Fatalf("TopN=%v", got)
+	}
+	if got := TopN(scores, 99); len(got) != 3 {
+		t.Fatalf("TopN overflow=%v", got)
+	}
+	if got := TopN(scores, -1); len(got) != 0 {
+		t.Fatalf("TopN negative=%v", got)
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	if AggMax.String() != "max" || AggMin.String() != "min" || AggMean.String() != "mean" {
+		t.Fatal("aggregate names wrong")
+	}
+	if Aggregate(9).String() == "" {
+		t.Fatal("unknown aggregate name empty")
+	}
+}
+
+func TestSweepSinglePoint(t *testing.T) {
+	// lb == ub degenerates to one row.
+	pts := randomPoints(t, 24, 30, 2)
+	db := buildDB(t, pts, 5)
+	res, err := Sweep(db, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MinPts) != 1 {
+		t.Fatalf("rows=%d", len(res.MinPts))
+	}
+	agg := res.Aggregate(AggMax)
+	for i, v := range res.Values[0] {
+		if agg[i] != v || math.IsNaN(v) {
+			t.Fatalf("agg[%d]=%v row=%v", i, agg[i], v)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"lof/internal/geom"
+)
+
+// CSVOptions configures CSV reading and writing.
+type CSVOptions struct {
+	// Header indicates the first row is a header row.
+	Header bool
+	// LabelColumn is the index of a non-numeric label column, or -1 for
+	// none. On write, labels are emitted in this position.
+	LabelColumn int
+	// Comma is the field delimiter; 0 means ','.
+	Comma rune
+}
+
+// DefaultCSVOptions reads headerless, all-numeric CSV.
+func DefaultCSVOptions() CSVOptions { return CSVOptions{Header: false, LabelColumn: -1} }
+
+// ReadCSV parses a dataset from CSV. Every non-label column must parse as a
+// float; non-finite values are rejected so downstream distance computations
+// stay well-defined.
+func ReadCSV(r io.Reader, name string, opts CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if opts.Header && len(rows) > 0 {
+		rows = rows[1:]
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: csv %q contains no data rows", name)
+	}
+	width := len(rows[0])
+	dim := width
+	if opts.LabelColumn >= 0 {
+		if opts.LabelColumn >= width {
+			return nil, fmt.Errorf("dataset: label column %d out of range for %d-column csv", opts.LabelColumn, width)
+		}
+		dim--
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("dataset: csv %q has no numeric columns", name)
+	}
+
+	pts := geom.NewPoints(dim, len(rows))
+	var labels []string
+	if opts.LabelColumn >= 0 {
+		labels = make([]string, 0, len(rows))
+	}
+	for rowNum, row := range rows {
+		if len(row) != width {
+			return nil, fmt.Errorf("dataset: csv row %d has %d fields, want %d", rowNum+1, len(row), width)
+		}
+		p := make(geom.Point, 0, dim)
+		for col, field := range row {
+			if col == opts.LabelColumn {
+				labels = append(labels, strings.TrimSpace(field))
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv row %d col %d: %w", rowNum+1, col+1, err)
+			}
+			p = append(p, v)
+		}
+		if err := pts.Append(p); err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: %w", rowNum+1, err)
+		}
+	}
+	return &Dataset{Name: name, Points: pts, Labels: labels}, nil
+}
+
+// WriteCSV emits the dataset as CSV. If opts.Header is set, a synthetic
+// header (label,x0,x1,...) is written. The label column, when configured,
+// is placed at opts.LabelColumn.
+func WriteCSV(w io.Writer, d *Dataset, opts CSVOptions) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if opts.Comma != 0 {
+		cw.Comma = opts.Comma
+	}
+	dim := d.Dim()
+	width := dim
+	if opts.LabelColumn >= 0 {
+		width++
+		if opts.LabelColumn >= width {
+			return fmt.Errorf("dataset: label column %d out of range for %d-column output", opts.LabelColumn, width)
+		}
+	}
+	record := make([]string, width)
+	if opts.Header {
+		col := 0
+		for i := 0; i < width; i++ {
+			if i == opts.LabelColumn {
+				record[i] = "label"
+				continue
+			}
+			record[i] = fmt.Sprintf("x%d", col)
+			col++
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < d.Len(); i++ {
+		p := d.Points.At(i)
+		col := 0
+		for j := 0; j < width; j++ {
+			if j == opts.LabelColumn {
+				record[j] = d.Label(i)
+				continue
+			}
+			record[j] = strconv.FormatFloat(p[col], 'g', -1, 64)
+			col++
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lof/internal/geom"
+)
+
+func TestReadCSVNumeric(t *testing.T) {
+	in := "1,2\n3,4\n5,6\n"
+	d, err := ReadCSV(strings.NewReader(in), "t", DefaultCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.Dim() != 2 {
+		t.Fatalf("len=%d dim=%d", d.Len(), d.Dim())
+	}
+	if !d.Points.At(2).Equal(geom.Point{5, 6}) {
+		t.Fatalf("row 2=%v", d.Points.At(2))
+	}
+}
+
+func TestReadCSVHeaderAndLabel(t *testing.T) {
+	in := "name,x,y\nalice, 1, 2\nbob,3,4\n"
+	d, err := ReadCSV(strings.NewReader(in), "t", CSVOptions{Header: true, LabelColumn: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Dim() != 2 {
+		t.Fatalf("len=%d dim=%d", d.Len(), d.Dim())
+	}
+	if d.Label(0) != "alice" || d.Label(1) != "bob" {
+		t.Fatalf("labels=%q,%q", d.Label(0), d.Label(1))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		opts CSVOptions
+	}{
+		{"empty", "", DefaultCSVOptions()},
+		{"header only", "x,y\n", CSVOptions{Header: true, LabelColumn: -1}},
+		{"non numeric", "1,foo\n", DefaultCSVOptions()},
+		{"NaN", "1,NaN\n", DefaultCSVOptions()},
+		{"Inf", "1,+Inf\n", DefaultCSVOptions()},
+		{"label col out of range", "1,2\n", CSVOptions{LabelColumn: 5}},
+		{"label only column", "a\nb\n", CSVOptions{LabelColumn: 0}},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), c.name, c.opts); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadCSVRaggedRows(t *testing.T) {
+	// encoding/csv flags inconsistent field counts itself.
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n"), "t", DefaultCSVOptions()); err == nil {
+		t.Fatal("ragged csv accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := Soccer(42)
+	d := l.Dataset()
+	var buf bytes.Buffer
+	opts := CSVOptions{Header: true, LabelColumn: 0}
+	if err := WriteCSV(&buf, d, opts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()), "rt", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.Dim() != d.Dim() {
+		t.Fatalf("round trip: len=%d dim=%d", back.Len(), back.Dim())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if !back.Points.At(i).Equal(d.Points.At(i)) {
+			t.Fatalf("row %d differs: %v vs %v", i, back.Points.At(i), d.Points.At(i))
+		}
+		if back.Label(i) != d.Label(i) {
+			t.Fatalf("row %d label differs: %q vs %q", i, back.Label(i), d.Label(i))
+		}
+	}
+}
+
+func TestWriteCSVNoLabel(t *testing.T) {
+	d := GaussianCluster(1, geom.Point{0, 0}, 1, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d, CSVOptions{Header: true, LabelColumn: -1}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines=%d", len(lines))
+	}
+	if lines[0] != "x0,x1" {
+		t.Fatalf("header=%q", lines[0])
+	}
+}
+
+func TestWriteCSVInvalidDataset(t *testing.T) {
+	d := GaussianCluster(1, geom.Point{0, 0}, 1, 3)
+	d.Labels = []string{"oops"}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d, DefaultCSVOptions()); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+}
+
+func TestCSVCustomDelimiter(t *testing.T) {
+	in := "1;2\n3;4\n"
+	d, err := ReadCSV(strings.NewReader(in), "t", CSVOptions{LabelColumn: -1, Comma: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len=%d", d.Len())
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d, CSVOptions{LabelColumn: -1, Comma: ';'}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1;2") {
+		t.Fatalf("out=%q", buf.String())
+	}
+}

@@ -1,0 +1,303 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lof/internal/geom"
+	"lof/internal/stats"
+)
+
+func TestGaussianClusterDeterministic(t *testing.T) {
+	a := GaussianCluster(1, geom.Point{0, 0}, 1, 100)
+	b := GaussianCluster(1, geom.Point{0, 0}, 1, 100)
+	if a.Len() != 100 || b.Len() != 100 {
+		t.Fatalf("len=%d,%d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Points.At(i).Equal(b.Points.At(i)) {
+			t.Fatalf("point %d differs across same-seed runs", i)
+		}
+	}
+	c := GaussianCluster(2, geom.Point{0, 0}, 1, 100)
+	same := true
+	for i := 0; i < a.Len(); i++ {
+		if !a.Points.At(i).Equal(c.Points.At(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGaussianClusterMoments(t *testing.T) {
+	d := GaussianCluster(7, geom.Point{5, -3}, 2, 20000)
+	for dim, want := range []float64{5, -3} {
+		s, err := stats.Summarize(d.Column(dim))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.Mean-want) > 0.1 {
+			t.Errorf("dim %d mean=%v want %v", dim, s.Mean, want)
+		}
+		if math.Abs(s.Std-2) > 0.1 {
+			t.Errorf("dim %d std=%v want 2", dim, s.Std)
+		}
+	}
+}
+
+func TestUniformBoxWithinBounds(t *testing.T) {
+	lo, hi := geom.Point{-1, 2}, geom.Point{1, 5}
+	d := UniformBox(3, lo, hi, 500)
+	for i := 0; i < d.Len(); i++ {
+		p := d.Points.At(i)
+		for j := range p {
+			if p[j] < lo[j] || p[j] > hi[j] {
+				t.Fatalf("point %d outside box: %v", i, p)
+			}
+		}
+	}
+}
+
+func TestMixtureStructure(t *testing.T) {
+	d := Mixture(9, MixtureSpec{
+		Name:      "m",
+		Gaussians: []GaussianSpec{{Center: geom.Point{0, 0}, Sigma: 1, N: 10}},
+		Uniforms:  []UniformSpec{{Lo: geom.Point{5, 5}, Hi: geom.Point{6, 6}, N: 5}},
+		Outliers:  []geom.Point{{100, 100}},
+	})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 16 {
+		t.Fatalf("len=%d", d.Len())
+	}
+	if len(d.Outliers) != 1 || d.Cluster[d.Outliers[0]] != -1 {
+		t.Fatalf("outliers=%v cluster=%v", d.Outliers, d.Cluster[d.Outliers[0]])
+	}
+	if got := d.Label(d.Outliers[0]); got != "o1" {
+		t.Fatalf("outlier label=%q", got)
+	}
+	// Gaussian points carry cluster 0, uniform points cluster 1.
+	if d.Cluster[0] != 0 || d.Cluster[10] != 1 {
+		t.Fatalf("cluster ids=%v", d.Cluster[:12])
+	}
+}
+
+func TestRandomClustersSize(t *testing.T) {
+	d := RandomClusters(5, 1000, 5, 4)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 5 {
+		t.Fatalf("dim=%d", d.Dim())
+	}
+	if math.Abs(float64(d.Len()-1000)) > 4 {
+		t.Fatalf("len=%d want ~1000", d.Len())
+	}
+	ids := map[int]bool{}
+	for _, c := range d.Cluster {
+		ids[c] = true
+	}
+	if len(ids) != 4 {
+		t.Fatalf("cluster ids=%v", ids)
+	}
+}
+
+func TestRandomClustersPanicsOnBadArgs(t *testing.T) {
+	for _, args := range [][3]int{{0, 2, 1}, {10, 0, 1}, {10, 2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RandomClusters%v did not panic", args)
+				}
+			}()
+			RandomClusters(1, args[0], args[1], args[2])
+		}()
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := GaussianCluster(1, geom.Point{0, 0}, 1, 5)
+	b := Mixture(2, MixtureSpec{
+		Name:      "b",
+		Gaussians: []GaussianSpec{{Center: geom.Point{9, 9}, Sigma: 1, N: 3}},
+		Outliers:  []geom.Point{{50, 50}},
+	})
+	m, err := Concat("ab", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 9 {
+		t.Fatalf("len=%d", m.Len())
+	}
+	// Cluster ids must not collide across parts.
+	if m.Cluster[0] != 0 || m.Cluster[5] != 1 {
+		t.Fatalf("cluster=%v", m.Cluster)
+	}
+	if len(m.Outliers) != 1 {
+		t.Fatalf("outliers=%v", m.Outliers)
+	}
+	if _, err := Concat("bad", a, GaussianCluster(1, geom.Point{0, 0, 0}, 1, 2)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := Concat("empty"); err == nil {
+		t.Fatal("empty concat accepted")
+	}
+}
+
+func TestDS1Shape(t *testing.T) {
+	d := DS1(42)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 502 {
+		t.Fatalf("DS1 has %d objects, want 502", d.Len())
+	}
+	if len(d.Outliers) != 2 {
+		t.Fatalf("DS1 outliers=%v", d.Outliers)
+	}
+	if d.Label(d.Outliers[0]) != "o1" || d.Label(d.Outliers[1]) != "o2" {
+		t.Fatalf("outlier labels=%q,%q", d.Label(d.Outliers[0]), d.Label(d.Outliers[1]))
+	}
+	var c1, c2 int
+	for _, c := range d.Cluster {
+		switch c {
+		case 0:
+			c1++
+		case 1:
+			c2++
+		}
+	}
+	if c1 != 400 || c2 != 100 {
+		t.Fatalf("C1=%d C2=%d want 400/100", c1, c2)
+	}
+	// C2 must be denser than C1: compare mean distance to cluster center.
+	spread := func(cid int) float64 {
+		var sum float64
+		var n int
+		// centroid
+		cen := make(geom.Point, d.Dim())
+		for i := 0; i < d.Len(); i++ {
+			if d.Cluster[i] != cid {
+				continue
+			}
+			for j, v := range d.Points.At(i) {
+				cen[j] += v
+			}
+			n++
+		}
+		for j := range cen {
+			cen[j] /= float64(n)
+		}
+		for i := 0; i < d.Len(); i++ {
+			if d.Cluster[i] != cid {
+				continue
+			}
+			sum += (geom.Euclidean{}).Distance(d.Points.At(i), cen)
+		}
+		return sum / float64(n)
+	}
+	if spread(1) >= spread(0) {
+		t.Fatalf("C2 spread %v not denser than C1 spread %v", spread(1), spread(0))
+	}
+}
+
+func TestFig8DatasetShape(t *testing.T) {
+	r := Fig8Dataset(42)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 545 {
+		t.Fatalf("len=%d want 545 (10+35+500)", r.Len())
+	}
+	counts := map[int]int{}
+	for _, c := range r.Cluster {
+		counts[c]++
+	}
+	if counts[0] != 10 || counts[1] != 35 || counts[2] != 500 {
+		t.Fatalf("cluster sizes=%v", counts)
+	}
+	for i, rep := range []int{r.RepS1, r.RepS2, r.RepS3} {
+		if rep < 0 || rep >= r.Len() {
+			t.Fatalf("rep %d out of range: %d", i, rep)
+		}
+		if r.Cluster[rep] != i {
+			t.Fatalf("rep %d is in cluster %d", i, r.Cluster[rep])
+		}
+	}
+}
+
+func TestFig9DatasetShape(t *testing.T) {
+	d := Fig9Dataset(42)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 200+500+500+500+7 {
+		t.Fatalf("len=%d", d.Len())
+	}
+	if len(d.Outliers) != 7 {
+		t.Fatalf("outliers=%d", len(d.Outliers))
+	}
+}
+
+func TestFig7Gaussian(t *testing.T) {
+	d := Fig7Gaussian(1, 500)
+	if d.Len() != 500 || d.Dim() != 2 || d.Name != "fig7-gaussian" {
+		t.Fatalf("%s len=%d dim=%d", d.Name, d.Len(), d.Dim())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d := GaussianCluster(1, geom.Point{0, 0}, 1, 3)
+	d.Labels = []string{"a"}
+	if err := d.Validate(); err == nil {
+		t.Error("short Labels accepted")
+	}
+	d = GaussianCluster(1, geom.Point{0, 0}, 1, 3)
+	d.Cluster = []int{0}
+	if err := d.Validate(); err == nil {
+		t.Error("short Cluster accepted")
+	}
+	d = GaussianCluster(1, geom.Point{0, 0}, 1, 3)
+	d.Outliers = []int{99}
+	if err := d.Validate(); err == nil {
+		t.Error("out-of-range outlier accepted")
+	}
+	if err := (&Dataset{}).Validate(); err == nil {
+		t.Error("nil Points accepted")
+	}
+}
+
+func TestLabelFallback(t *testing.T) {
+	d := GaussianCluster(1, geom.Point{0, 0}, 1, 2)
+	if got := d.Label(1); got != "#1" {
+		t.Fatalf("Label(1)=%q", got)
+	}
+	if got := d.IndexOfLabel("nope"); got != -1 {
+		t.Fatalf("IndexOfLabel=%d", got)
+	}
+}
+
+// Generators must be deterministic: same seed, same bytes.
+func TestGeneratorDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := RandomClusters(seed, 200, 3, 3)
+		b := RandomClusters(seed, 200, 3, 3)
+		if a.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < a.Len(); i++ {
+			if !a.Points.At(i).Equal(b.Points.At(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

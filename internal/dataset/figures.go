@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"lof/internal/geom"
+)
+
+// DS1 reconstructs the 2-d dataset of figure 1: 502 objects — a 400-object
+// low-density cluster C1, a 100-object dense cluster C2, and two additional
+// objects o1 and o2. o2 sits just outside the dense cluster C2 (a local
+// outlier the DB(pct,dmin) framework cannot isolate without also flagging
+// all of C1), and o1 lies far from both clusters (a global outlier).
+//
+// The returned dataset labels the two outliers "o1" and "o2"; C1 has
+// cluster id 0 and C2 cluster id 1.
+func DS1(seed int64) *Dataset {
+	d := Mixture(seed, MixtureSpec{
+		Name: "DS1",
+		Gaussians: []GaussianSpec{
+			{Center: geom.Point{30, 30}, Sigma: 7.0, N: 400}, // C1: sparse
+			{Center: geom.Point{75, 75}, Sigma: 1.2, N: 100}, // C2: dense
+		},
+		Outliers: []geom.Point{
+			{62, 10}, // o1: far from both clusters
+			{70, 70}, // o2: near C2 but clearly outside its tight core
+		},
+	})
+	return d
+}
+
+// Fig7Gaussian is the single-Gaussian dataset behind figure 7 ("fluctuation
+// of the outlier-factors within a Gaussian cluster"): LOF minimum, maximum,
+// mean and standard deviation are tracked for MinPts 2..50.
+func Fig7Gaussian(seed int64, n int) *Dataset {
+	d := GaussianCluster(seed, geom.Point{0, 0}, 1.0, n)
+	d.Name = "fig7-gaussian"
+	return d
+}
+
+// Fig8Result bundles the figure 8 dataset with the indices of one
+// representative object deep inside each of its three clusters.
+type Fig8Result struct {
+	*Dataset
+	// RepS1, RepS2, RepS3 index a point near the center of S1 (10 objects),
+	// S2 (35 objects) and S3 (500 objects) respectively.
+	RepS1, RepS2, RepS3 int
+}
+
+// Fig8Dataset reconstructs the dataset of figure 8: three clusters S1 (10
+// objects), S2 (35 objects) and S3 (500 objects). S1 and S2 are small tight
+// clusters near each other; S3 is a large cluster further away. The paper
+// tracks LOF over MinPts 10..50 for one object of each cluster: S3 members
+// stay near 1, S1 members become strong outliers once MinPts exceeds 10,
+// and S2 members become outliers once the combined S1∪S2 neighborhoods
+// spill into S3 (around MinPts 45).
+func Fig8Dataset(seed int64) *Fig8Result {
+	d := Mixture(seed, MixtureSpec{
+		Name: "fig8",
+		Gaussians: []GaussianSpec{
+			{Center: geom.Point{0, 0}, Sigma: 0.25, N: 10},  // S1
+			{Center: geom.Point{6, 0}, Sigma: 0.45, N: 35},  // S2
+			{Center: geom.Point{30, 0}, Sigma: 3.0, N: 500}, // S3
+		},
+	})
+	res := &Fig8Result{Dataset: d}
+	res.RepS1 = nearestToCenter(d, 0, geom.Point{0, 0})
+	res.RepS2 = nearestToCenter(d, 1, geom.Point{6, 0})
+	res.RepS3 = nearestToCenter(d, 2, geom.Point{30, 0})
+	return res
+}
+
+// nearestToCenter returns the index of the cluster-cid point closest to c.
+func nearestToCenter(d *Dataset, cid int, c geom.Point) int {
+	best, bestD := -1, 0.0
+	for i := 0; i < d.Len(); i++ {
+		if d.Cluster[i] != cid {
+			continue
+		}
+		dist := geom.SqDist(d.Points.At(i), c)
+		if best == -1 || dist < bestD {
+			best, bestD = i, dist
+		}
+	}
+	return best
+}
+
+// Fig9Dataset reconstructs the dataset of figure 9: one low-density
+// Gaussian cluster of 200 objects, one dense Gaussian cluster of 500
+// objects, two uniform clusters of 500 objects each with different
+// densities, and seven planted outliers. At MinPts=40 the uniform clusters'
+// members all have LOF ≈ 1, most Gaussian members have LOF ≈ 1 with weak
+// outliers at the fringes, and the planted outliers have clearly larger LOF
+// values that grow with the relative density of — and distance to — their
+// nearest cluster.
+func Fig9Dataset(seed int64) *Dataset {
+	return Mixture(seed, MixtureSpec{
+		Name: "fig9",
+		Gaussians: []GaussianSpec{
+			{Center: geom.Point{20, 80}, Sigma: 6.0, N: 200}, // low density
+			{Center: geom.Point{80, 80}, Sigma: 2.0, N: 500}, // dense
+		},
+		Uniforms: []UniformSpec{
+			{Lo: geom.Point{5, 5}, Hi: geom.Point{45, 35}, N: 500},   // sparse uniform
+			{Lo: geom.Point{65, 10}, Hi: geom.Point{90, 28}, N: 500}, // denser uniform
+		},
+		Outliers: []geom.Point{
+			{50, 95}, // between the Gaussians, closer to the sparse one
+			{70, 65}, // just off the dense Gaussian
+			{92, 90}, // off the dense Gaussian, other side
+			{55, 20}, // between the uniform boxes
+			{25, 50}, // above the sparse uniform box
+			{5, 60},  // far left, isolated
+			{98, 45}, // far right, isolated
+		},
+	})
+}

@@ -1,0 +1,43 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts ReadCSV never panics and that every accepted dataset
+// validates and round-trips.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n", false, -1)
+	f.Add("name,x\nalice,1\n", true, 0)
+	f.Add("", false, -1)
+	f.Add("a,b,c\n1,2,3\n", true, -1)
+	f.Add("1\n2\nnotanumber\n", false, -1)
+	f.Add("1,NaN\n", false, -1)
+	f.Add("\"quoted,field\",2\n1,3\n", false, 0)
+	f.Fuzz(func(t *testing.T, input string, header bool, labelCol int) {
+		if labelCol < -1 || labelCol > 8 {
+			labelCol = -1
+		}
+		d, err := ReadCSV(strings.NewReader(input), "fuzz", CSVOptions{Header: header, LabelColumn: labelCol})
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, d, CSVOptions{Header: header, LabelColumn: labelCol}); err != nil {
+			t.Fatalf("accepted dataset fails to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf, "fuzz2", CSVOptions{Header: header, LabelColumn: labelCol})
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != d.Len() || back.Dim() != d.Dim() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				back.Len(), back.Dim(), d.Len(), d.Dim())
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lof/internal/geom"
+)
+
+// GaussianSpec describes one spherical Gaussian cluster.
+type GaussianSpec struct {
+	Center geom.Point
+	Sigma  float64
+	N      int
+}
+
+// UniformSpec describes one axis-aligned uniform box cluster.
+type UniformSpec struct {
+	Lo, Hi geom.Point
+	N      int
+}
+
+// gaussianPoint draws one point from a spherical Gaussian.
+func gaussianPoint(rng *rand.Rand, center geom.Point, sigma float64) geom.Point {
+	p := make(geom.Point, len(center))
+	for i, c := range center {
+		p[i] = c + rng.NormFloat64()*sigma
+	}
+	return p
+}
+
+// uniformPoint draws one point uniformly from the box [lo, hi].
+func uniformPoint(rng *rand.Rand, lo, hi geom.Point) geom.Point {
+	p := make(geom.Point, len(lo))
+	for i := range lo {
+		p[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+	}
+	return p
+}
+
+// GaussianCluster generates n points from a spherical Gaussian around
+// center. It is the workload of figure 7.
+func GaussianCluster(seed int64, center geom.Point, sigma float64, n int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder(fmt.Sprintf("gaussian(n=%d,sigma=%g)", n, sigma), len(center), n)
+	for i := 0; i < n; i++ {
+		b.add(gaussianPoint(rng, center, sigma), 0, "")
+	}
+	return b.build()
+}
+
+// UniformBox generates n points uniformly inside [lo, hi].
+func UniformBox(seed int64, lo, hi geom.Point, n int) *Dataset {
+	if len(lo) != len(hi) {
+		panic("dataset: UniformBox bounds dimension mismatch")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder(fmt.Sprintf("uniform(n=%d)", n), len(lo), n)
+	for i := 0; i < n; i++ {
+		b.add(uniformPoint(rng, lo, hi), 0, "")
+	}
+	return b.build()
+}
+
+// MixtureSpec describes a dataset of Gaussian and uniform clusters plus
+// planted outliers, the general shape of the paper's synthetic evaluation
+// data ("generated randomly, containing different numbers of Gaussian
+// clusters of different sizes and densities", Sec. 7.4).
+type MixtureSpec struct {
+	Name      string
+	Gaussians []GaussianSpec
+	Uniforms  []UniformSpec
+	// Outliers are planted verbatim.
+	Outliers []geom.Point
+}
+
+// Mixture generates the dataset described by spec. Cluster ids are assigned
+// in order: Gaussians first, then uniforms; planted outliers get id -1.
+func Mixture(seed int64, spec MixtureSpec) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	dim := 0
+	switch {
+	case len(spec.Gaussians) > 0:
+		dim = len(spec.Gaussians[0].Center)
+	case len(spec.Uniforms) > 0:
+		dim = len(spec.Uniforms[0].Lo)
+	case len(spec.Outliers) > 0:
+		dim = len(spec.Outliers[0])
+	default:
+		panic("dataset: empty MixtureSpec")
+	}
+	total := len(spec.Outliers)
+	for _, g := range spec.Gaussians {
+		total += g.N
+	}
+	for _, u := range spec.Uniforms {
+		total += u.N
+	}
+	b := newBuilder(spec.Name, dim, total)
+	cid := 0
+	for _, g := range spec.Gaussians {
+		for i := 0; i < g.N; i++ {
+			b.add(gaussianPoint(rng, g.Center, g.Sigma), cid, "")
+		}
+		cid++
+	}
+	for _, u := range spec.Uniforms {
+		for i := 0; i < u.N; i++ {
+			b.add(uniformPoint(rng, u.Lo, u.Hi), cid, "")
+		}
+		cid++
+	}
+	for i, o := range spec.Outliers {
+		b.addOutlier(o.Clone(), fmt.Sprintf("o%d", i+1))
+	}
+	return b.build()
+}
+
+// RandomClusters generates the performance-experiment workload of
+// section 7.4: k Gaussian clusters with random centers, sizes and densities
+// in d dimensions, totalling roughly n points. The layout is deterministic
+// in the seed.
+func RandomClusters(seed int64, n, dim, k int) *Dataset {
+	if n <= 0 || dim <= 0 || k <= 0 {
+		panic(fmt.Sprintf("dataset: RandomClusters invalid n=%d dim=%d k=%d", n, dim, k))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	spec := MixtureSpec{Name: fmt.Sprintf("randclusters(n=%d,d=%d,k=%d)", n, dim, k)}
+	// Random relative cluster sizes.
+	weights := make([]float64, k)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 0.2 + rng.Float64()
+		wsum += weights[i]
+	}
+	assigned := 0
+	for i := 0; i < k; i++ {
+		size := int(math.Round(float64(n) * weights[i] / wsum))
+		if i == k-1 {
+			size = n - assigned
+		}
+		if size <= 0 {
+			size = 1
+		}
+		assigned += size
+		center := make(geom.Point, dim)
+		for d := range center {
+			center[d] = rng.Float64() * 100
+		}
+		spec.Gaussians = append(spec.Gaussians, GaussianSpec{
+			Center: center,
+			Sigma:  0.5 + rng.Float64()*3, // different densities
+			N:      size,
+		})
+	}
+	return Mixture(rng.Int63(), spec)
+}
+
+// Concat merges datasets into one, offsetting cluster ids so ids stay
+// distinct across inputs. Labels are preserved. All inputs must share the
+// same dimensionality.
+func Concat(name string, parts ...*Dataset) (*Dataset, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("dataset: Concat of nothing")
+	}
+	dim := parts[0].Dim()
+	total := 0
+	for _, p := range parts {
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("dataset: Concat dimension mismatch: %d vs %d", p.Dim(), dim)
+		}
+		total += p.Len()
+	}
+	b := newBuilder(name, dim, total)
+	clusterBase := 0
+	for _, p := range parts {
+		maxID := -1
+		for i := 0; i < p.Len(); i++ {
+			cid := 0
+			if p.Cluster != nil {
+				cid = p.Cluster[i]
+			}
+			label := ""
+			if p.Labels != nil {
+				label = p.Labels[i]
+			}
+			if cid < 0 {
+				b.addOutlier(p.Points.At(i).Clone(), label)
+				continue
+			}
+			if cid > maxID {
+				maxID = cid
+			}
+			b.add(p.Points.At(i).Clone(), clusterBase+cid, label)
+		}
+		clusterBase += maxID + 1
+	}
+	return b.build(), nil
+}

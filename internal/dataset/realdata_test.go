@@ -1,0 +1,234 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"lof/internal/stats"
+)
+
+func TestHockeyLeagueShape(t *testing.T) {
+	l := Hockey(42)
+	if len(l.Players) < 600 {
+		t.Fatalf("league too small: %d", len(l.Players))
+	}
+	t1 := l.Test1()
+	t2 := l.Test2()
+	if t1.Dim() != 3 || t2.Dim() != 3 {
+		t.Fatalf("dims=%d,%d", t1.Dim(), t2.Dim())
+	}
+	if t1.Len() != len(l.Players) || t2.Len() != len(l.Players) {
+		t.Fatalf("projection lost players")
+	}
+	for _, d := range []*Dataset{t1, t2} {
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{
+		"Vladimir Konstantinov", "Matthew Barnaby",
+		"Chris Osgood", "Mario Lemieux", "Steve Poapst",
+	} {
+		if t1.IndexOfLabel(name) < 0 {
+			t.Errorf("missing player %q", name)
+		}
+	}
+}
+
+func TestHockeyDocumentedOutlierGeometry(t *testing.T) {
+	l := Hockey(42)
+	t1 := l.Test1()
+
+	// Konstantinov's plus-minus must exceed every bulk player's.
+	ik := t1.IndexOfLabel("Vladimir Konstantinov")
+	ib := t1.IndexOfLabel("Matthew Barnaby")
+	for i := 0; i < t1.Len(); i++ {
+		if i == ik {
+			continue
+		}
+		if pm := t1.Points.At(i)[1]; pm >= t1.Points.At(ik)[1] {
+			t.Fatalf("player %s plus-minus %v >= Konstantinov's", t1.Label(i), pm)
+		}
+	}
+	// Barnaby's penalty minutes must exceed every bulk player's.
+	for i := 0; i < t1.Len(); i++ {
+		if i == ib {
+			continue
+		}
+		if pim := t1.Points.At(i)[2]; pim >= t1.Points.At(ib)[2] {
+			t.Fatalf("player %s PIM %v >= Barnaby's", t1.Label(i), pim)
+		}
+	}
+
+	t2 := l.Test2()
+	io := t2.IndexOfLabel("Chris Osgood")
+	im := t2.IndexOfLabel("Mario Lemieux")
+	for i := 0; i < t2.Len(); i++ {
+		p := t2.Points.At(i)
+		if i != io && p[2] >= t2.Points.At(io)[2] {
+			t.Fatalf("player %s shooting%% %v >= Osgood's", t2.Label(i), p[2])
+		}
+		if i != im && p[1] >= t2.Points.At(im)[1] {
+			t.Fatalf("player %s goals %v >= Lemieux's", t2.Label(i), p[1])
+		}
+	}
+	// Poapst: 3 games, 1 goal, 50% shooting as published.
+	ip := t2.IndexOfLabel("Steve Poapst")
+	p := t2.Points.At(ip)
+	if p[0] != 3 || p[1] != 1 || p[2] != 50 {
+		t.Fatalf("Poapst record=%v want [3 1 50]", p)
+	}
+}
+
+func TestSoccerLeagueTable3Statistics(t *testing.T) {
+	l := Soccer(42)
+	if len(l.Players) != 375 {
+		t.Fatalf("players=%d want 375", len(l.Players))
+	}
+	d := l.Dataset()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 3 {
+		t.Fatalf("dim=%d", d.Dim())
+	}
+
+	games, err := stats.Summarize(l.GamesColumn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goals, err := stats.Summarize(l.GoalsColumn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 3 reports: games min 0, median 21, max 34, mean 18.0, std 11.0;
+	// goals min 0, median 1, max 23, mean 1.9, std 3.0. The synthetic league
+	// must land close to those summary statistics.
+	check := func(what string, got, want, tol float64) {
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %.2f, want %.2f ± %.2f", what, got, want, tol)
+		}
+	}
+	check("games.min", games.Min, 0, 0)
+	check("games.max", games.Max, 34, 0)
+	check("games.median", games.Median, 21, 4)
+	check("games.mean", games.Mean, 18.0, 2.5)
+	check("games.std", games.Std, 11.0, 2.5)
+	check("goals.min", goals.Min, 0, 0)
+	check("goals.max", goals.Max, 23, 0)
+	check("goals.median", goals.Median, 1, 1)
+	check("goals.mean", goals.Mean, 1.9, 0.7)
+	check("goals.std", goals.Std, 3.0, 1.0)
+}
+
+func TestSoccerPublishedOutlierRecords(t *testing.T) {
+	l := Soccer(42)
+	d := l.Dataset()
+	want := []struct {
+		name         string
+		games, goals float64
+		pos          Position
+	}{
+		{"Michael Preetz", 34, 23, Offense},
+		{"Michael Schjönberg", 15, 6, Defense},
+		{"Hans-Jörg Butt", 34, 7, Goalie},
+		{"Ulf Kirsten", 31, 19, Offense},
+		{"Giovane Elber", 21, 13, Offense},
+	}
+	for _, w := range want {
+		i := d.IndexOfLabel(w.name)
+		if i < 0 {
+			t.Fatalf("missing %q", w.name)
+		}
+		// The raw player record carries the published Table 3 values.
+		p := l.Players[i]
+		if p.Games != w.games || p.Goals != w.goals || p.Position != w.pos {
+			t.Errorf("%s record=(%v,%v,%v) want (%v,%v,%v)",
+				w.name, p.Games, p.Goals, p.Position, w.games, w.goals, w.pos)
+		}
+		// The detection subspace scales games by 34 and goals-per-game
+		// by 0.5, keeping the position code raw.
+		v := d.Points.At(i)
+		if math.Abs(v[0]-w.games/34) > 1e-12 {
+			t.Errorf("%s scaled games=%v want %v", w.name, v[0], w.games/34)
+		}
+		gpg := w.goals / w.games / 0.5
+		if math.Abs(v[1]-gpg) > 1e-12 {
+			t.Errorf("%s scaled goals/game=%v want %v", w.name, v[1], gpg)
+		}
+		if Position(v[2]) != w.pos {
+			t.Errorf("%s position=%v want %v", w.name, v[2], w.pos)
+		}
+	}
+	// Butt is the only goalie with any goals.
+	for _, p := range l.Players {
+		if p.Position == Goalie && p.Goals > 0 && p.Name != "Hans-Jörg Butt" {
+			t.Errorf("goalie %s scored %v goals", p.Name, p.Goals)
+		}
+	}
+	// Preetz holds both league maxima, as in the paper.
+	for _, p := range l.Players {
+		if p.Name == "Michael Preetz" {
+			continue
+		}
+		if p.Goals > 23 || p.Games > 34 {
+			t.Errorf("player %s (%v games, %v goals) exceeds Preetz's maxima", p.Name, p.Games, p.Goals)
+		}
+	}
+}
+
+func TestSoccerPositionString(t *testing.T) {
+	cases := map[Position]string{Goalie: "Goalie", Defense: "Defense", Center: "Center", Offense: "Offense", Position(9): "Position(9)"}
+	for pos, want := range cases {
+		if got := pos.String(); got != want {
+			t.Errorf("%d.String()=%q want %q", int(pos), got, want)
+		}
+	}
+}
+
+func TestGoalsPerGameZeroGames(t *testing.T) {
+	p := SoccerPlayer{Games: 0, Goals: 0}
+	if g := p.GoalsPerGame(); g != 0 {
+		t.Fatalf("GoalsPerGame=%v", g)
+	}
+}
+
+func TestColorHistograms(t *testing.T) {
+	spec := DefaultColorHistSpec()
+	d := ColorHistograms(42, spec)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 64 {
+		t.Fatalf("dim=%d", d.Dim())
+	}
+	wantN := spec.Clusters*spec.PerCluster + spec.Outliers
+	if d.Len() != wantN {
+		t.Fatalf("len=%d want %d", d.Len(), wantN)
+	}
+	if len(d.Outliers) != spec.Outliers {
+		t.Fatalf("outliers=%d", len(d.Outliers))
+	}
+	// Each histogram must be simplex-normalized.
+	for i := 0; i < d.Len(); i++ {
+		var s float64
+		for _, v := range d.Points.At(i) {
+			if v < 0 {
+				t.Fatalf("point %d has negative mass", i)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("point %d mass=%v", i, s)
+		}
+	}
+}
+
+func TestColorHistogramsPanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ColorHistograms(1, ColorHistSpec{Clusters: 0, PerCluster: 1})
+}

@@ -1,0 +1,261 @@
+// Package dbout implements the DB(pct, dmin) distance-based outlier
+// definition of Knorr and Ng ([13], Definition 2 of the paper), the
+// baseline LOF is contrasted with: an object p is a DB(pct, dmin)-outlier
+// if at most (100−pct)% of the objects of the dataset lie within distance
+// dmin of p. Two algorithms are provided — the quadratic nested-loop scan
+// and the cell-based algorithm of [13] for low-dimensional Euclidean data —
+// and both return identical labellings.
+package dbout
+
+import (
+	"fmt"
+	"math"
+
+	"lof/internal/geom"
+)
+
+// Params are the two parameters of the DB(pct, dmin) definition.
+type Params struct {
+	// Pct is the percentage (0..100) of objects that must lie farther than
+	// Dmin for p to be an outlier.
+	Pct float64
+	// Dmin is the distance threshold.
+	Dmin float64
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if math.IsNaN(p.Pct) || p.Pct < 0 || p.Pct > 100 {
+		return fmt.Errorf("dbout: pct must be in [0,100], got %v", p.Pct)
+	}
+	if math.IsNaN(p.Dmin) || p.Dmin < 0 {
+		return fmt.Errorf("dbout: dmin must be non-negative, got %v", p.Dmin)
+	}
+	return nil
+}
+
+// threshold returns M, the maximum number of objects (including p itself,
+// since d(p,p)=0 ≤ dmin) allowed within dmin of an outlier.
+func (p Params) threshold(n int) int {
+	return int(math.Floor((100 - p.Pct) / 100 * float64(n)))
+}
+
+// Detect labels every point with the nested-loop algorithm: p is an
+// outlier iff |{q ∈ D : d(p,q) ≤ dmin}| ≤ (100−pct)%·|D|. The inner scan
+// stops early once the count exceeds the threshold.
+func Detect(pts *geom.Points, m geom.Metric, params Params) ([]bool, error) {
+	if pts == nil || pts.Len() == 0 {
+		return nil, fmt.Errorf("dbout: empty dataset")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		m = geom.Euclidean{}
+	}
+	n := pts.Len()
+	maxInside := params.threshold(n)
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		count := 0
+		outlier := true
+		pi := pts.At(i)
+		for j := 0; j < n; j++ {
+			if m.Distance(pi, pts.At(j)) <= params.Dmin {
+				count++
+				if count > maxInside {
+					outlier = false
+					break
+				}
+			}
+		}
+		out[i] = outlier
+	}
+	return out, nil
+}
+
+// DetectCellBased labels every point with the cell-based algorithm of [13]
+// for the Euclidean metric: the space is partitioned into cells of side
+// dmin/(2√d) so that
+//
+//   - points within one cell are at most dmin/2 apart,
+//   - points in cells at Chebyshev cell distance 1 are at most dmin apart,
+//   - points in cells farther than ⌈2√d⌉+1 are more than dmin apart,
+//
+// letting whole cells be labeled without pairwise distance computations.
+// Individual distances are only computed for cells the counting rules
+// cannot decide. The labelling equals Detect's.
+func DetectCellBased(pts *geom.Points, params Params) ([]bool, error) {
+	if pts == nil || pts.Len() == 0 {
+		return nil, fmt.Errorf("dbout: empty dataset")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if params.Dmin == 0 {
+		// Degenerate cells; fall back to the nested loop.
+		return Detect(pts, geom.Euclidean{}, params)
+	}
+	n := pts.Len()
+	dim := pts.Dim()
+	side := params.Dmin / (2 * math.Sqrt(float64(dim)))
+	lo, hi := pts.Bounds()
+
+	res := make([]int, dim)
+	stride := make([]int, dim)
+	total := 1
+	for d := 0; d < dim; d++ {
+		span := hi[d] - lo[d]
+		cells := int(math.Floor(span/side)) + 1
+		if cells < 1 {
+			cells = 1
+		}
+		res[d] = cells
+		stride[d] = total
+		total *= cells
+		if total > 1<<24 {
+			// The lattice would not fit in memory (tiny dmin over a wide
+			// extent): the nested loop is the better tool.
+			return Detect(pts, geom.Euclidean{}, params)
+		}
+	}
+	cellOf := func(p geom.Point) int {
+		li := 0
+		for d := 0; d < dim; d++ {
+			v := int((p[d] - lo[d]) / side)
+			if v >= res[d] {
+				v = res[d] - 1
+			}
+			li += v * stride[d]
+		}
+		return li
+	}
+	cells := make([][]int32, total)
+	for i := 0; i < n; i++ {
+		c := cellOf(pts.At(i))
+		cells[c] = append(cells[c], int32(i))
+	}
+
+	maxInside := params.threshold(n)
+	outer := int(math.Ceil(2*math.Sqrt(float64(dim)))) + 1
+	metric := geom.Euclidean{}
+	out := make([]bool, n)
+
+	// Enumerate occupied cells; reconstruct multi-coordinates on the fly.
+	coord := make([]int, dim)
+	var visit func(d, li int)
+	visit = func(d, li int) {
+		if d == dim {
+			ix := cells[li]
+			if len(ix) == 0 {
+				return
+			}
+			decideCell(pts, metric, params, cells, coord, res, stride, ix, maxInside, outer, out)
+			return
+		}
+		for v := 0; v < res[d]; v++ {
+			coord[d] = v
+			visit(d+1, li+v*stride[d])
+		}
+	}
+	visit(0, 0)
+	return out, nil
+}
+
+// decideCell labels the points of one occupied cell using the layer counts,
+// falling back to per-point distance checks when the counts are
+// inconclusive.
+func decideCell(pts *geom.Points, metric geom.Euclidean, params Params,
+	cells [][]int32, coord, res, stride []int, members []int32,
+	maxInside, outer int, out []bool) {
+
+	dim := len(coord)
+	// countWithin sums occupancy of cells with Chebyshev distance ≤ radius.
+	countWithin := func(radius int) int {
+		count := 0
+		c := make([]int, dim)
+		var rec func(d int)
+		rec = func(d int) {
+			if d == dim {
+				li := 0
+				for k, v := range c {
+					li += v * stride[k]
+				}
+				count += len(cells[li])
+				return
+			}
+			for v := coord[d] - radius; v <= coord[d]+radius; v++ {
+				if v < 0 || v >= res[d] {
+					continue
+				}
+				c[d] = v
+				rec(d + 1)
+			}
+		}
+		rec(0)
+		return count
+	}
+
+	// Rule 1: cell plus layer-1 already holds more than M points — every
+	// point there has more than M companions within dmin: none outliers.
+	if countWithin(1) > maxInside {
+		return // out entries stay false
+	}
+	// Rule 2: even the full candidate region holds at most M points — all
+	// points beyond it are farther than dmin, so everyone here is an
+	// outlier.
+	if countWithin(outer) <= maxInside {
+		for _, pi := range members {
+			out[pi] = true
+		}
+		return
+	}
+	// Undecided: check each member against the candidate region.
+	cand := make([]int32, 0, 64)
+	c := make([]int, dim)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == dim {
+			li := 0
+			for k, v := range c {
+				li += v * stride[k]
+			}
+			cand = append(cand, cells[li]...)
+			return
+		}
+		for v := coord[d] - outer; v <= coord[d]+outer; v++ {
+			if v < 0 || v >= res[d] {
+				continue
+			}
+			c[d] = v
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	for _, pi := range members {
+		count := 0
+		outlier := true
+		p := pts.At(int(pi))
+		for _, qi := range cand {
+			if metric.Distance(p, pts.At(int(qi))) <= params.Dmin {
+				count++
+				if count > maxInside {
+					outlier = false
+					break
+				}
+			}
+		}
+		out[pi] = outlier
+	}
+}
+
+// Outliers returns the indices labeled true.
+func Outliers(labels []bool) []int {
+	var out []int
+	for i, b := range labels {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}

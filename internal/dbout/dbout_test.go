@@ -1,0 +1,210 @@
+package dbout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lof/internal/dataset"
+	"lof/internal/geom"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{Pct: 99, Dmin: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Params{
+		{Pct: -1, Dmin: 1},
+		{Pct: 101, Dmin: 1},
+		{Pct: math.NaN(), Dmin: 1},
+		{Pct: 99, Dmin: -1},
+		{Pct: 99, Dmin: math.NaN()},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+func TestDetectSimple(t *testing.T) {
+	// 10-point tight cluster plus one distant point; with pct demanding
+	// nearly everything be far away, only the distant point qualifies.
+	rows := []geom.Point{
+		{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}, {0.2, 0}, {0, 0.2},
+		{0.2, 0.1}, {0.1, 0.2}, {0.2, 0.2}, {0.05, 0.05},
+		{50, 50},
+	}
+	pts, err := geom.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := Detect(pts, nil, Params{Pct: 90, Dmin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Outliers(labels)
+	if len(got) != 1 || got[0] != 10 {
+		t.Fatalf("outliers=%v want [10]", got)
+	}
+}
+
+func TestDetectThresholdBoundary(t *testing.T) {
+	// Three collinear points 1 apart; dmin=1, so each endpoint sees 2
+	// objects within dmin (itself + middle), the middle sees all 3. With
+	// pct=30 the threshold is M=⌊0.7·3⌋=2: endpoints are outliers, the
+	// middle point is not.
+	pts, err := geom.FromRows([]geom.Point{{0}, {1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := Detect(pts, nil, Params{Pct: 30, Dmin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels=%v want %v", labels, want)
+		}
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	if _, err := Detect(nil, nil, Params{Pct: 99, Dmin: 1}); err == nil {
+		t.Error("nil points accepted")
+	}
+	pts, _ := geom.FromRows([]geom.Point{{0, 0}})
+	if _, err := Detect(pts, nil, Params{Pct: 200, Dmin: 1}); err == nil {
+		t.Error("bad pct accepted")
+	}
+	if _, err := DetectCellBased(nil, Params{Pct: 99, Dmin: 1}); err == nil {
+		t.Error("cell-based nil points accepted")
+	}
+	if _, err := DetectCellBased(pts, Params{Pct: -2, Dmin: 1}); err == nil {
+		t.Error("cell-based bad pct accepted")
+	}
+}
+
+// The cell-based algorithm must agree with the nested loop on random data
+// across dimensions and parameter settings.
+func TestCellBasedMatchesNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 12; trial++ {
+		dim := 1 + rng.Intn(3)
+		n := 50 + rng.Intn(200)
+		pts := geom.NewPoints(dim, n)
+		for i := 0; i < n; i++ {
+			p := make(geom.Point, dim)
+			for d := range p {
+				// Two clusters to give both outliers and dense regions.
+				if rng.Float64() < 0.5 {
+					p[d] = rng.NormFloat64()
+				} else {
+					p[d] = 8 + rng.NormFloat64()
+				}
+			}
+			if err := pts.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		params := Params{Pct: 90 + rng.Float64()*9.9, Dmin: 0.5 + rng.Float64()*3}
+		want, err := Detect(pts, geom.Euclidean{}, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DetectCellBased(pts, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (dim=%d n=%d pct=%.2f dmin=%.2f): point %d cell=%v loop=%v",
+					trial, dim, n, params.Pct, params.Dmin, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCellBasedDminZeroFallback(t *testing.T) {
+	pts, err := geom.FromRows([]geom.Point{{0, 0}, {1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DetectCellBased(pts, Params{Pct: 50, Dmin: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Detect(pts, nil, Params{Pct: 50, Dmin: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("labels differ at %d", i)
+		}
+	}
+}
+
+// The section 3 argument on DS1: there is no (pct, dmin) labelling o2 an
+// outlier without also labelling C1 members. We verify the two regimes the
+// paper walks through.
+func TestDS1Section3Argument(t *testing.T) {
+	d := dataset.DS1(42)
+	pts := d.Points
+	o2 := d.Outliers[1]
+	metric := geom.Euclidean{}
+
+	// d(o2, C2): distance from o2 to the nearest C2 member.
+	dO2C2 := math.Inf(1)
+	for i := 0; i < d.Len(); i++ {
+		if d.Cluster[i] != 1 {
+			continue
+		}
+		if dist := metric.Distance(pts.At(o2), pts.At(i)); dist < dO2C2 {
+			dO2C2 = dist
+		}
+	}
+
+	countC1FalsePositives := func(labels []bool) int {
+		c := 0
+		for i, isOut := range labels {
+			if isOut && d.Cluster[i] == 0 {
+				c++
+			}
+		}
+		return c
+	}
+
+	// Sweep pct and dmin on both sides of d(o2, C2): whenever o2 is
+	// flagged, some C1 objects must be flagged as well.
+	foundO2Flagged := false
+	for _, dmin := range []float64{dO2C2 * 0.5, dO2C2 * 0.9, dO2C2 * 1.1, dO2C2 * 2, dO2C2 * 4} {
+		for _, pct := range []float64{95, 98, 99, 99.6} {
+			labels, err := Detect(pts, metric, Params{Pct: pct, Dmin: dmin})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if labels[o2] {
+				foundO2Flagged = true
+				if countC1FalsePositives(labels) == 0 {
+					t.Fatalf("pct=%v dmin=%v flags o2 without flagging any C1 member — "+
+						"contradicts the section 3 impossibility argument", pct, dmin)
+				}
+			}
+		}
+	}
+	if !foundO2Flagged {
+		t.Fatal("sweep never flagged o2; test is vacuous")
+	}
+}
+
+func TestOutliersHelper(t *testing.T) {
+	got := Outliers([]bool{true, false, true, false})
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Outliers=%v", got)
+	}
+	if got := Outliers(nil); got != nil {
+		t.Fatalf("Outliers(nil)=%v", got)
+	}
+}

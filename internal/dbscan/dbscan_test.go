@@ -1,0 +1,126 @@
+package dbscan
+
+import (
+	"math/rand"
+	"testing"
+
+	"lof/internal/geom"
+	"lof/internal/index/linear"
+)
+
+func twoBlobsAndNoise(t *testing.T) (*geom.Points, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(6))
+	pts := geom.NewPoints(2, 0)
+	for i := 0; i < 80; i++ {
+		if err := pts.Append(geom.Point{rng.NormFloat64() * 0.4, rng.NormFloat64() * 0.4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		if err := pts.Append(geom.Point{15 + rng.NormFloat64()*0.4, rng.NormFloat64() * 0.4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	noiseIdx := pts.Len()
+	if err := pts.Append(geom.Point{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	return pts, noiseIdx
+}
+
+func TestRunTwoClusters(t *testing.T) {
+	pts, noiseIdx := twoBlobsAndNoise(t)
+	ix := linear.New(pts, nil)
+	res, err := Run(pts, ix, Params{Eps: 1.0, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 2 {
+		t.Fatalf("clusters=%d", res.Clusters)
+	}
+	if res.Labels[noiseIdx] != Noise {
+		t.Fatalf("isolated point labeled %d", res.Labels[noiseIdx])
+	}
+	// Points within one ground-truth blob share a label.
+	for i := 1; i < 80; i++ {
+		if res.Labels[i] != res.Labels[0] && res.Labels[i] != Noise {
+			t.Fatalf("blob 1 split: labels[%d]=%d", i, res.Labels[i])
+		}
+	}
+	sizes := res.ClusterSizes()
+	if len(sizes) != 2 || sizes[0] < 70 || sizes[1] < 70 {
+		t.Fatalf("sizes=%v", sizes)
+	}
+	if got := res.NoisePoints(); len(got) == 0 {
+		t.Fatal("no noise points")
+	}
+}
+
+func TestRunAllNoiseWhenEpsTiny(t *testing.T) {
+	pts, _ := twoBlobsAndNoise(t)
+	ix := linear.New(pts, nil)
+	res, err := Run(pts, ix, Params{Eps: 1e-9, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 0 || len(res.NoisePoints()) != pts.Len() {
+		t.Fatalf("clusters=%d noise=%d", res.Clusters, len(res.NoisePoints()))
+	}
+}
+
+func TestRunOneClusterWhenEpsHuge(t *testing.T) {
+	pts, _ := twoBlobsAndNoise(t)
+	ix := linear.New(pts, nil)
+	res, err := Run(pts, ix, Params{Eps: 100, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 1 || len(res.NoisePoints()) != 0 {
+		t.Fatalf("clusters=%d noise=%d", res.Clusters, len(res.NoisePoints()))
+	}
+}
+
+func TestBorderPointAssignment(t *testing.T) {
+	// A chain: dense core plus one border point reachable from a core
+	// point but itself not core.
+	rows := []geom.Point{
+		{0, 0}, {0.1, 0}, {0.2, 0}, {0.1, 0.1}, {0, 0.1}, // dense core
+		{0.8, 0}, // border: within eps of one core point, too few own neighbors
+	}
+	pts, err := geom.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := linear.New(pts, nil)
+	res, err := Run(pts, ix, Params{Eps: 0.7, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[5] != res.Labels[0] {
+		t.Fatalf("border point labeled %d, cluster is %d", res.Labels[5], res.Labels[0])
+	}
+	if res.CorePoint[5] {
+		t.Fatal("border point marked core")
+	}
+	if !res.CorePoint[0] {
+		t.Fatal("core point not marked core")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	pts, _ := twoBlobsAndNoise(t)
+	ix := linear.New(pts, nil)
+	if _, err := Run(nil, ix, Params{Eps: 1, MinPts: 3}); err == nil {
+		t.Error("nil points accepted")
+	}
+	if _, err := Run(pts, nil, Params{Eps: 1, MinPts: 3}); err == nil {
+		t.Error("nil index accepted")
+	}
+	if _, err := Run(pts, ix, Params{Eps: 0, MinPts: 3}); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := Run(pts, ix, Params{Eps: 1, MinPts: 0}); err == nil {
+		t.Error("MinPts=0 accepted")
+	}
+}

@@ -1,0 +1,157 @@
+// Package eval provides detection-quality metrics for planted-outlier
+// benchmarks: precision/recall at a cutoff, average precision, and the
+// area under the ROC curve. The harness uses them to quantify the paper's
+// central qualitative claim — that LOF finds local outliers the global
+// methods miss — as a measurable ranking-quality gap.
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Confusion summarizes a thresholded detection against ground truth.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Precision returns TP/(TP+FP), 0 when nothing was flagged.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), 0 when there are no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// AtTopK thresholds a score ranking at its top k entries and counts the
+// confusion against the positive set.
+func AtTopK(scores []float64, positives map[int]bool, k int) (Confusion, error) {
+	if k < 0 || k > len(scores) {
+		return Confusion{}, fmt.Errorf("eval: k=%d out of range for %d scores", k, len(scores))
+	}
+	order := rankDesc(scores)
+	var c Confusion
+	flagged := map[int]bool{}
+	for _, i := range order[:k] {
+		flagged[i] = true
+	}
+	for i := range scores {
+		switch {
+		case flagged[i] && positives[i]:
+			c.TP++
+		case flagged[i]:
+			c.FP++
+		case positives[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c, nil
+}
+
+// ROCAUC returns the area under the ROC curve of the scores against the
+// positive set: the probability that a uniformly random positive outranks
+// a uniformly random negative, with ties counted half. It errors when
+// either class is empty.
+func ROCAUC(scores []float64, positives map[int]bool) (float64, error) {
+	var pos, neg []float64
+	for i, s := range scores {
+		if positives[i] {
+			pos = append(pos, s)
+		} else {
+			neg = append(neg, s)
+		}
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		return 0, fmt.Errorf("eval: ROCAUC needs both classes (pos=%d neg=%d)", len(pos), len(neg))
+	}
+	// Rank-sum formulation with midranks for ties.
+	type item struct {
+		s   float64
+		pos bool
+	}
+	all := make([]item, 0, len(pos)+len(neg))
+	for _, s := range pos {
+		all = append(all, item{s, true})
+	}
+	for _, s := range neg {
+		all = append(all, item{s, false})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].s < all[b].s })
+	var rankSum float64
+	i := 0
+	for i < len(all) {
+		j := i
+		for j < len(all) && all[j].s == all[i].s {
+			j++
+		}
+		// Midrank for the tie group [i, j).
+		mid := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			if all[k].pos {
+				rankSum += mid
+			}
+		}
+		i = j
+	}
+	nPos, nNeg := float64(len(pos)), float64(len(neg))
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg), nil
+}
+
+// AveragePrecision returns the mean of precision values at each positive's
+// rank position (the area under the precision-recall curve for a ranking).
+func AveragePrecision(scores []float64, positives map[int]bool) (float64, error) {
+	total := 0
+	for i := range scores {
+		if positives[i] {
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("eval: no positives")
+	}
+	order := rankDesc(scores)
+	var sum float64
+	hits := 0
+	for rank, i := range order {
+		if positives[i] {
+			hits++
+			sum += float64(hits) / float64(rank+1)
+		}
+	}
+	return sum / float64(total), nil
+}
+
+// rankDesc returns indices sorted by descending score, ties by ascending
+// index.
+func rankDesc(scores []float64) []int {
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

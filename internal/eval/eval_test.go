@@ -1,0 +1,146 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 3, FP: 1, FN: 2, TN: 10}
+	if got := c.Precision(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("precision=%v", got)
+	}
+	if got := c.Recall(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("recall=%v", got)
+	}
+	want := 2 * 0.75 * 0.6 / (0.75 + 0.6)
+	if got := c.F1(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("f1=%v", got)
+	}
+	empty := Confusion{}
+	if empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 {
+		t.Error("empty confusion not zero")
+	}
+}
+
+func TestAtTopK(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.8}
+	positives := map[int]bool{1: true, 3: true}
+	c, err := AtTopK(scores, positives, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 2 || c.FP != 0 || c.FN != 0 || c.TN != 2 {
+		t.Fatalf("confusion=%+v", c)
+	}
+	c, err = AtTopK(scores, positives, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 1 || c.FN != 1 {
+		t.Fatalf("confusion=%+v", c)
+	}
+	if _, err := AtTopK(scores, positives, 5); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := AtTopK(scores, positives, -1); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestROCAUCPerfectAndInverted(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.1, 0.2}
+	positives := map[int]bool{0: true, 1: true}
+	auc, err := ROCAUC(scores, positives)
+	if err != nil || auc != 1 {
+		t.Fatalf("auc=%v err=%v", auc, err)
+	}
+	inverted := map[int]bool{2: true, 3: true}
+	auc, err = ROCAUC(scores, inverted)
+	if err != nil || auc != 0 {
+		t.Fatalf("inverted auc=%v err=%v", auc, err)
+	}
+}
+
+func TestROCAUCTies(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 by the midrank convention.
+	scores := []float64{1, 1, 1, 1}
+	auc, err := ROCAUC(scores, map[int]bool{0: true, 1: true})
+	if err != nil || math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("auc=%v err=%v", auc, err)
+	}
+}
+
+func TestROCAUCErrors(t *testing.T) {
+	if _, err := ROCAUC([]float64{1, 2}, map[int]bool{}); err == nil {
+		t.Error("no positives accepted")
+	}
+	if _, err := ROCAUC([]float64{1, 2}, map[int]bool{0: true, 1: true}); err == nil {
+		t.Error("no negatives accepted")
+	}
+}
+
+// AUC equals the empirical probability that a random positive outranks a
+// random negative.
+func TestROCAUCMatchesPairwiseProbability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		scores := make([]float64, n)
+		positives := map[int]bool{}
+		for i := range scores {
+			scores[i] = float64(rng.Intn(10)) // coarse: force ties
+			if rng.Float64() < 0.4 {
+				positives[i] = true
+			}
+		}
+		if len(positives) == 0 || len(positives) == n {
+			return true
+		}
+		auc, err := ROCAUC(scores, positives)
+		if err != nil {
+			return false
+		}
+		var wins, total float64
+		for i := range scores {
+			if !positives[i] {
+				continue
+			}
+			for j := range scores {
+				if positives[j] {
+					continue
+				}
+				total++
+				switch {
+				case scores[i] > scores[j]:
+					wins++
+				case scores[i] == scores[j]:
+					wins += 0.5
+				}
+			}
+		}
+		return math.Abs(auc-wins/total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	scores := []float64{0.9, 0.1, 0.8, 0.2}
+	positives := map[int]bool{0: true, 2: true}
+	ap, err := AveragePrecision(scores, positives)
+	if err != nil || ap != 1 {
+		t.Fatalf("ap=%v err=%v", ap, err)
+	}
+	// One positive at rank 2: AP = 1/2.
+	ap, err = AveragePrecision([]float64{0.9, 0.5}, map[int]bool{1: true})
+	if err != nil || ap != 0.5 {
+		t.Fatalf("ap=%v err=%v", ap, err)
+	}
+	if _, err := AveragePrecision(scores, map[int]bool{}); err == nil {
+		t.Error("no positives accepted")
+	}
+}

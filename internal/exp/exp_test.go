@@ -1,0 +1,444 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"a", "bee"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines=%d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[3], "1  ") {
+		t.Fatalf("column alignment broken: %q", lines[3])
+	}
+}
+
+// The central integration assertion for figure 1: LOF isolates o1 and o2 as
+// the top two outliers, cluster LOFs stay near 1, and the DB(pct,dmin)
+// sweep cannot isolate o2.
+func TestRunDS1PaperShape(t *testing.T) {
+	r, err := RunDS1(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RankO2 != 0 || r.RankO1 != 1 {
+		t.Fatalf("outlier ranks o2=%d o1=%d want 0,1", r.RankO2, r.RankO1)
+	}
+	if r.LOFO1 < 2 || r.LOFO2 < 2 {
+		t.Fatalf("outlier LOFs too small: o1=%v o2=%v", r.LOFO1, r.LOFO2)
+	}
+	if r.MeanC1 > 1.3 || r.MeanC2 > 1.3 {
+		t.Fatalf("cluster mean LOFs too large: C1=%v C2=%v", r.MeanC1, r.MeanC2)
+	}
+	if r.DBFlagsO2WithoutC1 {
+		t.Fatal("a DB(pct,dmin) setting isolated o2 — contradicts section 3")
+	}
+	if r.DBSettingsTried < 10 {
+		t.Fatalf("too few DB settings swept: %d", r.DBSettingsTried)
+	}
+	if len(r.Table().Rows) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunFig4Shape(t *testing.T) {
+	r := RunFig4()
+	if len(r.Pcts) != 3 || len(r.LOFMin) != 3 || len(r.LOFMax) != 3 {
+		t.Fatalf("series count wrong")
+	}
+	// The spread grows with pct and with the ratio.
+	for p := range r.Pcts {
+		for i := range r.Ratios {
+			if r.LOFMax[p][i] < r.LOFMin[p][i] {
+				t.Fatalf("max < min at pct=%v ratio=%v", r.Pcts[p], r.Ratios[i])
+			}
+			if i > 0 {
+				prev := r.LOFMax[p][i-1] - r.LOFMin[p][i-1]
+				cur := r.LOFMax[p][i] - r.LOFMin[p][i]
+				if cur < prev {
+					t.Fatalf("spread not increasing in ratio at pct=%v", r.Pcts[p])
+				}
+			}
+		}
+	}
+	// Larger pct, larger spread at the same ratio.
+	last := len(r.Ratios) - 1
+	if !(r.LOFMax[2][last]-r.LOFMin[2][last] > r.LOFMax[0][last]-r.LOFMin[0][last]) {
+		t.Fatal("spread not increasing in pct")
+	}
+	if len(r.Table().Rows) != len(r.Ratios) {
+		t.Fatal("table rows mismatch")
+	}
+}
+
+func TestRunFig5Shape(t *testing.T) {
+	r := RunFig5()
+	for i := 1; i < len(r.Spans); i++ {
+		if r.Spans[i] <= r.Spans[i-1] {
+			t.Fatalf("relative span not strictly increasing at pct=%v", r.Pcts[i])
+		}
+	}
+	if r.Spans[len(r.Spans)-1] < 10 {
+		t.Fatalf("span near pct=100 too small: %v", r.Spans[len(r.Spans)-1])
+	}
+	if len(r.Table().Rows) != len(r.Pcts) {
+		t.Fatal("table rows mismatch")
+	}
+}
+
+func TestRunThm1Demo(t *testing.T) {
+	r, err := RunThm1Demo(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.Lower <= r.Actual && r.Actual <= r.Upper) {
+		t.Fatalf("LOF %v outside [%v, %v]", r.Actual, r.Lower, r.Upper)
+	}
+	// The object is planted well outside the cluster: clearly outlying.
+	if r.Actual < 2 {
+		t.Fatalf("demo object LOF=%v, expected an outlier", r.Actual)
+	}
+	if r.DirectMin > r.DirectMax || r.IndirectMin > r.IndirectMax {
+		t.Fatal("min/max inverted")
+	}
+	if len(r.Table().Rows) != 7 {
+		t.Fatal("table shape wrong")
+	}
+}
+
+func TestRunThm2DemoTighter(t *testing.T) {
+	r, err := RunThm2Demo(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.Thm2Lower <= r.Actual+1e-9 && r.Actual <= r.Thm2Upper+1e-9) {
+		t.Fatalf("LOF %v outside thm2 [%v, %v]", r.Actual, r.Thm2Lower, r.Thm2Upper)
+	}
+	// On a neighborhood straddling clusters of different densities,
+	// Theorem 2 must be substantially tighter than Theorem 1, not just
+	// no worse.
+	if (r.Thm2Upper - r.Thm2Lower) > 0.8*(r.Thm1Upper-r.Thm1Lower) {
+		t.Fatalf("thm2 spread %v not substantially tighter than thm1 %v",
+			r.Thm2Upper-r.Thm2Lower, r.Thm1Upper-r.Thm1Lower)
+	}
+}
+
+func TestRunFig7Shape(t *testing.T) {
+	r, err := RunFig7(42, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MinPts) != 49 || r.MinPts[0] != 2 || r.MinPts[48] != 50 {
+		t.Fatalf("MinPts=%v", r.MinPts)
+	}
+	for i := range r.MinPts {
+		if r.Min[i] > r.Mean[i] || r.Mean[i] > r.Max[i] {
+			t.Fatalf("ordering broken at MinPts=%d", r.MinPts[i])
+		}
+		// Mean LOF within a single Gaussian cluster stays near 1.
+		if math.Abs(r.Mean[i]-1) > 0.25 {
+			t.Fatalf("mean LOF=%v at MinPts=%d", r.Mean[i], r.MinPts[i])
+		}
+	}
+	// The paper: the standard deviation only stabilizes once MinPts
+	// reaches ~10 — it must be higher at MinPts=2 than at MinPts=30.
+	if r.Std[0] <= r.Std[28] {
+		t.Fatalf("std at MinPts=2 (%v) not above std at MinPts=30 (%v)", r.Std[0], r.Std[28])
+	}
+}
+
+func TestRunFig8PaperShape(t *testing.T) {
+	r, err := RunFig8(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MinPts) != 41 {
+		t.Fatalf("MinPts count=%d", len(r.MinPts))
+	}
+	// S3 members stay near 1 across the whole range.
+	if r.MaxS3 > 1.3 {
+		t.Fatalf("S3 representative max LOF=%v", r.MaxS3)
+	}
+	// S1 members become strong outliers within the range.
+	if r.MaxS1 < 2 {
+		t.Fatalf("S1 representative max LOF=%v", r.MaxS1)
+	}
+	// S2's outlier-ness appears late (the combined-neighborhood effect):
+	// its LOF at the start of the range is near 1, its max clearly higher.
+	if r.S2[0] > 1.3 {
+		t.Fatalf("S2 LOF at MinPts=10 is %v", r.S2[0])
+	}
+	if r.MaxS2 < 1.2 {
+		t.Fatalf("S2 max LOF=%v", r.MaxS2)
+	}
+	// S1's outlier-ness must peak earlier in the range than S2's.
+	argmax := func(xs []float64) int {
+		best := 0
+		for i, v := range xs {
+			if v > xs[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	if argmax(r.S1) >= argmax(r.S2) {
+		t.Fatalf("S1 peaks at %d, S2 at %d — expected S1 earlier",
+			r.MinPts[argmax(r.S1)], r.MinPts[argmax(r.S2)])
+	}
+}
+
+func TestRunFig9PaperShape(t *testing.T) {
+	r, err := RunFig9(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.OutlierLOF) != 7 {
+		t.Fatalf("outliers=%d", len(r.OutlierLOF))
+	}
+	if r.MinOutlierLOF < 1.5 {
+		t.Fatalf("weakest planted outlier LOF=%v", r.MinOutlierLOF)
+	}
+	if r.UniformMax > 1.5 {
+		t.Fatalf("uniform cluster max LOF=%v — should be ≈1", r.UniformMax)
+	}
+	if r.GaussianShare1 < 0.7 {
+		t.Fatalf("only %v of Gaussian members near 1", r.GaussianShare1)
+	}
+	// Every planted outlier scores above every uniform-cluster member.
+	if r.MinOutlierLOF <= r.UniformMax {
+		t.Fatalf("outlier LOF %v below uniform max %v", r.MinOutlierLOF, r.UniformMax)
+	}
+}
+
+func TestRunHockeyPaperShape(t *testing.T) {
+	r1, err := RunHockey(42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Test 1: Konstantinov and Barnaby are the top two, in order.
+	if r1.RankOf["Vladimir Konstantinov"] != 1 {
+		t.Fatalf("Konstantinov rank=%d want 1", r1.RankOf["Vladimir Konstantinov"])
+	}
+	if r1.RankOf["Matthew Barnaby"] != 2 {
+		t.Fatalf("Barnaby rank=%d want 2", r1.RankOf["Matthew Barnaby"])
+	}
+
+	r2, err := RunHockey(42, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Test 2: Osgood clearly first; Lemieux and Poapst complete the top 3.
+	if r2.RankOf["Chris Osgood"] != 1 {
+		t.Fatalf("Osgood rank=%d want 1", r2.RankOf["Chris Osgood"])
+	}
+	if r2.RankOf["Mario Lemieux"] > 3 || r2.RankOf["Steve Poapst"] > 3 {
+		t.Fatalf("Lemieux rank=%d Poapst rank=%d want both ≤3",
+			r2.RankOf["Mario Lemieux"], r2.RankOf["Steve Poapst"])
+	}
+	if len(r1.Top) != 10 || len(r2.Top) != 10 {
+		t.Fatalf("top lists %d,%d", len(r1.Top), len(r2.Top))
+	}
+
+	if _, err := RunHockey(42, 3); err == nil {
+		t.Fatal("invalid test number accepted")
+	}
+}
+
+func TestRunSoccerPaperShape(t *testing.T) {
+	r, err := RunSoccer(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the five published outliers exceed LOF 1.5.
+	if len(r.Outliers) != 5 {
+		names := make([]string, len(r.Outliers))
+		for i, o := range r.Outliers {
+			names[i] = o.Name
+		}
+		t.Fatalf("%d outliers above 1.5: %v", len(r.Outliers), names)
+	}
+	want := map[string]bool{
+		"Michael Preetz": true, "Michael Schjönberg": true, "Hans-Jörg Butt": true,
+		"Ulf Kirsten": true, "Giovane Elber": true,
+	}
+	for _, o := range r.Outliers {
+		if !want[o.Name] {
+			t.Fatalf("unexpected outlier %q", o.Name)
+		}
+	}
+	// Preetz is the strongest outlier, as in Table 3.
+	if r.Outliers[0].Name != "Michael Preetz" {
+		t.Fatalf("top outlier=%q want Preetz", r.Outliers[0].Name)
+	}
+	// Summary statistics stay near the published Table 3 values.
+	if math.Abs(r.GamesSummary.Mean-18) > 2.5 || math.Abs(r.GamesSummary.Std-11) > 2.5 {
+		t.Fatalf("games summary %+v", r.GamesSummary)
+	}
+	if math.Abs(r.GoalsSummary.Mean-1.9) > 0.8 || r.GoalsSummary.Max != 23 {
+		t.Fatalf("goals summary %+v", r.GoalsSummary)
+	}
+	if got := len(r.Table().Rows); got != 10 { // 5 outliers + 5 summary rows
+		t.Fatalf("table rows=%d", got)
+	}
+}
+
+func TestRunHighDimPaperShape(t *testing.T) {
+	r, err := RunHighDim(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlantedInTop < r.Planted-2 {
+		t.Fatalf("only %d/%d planted outliers in top ranks", r.PlantedInTop, r.Planted)
+	}
+	// The paper reports 64-d LOF values "of up to 7": comfortably outlying.
+	if r.MaxOutlierLOF < 2 {
+		t.Fatalf("max planted LOF=%v", r.MaxOutlierLOF)
+	}
+	if r.MaxOutlierLOF < r.MaxClusterLOF {
+		t.Fatalf("planted max %v below cluster max %v", r.MaxOutlierLOF, r.MaxClusterLOF)
+	}
+}
+
+func TestRunFig10And11SmallSmoke(t *testing.T) {
+	r10, err := RunFig10(42, []int{300, 600}, []int{2, 5}, "kdtree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r10.Rows) != 4 {
+		t.Fatalf("rows=%d", len(r10.Rows))
+	}
+	for _, row := range r10.Rows {
+		if row.Materialze <= 0 {
+			t.Fatalf("non-positive time: %+v", row)
+		}
+	}
+	if _, err := RunFig10(42, []int{100}, []int{2}, "bogus"); err == nil {
+		t.Fatal("bogus index accepted")
+	}
+
+	r11, err := RunFig11(42, []int{300, 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r11.Rows) != 2 {
+		t.Fatalf("rows=%d", len(r11.Rows))
+	}
+	if len(r11.Table().Rows) != 2 || len(r10.Table().Rows) != 4 {
+		t.Fatal("tables wrong")
+	}
+}
+
+func TestRunAblationIndexesSmoke(t *testing.T) {
+	r, err := RunAblationIndexes(42, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows=%d", len(r.Rows))
+	}
+}
+
+func TestRunAblationMaterializationAgrees(t *testing.T) {
+	r, err := RunAblationMaterialization(42, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxDiff > 1e-9 {
+		t.Fatalf("two-step vs naive diverge: %v", r.MaxDiff)
+	}
+}
+
+func TestRunAblationReachSmoothes(t *testing.T) {
+	r, err := RunAblationReach(42, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReachStd >= r.RawStd {
+		t.Fatalf("reach-dist std %v not below raw std %v — smoothing claim fails",
+			r.ReachStd, r.RawStd)
+	}
+}
+
+// The quantified form of the paper's central claim: LOF ranks planted
+// local outliers that the global methods miss.
+func TestRunQualityLOFWinsOnLocals(t *testing.T) {
+	r, err := RunQuality(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Methods) != 3 {
+		t.Fatalf("methods=%d", len(r.Methods))
+	}
+	lof, knn := r.Methods[0], r.Methods[1]
+	if lof.AUC < 0.99 {
+		t.Fatalf("LOF AUC=%v", lof.AUC)
+	}
+	if lof.AvgPrec <= knn.AvgPrec {
+		t.Fatalf("LOF AP %v not above kNN AP %v", lof.AvgPrec, knn.AvgPrec)
+	}
+	if r.LocalFoundLOF != r.LocalCount {
+		t.Fatalf("LOF found %d/%d local outliers", r.LocalFoundLOF, r.LocalCount)
+	}
+	if r.LocalFoundKNN >= r.LocalFoundLOF {
+		t.Fatalf("kNN ranking found %d locals, LOF %d — the contrast is gone",
+			r.LocalFoundKNN, r.LocalFoundLOF)
+	}
+	if len(r.Table().Rows) != 5 {
+		t.Fatal("table shape wrong")
+	}
+}
+
+// Clustering noise is binary; LOF grades it. Both catch the planted
+// outliers on figure 9, but only LOF orders them.
+func TestRunNoiseVsLOF(t *testing.T) {
+	r, err := RunNoiseVsLOF(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlantedInNoise < r.Planted-1 {
+		t.Fatalf("DBSCAN noise caught %d/%d planted", r.PlantedInNoise, r.Planted)
+	}
+	if r.NoiseSize <= r.Planted {
+		t.Fatalf("noise set %d not larger than planted %d — no binary/graded contrast", r.NoiseSize, r.Planted)
+	}
+	// LOF spreads the noise set over a wide range of degrees.
+	if r.NoiseLOFMax < 2*r.NoiseLOFMin {
+		t.Fatalf("LOF range within noise too narrow: %v..%v", r.NoiseLOFMin, r.NoiseLOFMax)
+	}
+	if r.AUCLOF < r.AUCNoise {
+		t.Fatalf("LOF AUC %v below noise-membership AUC %v", r.AUCLOF, r.AUCNoise)
+	}
+}
+
+func TestRunAblationAggregates(t *testing.T) {
+	r, err := RunAblationAggregates(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max keeps the object clearly outlying; min erases it.
+	if r.MaxScore < 1.5 {
+		t.Fatalf("max-aggregated score=%v", r.MaxScore)
+	}
+	if r.MinScore > r.MaxScore || r.MeanScore > r.MaxScore {
+		t.Fatal("aggregate ordering broken")
+	}
+	if r.MaxRank > r.MinRank {
+		t.Fatalf("max rank %d should be at least as good as min rank %d", r.MaxRank, r.MinRank)
+	}
+	if r.MaxRank > 3 {
+		t.Fatalf("max aggregation ranks the outlier at %d", r.MaxRank)
+	}
+}

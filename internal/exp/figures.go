@@ -1,0 +1,475 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"lof/internal/core"
+	"lof/internal/dataset"
+	"lof/internal/dbout"
+	"lof/internal/geom"
+	"lof/internal/index/kdtree"
+	"lof/internal/matdb"
+	"lof/internal/stats"
+)
+
+// sweepDataset materializes and sweeps a dataset with the library defaults
+// used across figure experiments.
+func sweepDataset(d *dataset.Dataset, lb, ub int) (*matdb.DB, *core.SweepResult, error) {
+	ix := kdtree.New(d.Points, nil)
+	db, err := matdb.Materialize(d.Points, ix, ub)
+	if err != nil {
+		return nil, nil, err
+	}
+	sw, err := core.Sweep(db, lb, ub)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, sw, nil
+}
+
+// DS1Result is the figure 1 / section 3 experiment outcome.
+type DS1Result struct {
+	// LOFO1 and LOFO2 are the max-LOF scores of the two planted outliers.
+	LOFO1, LOFO2 float64
+	// RankO1 and RankO2 are their positions (0-based) in the LOF ranking.
+	RankO1, RankO2 int
+	// MeanC1, MeanC2 are the mean LOF of the cluster members.
+	MeanC1, MeanC2 float64
+	// MaxCluster is the largest LOF among cluster members.
+	MaxCluster float64
+	// DBFlagsO2WithoutC1 reports whether any swept DB(pct,dmin) setting
+	// flags o2 without flagging C1 members (the paper argues none can).
+	DBFlagsO2WithoutC1 bool
+	// DBSettingsTried is how many (pct, dmin) combinations were swept.
+	DBSettingsTried int
+}
+
+// RunDS1 reproduces figure 1 and the section 3 impossibility argument:
+// LOF isolates both o1 and o2 while no DB(pct, dmin) setting isolates o2
+// without drowning it among C1 members.
+func RunDS1(seed int64) (*DS1Result, error) {
+	d := dataset.DS1(seed)
+	_, sw, err := sweepDataset(d, 10, 20)
+	if err != nil {
+		return nil, err
+	}
+	scores := sw.Aggregate(core.AggMax)
+	ranked := core.Rank(scores)
+	res := &DS1Result{}
+	o1, o2 := d.Outliers[0], d.Outliers[1]
+	res.LOFO1, res.LOFO2 = scores[o1], scores[o2]
+	for pos, r := range ranked {
+		switch r.Index {
+		case o1:
+			res.RankO1 = pos
+		case o2:
+			res.RankO2 = pos
+		}
+	}
+	var c1, c2 stats.Running
+	for i, s := range scores {
+		switch d.Cluster[i] {
+		case 0:
+			c1.Add(s)
+		case 1:
+			c2.Add(s)
+		}
+		if d.Cluster[i] >= 0 && s > res.MaxCluster {
+			res.MaxCluster = s
+		}
+	}
+	res.MeanC1, res.MeanC2 = c1.Mean(), c2.Mean()
+
+	// DB(pct, dmin) sweep around d(o2, C2).
+	metric := geom.Euclidean{}
+	dO2C2 := math.Inf(1)
+	for i := 0; i < d.Len(); i++ {
+		if d.Cluster[i] != 1 {
+			continue
+		}
+		if dist := metric.Distance(d.Points.At(o2), d.Points.At(i)); dist < dO2C2 {
+			dO2C2 = dist
+		}
+	}
+	for _, dmin := range []float64{dO2C2 * 0.5, dO2C2 * 0.9, dO2C2, dO2C2 * 1.5, dO2C2 * 2, dO2C2 * 4} {
+		for _, pct := range []float64{90, 95, 98, 99, 99.6, 99.8} {
+			labels, err := dbout.Detect(d.Points, metric, dbout.Params{Pct: pct, Dmin: dmin})
+			if err != nil {
+				return nil, err
+			}
+			res.DBSettingsTried++
+			if !labels[o2] {
+				continue
+			}
+			anyC1 := false
+			for i, isOut := range labels {
+				if isOut && d.Cluster[i] == 0 {
+					anyC1 = true
+					break
+				}
+			}
+			if !anyC1 {
+				res.DBFlagsO2WithoutC1 = true
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders the DS1 result.
+func (r *DS1Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 1 (DS1): local outliers o1, o2 vs. DB(pct,dmin)",
+		Header: []string{"quantity", "value"},
+	}
+	t.AddRow("LOF(o1) [max, MinPts 10-20]", f2(r.LOFO1))
+	t.AddRow("LOF(o2) [max, MinPts 10-20]", f2(r.LOFO2))
+	t.AddRow("rank of o1", fmt.Sprintf("%d", r.RankO1+1))
+	t.AddRow("rank of o2", fmt.Sprintf("%d", r.RankO2+1))
+	t.AddRow("mean LOF in C1", f2(r.MeanC1))
+	t.AddRow("mean LOF in C2", f2(r.MeanC2))
+	t.AddRow("max LOF among cluster members", f2(r.MaxCluster))
+	t.AddRow("DB(pct,dmin) settings tried", fmt.Sprintf("%d", r.DBSettingsTried))
+	t.AddRow("any setting flags o2 w/o C1 false positives", fmt.Sprintf("%v", r.DBFlagsO2WithoutC1))
+	return t
+}
+
+// Fig4Result holds the bound-spread series of figure 4.
+type Fig4Result struct {
+	// Ratios are the direct/indirect values of the x axis.
+	Ratios []float64
+	// LOFMin[pct][i], LOFMax[pct][i] for the three pct settings 1, 5, 10.
+	Pcts   []float64
+	LOFMin [][]float64
+	LOFMax [][]float64
+}
+
+// RunFig4 evaluates the analytic LOF bounds of Theorem 1 under the
+// Sec. 5.3 fluctuation model for pct ∈ {1, 5, 10}, reproducing figure 4.
+func RunFig4() *Fig4Result {
+	res := &Fig4Result{Pcts: []float64{1, 5, 10}}
+	for ratio := 1.0; ratio <= 10.0001; ratio += 0.5 {
+		res.Ratios = append(res.Ratios, ratio)
+	}
+	for _, pct := range res.Pcts {
+		mins := make([]float64, len(res.Ratios))
+		maxs := make([]float64, len(res.Ratios))
+		for i, ratio := range res.Ratios {
+			mins[i], maxs[i] = core.AnalyticBounds(ratio, 1, pct)
+		}
+		res.LOFMin = append(res.LOFMin, mins)
+		res.LOFMax = append(res.LOFMax, maxs)
+	}
+	return res
+}
+
+// Table renders the figure 4 series.
+func (r *Fig4Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 4: LOF bounds vs direct/indirect for pct = 1%, 5%, 10%",
+		Header: []string{"direct/indirect"},
+	}
+	for _, pct := range r.Pcts {
+		t.Header = append(t.Header,
+			fmt.Sprintf("LOFmin(%g%%)", pct), fmt.Sprintf("LOFmax(%g%%)", pct))
+	}
+	for i, ratio := range r.Ratios {
+		row := []string{f(ratio)}
+		for p := range r.Pcts {
+			row = append(row, f(r.LOFMin[p][i]), f(r.LOFMax[p][i]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig5Result holds the relative-span curve of figure 5.
+type Fig5Result struct {
+	Pcts  []float64
+	Spans []float64
+}
+
+// RunFig5 evaluates the closed-form relative span 4(pct/100)/(1−(pct/100)²)
+// of figure 5.
+func RunFig5() *Fig5Result {
+	res := &Fig5Result{}
+	for pct := 1.0; pct <= 99.0001; pct += 2 {
+		res.Pcts = append(res.Pcts, pct)
+		res.Spans = append(res.Spans, core.RelativeSpan(pct))
+	}
+	return res
+}
+
+// Table renders the figure 5 curve.
+func (r *Fig5Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 5: (LOFmax-LOFmin)/(direct/indirect) vs pct",
+		Header: []string{"pct", "relative span"},
+	}
+	for i := range r.Pcts {
+		t.AddRow(f(r.Pcts[i]), f(r.Spans[i]))
+	}
+	return t
+}
+
+// Thm1DemoResult is the figure 3 scenario: one object p near a cluster C.
+type Thm1DemoResult struct {
+	DirectMin, DirectMax     float64
+	IndirectMin, IndirectMax float64
+	Lower, Upper, Actual     float64
+}
+
+// RunThm1Demo builds the figure 3 configuration (an object at some distance
+// from one cluster, MinPts = 3) and compares the Theorem 1 bounds with the
+// actual LOF.
+func RunThm1Demo(seed int64) (*Thm1DemoResult, error) {
+	d := dataset.Mixture(seed, dataset.MixtureSpec{
+		Name:      "thm1-demo",
+		Gaussians: []dataset.GaussianSpec{{Center: geom.Point{0, 0}, Sigma: 1, N: 60}},
+		Outliers:  []geom.Point{{8, 0}},
+	})
+	const minPts = 3
+	db, sw, err := sweepDataset(d, minPts, minPts)
+	if err != nil {
+		return nil, err
+	}
+	p := d.Outliers[0]
+	di, err := core.DirectIndirectOf(db, p, minPts)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi, err := core.Theorem1Bounds(db, p, minPts)
+	if err != nil {
+		return nil, err
+	}
+	return &Thm1DemoResult{
+		DirectMin: di.DirectMin, DirectMax: di.DirectMax,
+		IndirectMin: di.IndirectMin, IndirectMax: di.IndirectMax,
+		Lower: lo, Upper: hi, Actual: sw.Values[0][p],
+	}, nil
+}
+
+// Table renders the theorem 1 demonstration.
+func (r *Thm1DemoResult) Table() *Table {
+	t := &Table{
+		Title:  "Figure 3 / Theorem 1: bounds for an object outside a cluster (MinPts=3)",
+		Header: []string{"quantity", "value"},
+	}
+	t.AddRow("direct_min", f(r.DirectMin))
+	t.AddRow("direct_max", f(r.DirectMax))
+	t.AddRow("indirect_min", f(r.IndirectMin))
+	t.AddRow("indirect_max", f(r.IndirectMax))
+	t.AddRow("LOF lower bound", f(r.Lower))
+	t.AddRow("LOF upper bound", f(r.Upper))
+	t.AddRow("actual LOF", f(r.Actual))
+	return t
+}
+
+// Thm2DemoResult is the figure 6 scenario: p's neighborhood straddles two
+// clusters of different densities.
+type Thm2DemoResult struct {
+	Thm1Lower, Thm1Upper float64
+	Thm2Lower, Thm2Upper float64
+	Actual               float64
+}
+
+// RunThm2Demo builds the figure 6 configuration (MinPts = 6, half of p's
+// neighbors from each of two clusters) and compares Theorem 1's and
+// Theorem 2's bound spreads.
+func RunThm2Demo(seed int64) (*Thm2DemoResult, error) {
+	d := dataset.Mixture(seed, dataset.MixtureSpec{
+		Name: "thm2-demo",
+		Gaussians: []dataset.GaussianSpec{
+			{Center: geom.Point{-3, 0}, Sigma: 0.3, N: 40}, // dense C1
+			{Center: geom.Point{3, 0}, Sigma: 1.0, N: 40},  // sparse C2
+		},
+		// p sits between the clusters so its 6-nearest neighbors come from
+		// both, the situation of figure 6.
+		Outliers: []geom.Point{{-0.4, 0}},
+	})
+	const minPts = 6
+	db, sw, err := sweepDataset(d, minPts, minPts)
+	if err != nil {
+		return nil, err
+	}
+	p := d.Outliers[0]
+	// Guard against a degenerate draw: the demo needs a mixed neighborhood.
+	groups := map[int]bool{}
+	for _, nb := range db.Neighborhood(p, minPts) {
+		groups[d.Cluster[nb.Index]] = true
+	}
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("exp: thm2 demo neighborhood not mixed for seed %d", seed)
+	}
+	lo1, hi1, err := core.Theorem1Bounds(db, p, minPts)
+	if err != nil {
+		return nil, err
+	}
+	lo2, hi2, err := core.Theorem2Bounds(db, p, minPts, func(i int) int { return d.Cluster[i] })
+	if err != nil {
+		return nil, err
+	}
+	return &Thm2DemoResult{
+		Thm1Lower: lo1, Thm1Upper: hi1,
+		Thm2Lower: lo2, Thm2Upper: hi2,
+		Actual: sw.Values[0][p],
+	}, nil
+}
+
+// Table renders the theorem 2 demonstration.
+func (r *Thm2DemoResult) Table() *Table {
+	t := &Table{
+		Title:  "Figure 6 / Theorem 2: multi-cluster bounds (MinPts=6)",
+		Header: []string{"bound", "lower", "upper", "spread"},
+	}
+	t.AddRow("theorem 1", f(r.Thm1Lower), f(r.Thm1Upper), f(r.Thm1Upper-r.Thm1Lower))
+	t.AddRow("theorem 2", f(r.Thm2Lower), f(r.Thm2Upper), f(r.Thm2Upper-r.Thm2Lower))
+	t.AddRow("actual LOF", f(r.Actual), f(r.Actual), "0")
+	return t
+}
+
+// Fig7Result tracks LOF statistics within a Gaussian cluster per MinPts.
+type Fig7Result struct {
+	MinPts              []int
+	Min, Max, Mean, Std []float64
+}
+
+// RunFig7 reproduces figure 7: the minimum, maximum, mean and standard
+// deviation of LOF inside one Gaussian cluster for MinPts = 2..50.
+func RunFig7(seed int64, n int) (*Fig7Result, error) {
+	d := dataset.Fig7Gaussian(seed, n)
+	_, sw, err := sweepDataset(d, 2, 50)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{}
+	for m, minPts := range sw.MinPts {
+		var run stats.Running
+		for _, v := range sw.Values[m] {
+			run.Add(v)
+		}
+		res.MinPts = append(res.MinPts, minPts)
+		res.Min = append(res.Min, run.Min())
+		res.Max = append(res.Max, run.Max())
+		res.Mean = append(res.Mean, run.Mean())
+		res.Std = append(res.Std, run.Std())
+	}
+	return res, nil
+}
+
+// Table renders the figure 7 series.
+func (r *Fig7Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 7: LOF fluctuation within a Gaussian cluster",
+		Header: []string{"MinPts", "min", "max", "mean", "std"},
+	}
+	for i := range r.MinPts {
+		t.AddRow(fmt.Sprintf("%d", r.MinPts[i]), f(r.Min[i]), f(r.Max[i]), f(r.Mean[i]), f(r.Std[i]))
+	}
+	return t
+}
+
+// Fig8Result tracks LOF-vs-MinPts for one representative object per cluster.
+type Fig8Result struct {
+	MinPts              []int
+	S1, S2, S3          []float64
+	MaxS1, MaxS2, MaxS3 float64
+}
+
+// RunFig8 reproduces figure 8: LOF over MinPts 10..50 for representative
+// objects of the 10-object cluster S1, the 35-object cluster S2 and the
+// 500-object cluster S3.
+func RunFig8(seed int64) (*Fig8Result, error) {
+	d := dataset.Fig8Dataset(seed)
+	_, sw, err := sweepDataset(d.Dataset, 10, 50)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{MinPts: sw.MinPts}
+	res.S1 = sw.Series(d.RepS1)
+	res.S2 = sw.Series(d.RepS2)
+	res.S3 = sw.Series(d.RepS3)
+	for i := range res.MinPts {
+		res.MaxS1 = math.Max(res.MaxS1, res.S1[i])
+		res.MaxS2 = math.Max(res.MaxS2, res.S2[i])
+		res.MaxS3 = math.Max(res.MaxS3, res.S3[i])
+	}
+	return res, nil
+}
+
+// Table renders the figure 8 series.
+func (r *Fig8Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 8: LOF over MinPts for objects in S1(10), S2(35), S3(500)",
+		Header: []string{"MinPts", "LOF(S1 rep)", "LOF(S2 rep)", "LOF(S3 rep)"},
+	}
+	for i := range r.MinPts {
+		t.AddRow(fmt.Sprintf("%d", r.MinPts[i]), f(r.S1[i]), f(r.S2[i]), f(r.S3[i]))
+	}
+	return t
+}
+
+// Fig9Result summarizes the LOF surface of figure 9 at MinPts = 40.
+type Fig9Result struct {
+	// OutlierLOF holds the LOF of each planted outlier.
+	OutlierLOF []float64
+	// UniformMax is the largest LOF among uniform-cluster members (the
+	// paper: "the objects in the uniform clusters all have their LOF equal
+	// to 1").
+	UniformMax float64
+	// GaussianShare1 is the fraction of Gaussian-cluster members with
+	// LOF < 1.2 ("most objects in the Gaussian clusters also have 1 as
+	// their LOF value" with weak outliers at the fringe).
+	GaussianShare1 float64
+	// MinOutlierLOF is the smallest planted-outlier LOF.
+	MinOutlierLOF float64
+}
+
+// RunFig9 reproduces figure 9: the LOF values of a four-cluster dataset
+// with seven planted outliers at MinPts = 40.
+func RunFig9(seed int64) (*Fig9Result, error) {
+	d := dataset.Fig9Dataset(seed)
+	const minPts = 40
+	_, sw, err := sweepDataset(d, minPts, minPts)
+	if err != nil {
+		return nil, err
+	}
+	lofs := sw.Values[0]
+	res := &Fig9Result{MinOutlierLOF: math.Inf(1)}
+	for _, o := range d.Outliers {
+		res.OutlierLOF = append(res.OutlierLOF, lofs[o])
+		res.MinOutlierLOF = math.Min(res.MinOutlierLOF, lofs[o])
+	}
+	gaussianLow, gaussianTotal := 0, 0
+	for i, l := range lofs {
+		switch d.Cluster[i] {
+		case 2, 3: // uniform clusters
+			if l > res.UniformMax {
+				res.UniformMax = l
+			}
+		case 0, 1: // Gaussian clusters
+			gaussianTotal++
+			if l < 1.2 {
+				gaussianLow++
+			}
+		}
+	}
+	res.GaussianShare1 = float64(gaussianLow) / float64(gaussianTotal)
+	return res, nil
+}
+
+// Table renders the figure 9 summary.
+func (r *Fig9Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 9: LOF surface at MinPts=40 (four clusters + 7 outliers)",
+		Header: []string{"quantity", "value"},
+	}
+	for i, l := range r.OutlierLOF {
+		t.AddRow(fmt.Sprintf("LOF(outlier %d)", i+1), f2(l))
+	}
+	t.AddRow("max LOF in uniform clusters", f2(r.UniformMax))
+	t.AddRow("share of Gaussian members with LOF<1.2", f2(r.GaussianShare1))
+	t.AddRow("min planted-outlier LOF", f2(r.MinOutlierLOF))
+	return t
+}

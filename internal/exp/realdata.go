@@ -1,0 +1,235 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"lof/internal/core"
+	"lof/internal/dataset"
+	"lof/internal/stats"
+)
+
+// RankedPlayer is one row of a ranked-outlier table.
+type RankedPlayer struct {
+	Rank  int
+	Name  string
+	Score float64
+	// Features are the evaluated subspace values of the player.
+	Features []float64
+}
+
+// HockeyResult is the outcome of one of the two section 7.2 experiments.
+type HockeyResult struct {
+	Test int
+	Top  []RankedPlayer
+	// RankOf maps the documented outlier names to their LOF rank (1-based).
+	RankOf map[string]int
+}
+
+// RunHockey reproduces a section 7.2 hockey experiment (test 1 or 2) on the
+// synthetic NHL96-like league: maximum LOF over MinPts 30..50, top-10
+// ranking. Test 1 evaluates (points, plus-minus, penalty minutes); test 2
+// evaluates (games played, goals, shooting percentage).
+func RunHockey(seed int64, test int) (*HockeyResult, error) {
+	l := dataset.Hockey(seed)
+	var d *dataset.Dataset
+	switch test {
+	case 1:
+		d = l.Test1()
+	case 2:
+		d = l.Test2()
+	default:
+		return nil, fmt.Errorf("exp: hockey test must be 1 or 2, got %d", test)
+	}
+	_, sw, err := sweepDataset(d, 30, 50)
+	if err != nil {
+		return nil, err
+	}
+	scores := sw.Aggregate(core.AggMax)
+	res := &HockeyResult{Test: test, RankOf: map[string]int{}}
+	for pos, r := range core.TopN(scores, 10) {
+		res.Top = append(res.Top, RankedPlayer{
+			Rank:     pos + 1,
+			Name:     d.Label(r.Index),
+			Score:    r.Score,
+			Features: d.Points.At(r.Index),
+		})
+	}
+	for pos, r := range core.Rank(scores) {
+		name := d.Label(r.Index)
+		switch name {
+		case "Vladimir Konstantinov", "Matthew Barnaby", "Chris Osgood", "Mario Lemieux", "Steve Poapst":
+			if _, seen := res.RankOf[name]; !seen {
+				res.RankOf[name] = pos + 1
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders the hockey ranking.
+func (r *HockeyResult) Table() *Table {
+	var hdr []string
+	switch r.Test {
+	case 1:
+		hdr = []string{"rank", "LOF", "player", "points", "plus-minus", "penalty-min"}
+	default:
+		hdr = []string{"rank", "LOF", "player", "games", "goals", "shooting-pct"}
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Section 7.2 hockey test %d: top outliers by max LOF (MinPts 30-50)", r.Test),
+		Header: hdr,
+	}
+	for _, p := range r.Top {
+		t.AddRow(fmt.Sprintf("%d", p.Rank), f2(p.Score), p.Name,
+			f(p.Features[0]), f(p.Features[1]), f(p.Features[2]))
+	}
+	return t
+}
+
+// SoccerResult is the Table 3 reproduction.
+type SoccerResult struct {
+	// Outliers lists every player with max-LOF above the threshold 1.5,
+	// exactly as Table 3 reports.
+	Outliers []RankedPlayer
+	// Positions holds each outlier's position name, aligned with Outliers.
+	Positions []string
+	// GamesSummary and GoalsSummary are the dataset summary rows of
+	// Table 3.
+	GamesSummary, GoalsSummary stats.Summary
+	// RankOf maps the five published outliers to their 1-based LOF rank.
+	RankOf map[string]int
+}
+
+// RunSoccer reproduces Table 3: LOF in the MinPts range 30..50 on the
+// synthetic Bundesliga league, reporting all outliers with LOF > 1.5 plus
+// the games/goals summary statistics.
+func RunSoccer(seed int64) (*SoccerResult, error) {
+	l := dataset.Soccer(seed)
+	d := l.Dataset()
+	_, sw, err := sweepDataset(d, 30, 50)
+	if err != nil {
+		return nil, err
+	}
+	scores := sw.Aggregate(core.AggMax)
+	res := &SoccerResult{RankOf: map[string]int{}}
+	for pos, r := range core.Rank(scores) {
+		name := d.Label(r.Index)
+		if r.Score > 1.5 {
+			p := l.Players[r.Index]
+			res.Outliers = append(res.Outliers, RankedPlayer{
+				Rank:     pos + 1,
+				Name:     name,
+				Score:    r.Score,
+				Features: []float64{p.Games, p.Goals},
+			})
+			res.Positions = append(res.Positions, p.Position.String())
+		}
+		switch name {
+		case "Michael Preetz", "Michael Schjönberg", "Hans-Jörg Butt", "Ulf Kirsten", "Giovane Elber":
+			res.RankOf[name] = pos + 1
+		}
+	}
+	if res.GamesSummary, err = stats.Summarize(l.GamesColumn()); err != nil {
+		return nil, err
+	}
+	if res.GoalsSummary, err = stats.Summarize(l.GoalsColumn()); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table renders the Table 3 reproduction.
+func (r *SoccerResult) Table() *Table {
+	t := &Table{
+		Title:  "Table 3: soccer players with max LOF > 1.5 (MinPts 30-50)",
+		Header: []string{"rank", "LOF", "player", "games", "goals", "position"},
+	}
+	for i, p := range r.Outliers {
+		t.AddRow(fmt.Sprintf("%d", p.Rank), f2(p.Score), p.Name,
+			fmt.Sprintf("%.0f", p.Features[0]), fmt.Sprintf("%.0f", p.Features[1]), r.Positions[i])
+	}
+	t.AddRow("", "", "minimum", fmt.Sprintf("%.0f", r.GamesSummary.Min), fmt.Sprintf("%.0f", r.GoalsSummary.Min), "")
+	t.AddRow("", "", "median", fmt.Sprintf("%.0f", r.GamesSummary.Median), fmt.Sprintf("%.0f", r.GoalsSummary.Median), "")
+	t.AddRow("", "", "maximum", fmt.Sprintf("%.0f", r.GamesSummary.Max), fmt.Sprintf("%.0f", r.GoalsSummary.Max), "")
+	t.AddRow("", "", "mean", fmt.Sprintf("%.1f", r.GamesSummary.Mean), fmt.Sprintf("%.1f", r.GoalsSummary.Mean), "")
+	t.AddRow("", "", "std deviation", fmt.Sprintf("%.1f", r.GamesSummary.Std), fmt.Sprintf("%.1f", r.GoalsSummary.Std), "")
+	return t
+}
+
+// HighDimResult is the 64-dimensional color-histogram experiment.
+type HighDimResult struct {
+	// MaxOutlierLOF is the largest planted-outlier LOF (the paper reports
+	// "reasonable local outliers with LOF values of up to 7").
+	MaxOutlierLOF float64
+	// MaxClusterLOF is the largest LOF among scene-cluster members.
+	MaxClusterLOF float64
+	// PlantedInTop is how many of the planted outliers appear among the
+	// top-|planted| ranked objects.
+	PlantedInTop int
+	// Planted is the number of planted outliers.
+	Planted int
+}
+
+// RunHighDim reproduces the 64-d color-histogram experiment: LOF separates
+// planted outlier frames from scene clusters in 64 dimensions.
+func RunHighDim(seed int64) (*HighDimResult, error) {
+	d := dataset.ColorHistograms(seed, dataset.DefaultColorHistSpec())
+	_, sw, err := sweepDataset(d, 10, 20)
+	if err != nil {
+		return nil, err
+	}
+	scores := sw.Aggregate(core.AggMax)
+	res := &HighDimResult{Planted: len(d.Outliers)}
+	planted := map[int]bool{}
+	for _, o := range d.Outliers {
+		planted[o] = true
+		if scores[o] > res.MaxOutlierLOF {
+			res.MaxOutlierLOF = scores[o]
+		}
+	}
+	for i, s := range scores {
+		if !planted[i] && s > res.MaxClusterLOF {
+			res.MaxClusterLOF = s
+		}
+	}
+	for _, r := range core.TopN(scores, len(d.Outliers)) {
+		if planted[r.Index] {
+			res.PlantedInTop++
+		}
+	}
+	return res, nil
+}
+
+// Table renders the high-dimensional experiment summary.
+func (r *HighDimResult) Table() *Table {
+	t := &Table{
+		Title:  "Section 7 (64-d color histograms): planted outliers vs scene clusters",
+		Header: []string{"quantity", "value"},
+	}
+	t.AddRow("planted outliers", fmt.Sprintf("%d", r.Planted))
+	t.AddRow("planted found in top ranks", fmt.Sprintf("%d", r.PlantedInTop))
+	t.AddRow("max planted-outlier LOF", f2(r.MaxOutlierLOF))
+	t.AddRow("max scene-member LOF", f2(r.MaxClusterLOF))
+	return t
+}
+
+// sortedNames returns map keys in deterministic order (test helper shared
+// by the command output).
+func sortedNames(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RankTable renders a name→rank map.
+func RankTable(title string, m map[string]int) *Table {
+	t := &Table{Title: title, Header: []string{"player", "LOF rank"}}
+	for _, n := range sortedNames(m) {
+		t.AddRow(n, fmt.Sprintf("%d", m[n]))
+	}
+	return t
+}

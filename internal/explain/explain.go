@@ -1,0 +1,137 @@
+// Package explain implements the paper's first "ongoing work" direction:
+// describing why an identified local outlier is exceptional. Two
+// complementary views are provided:
+//
+//   - a per-dimension decomposition: for high-dimensional data "a local
+//     outlier may be outlying only on some, but not on all, dimensions"
+//     (Sec. 8, citing [14]); DimensionProfile ranks the dimensions by how
+//     far the object deviates from its MinPts-neighborhood on each;
+//
+//   - a cluster context via the OPTICS handshake: which extracted cluster
+//     is the object outlying relative to, how far away it lies, and how
+//     that cluster's density compares with the object's own neighborhood.
+package explain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lof/internal/geom"
+	"lof/internal/matdb"
+	"lof/internal/optics"
+	"lof/internal/stats"
+)
+
+// DimensionContribution quantifies one dimension's share of an object's
+// outlier-ness.
+type DimensionContribution struct {
+	// Dim is the dimension index.
+	Dim int
+	// ZScore is |x_dim − neighborhood mean_dim| / neighborhood std_dim
+	// (+Inf when the neighborhood is constant on the dimension but the
+	// object deviates).
+	ZScore float64
+	// Delta is the signed raw deviation x_dim − neighborhood mean_dim.
+	Delta float64
+}
+
+// DimensionProfile decomposes object i's deviation from its
+// MinPts-neighborhood dimension by dimension, most deviating first. The
+// neighborhood comes from the same materialization database the LOF
+// computation used.
+func DimensionProfile(db *matdb.DB, pts *geom.Points, i, minPts int) ([]DimensionContribution, error) {
+	if pts == nil {
+		return nil, fmt.Errorf("explain: nil points")
+	}
+	if err := db.CheckMinPts(minPts); err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= pts.Len() {
+		return nil, fmt.Errorf("explain: point %d out of range", i)
+	}
+	nn := db.Neighborhood(i, minPts)
+	if len(nn) == 0 {
+		return nil, fmt.Errorf("explain: point %d has no neighbors", i)
+	}
+	dim := pts.Dim()
+	out := make([]DimensionContribution, dim)
+	p := pts.At(i)
+	for d := 0; d < dim; d++ {
+		var run stats.Running
+		for _, nb := range nn {
+			run.Add(pts.At(nb.Index)[d])
+		}
+		delta := p[d] - run.Mean()
+		z := math.Inf(1)
+		if std := run.Std(); std > 0 {
+			z = math.Abs(delta) / std
+		} else if delta == 0 {
+			z = 0
+		}
+		out[d] = DimensionContribution{Dim: d, ZScore: z, Delta: delta}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].ZScore != out[b].ZScore {
+			return out[a].ZScore > out[b].ZScore
+		}
+		return out[a].Dim < out[b].Dim
+	})
+	return out, nil
+}
+
+// ClusterContext explains an outlier relative to an OPTICS cluster
+// extraction.
+type ClusterContext struct {
+	// Cluster is the id (into the extraction's cluster list) of the
+	// nearest cluster, or -1 if no clusters were extracted.
+	Cluster int
+	// Distance is the distance from the object to the nearest member of
+	// that cluster.
+	Distance float64
+	// ClusterMeanReach is the cluster's mean reachability distance — its
+	// density scale.
+	ClusterMeanReach float64
+	// Separation is Distance / ClusterMeanReach: how many "cluster
+	// spacings" away the object lies. Large values mean the object is far
+	// relative to the density of the cluster it is compared against — the
+	// quantity LOF localizes.
+	Separation float64
+}
+
+// NearestCluster locates the extracted cluster nearest to object i and
+// quantifies its separation. The metric must match the one the index was
+// built with.
+func NearestCluster(pts *geom.Points, m geom.Metric, clusters []optics.Cluster, i int) (ClusterContext, error) {
+	if pts == nil {
+		return ClusterContext{}, fmt.Errorf("explain: nil points")
+	}
+	if i < 0 || i >= pts.Len() {
+		return ClusterContext{}, fmt.Errorf("explain: point %d out of range", i)
+	}
+	if m == nil {
+		m = geom.Euclidean{}
+	}
+	ctx := ClusterContext{Cluster: -1, Distance: math.Inf(1)}
+	p := pts.At(i)
+	for cid, c := range clusters {
+		for _, member := range c.Members {
+			if member == i {
+				continue
+			}
+			if d := m.Distance(p, pts.At(member)); d < ctx.Distance {
+				ctx.Cluster = cid
+				ctx.Distance = d
+			}
+		}
+	}
+	if ctx.Cluster >= 0 {
+		ctx.ClusterMeanReach = clusters[ctx.Cluster].MeanReach
+		if ctx.ClusterMeanReach > 0 && !math.IsInf(ctx.ClusterMeanReach, 1) {
+			ctx.Separation = ctx.Distance / ctx.ClusterMeanReach
+		} else {
+			ctx.Separation = math.Inf(1)
+		}
+	}
+	return ctx, nil
+}

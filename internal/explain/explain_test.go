@@ -1,0 +1,191 @@
+package explain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lof/internal/geom"
+	"lof/internal/index/linear"
+	"lof/internal/matdb"
+	"lof/internal/optics"
+)
+
+// buildScene creates a tight 3-d cluster plus one outlier that deviates
+// only on dimension 1.
+func buildScene(t *testing.T) (*geom.Points, *matdb.DB, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	pts := geom.NewPoints(3, 0)
+	for i := 0; i < 80; i++ {
+		if err := pts.Append(geom.Point{
+			rng.NormFloat64() * 0.5,
+			rng.NormFloat64() * 0.5,
+			rng.NormFloat64() * 0.5,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outlier := pts.Len()
+	if err := pts.Append(geom.Point{0.1, 12, -0.1}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := matdb.Materialize(pts, linear.New(pts, nil), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts, db, outlier
+}
+
+func TestDimensionProfileRanksDeviatingDimensionFirst(t *testing.T) {
+	pts, db, outlier := buildScene(t)
+	prof, err := DimensionProfile(db, pts, outlier, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 3 {
+		t.Fatalf("profile len=%d", len(prof))
+	}
+	if prof[0].Dim != 1 {
+		t.Fatalf("top dimension=%d want 1 (profile=%v)", prof[0].Dim, prof)
+	}
+	if prof[0].Delta < 10 {
+		t.Fatalf("delta=%v", prof[0].Delta)
+	}
+	if prof[0].ZScore < 3*prof[1].ZScore {
+		t.Fatalf("dimension 1 not clearly dominant: %v", prof)
+	}
+}
+
+func TestDimensionProfileInlierIsFlat(t *testing.T) {
+	pts, db, _ := buildScene(t)
+	prof, err := DimensionProfile(db, pts, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range prof {
+		if c.ZScore > 4 {
+			t.Fatalf("inlier z-score %v on dim %d", c.ZScore, c.Dim)
+		}
+	}
+}
+
+func TestDimensionProfileConstantDimension(t *testing.T) {
+	// All points share x=5; a probe deviating on x must get ZScore +Inf,
+	// and a conforming probe ZScore 0.
+	pts := geom.NewPoints(2, 0)
+	for i := 0; i < 20; i++ {
+		if err := pts.Append(geom.Point{5, float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pts.Append(geom.Point{7, 10.5}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := matdb.Materialize(pts, linear.New(pts, nil), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := DimensionProfile(db, pts, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof[0].Dim != 0 || !math.IsInf(prof[0].ZScore, 1) {
+		t.Fatalf("profile=%v", prof)
+	}
+	// Probe a point whose neighborhood stays on the line (far from the
+	// planted deviator, whose x would otherwise enter the neighborhood).
+	prof, err = DimensionProfile(db, pts, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range prof {
+		if c.Dim == 0 && c.ZScore != 0 {
+			t.Fatalf("conforming constant dimension z=%v", c.ZScore)
+		}
+	}
+}
+
+func TestDimensionProfileValidation(t *testing.T) {
+	pts, db, _ := buildScene(t)
+	if _, err := DimensionProfile(db, nil, 0, 10); err == nil {
+		t.Error("nil points accepted")
+	}
+	if _, err := DimensionProfile(db, pts, 0, 99); err == nil {
+		t.Error("MinPts>K accepted")
+	}
+	if _, err := DimensionProfile(db, pts, -1, 10); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestNearestCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts := geom.NewPoints(2, 0)
+	for i := 0; i < 50; i++ { // dense cluster at origin
+		if err := pts.Append(geom.Point{rng.NormFloat64() * 0.2, rng.NormFloat64() * 0.2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ { // sparse cluster at (30, 0)
+		if err := pts.Append(geom.Point{30 + rng.NormFloat64()*2, rng.NormFloat64() * 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outlier := pts.Len()
+	if err := pts.Append(geom.Point{3, 0}); err != nil { // near the dense cluster
+		t.Fatal(err)
+	}
+	ix := linear.New(pts, nil)
+	res, err := optics.Run(pts, ix, optics.Params{MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, _ := res.ExtractClusters(3, 10)
+	if len(clusters) < 2 {
+		t.Fatalf("clusters=%d", len(clusters))
+	}
+	ctx, err := NearestCluster(pts, nil, clusters, outlier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Cluster < 0 {
+		t.Fatal("no cluster found")
+	}
+	// The nearest cluster must be the dense one (its members are < 50).
+	if clusters[ctx.Cluster].Members[0] >= 50 {
+		t.Fatalf("nearest cluster is the sparse one")
+	}
+	// The object lies ~2.8 from the cluster whose spacing is ~0.1: the
+	// separation must be large — the signature of a local outlier.
+	if ctx.Separation < 5 {
+		t.Fatalf("separation=%v", ctx.Separation)
+	}
+
+	// A deep member of the dense cluster has a small separation.
+	memberCtx, err := NearestCluster(pts, nil, clusters, clusters[ctx.Cluster].Members[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memberCtx.Separation >= ctx.Separation {
+		t.Fatalf("member separation %v not below outlier separation %v",
+			memberCtx.Separation, ctx.Separation)
+	}
+}
+
+func TestNearestClusterNoClusters(t *testing.T) {
+	pts, _, _ := buildScene(t)
+	ctx, err := NearestCluster(pts, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Cluster != -1 {
+		t.Fatalf("ctx=%+v", ctx)
+	}
+	if _, err := NearestCluster(nil, nil, nil, 0); err == nil {
+		t.Error("nil points accepted")
+	}
+	if _, err := NearestCluster(pts, nil, nil, 9999); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}

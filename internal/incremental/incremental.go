@@ -1,0 +1,343 @@
+// Package incremental maintains exact LOF values under point insertions
+// and deletions — the paper's second "ongoing work" direction ("to further
+// improve the performance of LOF computation"). Instead of recomputing the
+// whole database, an update touches only the affected neighborhoods: the
+// changed point's reverse k-nearest neighbors (whose k-distances shift),
+// the points whose local reachability density depends on those
+// k-distances, and the points whose LOF depends on those densities. All
+// values stay exactly equal to a from-scratch batch computation, which the
+// tests verify after every update.
+package incremental
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lof/internal/core"
+	"lof/internal/geom"
+	"lof/internal/index"
+)
+
+// Detector is a dynamic (insert/delete) LOF maintenance structure.
+type Detector struct {
+	minPts int
+	metric geom.Metric
+	pts    *geom.Points
+
+	// nn[i] is point i's MinPts-distance neighborhood (with ties), sorted
+	// by (distance, index). Empty until at least minPts+1 points exist.
+	nn    [][]index.Neighbor
+	kdist []float64
+	lrd   []float64
+	lof   []float64
+
+	// deleted marks tombstoned points; they are excluded from every
+	// neighborhood and carry NaN LOFs.
+	deleted []bool
+	live    int
+
+	// lastAffected records how many points the most recent update
+	// touched, for observability and the locality tests.
+	lastAffected int
+}
+
+// New creates an empty incremental detector. dim is the dimensionality of
+// all future points; minPts as in the batch algorithm.
+func New(dim, minPts int, m geom.Metric) (*Detector, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("incremental: dim must be positive, got %d", dim)
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("incremental: MinPts must be positive, got %d", minPts)
+	}
+	if m == nil {
+		m = geom.Euclidean{}
+	}
+	return &Detector{minPts: minPts, metric: m, pts: geom.NewPoints(dim, 0)}, nil
+}
+
+// Len returns the number of live (inserted and not deleted) points.
+func (d *Detector) Len() int { return d.live }
+
+// Size returns the number of slots ever allocated, including tombstones;
+// point indices run over [0, Size).
+func (d *Detector) Size() int { return d.pts.Len() }
+
+// Deleted reports whether point i has been removed.
+func (d *Detector) Deleted(i int) bool { return d.deleted[i] }
+
+// LastAffected returns how many points the most recent Insert updated
+// (neighborhood, density or LOF) — including the inserted point.
+func (d *Detector) LastAffected() int { return d.lastAffected }
+
+// LOF returns point i's current LOF (NaN for deleted points). Before
+// minPts+1 points exist, every LOF is 1 (no meaningful neighborhood).
+func (d *Detector) LOF(i int) float64 {
+	if d.deleted[i] {
+		return math.NaN()
+	}
+	return d.lof[i]
+}
+
+// LOFs returns a copy of all current LOF values, indexed by insertion
+// order; deleted slots hold NaN.
+func (d *Detector) LOFs() []float64 {
+	out := make([]float64, len(d.lof))
+	for i := range d.lof {
+		out[i] = d.LOF(i)
+	}
+	return out
+}
+
+// Insert adds p and updates all affected LOF values. It returns the new
+// point's index.
+func (d *Detector) Insert(p geom.Point) (int, error) {
+	if err := d.pts.Append(p); err != nil {
+		return 0, err
+	}
+	i := d.pts.Len() - 1
+	d.nn = append(d.nn, nil)
+	d.kdist = append(d.kdist, math.Inf(1))
+	d.lrd = append(d.lrd, math.Inf(1))
+	d.lof = append(d.lof, 1)
+	d.deleted = append(d.deleted, false)
+	d.live++
+
+	n := d.live
+	if n <= d.minPts {
+		// Not enough points for any MinPts-neighborhood yet: rebuild all
+		// once enough arrive (cheap at these sizes).
+		d.lastAffected = n
+		d.rebuildAll()
+		return i, nil
+	}
+	if n == d.minPts+1 {
+		// First time neighborhoods become defined for everyone.
+		d.lastAffected = n
+		d.rebuildAll()
+		return i, nil
+	}
+
+	// 1. The new point's neighborhood.
+	d.recomputeNeighborhood(i)
+
+	// 2. Reverse neighbors: points q whose MinPts-distance neighborhood
+	// absorbs p (d(q,p) ≤ kdist(q)). Their neighborhoods — and possibly
+	// k-distances — change.
+	kdistChanged := map[int]bool{i: true}
+	neighborhoodChanged := map[int]bool{i: true}
+	for q := 0; q < d.pts.Len(); q++ {
+		if q == i || d.deleted[q] {
+			continue
+		}
+		if d.metric.Distance(d.pts.At(q), p) <= d.kdist[q] {
+			old := d.kdist[q]
+			d.recomputeNeighborhood(q)
+			neighborhoodChanged[q] = true
+			if d.kdist[q] != old {
+				kdistChanged[q] = true
+			}
+		}
+	}
+	d.propagate(kdistChanged, neighborhoodChanged)
+	return i, nil
+}
+
+// Delete removes point i, updating all affected LOF values. Deleted slots
+// keep their index (subsequent points do not shift) and report NaN.
+func (d *Detector) Delete(i int) error {
+	if i < 0 || i >= d.pts.Len() {
+		return fmt.Errorf("incremental: point %d out of range", i)
+	}
+	if d.deleted[i] {
+		return fmt.Errorf("incremental: point %d already deleted", i)
+	}
+	p := d.pts.At(i).Clone()
+	d.deleted[i] = true
+	d.live--
+	d.nn[i] = nil
+	d.kdist[i] = math.Inf(1)
+	d.lrd[i] = math.Inf(1)
+
+	if d.live <= d.minPts+1 {
+		d.lastAffected = d.live
+		d.rebuildAll()
+		return nil
+	}
+
+	// Points that held i in their neighborhood lose a neighbor; their
+	// k-distances can only grow.
+	kdistChanged := map[int]bool{}
+	neighborhoodChanged := map[int]bool{}
+	for q := 0; q < d.pts.Len(); q++ {
+		if q == i || d.deleted[q] {
+			continue
+		}
+		if d.metric.Distance(d.pts.At(q), p) <= d.kdist[q] {
+			old := d.kdist[q]
+			d.recomputeNeighborhood(q)
+			neighborhoodChanged[q] = true
+			if d.kdist[q] != old {
+				kdistChanged[q] = true
+			}
+		}
+	}
+	d.propagate(kdistChanged, neighborhoodChanged)
+	return nil
+}
+
+// propagate refreshes densities and LOFs downstream of neighborhood and
+// k-distance changes — the shared tail of Insert and Delete.
+func (d *Detector) propagate(kdistChanged, neighborhoodChanged map[int]bool) {
+
+	// Densities to refresh: any point whose neighborhood changed, plus
+	// any point with a kdist-changed neighbor (its reachability distances
+	// shift).
+	lrdDirty := map[int]bool{}
+	for q := range neighborhoodChanged {
+		if !d.deleted[q] {
+			lrdDirty[q] = true
+		}
+	}
+	for o := 0; o < d.pts.Len(); o++ {
+		if lrdDirty[o] || d.deleted[o] {
+			continue
+		}
+		for _, nb := range d.nn[o] {
+			if kdistChanged[nb.Index] {
+				lrdDirty[o] = true
+				break
+			}
+		}
+	}
+	lrdChanged := map[int]bool{}
+	for o := range lrdDirty {
+		old := d.lrd[o]
+		d.lrd[o] = d.computeLRD(o)
+		if d.lrd[o] != old {
+			lrdChanged[o] = true
+		}
+	}
+
+	// LOFs to refresh: every density-dirty point, plus points with a
+	// density-changed neighbor.
+	lofDirty := map[int]bool{}
+	for o := range lrdDirty {
+		lofDirty[o] = true
+	}
+	for x := 0; x < d.pts.Len(); x++ {
+		if lofDirty[x] || d.deleted[x] {
+			continue
+		}
+		for _, nb := range d.nn[x] {
+			if lrdChanged[nb.Index] {
+				lofDirty[x] = true
+				break
+			}
+		}
+	}
+	for x := range lofDirty {
+		d.lof[x] = d.computeLOF(x)
+	}
+	d.lastAffected = len(lofDirty)
+}
+
+// recomputeNeighborhood rebuilds point q's neighborhood by scan over live
+// points.
+func (d *Detector) recomputeNeighborhood(q int) {
+	n := d.pts.Len()
+	ns := make([]index.Neighbor, 0, n-1)
+	pq := d.pts.At(q)
+	for j := 0; j < n; j++ {
+		if j == q || d.deleted[j] {
+			continue
+		}
+		ns = append(ns, index.Neighbor{Index: j, Dist: d.metric.Distance(pq, d.pts.At(j))})
+	}
+	sort.Slice(ns, func(a, b int) bool {
+		if ns[a].Dist != ns[b].Dist {
+			return ns[a].Dist < ns[b].Dist
+		}
+		return ns[a].Index < ns[b].Index
+	})
+	if len(ns) > d.minPts {
+		kd := ns[d.minPts-1].Dist
+		hi := d.minPts
+		for hi < len(ns) && ns[hi].Dist <= kd {
+			hi++
+		}
+		ns = ns[:hi]
+	}
+	d.nn[q] = ns
+	if len(ns) >= d.minPts {
+		d.kdist[q] = ns[d.minPts-1].Dist
+	} else if len(ns) > 0 {
+		d.kdist[q] = ns[len(ns)-1].Dist
+	} else {
+		d.kdist[q] = math.Inf(1)
+	}
+}
+
+func (d *Detector) computeLRD(o int) float64 {
+	nn := d.nn[o]
+	if len(nn) == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for _, nb := range nn {
+		sum += core.ReachDist(d.kdist[nb.Index], nb.Dist)
+	}
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	return float64(len(nn)) / sum
+}
+
+func (d *Detector) computeLOF(x int) float64 {
+	nn := d.nn[x]
+	if len(nn) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, nb := range nn {
+		sum += ratio(d.lrd[nb.Index], d.lrd[x])
+	}
+	return sum / float64(len(nn))
+}
+
+// ratio mirrors the batch computation's infinity semantics.
+func ratio(lrdO, lrdP float64) float64 {
+	oInf, pInf := math.IsInf(lrdO, 1), math.IsInf(lrdP, 1)
+	switch {
+	case oInf && pInf:
+		return 1
+	case pInf:
+		return 0
+	case oInf:
+		return math.Inf(1)
+	default:
+		return lrdO / lrdP
+	}
+}
+
+// rebuildAll recomputes every structure from scratch (used while the
+// dataset is still smaller than MinPts+1).
+func (d *Detector) rebuildAll() {
+	n := d.pts.Len()
+	for q := 0; q < n; q++ {
+		if !d.deleted[q] {
+			d.recomputeNeighborhood(q)
+		}
+	}
+	for o := 0; o < n; o++ {
+		if !d.deleted[o] {
+			d.lrd[o] = d.computeLRD(o)
+		}
+	}
+	for x := 0; x < n; x++ {
+		if !d.deleted[x] {
+			d.lof[x] = d.computeLOF(x)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package incremental
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lof/internal/core"
+	"lof/internal/geom"
+	"lof/internal/index/linear"
+	"lof/internal/matdb"
+)
+
+// batchLOFs computes reference LOF values from scratch.
+func batchLOFs(t *testing.T, pts *geom.Points, minPts int) []float64 {
+	t.Helper()
+	db, err := matdb.Materialize(pts, linear.New(pts, nil), minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lofs, err := core.LOFs(db, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lofs
+}
+
+func TestInsertMatchesBatchExactly(t *testing.T) {
+	const minPts = 5
+	rng := rand.New(rand.NewSource(31))
+	det, err := New(2, minPts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 120; step++ {
+		var p geom.Point
+		switch {
+		case step%11 == 10:
+			p = geom.Point{rng.NormFloat64()*0.5 + 30, rng.NormFloat64() * 0.5} // second cluster
+		case step%17 == 16:
+			p = geom.Point{rng.Float64() * 60, 40 + rng.Float64()*10} // scattered noise
+		default:
+			p = geom.Point{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		if _, err := det.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		if det.Len() <= minPts+1 {
+			continue
+		}
+		want := batchLOFs(t, det.pts, minPts)
+		got := det.LOFs()
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 && !(math.IsInf(got[i], 1) && math.IsInf(want[i], 1)) {
+				t.Fatalf("step %d point %d: incremental=%v batch=%v", step, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInsertWithDuplicatesMatchesBatch(t *testing.T) {
+	const minPts = 3
+	det, err := New(1, minPts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate-heavy stream: sites 0, 1, 2 plus a straggler.
+	stream := []float64{0, 0, 0, 0, 1, 1, 1, 2, 2, 2, 2, 10, 0, 1}
+	for s, x := range stream {
+		if _, err := det.Insert(geom.Point{x}); err != nil {
+			t.Fatal(err)
+		}
+		if det.Len() <= minPts+1 {
+			continue
+		}
+		want := batchLOFs(t, det.pts, minPts)
+		got := det.LOFs()
+		for i := range want {
+			same := got[i] == want[i] ||
+				(math.IsInf(got[i], 1) && math.IsInf(want[i], 1)) ||
+				math.Abs(got[i]-want[i]) <= 1e-9
+			if !same {
+				t.Fatalf("step %d point %d: incremental=%v batch=%v", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInsertLocality(t *testing.T) {
+	const minPts = 5
+	rng := rand.New(rand.NewSource(33))
+	det, err := New(2, minPts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two well-separated clusters of 200 points each.
+	for i := 0; i < 200; i++ {
+		if _, err := det.Insert(geom.Point{rng.NormFloat64(), rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := det.Insert(geom.Point{200 + rng.NormFloat64(), rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Inserting into the first cluster must not touch most of the dataset:
+	// the affected set is bounded by the local neighborhood structure.
+	if _, err := det.Insert(geom.Point{0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if det.LastAffected() > det.Len()/3 {
+		t.Fatalf("insertion affected %d of %d points — not local", det.LastAffected(), det.Len())
+	}
+	// And the result still matches the batch computation.
+	want := batchLOFs(t, det.pts, minPts)
+	got := det.LOFs()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("point %d: incremental=%v batch=%v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSmallStreamAllOnes(t *testing.T) {
+	det, err := New(2, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := det.Insert(geom.Point{float64(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fewer than MinPts+1 points: no meaningful neighborhoods; LOFs exist
+	// and are finite.
+	for i, l := range det.LOFs() {
+		if math.IsNaN(l) {
+			t.Fatalf("LOF[%d] is NaN", i)
+		}
+	}
+	if det.Len() != 5 {
+		t.Fatalf("Len=%d", det.Len())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 5, nil); err == nil {
+		t.Error("dim=0 accepted")
+	}
+	if _, err := New(2, 0, nil); err == nil {
+		t.Error("MinPts=0 accepted")
+	}
+}
+
+func TestInsertRejectsBadPoint(t *testing.T) {
+	det, err := New(2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Insert(geom.Point{1}); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+	if _, err := det.Insert(geom.Point{1, math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestLOFAccessor(t *testing.T) {
+	det, err := New(1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1, 2, 3, 4, 5, 20} {
+		if _, err := det.Insert(geom.Point{x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if det.LOF(6) <= det.LOF(3) {
+		t.Fatalf("straggler LOF %v not above interior %v", det.LOF(6), det.LOF(3))
+	}
+}
+
+func TestDeleteMatchesBatchExactly(t *testing.T) {
+	const minPts = 5
+	rng := rand.New(rand.NewSource(51))
+	det, err := New(2, minPts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		p := geom.Point{rng.NormFloat64() * 2, rng.NormFloat64() * 2}
+		if i%9 == 8 {
+			p = geom.Point{25 + rng.NormFloat64(), rng.NormFloat64()}
+		}
+		if _, err := det.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a spread of points and compare against a batch computation
+	// over the remaining live points after every deletion.
+	for _, victim := range []int{3, 17, 17 + 9, 40, 0, 59} {
+		if det.Deleted(victim) {
+			continue
+		}
+		if err := det.Delete(victim); err != nil {
+			t.Fatal(err)
+		}
+		// Build the live point set and an index mapping.
+		live := geom.NewPoints(2, det.Len())
+		var liveIdx []int
+		for i := 0; i < det.Size(); i++ {
+			if det.Deleted(i) {
+				continue
+			}
+			if err := live.Append(det.pts.At(i)); err != nil {
+				t.Fatal(err)
+			}
+			liveIdx = append(liveIdx, i)
+		}
+		want := batchLOFs(t, live, minPts)
+		for j, i := range liveIdx {
+			got := det.LOF(i)
+			if math.Abs(got-want[j]) > 1e-9 && !(math.IsInf(got, 1) && math.IsInf(want[j], 1)) {
+				t.Fatalf("after deleting %d: point %d incremental=%v batch=%v", victim, i, got, want[j])
+			}
+		}
+	}
+}
+
+func TestDeleteValidation(t *testing.T) {
+	det, err := New(2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Delete(0); err == nil {
+		t.Error("out-of-range delete accepted")
+	}
+	if _, err := det.Insert(geom.Point{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Delete(0); err == nil {
+		t.Error("double delete accepted")
+	}
+	if !math.IsNaN(det.LOF(0)) {
+		t.Error("deleted LOF not NaN")
+	}
+	if det.Len() != 0 || det.Size() != 1 {
+		t.Errorf("Len=%d Size=%d", det.Len(), det.Size())
+	}
+}
+
+func TestDeleteThenInsertReuse(t *testing.T) {
+	const minPts = 4
+	rng := rand.New(rand.NewSource(52))
+	det, err := New(1, minPts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := det.Insert(geom.Point{rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := det.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Insert(geom.Point{rng.NormFloat64()}); err != nil {
+		t.Fatal(err)
+	}
+	// Live values still match the batch over live points.
+	live := geom.NewPoints(1, det.Len())
+	var liveIdx []int
+	for i := 0; i < det.Size(); i++ {
+		if det.Deleted(i) {
+			continue
+		}
+		if err := live.Append(det.pts.At(i)); err != nil {
+			t.Fatal(err)
+		}
+		liveIdx = append(liveIdx, i)
+	}
+	want := batchLOFs(t, live, minPts)
+	for j, i := range liveIdx {
+		if math.Abs(det.LOF(i)-want[j]) > 1e-9 {
+			t.Fatalf("point %d: incremental=%v batch=%v", i, det.LOF(i), want[j])
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package grid implements the uniform-grid k-NN index the paper prescribes
+// for low-dimensional data ("a grid based approach which can answer k-nn
+// queries in constant time"). Points are bucketed into a fixed lattice of
+// axis-aligned cells; queries scan cells in expanding Chebyshev rings
+// around the query cell until no unvisited cell can beat the current k-th
+// candidate.
+package grid
+
+import (
+	"math"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+)
+
+// targetPerCell is the average number of points per occupied cell the
+// resolution heuristic aims for.
+const targetPerCell = 4
+
+// maxTotalCells caps memory: the per-dimension resolution is reduced until
+// the full lattice fits.
+const maxTotalCells = 1 << 21
+
+// Index is a uniform grid over a point set.
+type Index struct {
+	pts    *geom.Points
+	metric geom.Metric
+	lo, hi geom.Point
+	res    []int     // cells per dimension
+	width  []float64 // cell width per dimension
+	stride []int     // linear index strides
+	cells  [][]int32 // point ids per cell, dense
+	wmin   float64   // smallest cell width across dimensions
+}
+
+// New builds a grid index over pts with the given metric (Euclidean when
+// nil). The grid resolution is chosen from the dataset size and bounds.
+func New(pts *geom.Points, m geom.Metric) *Index {
+	if pts == nil {
+		panic("grid: nil points")
+	}
+	if m == nil {
+		m = geom.Euclidean{}
+	}
+	ix := &Index{pts: pts, metric: m}
+	n := pts.Len()
+	if n == 0 {
+		return ix
+	}
+	dim := pts.Dim()
+	ix.lo, ix.hi = pts.Bounds()
+
+	// Aim for targetPerCell points per cell if points were uniform:
+	// res^dim ≈ n/targetPerCell.
+	perDim := int(math.Ceil(math.Pow(float64(n)/targetPerCell, 1/float64(dim))))
+	if perDim < 1 {
+		perDim = 1
+	}
+	for {
+		total := 1
+		overflow := false
+		for d := 0; d < dim; d++ {
+			total *= perDim
+			if total > maxTotalCells {
+				overflow = true
+				break
+			}
+		}
+		if !overflow {
+			break
+		}
+		perDim /= 2
+		if perDim < 1 {
+			perDim = 1
+			break
+		}
+	}
+
+	ix.res = make([]int, dim)
+	ix.width = make([]float64, dim)
+	ix.stride = make([]int, dim)
+	ix.wmin = math.Inf(1)
+	total := 1
+	for d := 0; d < dim; d++ {
+		span := ix.hi[d] - ix.lo[d]
+		if span <= 0 {
+			// Degenerate dimension: one cell wide.
+			ix.res[d] = 1
+			ix.width[d] = 1
+		} else {
+			ix.res[d] = perDim
+			ix.width[d] = span / float64(perDim)
+		}
+		// The ring stopping rule needs the smallest metric distance a
+		// one-cell coordinate gap can represent on any axis.
+		if mw := geom.AxisGapLowerBound(m, d, ix.width[d]); mw < ix.wmin {
+			ix.wmin = mw
+		}
+		ix.stride[d] = total
+		total *= ix.res[d]
+	}
+	ix.cells = make([][]int32, total)
+	for i := 0; i < n; i++ {
+		c := ix.linear(ix.cellOf(pts.At(i)))
+		ix.cells[c] = append(ix.cells[c], int32(i))
+	}
+	return ix
+}
+
+// cellOf maps a point to clamped integer cell coordinates.
+func (ix *Index) cellOf(p geom.Point) []int {
+	c := make([]int, len(p))
+	for d := range p {
+		v := int(math.Floor((p[d] - ix.lo[d]) / ix.width[d]))
+		if v < 0 {
+			v = 0
+		}
+		if v >= ix.res[d] {
+			v = ix.res[d] - 1
+		}
+		c[d] = v
+	}
+	return c
+}
+
+func (ix *Index) linear(c []int) int {
+	li := 0
+	for d, v := range c {
+		li += v * ix.stride[d]
+	}
+	return li
+}
+
+// cellBox returns the axis-aligned box of cell c.
+func (ix *Index) cellBox(c []int, lo, hi geom.Point) {
+	for d, v := range c {
+		lo[d] = ix.lo[d] + float64(v)*ix.width[d]
+		hi[d] = lo[d] + ix.width[d]
+	}
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.pts.Len() }
+
+// Metric returns the index's metric.
+func (ix *Index) Metric() geom.Metric { return ix.metric }
+
+// forRing invokes f for every in-grid cell whose Chebyshev cell distance
+// from center is exactly ring. It returns the number of cells visited.
+func (ix *Index) forRing(center []int, ring int, f func(c []int)) int {
+	dim := len(center)
+	c := make([]int, dim)
+	visited := 0
+	var rec func(d int, onShell bool)
+	rec = func(d int, onShell bool) {
+		if d == dim {
+			if onShell || ring == 0 {
+				visited++
+				f(c)
+			}
+			return
+		}
+		lo := center[d] - ring
+		hi := center[d] + ring
+		for v := lo; v <= hi; v++ {
+			if v < 0 || v >= ix.res[d] {
+				continue
+			}
+			c[d] = v
+			delta := v - center[d]
+			if delta < 0 {
+				delta = -delta
+			}
+			rec(d+1, onShell || delta == ring)
+		}
+	}
+	if ring == 0 {
+		copy(c, center)
+		inGrid := true
+		for d, v := range c {
+			if v < 0 || v >= ix.res[d] {
+				inGrid = false
+				break
+			}
+		}
+		if inGrid {
+			f(c)
+			return 1
+		}
+		return 0
+	}
+	rec(0, false)
+	return visited
+}
+
+// maxRing is the largest possible Chebyshev ring in the grid.
+func (ix *Index) maxRing() int {
+	m := 0
+	for _, r := range ix.res {
+		if r-1 > m {
+			m = r - 1
+		}
+	}
+	return m
+}
+
+// KNN returns the k nearest neighbors of q by expanding-ring search.
+func (ix *Index) KNN(q geom.Point, k int, exclude int) []index.Neighbor {
+	if k <= 0 || ix.pts.Len() == 0 {
+		return nil
+	}
+	h := index.NewHeap(k)
+	center := ix.cellOf(q)
+	boxLo := make(geom.Point, len(q))
+	boxHi := make(geom.Point, len(q))
+	for ring := 0; ring <= ix.maxRing(); ring++ {
+		// Once k candidates are held, no cell at this ring or beyond can
+		// contain anything closer if even the nearest face of the ring is
+		// too far away.
+		if w, full := h.Worst(); full && float64(ring-1)*ix.wmin > w {
+			break
+		}
+		ix.forRing(center, ring, func(c []int) {
+			ix.cellBox(c, boxLo, boxHi)
+			if w, full := h.Worst(); full && geom.MinDistToRect(ix.metric, q, boxLo, boxHi) > w {
+				return
+			}
+			for _, pi := range ix.cells[ix.linear(c)] {
+				if int(pi) == exclude {
+					continue
+				}
+				h.Push(index.Neighbor{Index: int(pi), Dist: ix.metric.Distance(q, ix.pts.At(int(pi)))})
+			}
+		})
+	}
+	return h.Sorted()
+}
+
+// Range returns all points within distance r of q.
+func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
+	if r < 0 || ix.pts.Len() == 0 {
+		return nil
+	}
+	var out []index.Neighbor
+	center := ix.cellOf(q)
+	boxLo := make(geom.Point, len(q))
+	boxHi := make(geom.Point, len(q))
+	for ring := 0; ring <= ix.maxRing(); ring++ {
+		if float64(ring-1)*ix.wmin > r {
+			break
+		}
+		ix.forRing(center, ring, func(c []int) {
+			ix.cellBox(c, boxLo, boxHi)
+			if geom.MinDistToRect(ix.metric, q, boxLo, boxHi) > r {
+				return
+			}
+			for _, pi := range ix.cells[ix.linear(c)] {
+				if int(pi) == exclude {
+					continue
+				}
+				if d := ix.metric.Distance(q, ix.pts.At(int(pi))); d <= r {
+					out = append(out, index.Neighbor{Index: int(pi), Dist: d})
+				}
+			}
+		})
+	}
+	index.SortNeighbors(out)
+	return out
+}

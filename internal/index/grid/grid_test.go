@@ -1,0 +1,63 @@
+package grid_test
+
+import (
+	"testing"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+	"lof/internal/index/grid"
+	"lof/internal/index/indextest"
+)
+
+func build(pts *geom.Points, m geom.Metric) index.Index { return grid.New(pts, m) }
+
+func TestGridContract(t *testing.T)  { indextest.Run(t, build) }
+func TestGridEdgeCases(t *testing.T) { indextest.RunEdgeCases(t, build) }
+
+func TestGridQueryFarOutsideBounds(t *testing.T) {
+	pts, err := geom.FromRows([]geom.Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := grid.New(pts, nil)
+	got := ix.KNN(geom.Point{100, 100}, 2, index.ExcludeNone)
+	if len(got) != 2 || got[0].Index != 3 {
+		t.Fatalf("KNN from far outside=%v", got)
+	}
+}
+
+func TestGridDegenerateDimension(t *testing.T) {
+	// All points share the y coordinate: the grid must handle a
+	// zero-span dimension.
+	pts := geom.NewPoints(2, 50)
+	for i := 0; i < 50; i++ {
+		if err := pts.Append(geom.Point{float64(i), 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := grid.New(pts, nil)
+	got := ix.KNN(geom.Point{25, 3}, 2, 25)
+	if len(got) != 2 || got[0].Dist != 1 || got[1].Dist != 1 {
+		t.Fatalf("KNN=%v", got)
+	}
+}
+
+func TestGridSinglePointRange(t *testing.T) {
+	pts, err := geom.FromRows([]geom.Point{{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := grid.New(pts, nil)
+	if got := ix.Range(geom.Point{2, 2}, 0, index.ExcludeNone); len(got) != 1 {
+		t.Fatalf("Range=%v", got)
+	}
+}
+
+func TestGridNilPointsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	grid.New(nil, nil)
+}

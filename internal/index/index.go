@@ -1,0 +1,166 @@
+// Package index defines the k-nearest-neighbor query interface that the
+// LOF materialization step is built on, together with shared helpers for
+// implementations. The paper evaluates three regimes (Sec. 7.4): a grid
+// for low-dimensional data (constant-time kNN), a tree index for medium
+// dimensionality (the paper uses an X-tree variant), and a sequential scan
+// or VA-file for high-dimensional data. Subpackages provide one exact
+// implementation per regime; all of them satisfy Index and return identical
+// results, which the contract tests in indextest verify.
+package index
+
+import (
+	"sort"
+
+	"lof/internal/geom"
+)
+
+// Neighbor is one kNN query result: the index of a data point and its
+// distance from the query.
+type Neighbor struct {
+	// Index identifies the point within the indexed dataset.
+	Index int
+	// Dist is the distance from the query point under the index's metric.
+	Dist float64
+}
+
+// Index answers exact nearest-neighbor and range queries over a fixed
+// dataset. Implementations are immutable after construction and safe for
+// concurrent queries.
+type Index interface {
+	// Len returns the number of indexed points.
+	Len() int
+	// Metric returns the distance metric the index was built with.
+	Metric() geom.Metric
+	// KNN returns the k nearest neighbors of q, excluding the point with
+	// index exclude (pass ExcludeNone to keep all points). Results are
+	// sorted by (distance, index). If fewer than k points are available,
+	// all of them are returned. Ties at the k-th distance are broken by
+	// index; use KNNWithTies for the paper's tie-inclusive neighborhoods.
+	KNN(q geom.Point, k int, exclude int) []Neighbor
+	// Range returns every point within distance r of q (inclusive),
+	// excluding the point with index exclude, sorted by (distance, index).
+	Range(q geom.Point, r float64, exclude int) []Neighbor
+}
+
+// ExcludeNone disables self-exclusion in KNN and Range queries.
+const ExcludeNone = -1
+
+// KNNWithTies returns the k-distance neighborhood of q (Definition 4 of the
+// paper): every point whose distance from q is at most the k-th smallest
+// distance. The result can contain more than k points when several points
+// tie at the k-distance. It is empty when the index holds no other points.
+func KNNWithTies(ix Index, q geom.Point, k int, exclude int) []Neighbor {
+	nn := ix.KNN(q, k, exclude)
+	if len(nn) < k {
+		return nn // fewer than k candidates: no tie expansion possible
+	}
+	kdist := nn[len(nn)-1].Dist
+	return ix.Range(q, kdist, exclude)
+}
+
+// SortNeighbors orders ns by (distance, index), the canonical result order.
+func SortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].Index < ns[j].Index
+	})
+}
+
+// Heap is a bounded max-heap of neighbor candidates used by k-NN searches:
+// it keeps the k smallest distances seen so far, with the largest of them
+// at the root for O(1) pruning checks.
+type Heap struct {
+	k  int
+	ns []Neighbor
+}
+
+// NewHeap returns a heap that retains the k closest candidates.
+func NewHeap(k int) *Heap {
+	return &Heap{k: k, ns: make([]Neighbor, 0, k)}
+}
+
+// Len returns the number of candidates currently held.
+func (h *Heap) Len() int { return len(h.ns) }
+
+// Full reports whether k candidates are held.
+func (h *Heap) Full() bool { return len(h.ns) >= h.k }
+
+// Worst returns the largest retained distance, or +Inf semantics via
+// ok=false when the heap is not yet full (callers must not prune then).
+func (h *Heap) Worst() (float64, bool) {
+	if !h.Full() {
+		return 0, false
+	}
+	return h.root(), true
+}
+
+func (h *Heap) root() float64 { return h.ns[0].Dist }
+
+// less orders candidates so the "worst" (max distance, then max index) is
+// at the root; using the index as a tiebreak makes results deterministic.
+func (h *Heap) less(i, j int) bool {
+	if h.ns[i].Dist != h.ns[j].Dist {
+		return h.ns[i].Dist > h.ns[j].Dist
+	}
+	return h.ns[i].Index > h.ns[j].Index
+}
+
+// Push offers a candidate; it is ignored when k candidates closer than it
+// are already held.
+func (h *Heap) Push(n Neighbor) {
+	if h.k == 0 {
+		return
+	}
+	if !h.Full() {
+		h.ns = append(h.ns, n)
+		h.up(len(h.ns) - 1)
+		return
+	}
+	// Replace the root if the candidate is strictly better.
+	if n.Dist > h.ns[0].Dist || (n.Dist == h.ns[0].Dist && n.Index > h.ns[0].Index) {
+		return
+	}
+	h.ns[0] = n
+	h.down(0)
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ns[i], h.ns[parent] = h.ns[parent], h.ns[i]
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.ns)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.ns[i], h.ns[best] = h.ns[best], h.ns[i]
+		i = best
+	}
+}
+
+// Sorted drains the heap into a slice ordered by (distance, index).
+func (h *Heap) Sorted() []Neighbor {
+	out := make([]Neighbor, len(h.ns))
+	copy(out, h.ns)
+	SortNeighbors(out)
+	h.ns = h.ns[:0]
+	return out
+}

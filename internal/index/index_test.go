@@ -1,0 +1,101 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHeapKeepsKSmallest(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(10)
+		n := rng.Intn(100)
+		h := NewHeap(k)
+		all := make([]Neighbor, 0, n)
+		for i := 0; i < n; i++ {
+			nb := Neighbor{Index: i, Dist: float64(rng.Intn(20))}
+			all = append(all, nb)
+			h.Push(nb)
+		}
+		got := h.Sorted()
+		SortNeighbors(all)
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len=%d want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got[%d]=%v want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHeapWorst(t *testing.T) {
+	h := NewHeap(2)
+	if _, full := h.Worst(); full {
+		t.Fatal("empty heap reported full")
+	}
+	h.Push(Neighbor{Index: 0, Dist: 5})
+	if _, full := h.Worst(); full {
+		t.Fatal("half-full heap reported full")
+	}
+	h.Push(Neighbor{Index: 1, Dist: 3})
+	if w, full := h.Worst(); !full || w != 5 {
+		t.Fatalf("Worst=%v full=%v", w, full)
+	}
+	h.Push(Neighbor{Index: 2, Dist: 1})
+	if w, _ := h.Worst(); w != 3 {
+		t.Fatalf("Worst after improvement=%v", w)
+	}
+}
+
+func TestHeapZeroK(t *testing.T) {
+	h := NewHeap(0)
+	h.Push(Neighbor{Index: 0, Dist: 1})
+	if h.Len() != 0 {
+		t.Fatalf("Len=%d", h.Len())
+	}
+	if got := h.Sorted(); len(got) != 0 {
+		t.Fatalf("Sorted=%v", got)
+	}
+}
+
+func TestHeapDeterministicTieBreak(t *testing.T) {
+	// With equal distances the heap must keep the smallest indices.
+	h := NewHeap(2)
+	for _, i := range []int{5, 3, 9, 1, 7} {
+		h.Push(Neighbor{Index: i, Dist: 2})
+	}
+	got := h.Sorted()
+	if len(got) != 2 || got[0].Index != 1 || got[1].Index != 3 {
+		t.Fatalf("got %v, want indices 1,3", got)
+	}
+}
+
+func TestHeapSortedDrains(t *testing.T) {
+	h := NewHeap(3)
+	h.Push(Neighbor{Index: 0, Dist: 1})
+	_ = h.Sorted()
+	if h.Len() != 0 {
+		t.Fatalf("Len after drain=%d", h.Len())
+	}
+}
+
+func TestSortNeighbors(t *testing.T) {
+	ns := []Neighbor{{3, 2}, {1, 2}, {2, 1}}
+	SortNeighbors(ns)
+	want := []Neighbor{{2, 1}, {1, 2}, {3, 2}}
+	for i := range ns {
+		if ns[i] != want[i] {
+			t.Fatalf("ns=%v", ns)
+		}
+	}
+	if !sort.SliceIsSorted(ns, func(i, j int) bool { return ns[i].Dist < ns[j].Dist }) {
+		t.Fatal("not sorted by distance")
+	}
+}

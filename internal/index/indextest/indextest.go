@@ -1,0 +1,183 @@
+// Package indextest provides the contract test every index implementation
+// must pass: on random datasets, KNN and Range results must match the
+// sequential scan exactly, including tie handling and self-exclusion.
+package indextest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+	"lof/internal/index/linear"
+)
+
+// Builder constructs the index under test over the given points and metric.
+type Builder func(pts *geom.Points, m geom.Metric) index.Index
+
+// randomPoints draws n points in dim dimensions; a fraction is duplicated
+// or grid-snapped to force distance ties.
+func randomPoints(rng *rand.Rand, n, dim int) *geom.Points {
+	pts := geom.NewPoints(dim, n)
+	for i := 0; i < n; i++ {
+		p := make(geom.Point, dim)
+		switch {
+		case i > 0 && rng.Float64() < 0.1:
+			// Exact duplicate of an earlier point.
+			copy(p, pts.At(rng.Intn(i)))
+		case rng.Float64() < 0.3:
+			// Grid-snapped coordinates: many equidistant pairs.
+			for d := range p {
+				p[d] = float64(rng.Intn(8))
+			}
+		default:
+			for d := range p {
+				p[d] = rng.NormFloat64() * 10
+			}
+		}
+		if err := pts.Append(p); err != nil {
+			panic(err)
+		}
+	}
+	return pts
+}
+
+func neighborsEqual(a, b []index.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index || math.Abs(a[i].Dist-b[i].Dist) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Run exercises the builder against the linear-scan reference on a spread
+// of dimensionalities, sizes, ks, radii and metrics.
+func Run(t *testing.T, build Builder) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1234))
+
+	for trial := 0; trial < 28; trial++ {
+		dim := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(300)
+		var m geom.Metric
+		switch trial % 4 {
+		case 0:
+			m = geom.Euclidean{}
+		case 1:
+			m = geom.Manhattan{}
+		case 2:
+			m = geom.Chebyshev{}
+		default:
+			// Weighted Euclidean with weights spanning below and above 1
+			// to stress the axis-gap pruning bounds.
+			ws := make([]float64, dim)
+			for i := range ws {
+				ws[i] = 0.05 + rng.Float64()*4
+			}
+			wm, err := geom.NewWeightedEuclidean(ws)
+			if err != nil {
+				panic(err)
+			}
+			m = wm
+		}
+		pts := randomPoints(rng, n, dim)
+		ref := linear.New(pts, m)
+		ix := build(pts, m)
+
+		if ix.Len() != n {
+			t.Fatalf("trial %d: Len=%d want %d", trial, ix.Len(), n)
+		}
+		if ix.Metric().Name() != m.Name() {
+			t.Fatalf("trial %d: metric %s want %s", trial, ix.Metric().Name(), m.Name())
+		}
+
+		for qi := 0; qi < 12; qi++ {
+			var q geom.Point
+			exclude := index.ExcludeNone
+			if qi%2 == 0 && n > 0 {
+				// Query at a dataset point with self-exclusion: the LOF
+				// materialization access pattern.
+				exclude = rng.Intn(n)
+				q = pts.At(exclude)
+			} else {
+				q = make(geom.Point, dim)
+				for d := range q {
+					q[d] = rng.NormFloat64() * 12
+				}
+			}
+			k := 1 + rng.Intn(12)
+			got := ix.KNN(q, k, exclude)
+			want := ref.KNN(q, k, exclude)
+			if !neighborsEqual(got, want) {
+				t.Fatalf("trial %d query %d: KNN(k=%d, exclude=%d, metric=%s, n=%d, dim=%d)\n got %v\nwant %v",
+					trial, qi, k, exclude, m.Name(), n, dim, got, want)
+			}
+
+			r := rng.Float64() * 15
+			gotR := ix.Range(q, r, exclude)
+			wantR := ref.Range(q, r, exclude)
+			if !neighborsEqual(gotR, wantR) {
+				t.Fatalf("trial %d query %d: Range(r=%v, exclude=%d, metric=%s, n=%d, dim=%d)\n got %v\nwant %v",
+					trial, qi, r, exclude, m.Name(), n, dim, gotR, wantR)
+			}
+
+			// The tie-inclusive neighborhood must contain the plain kNN
+			// set and every member must be within the k-distance.
+			ties := index.KNNWithTies(ix, q, k, exclude)
+			if len(want) > 0 && len(ties) >= len(want) {
+				kdist := want[len(want)-1].Dist
+				for _, nb := range ties {
+					if nb.Dist > kdist+1e-9 {
+						t.Fatalf("trial %d: tie result %v beyond k-distance %v", trial, nb, kdist)
+					}
+				}
+				if len(ties) < len(want) {
+					t.Fatalf("trial %d: ties %d < knn %d", trial, len(ties), len(want))
+				}
+			}
+		}
+	}
+}
+
+// RunEdgeCases exercises empty datasets, k larger than n, zero k, negative
+// radius and single-point datasets.
+func RunEdgeCases(t *testing.T, build Builder) {
+	t.Helper()
+	m := geom.Euclidean{}
+
+	empty := geom.NewPoints(2, 0)
+	ix := build(empty, m)
+	if got := ix.KNN(geom.Point{0, 0}, 3, index.ExcludeNone); len(got) != 0 {
+		t.Fatalf("empty KNN=%v", got)
+	}
+	if got := ix.Range(geom.Point{0, 0}, 5, index.ExcludeNone); len(got) != 0 {
+		t.Fatalf("empty Range=%v", got)
+	}
+
+	one, err := geom.FromRows([]geom.Point{{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix = build(one, m)
+	if got := ix.KNN(geom.Point{0, 0}, 5, index.ExcludeNone); len(got) != 1 || got[0].Index != 0 {
+		t.Fatalf("single-point KNN=%v", got)
+	}
+	if got := ix.KNN(geom.Point{1, 1}, 5, 0); len(got) != 0 {
+		t.Fatalf("self-excluded single-point KNN=%v", got)
+	}
+	if got := ix.KNN(geom.Point{0, 0}, 0, index.ExcludeNone); len(got) != 0 {
+		t.Fatalf("k=0 KNN=%v", got)
+	}
+	if got := ix.Range(geom.Point{0, 0}, -1, index.ExcludeNone); len(got) != 0 {
+		t.Fatalf("negative-radius Range=%v", got)
+	}
+	// Zero radius at an exact point location includes that point.
+	if got := ix.Range(geom.Point{1, 1}, 0, index.ExcludeNone); len(got) != 1 {
+		t.Fatalf("zero-radius Range=%v", got)
+	}
+}

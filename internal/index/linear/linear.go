@@ -1,0 +1,102 @@
+// Package linear implements k-NN queries by sequential scan — the exact
+// baseline every other index is validated against, and the regime the paper
+// prescribes for extremely high-dimensional data (O(n) per query, O(n²)
+// materialization).
+package linear
+
+import (
+	"math"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+)
+
+// Index scans all points for every query.
+type Index struct {
+	pts    *geom.Points
+	metric geom.Metric
+}
+
+// New builds a sequential-scan index over pts.
+func New(pts *geom.Points, m geom.Metric) *Index {
+	if pts == nil {
+		panic("linear: nil points")
+	}
+	if m == nil {
+		m = geom.Euclidean{}
+	}
+	return &Index{pts: pts, metric: m}
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.pts.Len() }
+
+// Metric returns the index's metric.
+func (ix *Index) Metric() geom.Metric { return ix.metric }
+
+// KNN returns the k nearest neighbors of q by full scan.
+func (ix *Index) KNN(q geom.Point, k int, exclude int) []index.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	h := index.NewHeap(k)
+	n := ix.pts.Len()
+	if _, ok := ix.metric.(geom.Euclidean); ok {
+		for i := 0; i < n; i++ {
+			if i == exclude {
+				continue
+			}
+			// Pruning and result distances both use the rounded sqrt value
+			// so boundary ties stay consistent with Range.
+			h.Push(index.Neighbor{Index: i, Dist: sqrt(geom.SqDist(q, ix.pts.At(i)))})
+		}
+		return h.Sorted()
+	}
+	for i := 0; i < n; i++ {
+		if i == exclude {
+			continue
+		}
+		h.Push(index.Neighbor{Index: i, Dist: ix.metric.Distance(q, ix.pts.At(i))})
+	}
+	return h.Sorted()
+}
+
+// Range returns all points within distance r of q.
+func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
+	if r < 0 {
+		return nil
+	}
+	var out []index.Neighbor
+	n := ix.pts.Len()
+	if _, ok := ix.metric.(geom.Euclidean); ok {
+		for i := 0; i < n; i++ {
+			if i == exclude {
+				continue
+			}
+			// Compare rounded distances, not squares: r is typically a
+			// k-distance produced by KNN, and squaring it can round below
+			// the boundary point's squared distance.
+			if d := sqrt(geom.SqDist(q, ix.pts.At(i))); d <= r {
+				out = append(out, index.Neighbor{Index: i, Dist: d})
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if i == exclude {
+				continue
+			}
+			if d := ix.metric.Distance(q, ix.pts.At(i)); d <= r {
+				out = append(out, index.Neighbor{Index: i, Dist: d})
+			}
+		}
+	}
+	index.SortNeighbors(out)
+	return out
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

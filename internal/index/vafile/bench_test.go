@@ -1,0 +1,10 @@
+package vafile_test
+
+import (
+	"testing"
+
+	"lof/internal/index/indextest"
+)
+
+func BenchmarkKNN(b *testing.B)   { indextest.BenchKNN(b, build) }
+func BenchmarkBuild(b *testing.B) { indextest.BenchBuild(b, build) }

@@ -1,0 +1,212 @@
+// Package vafile implements the vector-approximation file of Weber et al.
+// ([21] in the paper), the structure the paper recommends for extremely
+// high-dimensional data. Every point is quantized to a few bits per
+// dimension; a kNN query first scans the compact approximations, computing
+// per-point lower and upper distance bounds, and only fetches the exact
+// vectors of points whose lower bound can still beat the running k-th
+// smallest upper bound. Results are exact.
+//
+// The VA-file needs both lower and upper distance bounds to a quantization
+// cell, which geom provides for the Euclidean, Manhattan and Chebyshev
+// metrics; New rejects other metrics.
+package vafile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+)
+
+// DefaultBits is the per-dimension quantization used when 0 is passed to New.
+const DefaultBits = 5
+
+// Index is an immutable VA-file over a point set.
+type Index struct {
+	pts    *geom.Points
+	metric geom.Metric
+	bits   int
+	levels int       // 1<<bits
+	bounds []float64 // per dim: levels+1 boundary values, row-major
+	approx []uint16  // per point per dim: cell id
+}
+
+// New builds a VA-file with the given bits per dimension (DefaultBits when
+// bits is 0). Cell boundaries are equi-depth (quantiles), which keeps cells
+// informative for clustered data.
+func New(pts *geom.Points, m geom.Metric, bits int) (*Index, error) {
+	if pts == nil {
+		return nil, fmt.Errorf("vafile: nil points")
+	}
+	if m == nil {
+		m = geom.Euclidean{}
+	}
+	switch m.(type) {
+	case geom.Euclidean, geom.Manhattan, geom.Chebyshev, *geom.WeightedEuclidean:
+	default:
+		return nil, fmt.Errorf("vafile: metric %s not supported (no rectangle upper bound)", m.Name())
+	}
+	if bits == 0 {
+		bits = DefaultBits
+	}
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("vafile: bits per dimension must be in [1,16], got %d", bits)
+	}
+	ix := &Index{pts: pts, metric: m, bits: bits, levels: 1 << bits}
+	n, dim := pts.Len(), pts.Dim()
+	if n == 0 {
+		return ix, nil
+	}
+
+	// Equi-depth boundaries per dimension.
+	ix.bounds = make([]float64, dim*(ix.levels+1))
+	col := make([]float64, n)
+	for d := 0; d < dim; d++ {
+		for i := 0; i < n; i++ {
+			col[i] = pts.At(i)[d]
+		}
+		sort.Float64s(col)
+		b := ix.bounds[d*(ix.levels+1) : (d+1)*(ix.levels+1)]
+		for l := 0; l <= ix.levels; l++ {
+			pos := float64(l) / float64(ix.levels) * float64(n-1)
+			b[l] = col[int(pos)]
+		}
+		// Widen the outermost boundaries marginally so every point falls
+		// strictly inside some cell interval.
+		b[0] = math.Nextafter(b[0], math.Inf(-1))
+		b[ix.levels] = math.Nextafter(b[ix.levels], math.Inf(1))
+	}
+
+	// Quantize all points.
+	ix.approx = make([]uint16, n*dim)
+	for i := 0; i < n; i++ {
+		p := pts.At(i)
+		for d := 0; d < dim; d++ {
+			ix.approx[i*dim+d] = ix.cellFor(d, p[d])
+		}
+	}
+	return ix, nil
+}
+
+// cellFor locates the quantization cell of value v in dimension d by
+// binary search over the boundary array.
+func (ix *Index) cellFor(d int, v float64) uint16 {
+	b := ix.bounds[d*(ix.levels+1) : (d+1)*(ix.levels+1)]
+	// Find the first boundary > v; the cell is the preceding interval.
+	c := sort.SearchFloat64s(b, v)
+	// SearchFloat64s returns the first i with b[i] >= v; cell spans
+	// [b[c-1], b[c]).
+	if c == 0 {
+		return 0
+	}
+	if c > ix.levels {
+		c = ix.levels
+	}
+	return uint16(c - 1)
+}
+
+// cellRect writes the quantization rectangle of point i into lo, hi.
+func (ix *Index) cellRect(i int, lo, hi geom.Point) {
+	dim := ix.pts.Dim()
+	for d := 0; d < dim; d++ {
+		c := int(ix.approx[i*dim+d])
+		b := ix.bounds[d*(ix.levels+1) : (d+1)*(ix.levels+1)]
+		lo[d], hi[d] = b[c], b[c+1]
+	}
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.pts.Len() }
+
+// Metric returns the index's metric.
+func (ix *Index) Metric() geom.Metric { return ix.metric }
+
+// Bits returns the quantization width per dimension.
+func (ix *Index) Bits() int { return ix.bits }
+
+// KNN returns the exact k nearest neighbors of q via the two-phase VA-file
+// scan.
+func (ix *Index) KNN(q geom.Point, k int, exclude int) []index.Neighbor {
+	if k <= 0 || ix.pts.Len() == 0 {
+		return nil
+	}
+	n := ix.pts.Len()
+	dim := ix.pts.Dim()
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+
+	// Phase 1: bound every point from its approximation; keep the k
+	// smallest upper bounds to prune candidates.
+	type cand struct {
+		idx   int
+		lower float64
+	}
+	ubHeap := index.NewHeap(k) // tracks k smallest upper bounds
+	cands := make([]cand, 0, n)
+	for i := 0; i < n; i++ {
+		if i == exclude {
+			continue
+		}
+		ix.cellRect(i, lo, hi)
+		lb := geom.MinDistToRect(ix.metric, q, lo, hi)
+		if w, full := ubHeap.Worst(); full && lb > w {
+			continue
+		}
+		ub := geom.MaxDistToRect(ix.metric, q, lo, hi)
+		ubHeap.Push(index.Neighbor{Index: i, Dist: ub})
+		cands = append(cands, cand{idx: i, lower: lb})
+	}
+	kthUpper := math.Inf(1)
+	if w, full := ubHeap.Worst(); full {
+		kthUpper = w
+	}
+
+	// Phase 2: exact distances for surviving candidates, cheapest lower
+	// bound first so the result heap tightens quickly.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].lower != cands[b].lower {
+			return cands[a].lower < cands[b].lower
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	h := index.NewHeap(k)
+	for _, c := range cands {
+		if c.lower > kthUpper {
+			break
+		}
+		if w, full := h.Worst(); full && c.lower > w {
+			break
+		}
+		h.Push(index.Neighbor{Index: c.idx, Dist: ix.metric.Distance(q, ix.pts.At(c.idx))})
+	}
+	return h.Sorted()
+}
+
+// Range returns all points within distance r of q, using approximation
+// lower bounds to skip exact computations.
+func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
+	if r < 0 || ix.pts.Len() == 0 {
+		return nil
+	}
+	n := ix.pts.Len()
+	dim := ix.pts.Dim()
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	var out []index.Neighbor
+	for i := 0; i < n; i++ {
+		if i == exclude {
+			continue
+		}
+		ix.cellRect(i, lo, hi)
+		if geom.MinDistToRect(ix.metric, q, lo, hi) > r {
+			continue
+		}
+		if d := ix.metric.Distance(q, ix.pts.At(i)); d <= r {
+			out = append(out, index.Neighbor{Index: i, Dist: d})
+		}
+	}
+	index.SortNeighbors(out)
+	return out
+}

@@ -1,0 +1,73 @@
+// Package knnout implements the distance-to-k-th-nearest-neighbor outlier
+// ranking of Ramaswamy, Rastogi and Shim ([17] in the paper): objects are
+// ranked by their k-distance, and the top n are reported as outliers. The
+// paper cites it as the ranked extension of distance-based outliers; it
+// serves as a second baseline that, unlike LOF, is still global — it cannot
+// separate an object adjacent to a dense cluster from the working set of a
+// sparse cluster.
+package knnout
+
+import (
+	"fmt"
+	"sort"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+)
+
+// Outlier is one ranked outlier: a point index and its k-distance score.
+type Outlier struct {
+	Index int
+	// KDist is the distance to the point's k-th nearest neighbor.
+	KDist float64
+}
+
+// TopN returns the n objects with the largest k-distances, in descending
+// order (ties by ascending index). k must be positive and smaller than the
+// dataset size.
+func TopN(pts *geom.Points, ix index.Index, k, n int) ([]Outlier, error) {
+	if pts == nil || ix == nil {
+		return nil, fmt.Errorf("knnout: nil points or index")
+	}
+	if k <= 0 || k > pts.Len()-1 {
+		return nil, fmt.Errorf("knnout: k=%d out of range for %d points", k, pts.Len())
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("knnout: n=%d must be non-negative", n)
+	}
+	scores, err := Scores(pts, ix, k)
+	if err != nil {
+		return nil, err
+	}
+	ranked := make([]Outlier, len(scores))
+	for i, s := range scores {
+		ranked[i] = Outlier{Index: i, KDist: s}
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].KDist != ranked[b].KDist {
+			return ranked[a].KDist > ranked[b].KDist
+		}
+		return ranked[a].Index < ranked[b].Index
+	})
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	return ranked[:n], nil
+}
+
+// Scores returns every point's k-distance.
+func Scores(pts *geom.Points, ix index.Index, k int) ([]float64, error) {
+	if pts == nil || ix == nil {
+		return nil, fmt.Errorf("knnout: nil points or index")
+	}
+	if k <= 0 || k > pts.Len()-1 {
+		return nil, fmt.Errorf("knnout: k=%d out of range for %d points", k, pts.Len())
+	}
+	n := pts.Len()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		nn := ix.KNN(pts.At(i), k, i)
+		out[i] = nn[len(nn)-1].Dist
+	}
+	return out, nil
+}

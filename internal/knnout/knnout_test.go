@@ -1,0 +1,123 @@
+package knnout
+
+import (
+	"math/rand"
+	"testing"
+
+	"lof/internal/geom"
+	"lof/internal/index/linear"
+)
+
+func TestTopNSimple(t *testing.T) {
+	rows := []geom.Point{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1},
+		{10, 10}, // farthest from everything
+		{5, 5},
+	}
+	pts, err := geom.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := linear.New(pts, nil)
+	top, err := TopN(pts, ix, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Index != 4 || top[1].Index != 5 {
+		t.Fatalf("top=%v", top)
+	}
+	if top[0].KDist <= top[1].KDist {
+		t.Fatalf("not descending: %v", top)
+	}
+}
+
+func TestScoresMatchManual(t *testing.T) {
+	pts, err := geom.FromRows([]geom.Point{{0}, {1}, {3}, {7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := linear.New(pts, nil)
+	scores, err := Scores(pts, ix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 3, 6} // 2nd-nearest distances
+	for i := range want {
+		if scores[i] != want[i] {
+			t.Fatalf("scores=%v want %v", scores, want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	pts, _ := geom.FromRows([]geom.Point{{0}, {1}, {2}})
+	ix := linear.New(pts, nil)
+	if _, err := TopN(nil, ix, 1, 1); err == nil {
+		t.Error("nil points accepted")
+	}
+	if _, err := TopN(pts, nil, 1, 1); err == nil {
+		t.Error("nil index accepted")
+	}
+	if _, err := TopN(pts, ix, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TopN(pts, ix, 3, 1); err == nil {
+		t.Error("k=n accepted")
+	}
+	if _, err := TopN(pts, ix, 1, -1); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := Scores(pts, ix, 5); err == nil {
+		t.Error("Scores k out of range accepted")
+	}
+}
+
+func TestTopNClampsN(t *testing.T) {
+	pts, _ := geom.FromRows([]geom.Point{{0}, {1}, {2}})
+	ix := linear.New(pts, nil)
+	top, err := TopN(pts, ix, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("len=%d", len(top))
+	}
+}
+
+// The global weakness LOF fixes: a point near a dense cluster at the same
+// distance as sparse-cluster members' mutual spacing is NOT found by
+// k-distance ranking, because sparse-cluster members score at least as
+// high.
+func TestGlobalRankingMissesLocalOutlier(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := geom.NewPoints(2, 0)
+	// Dense cluster: 100 points, sigma 0.1.
+	for i := 0; i < 100; i++ {
+		if err := pts.Append(geom.Point{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sparse cluster: 100 points, spacing ~3.
+	for i := 0; i < 100; i++ {
+		if err := pts.Append(geom.Point{50 + rng.NormFloat64()*3, rng.NormFloat64() * 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Local outlier: 1.5 away from the dense cluster — far in local terms,
+	// nearer than typical sparse-cluster spacing in global terms.
+	localOutlier := pts.Len()
+	if err := pts.Append(geom.Point{1.5, 0}); err != nil {
+		t.Fatal(err)
+	}
+	ix := linear.New(pts, nil)
+	top, err := TopN(pts, ix, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range top {
+		if o.Index == localOutlier {
+			t.Fatalf("k-distance ranking found the local outlier in its top 20 — "+
+				"dataset no longer demonstrates the global-ranking weakness: %v", top)
+		}
+	}
+}

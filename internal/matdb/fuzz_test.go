@@ -1,0 +1,71 @@
+package matdb
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+	"lof/internal/index/linear"
+)
+
+func randomPointsForFuzz() *geom.Points {
+	rng := rand.New(rand.NewSource(77))
+	pts := geom.NewPoints(2, 10)
+	for i := 0; i < 10; i++ {
+		if err := pts.Append(geom.Point{rng.NormFloat64(), rng.NormFloat64()}); err != nil {
+			panic(err)
+		}
+	}
+	return pts
+}
+
+func fuzzIndex(pts *geom.Points) index.Index { return linear.New(pts, nil) }
+
+// FuzzRead asserts the binary decoder never panics on corrupt input and
+// that everything it accepts is internally consistent.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid serialization and some mutations of it.
+	pts := randomPointsForFuzz()
+	db, err := Materialize(pts, fuzzIndex(pts), 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("LOFM"))
+	f.Add([]byte{})
+	mutated := append([]byte{}, valid...)
+	mutated[10] ^= 0xff
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted databases must be structurally sound.
+		n := got.Len()
+		for i, nn := range got.Neighbors {
+			for _, nb := range nn {
+				if nb.Index < 0 || nb.Index >= n {
+					t.Fatalf("point %d references %d of %d", i, nb.Index, n)
+				}
+				if nb.Dist < 0 {
+					t.Fatalf("negative distance")
+				}
+			}
+		}
+		// And re-serialize cleanly.
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("accepted db fails to serialize: %v", err)
+		}
+	})
+}

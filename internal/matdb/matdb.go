@@ -1,0 +1,441 @@
+// Package matdb implements the materialization database M of the paper's
+// two-step algorithm (Sec. 7.4): for every object, the MinPtsUB-nearest
+// neighbors and their distances are computed once (step 1) and stored; the
+// LOF computation (step 2) then runs entirely against this database in two
+// scans per MinPts value without touching the original points. The size of
+// M is independent of the dimensionality of the original data.
+package matdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+)
+
+// DB is the materialization database: per point, the K-nearest neighbors
+// with ties included (Definition 4 neighborhoods for every MinPts ≤ K).
+type DB struct {
+	// K is the MinPtsUB the database was materialized for.
+	K int
+	// Neighbors[i] lists point i's neighbors sorted by (distance, index),
+	// self excluded, including all ties at the K-distance.
+	Neighbors [][]index.Neighbor
+	// distinctAt[i][m] is the position within Neighbors[i] of the (m+1)-th
+	// neighbor at a new distinct coordinate. It is non-nil only for
+	// databases materialized with Distinct, where k-distances must count
+	// distinct positions rather than raw neighbors.
+	distinctAt [][]int32
+}
+
+// IsDistinct reports whether the database uses k-distinct-distance
+// semantics.
+func (db *DB) IsDistinct() bool { return db.distinctAt != nil }
+
+// Option configures materialization.
+type Option func(*config)
+
+type config struct {
+	distinct bool
+	workers  int
+}
+
+// Distinct switches neighborhoods to the k-distinct-distance semantics the
+// paper sketches for duplicate handling (remark after Definition 6): the
+// neighborhood of p extends until it contains K neighbors with pairwise
+// distinct spatial coordinates, so lrd stays finite even when the dataset
+// contains more than K duplicates of p.
+func Distinct() Option { return func(c *config) { c.distinct = true } }
+
+// Workers enables parallel materialization with the given goroutine count.
+// The result is identical to the sequential computation. This is an
+// extension over the paper's single-threaded implementation.
+func Workers(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}
+
+// Materialize runs step 1 of the two-step algorithm: it computes the
+// K-nearest neighborhoods (with ties) of every indexed point using ix.
+// K must be positive and smaller than the dataset size for neighborhoods
+// to be meaningful; K ≥ n-1 degenerates to full neighborhoods and is
+// rejected to surface configuration errors early.
+func Materialize(pts *geom.Points, ix index.Index, k int, opts ...Option) (*DB, error) {
+	if pts == nil || ix == nil {
+		return nil, errors.New("matdb: nil points or index")
+	}
+	n := pts.Len()
+	if k <= 0 {
+		return nil, fmt.Errorf("matdb: K must be positive, got %d", k)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("matdb: need at least 2 points, have %d", n)
+	}
+	if k > n-1 {
+		return nil, fmt.Errorf("matdb: K=%d exceeds n-1=%d; every neighborhood would be the whole dataset", k, n-1)
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	db := &DB{K: k, Neighbors: make([][]index.Neighbor, n)}
+	if cfg.distinct {
+		db.distinctAt = make([][]int32, n)
+	}
+	fill := func(i int) {
+		if cfg.distinct {
+			db.Neighbors[i], db.distinctAt[i] = distinctNeighborhood(pts, ix, i, k)
+		} else {
+			db.Neighbors[i] = index.KNNWithTies(ix, pts.At(i), k, i)
+		}
+	}
+	if cfg.workers <= 1 {
+		for i := 0; i < n; i++ {
+			fill(i)
+		}
+		db.compact()
+		return db, nil
+	}
+	work := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < cfg.workers; w++ {
+		go func() {
+			for i := range work {
+				fill(i)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	for w := 0; w < cfg.workers; w++ {
+		<-done
+	}
+	db.compact()
+	return db, nil
+}
+
+// compact re-backs every neighbor list by one contiguous allocation. The
+// LOF step scans the database sequentially dozens of times (twice per
+// MinPts value), so locality dominates its running time at larger n.
+func (db *DB) compact() {
+	total := 0
+	for _, nn := range db.Neighbors {
+		total += len(nn)
+	}
+	flat := make([]index.Neighbor, 0, total)
+	for i, nn := range db.Neighbors {
+		start := len(flat)
+		flat = append(flat, nn...)
+		db.Neighbors[i] = flat[start:len(flat):len(flat)]
+	}
+}
+
+// distinctNeighborhood grows the query k until the neighborhood contains
+// want neighbors at pairwise-distinct coordinates, then returns all
+// neighbors within the k-distinct-distance together with the positions of
+// the first `want` distinct coordinates within that list.
+func distinctNeighborhood(pts *geom.Points, ix index.Index, i, want int) ([]index.Neighbor, []int32) {
+	n := pts.Len()
+	k := want
+	for {
+		nn := ix.KNN(pts.At(i), k, i)
+		cut := distinctRanks(pts, nn, want)
+		if len(cut) == want {
+			kdist := nn[cut[want-1]].Dist
+			full := ix.Range(pts.At(i), kdist, i)
+			return full, distinctRanks(pts, full, want)
+		}
+		if len(nn) >= n-1 {
+			// The whole dataset holds fewer than want distinct positions;
+			// the full neighborhood is the best possible answer.
+			return nn, cut
+		}
+		k *= 2
+		if k > n-1 {
+			k = n - 1
+		}
+	}
+}
+
+// distinctRanks returns the positions of the first `want` neighbors that
+// introduce a new distinct coordinate, fewer if nn does not contain that
+// many distinct positions.
+func distinctRanks(pts *geom.Points, nn []index.Neighbor, want int) []int32 {
+	ranks := make([]int32, 0, want)
+	for j := range nn {
+		if !duplicateOfEarlier(pts, nn, j) {
+			ranks = append(ranks, int32(j))
+			if len(ranks) == want {
+				break
+			}
+		}
+	}
+	return ranks
+}
+
+// duplicateOfEarlier reports whether nn[j] shares coordinates with an
+// earlier entry. Identical points are equidistant from the query, so only
+// the preceding run of equal distances needs coordinate comparisons.
+func duplicateOfEarlier(pts *geom.Points, nn []index.Neighbor, j int) bool {
+	pj := pts.At(nn[j].Index)
+	for l := j - 1; l >= 0 && nn[l].Dist == nn[j].Dist; l-- {
+		if pj.Equal(pts.At(nn[l].Index)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of materialized points.
+func (db *DB) Len() int { return len(db.Neighbors) }
+
+// Neighborhood returns the MinPts-distance neighborhood of point i
+// (Definition 4): all stored neighbors within the MinPts-distance,
+// including ties. For distinct-mode databases, the MinPts-distance counts
+// distinct coordinates (the k-distinct-distance of the paper's Def. 6
+// remark). minPts must be in [1, K].
+func (db *DB) Neighborhood(i, minPts int) []index.Neighbor {
+	nn := db.Neighbors[i]
+	if len(nn) == 0 {
+		return nn
+	}
+	at := db.rankIndex(i, minPts)
+	if at >= len(nn) {
+		return nn
+	}
+	kdist := nn[at].Dist
+	hi := at + 1
+	for hi < len(nn) && nn[hi].Dist <= kdist {
+		hi++
+	}
+	return nn[:hi]
+}
+
+// KDistance returns the MinPts-distance of point i (Definition 3), or the
+// MinPts-distinct-distance for distinct-mode databases.
+func (db *DB) KDistance(i, minPts int) float64 {
+	nn := db.Neighbors[i]
+	if len(nn) == 0 {
+		return math.Inf(1)
+	}
+	at := db.rankIndex(i, minPts)
+	if at >= len(nn) {
+		at = len(nn) - 1
+	}
+	return nn[at].Dist
+}
+
+// rankIndex maps a MinPts value to the position within Neighbors[i] that
+// carries the MinPts-distance.
+func (db *DB) rankIndex(i, minPts int) int {
+	if db.distinctAt == nil {
+		return minPts - 1
+	}
+	ranks := db.distinctAt[i]
+	if len(ranks) == 0 {
+		return len(db.Neighbors[i]) // degenerate: no distinct info
+	}
+	if minPts > len(ranks) {
+		minPts = len(ranks)
+	}
+	return int(ranks[minPts-1])
+}
+
+// CheckMinPts validates that a MinPts value can be served by this database.
+func (db *DB) CheckMinPts(minPts int) error {
+	if minPts < 1 {
+		return fmt.Errorf("matdb: MinPts must be at least 1, got %d", minPts)
+	}
+	if minPts > db.K {
+		return fmt.Errorf("matdb: MinPts=%d exceeds materialized K=%d", minPts, db.K)
+	}
+	return nil
+}
+
+// --- Binary persistence -------------------------------------------------
+//
+// The paper's implementation writes M to a file between the two steps; we
+// provide the same capability with a small self-describing binary format:
+//
+//	magic "LOFM" | version u32 | K u32 | distinct u8 | n u64
+//	then per point: count u32, count × (index u32, dist f64),
+//	and for distinct databases: rankCount u32, rankCount × u32
+
+const (
+	magic   = "LOFM"
+	version = 1
+)
+
+// WriteTo serializes the database. It implements io.WriterTo.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	wr := func(v interface{}) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	n, err := w.Write([]byte(magic))
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	if err := wr(uint32(version)); err != nil {
+		return written, err
+	}
+	if err := wr(uint32(db.K)); err != nil {
+		return written, err
+	}
+	distinct := uint8(0)
+	if db.distinctAt != nil {
+		distinct = 1
+	}
+	if err := wr(distinct); err != nil {
+		return written, err
+	}
+	if err := wr(uint64(len(db.Neighbors))); err != nil {
+		return written, err
+	}
+	for i, nn := range db.Neighbors {
+		if err := wr(uint32(len(nn))); err != nil {
+			return written, err
+		}
+		for _, nb := range nn {
+			if err := wr(uint32(nb.Index)); err != nil {
+				return written, err
+			}
+			if err := wr(nb.Dist); err != nil {
+				return written, err
+			}
+		}
+		if distinct == 1 {
+			ranks := db.distinctAt[i]
+			if err := wr(uint32(len(ranks))); err != nil {
+				return written, err
+			}
+			for _, rk := range ranks {
+				if err := wr(uint32(rk)); err != nil {
+					return written, err
+				}
+			}
+		}
+	}
+	return written, nil
+}
+
+// Read deserializes a database written by WriteTo.
+func Read(r io.Reader) (*DB, error) {
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("matdb: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("matdb: bad magic %q", head)
+	}
+	var ver, k uint32
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
+		return nil, fmt.Errorf("matdb: reading version: %w", err)
+	}
+	if ver != version {
+		return nil, fmt.Errorf("matdb: unsupported version %d", ver)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &k); err != nil {
+		return nil, fmt.Errorf("matdb: reading K: %w", err)
+	}
+	var distinct uint8
+	if err := binary.Read(r, binary.LittleEndian, &distinct); err != nil {
+		return nil, fmt.Errorf("matdb: reading distinct flag: %w", err)
+	}
+	if distinct > 1 {
+		return nil, fmt.Errorf("matdb: invalid distinct flag %d", distinct)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("matdb: reading count: %w", err)
+	}
+	const maxPoints = 1 << 40
+	if n > maxPoints {
+		return nil, fmt.Errorf("matdb: implausible point count %d", n)
+	}
+	// Allocations grow with successfully parsed data, never with header
+	// values alone, so a corrupt header cannot trigger a huge allocation.
+	db := &DB{K: int(k)}
+	db.Neighbors = make([][]index.Neighbor, 0, min(n, 1024))
+	if distinct == 1 {
+		db.distinctAt = make([][]int32, 0, min(n, 1024))
+	}
+	for i := uint64(0); i < n; i++ {
+		var count uint32
+		if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+			return nil, fmt.Errorf("matdb: reading point %d: %w", i, err)
+		}
+		if uint64(count) > n {
+			return nil, fmt.Errorf("matdb: point %d claims %d neighbors for %d points", i, count, n)
+		}
+		nn := make([]index.Neighbor, 0, min(uint64(count), 1024))
+		for j := uint32(0); j < count; j++ {
+			var idx uint32
+			var dist float64
+			if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
+				return nil, fmt.Errorf("matdb: reading point %d neighbor %d: %w", i, j, err)
+			}
+			if err := binary.Read(r, binary.LittleEndian, &dist); err != nil {
+				return nil, fmt.Errorf("matdb: reading point %d neighbor %d: %w", i, j, err)
+			}
+			if uint64(idx) >= n {
+				return nil, fmt.Errorf("matdb: point %d references out-of-range neighbor %d", i, idx)
+			}
+			if math.IsNaN(dist) || dist < 0 {
+				return nil, fmt.Errorf("matdb: point %d neighbor %d has invalid distance %v", i, j, dist)
+			}
+			nn = append(nn, index.Neighbor{Index: int(idx), Dist: dist})
+		}
+		db.Neighbors = append(db.Neighbors, nn)
+		if distinct == 1 {
+			var rc uint32
+			if err := binary.Read(r, binary.LittleEndian, &rc); err != nil {
+				return nil, fmt.Errorf("matdb: reading point %d ranks: %w", i, err)
+			}
+			if rc > count {
+				return nil, fmt.Errorf("matdb: point %d has %d ranks for %d neighbors", i, rc, count)
+			}
+			ranks := make([]int32, 0, min(uint64(rc), 1024))
+			for j := uint32(0); j < rc; j++ {
+				var rk uint32
+				if err := binary.Read(r, binary.LittleEndian, &rk); err != nil {
+					return nil, fmt.Errorf("matdb: reading point %d rank %d: %w", i, j, err)
+				}
+				if rk >= count {
+					return nil, fmt.Errorf("matdb: point %d rank %d out of range", i, rk)
+				}
+				ranks = append(ranks, int32(rk))
+			}
+			db.distinctAt = append(db.distinctAt, ranks)
+		}
+	}
+	return db, nil
+}
+
+// Entries returns the total number of stored neighbor entries. The paper
+// notes the materialization database holds n·MinPtsUB distances "independent
+// of the dimension of the original data"; Entries exceeds n·K only by
+// distance ties.
+func (db *DB) Entries() int {
+	total := 0
+	for _, nn := range db.Neighbors {
+		total += len(nn)
+	}
+	return total
+}

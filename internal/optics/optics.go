@@ -1,0 +1,262 @@
+// Package optics implements the OPTICS cluster-ordering algorithm of
+// Ankerst, Breunig, Kriegel and Sander ([2] in the paper). The paper's
+// "ongoing work" section proposes a handshake between LOF and a
+// hierarchical clustering algorithm like OPTICS: the clustering provides
+// context for the identified outliers (which cluster is an object outlying
+// relative to?), and the two computations share k-nn queries and
+// reachability distances. This package provides that substrate: the
+// cluster ordering, reachability plot, and a threshold-based cluster
+// extraction, all driven by the same index and materialization machinery
+// LOF uses.
+package optics
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+	"lof/internal/stats"
+)
+
+// Undefined marks an undefined reachability distance (the first point of
+// each new component in the ordering).
+var Undefined = math.Inf(1)
+
+// Result is the OPTICS cluster ordering.
+type Result struct {
+	// Order lists point indices in OPTICS processing order.
+	Order []int
+	// Reach[k] is the reachability distance of Order[k] (Undefined for
+	// component starts).
+	Reach []float64
+	// Core[i] is point i's core distance (its MinPts-distance), Undefined
+	// if the point never had MinPts neighbors within eps.
+	Core []float64
+}
+
+// Params configures the ordering.
+type Params struct {
+	// MinPts plays the same role as in LOF: the neighborhood size defining
+	// density. Must be at least 2.
+	MinPts int
+	// Eps bounds the neighborhood radius used for seed expansion. When
+	// zero or negative, it is derived from the data as four times the
+	// median MinPts-distance, which comfortably covers intra-cluster
+	// reachabilities while keeping range queries local.
+	Eps float64
+}
+
+// pqItem is a seed-list entry ordered by reachability distance.
+type pqItem struct {
+	point int
+	reach float64
+}
+
+type seedQueue struct {
+	items []pqItem
+	pos   map[int]int // point -> index in items
+}
+
+func newSeedQueue() *seedQueue { return &seedQueue{pos: map[int]int{}} }
+
+func (q *seedQueue) Len() int { return len(q.items) }
+func (q *seedQueue) Less(i, j int) bool {
+	if q.items[i].reach != q.items[j].reach {
+		return q.items[i].reach < q.items[j].reach
+	}
+	return q.items[i].point < q.items[j].point
+}
+func (q *seedQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.pos[q.items[i].point] = i
+	q.pos[q.items[j].point] = j
+}
+func (q *seedQueue) Push(x interface{}) {
+	it := x.(pqItem)
+	q.pos[it.point] = len(q.items)
+	q.items = append(q.items, it)
+}
+func (q *seedQueue) Pop() interface{} {
+	it := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	delete(q.pos, it.point)
+	return it
+}
+
+// decrease updates a point's reachability if the new value is smaller,
+// or inserts it if absent.
+func (q *seedQueue) decrease(point int, reach float64) {
+	if i, ok := q.pos[point]; ok {
+		if reach < q.items[i].reach {
+			q.items[i].reach = reach
+			heap.Fix(q, i)
+		}
+		return
+	}
+	heap.Push(q, pqItem{point: point, reach: reach})
+}
+
+// Run computes the OPTICS ordering of all indexed points.
+func Run(pts *geom.Points, ix index.Index, p Params) (*Result, error) {
+	if pts == nil || ix == nil {
+		return nil, fmt.Errorf("optics: nil points or index")
+	}
+	if p.MinPts < 2 {
+		return nil, fmt.Errorf("optics: MinPts must be at least 2, got %d", p.MinPts)
+	}
+	n := pts.Len()
+	if p.MinPts > n-1 {
+		return nil, fmt.Errorf("optics: MinPts=%d too large for %d points", p.MinPts, n)
+	}
+	eps := p.Eps
+	if eps <= 0 {
+		eps = deriveEps(pts, ix, p.MinPts)
+	}
+
+	res := &Result{
+		Order: make([]int, 0, n),
+		Reach: make([]float64, 0, n),
+		Core:  make([]float64, n),
+	}
+	processed := make([]bool, n)
+
+	// neighbors returns the full eps-neighborhood (the OPTICS expansion
+	// set) and the core distance of point i.
+	neighbors := func(i int) ([]index.Neighbor, float64) {
+		nn := ix.Range(pts.At(i), eps, i)
+		core := Undefined
+		if len(nn) >= p.MinPts {
+			core = nn[p.MinPts-1].Dist
+		}
+		return nn, core
+	}
+
+	for start := 0; start < n; start++ {
+		if processed[start] {
+			continue
+		}
+		processed[start] = true
+		nn, core := neighbors(start)
+		res.Core[start] = core
+		res.Order = append(res.Order, start)
+		res.Reach = append(res.Reach, Undefined)
+
+		if math.IsInf(core, 1) {
+			continue
+		}
+		seeds := newSeedQueue()
+		update := func(center int, centerCore float64, nn []index.Neighbor) {
+			for _, nb := range nn {
+				if processed[nb.Index] {
+					continue
+				}
+				seeds.decrease(nb.Index, math.Max(centerCore, nb.Dist))
+			}
+		}
+		update(start, core, nn)
+		for seeds.Len() > 0 {
+			it := heap.Pop(seeds).(pqItem)
+			processed[it.point] = true
+			nnQ, coreQ := neighbors(it.point)
+			res.Core[it.point] = coreQ
+			res.Order = append(res.Order, it.point)
+			res.Reach = append(res.Reach, it.reach)
+			if !math.IsInf(coreQ, 1) {
+				update(it.point, coreQ, nnQ)
+			}
+		}
+	}
+	return res, nil
+}
+
+// deriveEps returns four times the median MinPts-distance of the dataset,
+// the default expansion radius when the caller does not supply one.
+func deriveEps(pts *geom.Points, ix index.Index, minPts int) float64 {
+	n := pts.Len()
+	kdists := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		nn := ix.KNN(pts.At(i), minPts, i)
+		if len(nn) > 0 {
+			kdists = append(kdists, nn[len(nn)-1].Dist)
+		}
+	}
+	med, err := stats.Quantile(kdists, 0.5)
+	if err != nil {
+		return math.Inf(1)
+	}
+	if med == 0 {
+		return math.Inf(1)
+	}
+	return 4 * med
+}
+
+// Cluster is one extracted cluster: the point indices of a maximal run of
+// the ordering whose reachability stays below the extraction threshold.
+type Cluster struct {
+	// Members lists point indices.
+	Members []int
+	// MeanReach is the mean reachability distance within the cluster — a
+	// density surrogate (smaller = denser).
+	MeanReach float64
+}
+
+// ExtractClusters cuts the reachability plot at threshold: maximal runs of
+// consecutive ordering positions with reachability ≤ threshold form
+// clusters (each run's leading point is included: it is the point from
+// which the dense region was entered). Runs shorter than minSize are
+// treated as noise. Points outside every cluster are returned as noise.
+func (r *Result) ExtractClusters(threshold float64, minSize int) (clusters []Cluster, noise []int) {
+	if minSize < 1 {
+		minSize = 1
+	}
+	var current []int
+	var reachSum float64
+	var reachCnt int
+	flush := func() {
+		if len(current) >= minSize {
+			mean := Undefined
+			if reachCnt > 0 {
+				mean = reachSum / float64(reachCnt)
+			}
+			members := make([]int, len(current))
+			copy(members, current)
+			clusters = append(clusters, Cluster{Members: members, MeanReach: mean})
+		} else {
+			noise = append(noise, current...)
+		}
+		current = current[:0]
+		reachSum, reachCnt = 0, 0
+	}
+	for k, pt := range r.Order {
+		if r.Reach[k] > threshold {
+			// pt is not density-reachable from the current run: close the
+			// run and start a new one headed by pt (pt may be the entry
+			// point of the next dense region).
+			flush()
+			current = append(current, pt)
+			continue
+		}
+		current = append(current, pt)
+		reachSum += r.Reach[k]
+		reachCnt++
+	}
+	flush()
+	return clusters, noise
+}
+
+// Assignment maps every point to a cluster id (-1 for noise) from an
+// extraction.
+func Assignment(n int, clusters []Cluster) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for cid, c := range clusters {
+		for _, m := range c.Members {
+			out[m] = cid
+		}
+	}
+	return out
+}

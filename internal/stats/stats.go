@@ -1,0 +1,225 @@
+// Package stats provides the summary statistics the experiment harness and
+// the paper's figures need: running moments (Welford), order statistics,
+// quantiles and fixed-width histograms.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by reductions over empty inputs.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Running accumulates count, mean and variance in one pass using Welford's
+// algorithm, plus min and max. The zero value is ready to use.
+type Running struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds x into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean, or NaN if no observations were added.
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Var returns the population variance, or NaN if no observations were added.
+func (r *Running) Var() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n)
+}
+
+// Std returns the population standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the minimum observation, or NaN if none.
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.min
+}
+
+// Max returns the maximum observation, or NaN if none.
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.max
+}
+
+// Summary holds the five-number-style description the paper's Table 3
+// reports for the soccer dataset.
+type Summary struct {
+	N      int
+	Min    float64
+	Median float64
+	Max    float64
+	Mean   float64
+	Std    float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrEmpty for empty input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	med, err := Quantile(xs, 0.5)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		N:      r.N(),
+		Min:    r.Min(),
+		Median: med,
+		Max:    r.Max(),
+		Mean:   r.Mean(),
+		Std:    r.Std(),
+	}, nil
+}
+
+// String renders the summary in a compact single line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g median=%.4g max=%.4g mean=%.4g std=%.4g",
+		s.N, s.Min, s.Median, s.Max, s.Mean, s.Std)
+}
+
+// Mean returns the arithmetic mean of xs, or an error for empty input.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// MinMax returns the smallest and largest elements of xs.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile out of range: %v", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+}
+
+// NewHistogram creates a histogram with the given bin count over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: bins must be positive, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: invalid histogram range [%v, %v)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records x, counting values outside [Lo, Hi) in the under/over buckets.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i >= len(h.Counts) { // guard against float rounding at the edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of values recorded, including out-of-range ones.
+func (h *Histogram) Total() int {
+	t := h.under + h.over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Outside returns the number of values below Lo and at-or-above Hi.
+func (h *Histogram) Outside() (under, over int) { return h.under, h.over }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}

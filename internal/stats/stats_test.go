@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRunningKnownValues(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N=%d", r.N())
+	}
+	if !almostEq(r.Mean(), 5, 1e-12) {
+		t.Errorf("Mean=%v", r.Mean())
+	}
+	if !almostEq(r.Std(), 2, 1e-12) {
+		t.Errorf("Std=%v", r.Std())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min=%v Max=%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmptyIsNaN(t *testing.T) {
+	var r Running
+	for _, v := range []float64{r.Mean(), r.Var(), r.Std(), r.Min(), r.Max()} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty Running returned %v, want NaN", v)
+		}
+	}
+}
+
+// Welford must agree with the two-pass textbook formula.
+func TestRunningMatchesTwoPass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		var r Running
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*100 + 50
+			r.Add(xs[i])
+		}
+		mean, _ := Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(n)
+		return almostEq(r.Mean(), mean, 1e-6) && almostEq(r.Var(), wantVar, 1e-4*(1+wantVar))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 4, 1, 5})
+	if err != nil || lo != -1 || hi != 5 {
+		t.Fatalf("lo=%v hi=%v err=%v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v)=%v want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Errorf("empty err=%v", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("out-of-range q accepted")
+	}
+	if _, err := Quantile(xs, math.NaN()); err == nil {
+		t.Error("NaN q accepted")
+	}
+	one, err := Quantile([]float64{7}, 0.9)
+	if err != nil || one != 7 {
+		t.Errorf("singleton quantile=%v err=%v", one, err)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarizeTable3Style(t *testing.T) {
+	// games-played column of a small league
+	xs := []float64{0, 10, 21, 30, 34}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Min != 0 || s.Max != 34 || s.Median != 21 {
+		t.Fatalf("summary=%+v", s)
+	}
+	if !almostEq(s.Mean, 19, 1e-12) {
+		t.Errorf("mean=%v", s.Mean)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("err=%v", err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 9.999, -1, 10, 11} {
+		h.Add(x)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts=%v", h.Counts)
+	}
+	under, over := h.Outside()
+	if under != 1 || over != 2 {
+		t.Fatalf("under=%d over=%d", under, over)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total=%d", h.Total())
+	}
+	if !almostEq(h.BinCenter(0), 1, 1e-12) {
+		t.Errorf("BinCenter(0)=%v", h.BinCenter(0))
+	}
+}
+
+func TestHistogramEdgeRounding(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 3)
+	// A value just below Hi must land in the last bin even if float
+	// rounding pushes the computed index to len(Counts).
+	h.Add(math.Nextafter(1, 0))
+	if h.Counts[2] != 1 {
+		t.Fatalf("counts=%v", h.Counts)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("0 bins accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(6, 5, 3); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+// Quantile(0) == min and Quantile(1) == max for any nonempty input.
+func TestQuantileExtremesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(100))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		lo, hi, _ := MinMax(xs)
+		q0, _ := Quantile(xs, 0)
+		q1, _ := Quantile(xs, 1)
+		return q0 == lo && q1 == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

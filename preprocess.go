@@ -1,0 +1,107 @@
+package lof
+
+import (
+	"fmt"
+	"math"
+)
+
+// Feature scaling helpers. LOF compares distances, so columns measured on
+// incommensurate scales (dollars vs. percentages, games vs. goals-per-game)
+// should be brought to comparable ranges first — the soccer experiment of
+// the paper implicitly depends on this (see EXPERIMENTS.md). These helpers
+// return new slices and leave the input untouched.
+
+// Standardize rescales every column to zero mean and unit variance.
+// Constant columns are left centered but unscaled. It returns the scaled
+// copy plus the per-column means and standard deviations so new points can
+// be transformed consistently.
+func Standardize(data [][]float64) (scaled [][]float64, means, stds []float64, err error) {
+	if err := checkRect(data); err != nil {
+		return nil, nil, nil, err
+	}
+	dim := len(data[0])
+	means = make([]float64, dim)
+	stds = make([]float64, dim)
+	for col := 0; col < dim; col++ {
+		var mean, m2 float64
+		for i, row := range data {
+			d := row[col] - mean
+			mean += d / float64(i+1)
+			m2 += d * (row[col] - mean)
+		}
+		means[col] = mean
+		stds[col] = math.Sqrt(m2 / float64(len(data)))
+	}
+	scaled = apply(data, func(col int, v float64) float64 {
+		if stds[col] == 0 {
+			return v - means[col]
+		}
+		return (v - means[col]) / stds[col]
+	})
+	return scaled, means, stds, nil
+}
+
+// MinMaxScale rescales every column into [0, 1]. Constant columns map
+// to 0. It returns the scaled copy plus the per-column minima and maxima.
+func MinMaxScale(data [][]float64) (scaled [][]float64, mins, maxs []float64, err error) {
+	if err := checkRect(data); err != nil {
+		return nil, nil, nil, err
+	}
+	dim := len(data[0])
+	mins = make([]float64, dim)
+	maxs = make([]float64, dim)
+	for col := 0; col < dim; col++ {
+		mins[col], maxs[col] = data[0][col], data[0][col]
+		for _, row := range data[1:] {
+			if row[col] < mins[col] {
+				mins[col] = row[col]
+			}
+			if row[col] > maxs[col] {
+				maxs[col] = row[col]
+			}
+		}
+	}
+	scaled = apply(data, func(col int, v float64) float64 {
+		span := maxs[col] - mins[col]
+		if span == 0 {
+			return 0
+		}
+		return (v - mins[col]) / span
+	})
+	return scaled, mins, maxs, nil
+}
+
+// apply maps f over a rectangular dataset into a fresh copy.
+func apply(data [][]float64, f func(col int, v float64) float64) [][]float64 {
+	out := make([][]float64, len(data))
+	for i, row := range data {
+		r := make([]float64, len(row))
+		for col, v := range row {
+			r[col] = f(col, v)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// checkRect validates a rectangular, finite, nonempty dataset.
+func checkRect(data [][]float64) error {
+	if len(data) == 0 {
+		return fmt.Errorf("lof: empty dataset")
+	}
+	dim := len(data[0])
+	if dim == 0 {
+		return fmt.Errorf("lof: zero-dimensional data")
+	}
+	for i, row := range data {
+		if len(row) != dim {
+			return fmt.Errorf("lof: row %d has %d columns, want %d", i, len(row), dim)
+		}
+		for col, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lof: row %d col %d is not finite", i, col)
+			}
+		}
+	}
+	return nil
+}

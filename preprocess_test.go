@@ -1,0 +1,160 @@
+package lof
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardizeKnown(t *testing.T) {
+	data := [][]float64{{1, 10}, {2, 10}, {3, 10}}
+	scaled, means, stds, err := Standardize(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if means[0] != 2 || means[1] != 10 {
+		t.Fatalf("means=%v", means)
+	}
+	if math.Abs(stds[0]-math.Sqrt(2.0/3)) > 1e-12 || stds[1] != 0 {
+		t.Fatalf("stds=%v", stds)
+	}
+	// Constant column: centered, unscaled.
+	for _, row := range scaled {
+		if row[1] != 0 {
+			t.Fatalf("constant column not centered: %v", scaled)
+		}
+	}
+	// Original untouched.
+	if data[0][0] != 1 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestStandardizeMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([][]float64, 500)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64()*7 + 3, rng.Float64() * 100}
+	}
+	scaled, _, _, err := Standardize(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 0; col < 2; col++ {
+		var sum, sq float64
+		for _, row := range scaled {
+			sum += row[col]
+			sq += row[col] * row[col]
+		}
+		mean := sum / float64(len(scaled))
+		variance := sq/float64(len(scaled)) - mean*mean
+		if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-9 {
+			t.Fatalf("col %d: mean=%v var=%v", col, mean, variance)
+		}
+	}
+}
+
+func TestMinMaxScale(t *testing.T) {
+	data := [][]float64{{0, 5}, {10, 5}, {5, 5}}
+	scaled, mins, maxs, err := MinMaxScale(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mins[0] != 0 || maxs[0] != 10 || mins[1] != 5 || maxs[1] != 5 {
+		t.Fatalf("mins=%v maxs=%v", mins, maxs)
+	}
+	want := [][]float64{{0, 0}, {1, 0}, {0.5, 0}}
+	for i := range want {
+		for c := range want[i] {
+			if scaled[i][c] != want[i][c] {
+				t.Fatalf("scaled=%v", scaled)
+			}
+		}
+	}
+}
+
+// MinMax output always lies in [0,1] regardless of input.
+func TestMinMaxRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, dim := 2+rng.Intn(50), 1+rng.Intn(4)
+		data := make([][]float64, n)
+		for i := range data {
+			row := make([]float64, dim)
+			for c := range row {
+				row[c] = rng.NormFloat64() * 100
+			}
+			data[i] = row
+		}
+		scaled, _, _, err := MinMaxScale(data)
+		if err != nil {
+			return false
+		}
+		for _, row := range scaled {
+			for _, v := range row {
+				if v < 0 || v > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Scaling must not change LOF rankings when all columns share one scale
+// already (affine invariance of the geometry under uniform scaling).
+func TestStandardizePreservesUniformScaleRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := make([][]float64, 0, 101)
+	for i := 0; i < 100; i++ {
+		data = append(data, []float64{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	data = append(data, []float64{12, 12})
+	scaled, _, _, err := Standardize(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Scores(data, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scores(scaled, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same argmax; near-circular data standardizes almost isotropically.
+	argmax := func(xs []float64) int {
+		best := 0
+		for i, v := range xs {
+			if v > xs[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	if argmax(a) != argmax(b) {
+		t.Fatalf("top outlier changed: %d vs %d", argmax(a), argmax(b))
+	}
+}
+
+func TestPreprocessValidation(t *testing.T) {
+	bad := [][][]float64{
+		{},
+		{{}},
+		{{1, 2}, {1}},
+		{{1, math.NaN()}},
+		{{math.Inf(1)}},
+	}
+	for i, data := range bad {
+		if _, _, _, err := Standardize(data); err == nil {
+			t.Errorf("Standardize case %d accepted", i)
+		}
+		if _, _, _, err := MinMaxScale(data); err == nil {
+			t.Errorf("MinMaxScale case %d accepted", i)
+		}
+	}
+}

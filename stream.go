@@ -1,0 +1,55 @@
+package lof
+
+import (
+	"lof/internal/geom"
+	"lof/internal/incremental"
+)
+
+// Stream maintains exact LOF values under point insertions, realizing the
+// paper's "improve the performance of LOF computation" direction: each
+// insertion updates only the neighborhoods, densities and LOFs the new
+// point actually affects, and the maintained values always equal a batch
+// recomputation at the same MinPts.
+//
+// Unlike Detector, Stream works at a single MinPts value.
+type Stream struct {
+	inner *incremental.Detector
+}
+
+// NewStream creates an empty stream detector for dim-dimensional points.
+// metric accepts the same names as Config.Metric.
+func NewStream(dim, minPts int, metric string) (*Stream, error) {
+	m, err := geom.MetricByName(metric)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := incremental.New(dim, minPts, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{inner: inner}, nil
+}
+
+// Insert adds one point and updates all affected LOF values. It returns
+// the point's index.
+func (s *Stream) Insert(p []float64) (int, error) {
+	return s.inner.Insert(geom.Point(p))
+}
+
+// Len returns the number of inserted points.
+func (s *Stream) Len() int { return s.inner.Len() }
+
+// Score returns point i's current LOF.
+func (s *Stream) Score(i int) float64 { return s.inner.LOF(i) }
+
+// Scores returns a copy of all current LOF values.
+func (s *Stream) Scores() []float64 { return s.inner.LOFs() }
+
+// LastAffected reports how many points the most recent insertion updated —
+// the locality the incremental algorithm exploits.
+func (s *Stream) LastAffected() int { return s.inner.LastAffected() }
+
+// Remove deletes point i from the stream, updating all affected LOF
+// values. Indices of other points are unchanged; removed points report
+// NaN scores.
+func (s *Stream) Remove(i int) error { return s.inner.Delete(i) }

@@ -1,0 +1,106 @@
+package lof
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStreamMatchesBatch(t *testing.T) {
+	const minPts = 6
+	rng := rand.New(rand.NewSource(41))
+	s, err := NewStream(2, minPts, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data [][]float64
+	for i := 0; i < 80; i++ {
+		p := []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2}
+		if i%13 == 12 {
+			p = []float64{30 + rng.NormFloat64(), 30 + rng.NormFloat64()}
+		}
+		data = append(data, p)
+		if _, err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := Scores(data, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Scores()
+	if len(got) != len(want) {
+		t.Fatalf("len %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("point %d: stream=%v batch=%v", i, got[i], want[i])
+		}
+	}
+	if s.Len() != 80 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	if s.LastAffected() <= 0 {
+		t.Fatalf("LastAffected=%d", s.LastAffected())
+	}
+	if s.Score(0) != got[0] {
+		t.Fatal("Score accessor mismatch")
+	}
+}
+
+func TestNewStreamValidation(t *testing.T) {
+	if _, err := NewStream(2, 5, "cosine"); err == nil {
+		t.Error("bad metric accepted")
+	}
+	if _, err := NewStream(0, 5, ""); err == nil {
+		t.Error("dim=0 accepted")
+	}
+	if _, err := NewStream(2, 0, ""); err == nil {
+		t.Error("MinPts=0 accepted")
+	}
+}
+
+func TestStreamRemove(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	s, err := NewStream(2, 5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data [][]float64
+	for i := 0; i < 40; i++ {
+		p := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		data = append(data, p)
+		if _, err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Remove(7); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(s.Score(7)) {
+		t.Fatal("removed point score not NaN")
+	}
+	if s.Len() != 39 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	// Remaining scores match a batch over the remaining points.
+	rest := append(append([][]float64{}, data[:7]...), data[8:]...)
+	want, err := Scores(rest, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Scores()
+	for j := 0; j < 7; j++ {
+		if math.Abs(got[j]-want[j]) > 1e-9 {
+			t.Fatalf("point %d: stream=%v batch=%v", j, got[j], want[j])
+		}
+	}
+	for j := 8; j < 40; j++ {
+		if math.Abs(got[j]-want[j-1]) > 1e-9 {
+			t.Fatalf("point %d: stream=%v batch=%v", j, got[j], want[j-1])
+		}
+	}
+	if err := s.Remove(99); err == nil {
+		t.Error("out-of-range remove accepted")
+	}
+}
