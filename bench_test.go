@@ -409,3 +409,37 @@ func BenchmarkPublicAPI(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScoreBatch measures out-of-sample inference throughput across
+// batch sizes and worker-pool widths against a fixed 3000-point model.
+func BenchmarkScoreBatch(b *testing.B) {
+	d := dataset.RandomClusters(benchSeed, 3000, 2, 6)
+	rows := make([][]float64, d.Len())
+	for i := range rows {
+		rows[i] = d.Points.At(i)
+	}
+	rng := rand.New(rand.NewSource(benchSeed + 1))
+	for _, workers := range []int{1, 4, 8} {
+		det, err := lof.New(lof.Config{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := det.Fit(rows); err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range []int{1, 64, 1024} {
+			queries := make([][]float64, batch)
+			for i := range queries {
+				queries[i] = []float64{4 * rng.NormFloat64(), 4 * rng.NormFloat64()}
+			}
+			b.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := det.ScoreBatch(queries); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+			})
+		}
+	}
+}

@@ -10,6 +10,13 @@
 // Every non-label column must be numeric. Scores aggregate the LOF over the
 // MinPts range with the configured aggregate (max by default, following the
 // paper's Sec. 6.2 heuristic).
+//
+// A fit can be frozen into a model snapshot with -save-model, and the
+// score subcommand scores new CSV points against such a snapshot without
+// refitting (out-of-sample inference):
+//
+//	lofcli -in data.csv -minpts 10 -save-model model.bin
+//	lofcli score -model model.bin -in queries.csv
 package main
 
 import (
@@ -26,6 +33,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "score" {
+		if err := runScoreCmd(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "lofcli score: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		in        = flag.String("in", "", "input CSV path ('-' or empty for stdin)")
 		header    = flag.Bool("header", false, "input has a header row")
@@ -43,6 +57,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "print per-dimension deviation profiles for the top outliers")
 		weights   = flag.String("weights", "", "comma-separated per-column weights for a weighted euclidean distance")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		saveModel = flag.String("save-model", "", "write a binary model snapshot for out-of-sample scoring")
 	)
 	flag.Parse()
 
@@ -52,7 +67,7 @@ func main() {
 		agg: *agg, metric: *metric, indexKind: *indexKind,
 		top: *top, threshold: *threshold,
 		distinct: *distinct, allScores: *allScores, explain: *explain,
-		weights: *weights, jsonOut: *jsonOut,
+		weights: *weights, jsonOut: *jsonOut, saveModel: *saveModel,
 	}
 	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "lofcli: %v\n", err)
@@ -77,6 +92,7 @@ type options struct {
 	explain            bool
 	weights            string
 	jsonOut            bool
+	saveModel          string
 }
 
 func run(w io.Writer, o options) error {
@@ -116,31 +132,11 @@ func run(w io.Writer, o options) error {
 	} else {
 		cfg.MinPtsLB, cfg.MinPtsUB = minPtsLB, minPtsUB
 	}
-	switch agg {
-	case "max":
-		cfg.Aggregation = lof.AggregateMax
-	case "mean":
-		cfg.Aggregation = lof.AggregateMean
-	case "min":
-		cfg.Aggregation = lof.AggregateMin
-	default:
-		return fmt.Errorf("unknown aggregate %q", agg)
+	if cfg.Aggregation, err = lof.ParseAggregation(agg); err != nil {
+		return err
 	}
-	switch indexKind {
-	case "auto":
-		cfg.Index = lof.IndexAuto
-	case "linear":
-		cfg.Index = lof.IndexLinear
-	case "grid":
-		cfg.Index = lof.IndexGrid
-	case "kdtree":
-		cfg.Index = lof.IndexKDTree
-	case "xtree":
-		cfg.Index = lof.IndexXTree
-	case "vafile":
-		cfg.Index = lof.IndexVAFile
-	default:
-		return fmt.Errorf("unknown index %q", indexKind)
+	if cfg.Index, err = lof.ParseIndexKind(indexKind); err != nil {
+		return err
 	}
 
 	det, err := lof.New(cfg)
@@ -154,6 +150,12 @@ func run(w io.Writer, o options) error {
 	res, err := det.Fit(rows)
 	if err != nil {
 		return err
+	}
+
+	if o.saveModel != "" {
+		if err := writeModelFile(res, o.saveModel); err != nil {
+			return err
+		}
 	}
 
 	if o.jsonOut {
@@ -188,6 +190,87 @@ func run(w io.Writer, o options) error {
 		for _, o := range out {
 			fmt.Fprintf(w, "      %8.3f  %s\n", o.Score, d.Label(o.Index))
 		}
+	}
+	return nil
+}
+
+// writeModelFile freezes the fitted model into a snapshot file.
+func writeModelFile(res *lof.Result, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := res.WriteModel(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing model %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// runScoreCmd implements the score subcommand: load a model snapshot and
+// score a CSV of query points through the out-of-sample path.
+func runScoreCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lofcli score", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "", "model snapshot written by -save-model (required)")
+		in        = fs.String("in", "", "query CSV path ('-' or empty for stdin)")
+		header    = fs.Bool("header", false, "input has a header row")
+		labelCol  = fs.Int("label-col", -1, "index of a non-numeric label column, -1 for none")
+		jsonOut   = fs.Bool("json", false, "emit scores as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("-model is required")
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := lof.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", *modelPath, err)
+	}
+
+	var r io.Reader = os.Stdin
+	name := "stdin"
+	if *in != "" && *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+		name = *in
+	}
+	d, err := dataset.ReadCSV(r, name, dataset.CSVOptions{Header: *header, LabelColumn: *labelCol})
+	if err != nil {
+		return err
+	}
+	if d.Dim() != model.Dim() {
+		return fmt.Errorf("queries have %d columns, model expects %d", d.Dim(), model.Dim())
+	}
+	queries := make([][]float64, d.Len())
+	for i := range queries {
+		queries[i] = d.Points.At(i)
+	}
+	scores, err := model.ScoreBatch(queries)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		out := make([]jsonOutlier, len(scores))
+		for i, s := range scores {
+			out[i] = jsonOutlier{Index: i, Label: d.Label(i), Score: s}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	for i, s := range scores {
+		fmt.Fprintf(w, "%s,%.6f\n", d.Label(i), s)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -218,5 +219,71 @@ func TestRunWeights(t *testing.T) {
 	o.weights = "1" // wrong arity for 2-d data
 	if err := run(&bytes.Buffer{}, o); err == nil {
 		t.Error("wrong weight count accepted")
+	}
+}
+
+// TestSaveModelAndScoreSubcommand freezes a fit into a snapshot, then
+// scores a query CSV through the score subcommand; served scores must
+// match the library's out-of-sample path, and the planted far-away query
+// must outscore the inlier query.
+func TestSaveModelAndScoreSubcommand(t *testing.T) {
+	dataPath := writeTestCSV(t, false)
+	modelPath := filepath.Join(t.TempDir(), "model.bin")
+	opts := baseOptions(dataPath)
+	opts.saveModel = modelPath
+	var out bytes.Buffer
+	if err := run(&out, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	queryPath := filepath.Join(t.TempDir(), "queries.csv")
+	if err := os.WriteFile(queryPath, []byte("0.1,0.2\n25,-25\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runScoreCmd([]string{"-model", modelPath, "-in", queryPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), out.String())
+	}
+	var inlier, outlier float64
+	if _, err := fmt.Sscanf(strings.Split(lines[0], ",")[1], "%f", &inlier); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(strings.Split(lines[1], ",")[1], "%f", &outlier); err != nil {
+		t.Fatal(err)
+	}
+	if outlier <= inlier {
+		t.Fatalf("far query scored %v, inlier %v", outlier, inlier)
+	}
+
+	// JSON output shape.
+	out.Reset()
+	if err := runScoreCmd([]string{"-model", modelPath, "-in", queryPath, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rows []jsonOutlier
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("bad JSON %q: %v", out.String(), err)
+	}
+	if len(rows) != 2 || rows[1].Score <= rows[0].Score {
+		t.Fatalf("JSON rows %+v", rows)
+	}
+
+	// Error paths: missing -model, dimension mismatch.
+	if err := runScoreCmd([]string{"-in", queryPath}, io.Discard); err == nil {
+		t.Error("missing -model accepted")
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(badPath, []byte("1,2,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScoreCmd([]string{"-model", modelPath, "-in", badPath}, io.Discard); err == nil {
+		t.Error("dimension mismatch accepted")
 	}
 }

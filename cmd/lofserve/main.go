@@ -1,0 +1,127 @@
+// Command lofserve serves LOF out-of-sample scoring over an HTTP JSON API.
+//
+// Usage:
+//
+//	lofserve -addr :8080
+//	lofserve -addr :8080 -model model.bin          # preload a snapshot
+//	lofserve -max-inflight 128 -timeout 10s
+//
+// Endpoints:
+//
+//	POST /v1/fit     fit a model from JSON data, replacing the current one
+//	POST /v1/score   score query points against the current model
+//	GET  /v1/model   current model summary
+//	GET  /healthz    liveness and model presence
+//	GET  /metrics    request/latency/batch counters
+//
+// The server sheds load above -max-inflight with 429 responses, bounds
+// each request by -timeout, and drains in-flight requests before exiting
+// on SIGTERM or SIGINT (up to -grace).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lof"
+	"lof/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		modelPath   = flag.String("model", "", "model snapshot to preload (see lofcli -save-model)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		maxInFlight = flag.Int("max-inflight", 64, "concurrent requests before shedding with 429")
+		maxBatch    = flag.Int("max-batch", 100000, "maximum query points per score request")
+		grace       = flag.Duration("grace", 15*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	o := options{
+		addr: *addr, modelPath: *modelPath,
+		timeout: *timeout, maxInFlight: *maxInFlight, maxBatch: *maxBatch,
+		grace: *grace,
+	}
+	if err := run(ctx, o, os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "lofserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// options carries the parsed flags; run is separated from main so tests
+// can drive the full server lifecycle in-process.
+type options struct {
+	addr        string
+	modelPath   string
+	timeout     time.Duration
+	maxInFlight int
+	maxBatch    int
+	grace       time.Duration
+}
+
+// run starts the server and blocks until ctx is cancelled (SIGTERM/SIGINT
+// in production), then shuts down gracefully, draining in-flight requests.
+// If ready is non-nil, the bound address is sent on it once the listener
+// is accepting connections.
+func run(ctx context.Context, o options, logw io.Writer, ready chan<- string) error {
+	srv := server.New(server.Config{
+		MaxInFlight:    o.maxInFlight,
+		RequestTimeout: o.timeout,
+		MaxBatch:       o.maxBatch,
+	})
+	if o.modelPath != "" {
+		f, err := os.Open(o.modelPath)
+		if err != nil {
+			return err
+		}
+		m, err := lof.LoadModel(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", o.modelPath, err)
+		}
+		srv.SetModel(m)
+		fmt.Fprintf(logw, "lofserve: loaded model: %d objects, %d dims\n", m.Len(), m.Dim())
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(logw, "lofserve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(logw, "lofserve: shutting down, draining in-flight requests\n")
+	shCtx, cancel := context.WithTimeout(context.Background(), o.grace)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

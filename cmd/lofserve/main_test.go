@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lof"
+)
+
+// startServer runs the full lofserve lifecycle in-process and returns the
+// base URL plus a shutdown function that cancels the context (the SIGTERM
+// path) and waits for the drain to complete.
+func startServer(t *testing.T, o options) (string, func() error) {
+	t.Helper()
+	o.addr = "127.0.0.1:0"
+	if o.timeout == 0 {
+		o.timeout = 10 * time.Second
+	}
+	if o.grace == 0 {
+		o.grace = 10 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, o, io.Discard, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, func() error {
+			cancel()
+			select {
+			case err := <-done:
+				return err
+			case <-time.After(15 * time.Second):
+				return fmt.Errorf("server did not shut down")
+			}
+		}
+	case err := <-done:
+		cancel()
+		t.Fatalf("server exited before ready: %v", err)
+		return "", nil
+	}
+}
+
+// TestServeFitScoreShutdown is the command-level end-to-end test: start,
+// fit over HTTP, score, read metrics, then shut down gracefully.
+func TestServeFitScoreShutdown(t *testing.T) {
+	base, shutdown := startServer(t, options{maxInFlight: 8, maxBatch: 1000})
+
+	rng := rand.New(rand.NewSource(17))
+	data := make([][]float64, 50)
+	for i := range data {
+		if i < 25 {
+			data[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		} else {
+			data[i] = []float64{8 + 0.2*rng.NormFloat64(), 8 + 0.2*rng.NormFloat64()}
+		}
+	}
+	fitBody, err := json.Marshal(map[string]interface{}{
+		"config": map[string]interface{}{"minPtsLB": 3, "minPtsUB": 6},
+		"data":   data,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/fit", "application/json", bytes.NewReader(fitBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("fit status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/score", "application/json",
+		bytes.NewReader([]byte(`{"queries":[[4,4],[0,0]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Scores []float64 `json:"scores"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Scores) != 2 || sr.Scores[0] <= sr.Scores[1] {
+		t.Fatalf("scores %v: between-cluster point should outscore the inlier", sr.Scores)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms struct {
+		Requests map[string]int64 `json:"requests"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ms)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Requests["/v1/fit"] != 1 || ms.Requests["/v1/score"] != 1 {
+		t.Fatalf("metrics %+v", ms.Requests)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
+	}
+}
+
+// TestServePreloadedModel starts lofserve with a -model snapshot and
+// scores against it without any fit call.
+func TestServePreloadedModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	data := make([][]float64, 40)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	det, err := lof.New(lof.Config{MinPtsLB: 3, MinPtsUB: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.WriteModel(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	base, shutdown := startServer(t, options{modelPath: path, maxInFlight: 4})
+	defer shutdown()
+
+	resp, err := http.Get(base + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Objects int `json:"objects"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Objects != 40 {
+		t.Fatalf("preloaded model reports %d objects", info.Objects)
+	}
+	resp, err = http.Post(base+"/v1/score", "application/json",
+		bytes.NewReader([]byte(`{"queries":[[0.1,0.2]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("score against preloaded model: status %d", resp.StatusCode)
+	}
+}
+
+// TestServeBadModelPath pins the startup failure mode.
+func TestServeBadModelPath(t *testing.T) {
+	err := run(context.Background(), options{
+		addr: "127.0.0.1:0", modelPath: filepath.Join(t.TempDir(), "missing.bin"),
+		timeout: time.Second, grace: time.Second,
+	}, io.Discard, nil)
+	if err == nil {
+		t.Fatal("missing model path accepted")
+	}
+}

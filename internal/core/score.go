@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+	"lof/internal/matdb"
+)
+
+// Scorer computes out-of-sample LOF values against a fitted model: the
+// LOF a query point would receive from a full recomputation on
+// data ∪ {q}, per Definitions 5–7, without mutating or refitting the
+// model. Inserting q can shrink the k-distances (and hence change the
+// reachability distances and local densities) of points near q, so the
+// scorer re-derives the affected quantities from merged rows — the stored
+// neighborhoods with q spliced in — rather than reusing the fitted lrds.
+// All state is read-only after construction; a Scorer is safe for
+// concurrent use.
+type Scorer struct {
+	pts    *geom.Points
+	ix     index.Index
+	db     *matdb.DB
+	metric geom.Metric
+	lb, ub int
+}
+
+// NewScorer validates the model pieces and returns a Scorer for the
+// MinPts range [lb, ub].
+func NewScorer(pts *geom.Points, ix index.Index, db *matdb.DB, metric geom.Metric, lb, ub int) (*Scorer, error) {
+	if pts == nil || ix == nil || db == nil || metric == nil {
+		return nil, fmt.Errorf("core: scorer needs points, index, database and metric")
+	}
+	if pts.Len() != db.Len() {
+		return nil, fmt.Errorf("core: %d points but %d materialized rows", pts.Len(), db.Len())
+	}
+	if lb > ub {
+		return nil, fmt.Errorf("core: MinPtsLB=%d exceeds MinPtsUB=%d", lb, ub)
+	}
+	if err := db.CheckMinPts(lb); err != nil {
+		return nil, err
+	}
+	if err := db.CheckMinPts(ub); err != nil {
+		return nil, err
+	}
+	return &Scorer{pts: pts, ix: ix, db: db, metric: metric, lb: lb, ub: ub}, nil
+}
+
+// MinPtsRange returns the swept [lb, ub].
+func (s *Scorer) MinPtsRange() (lb, ub int) { return s.lb, s.ub }
+
+// ScoreSeries returns the query point's LOF at every MinPts value in the
+// scorer's range, in ascending MinPts order — the out-of-sample analogue
+// of Sweep restricted to one point. q must have the model's
+// dimensionality; coordinate validation is the caller's concern.
+func (s *Scorer) ScoreSeries(q geom.Point) ([]float64, error) {
+	if len(q) != s.pts.Dim() {
+		return nil, fmt.Errorf("core: query has %d dimensions, model has %d", len(q), s.pts.Dim())
+	}
+	qIdx := s.pts.Len() // the row number q would receive in a refit
+	qRow := s.db.QueryRow(s.pts, s.ix, q)
+
+	// Merged rows are MinPts-independent, so one cache serves the whole
+	// sweep. Every row touched is within two hops of q.
+	rows := make(map[int]matdb.Row)
+	mergedRow := func(i int) matdb.Row {
+		if r, ok := rows[i]; ok {
+			return r
+		}
+		r := s.db.MergedRow(s.pts, i, q, qIdx, s.metric.Distance(s.pts.At(i), q))
+		rows[i] = r
+		return r
+	}
+	kdistAt := func(i, minPts int) float64 {
+		if i == qIdx {
+			return qRow.KDistance(minPts)
+		}
+		return mergedRow(i).KDistance(minPts)
+	}
+	// lrdOf computes Definition 6 over a row in data ∪ {q}.
+	lrdOf := func(nn []index.Neighbor, minPts int) float64 {
+		if len(nn) == 0 {
+			return math.Inf(1)
+		}
+		var sum float64
+		for _, nb := range nn {
+			sum += ReachDist(kdistAt(nb.Index, minPts), nb.Dist)
+		}
+		if sum == 0 {
+			return math.Inf(1)
+		}
+		return float64(len(nn)) / sum
+	}
+
+	out := make([]float64, 0, s.ub-s.lb+1)
+	for m := s.lb; m <= s.ub; m++ {
+		nq := qRow.Neighborhood(m)
+		if len(nq) == 0 {
+			out = append(out, 1) // isolated by construction
+			continue
+		}
+		lrdQ := lrdOf(nq, m)
+		var sum float64
+		for _, nb := range nq {
+			lrdO := lrdOf(mergedRow(nb.Index).Neighborhood(m), m)
+			sum += densityRatio(lrdO, lrdQ)
+		}
+		out = append(out, sum/float64(len(nq)))
+	}
+	return out, nil
+}
+
+// ScoreAggregate folds a ScoreSeries into one score with the given
+// aggregate, matching SweepResult.Aggregate.
+func ScoreAggregate(series []float64, agg Aggregate) float64 {
+	if len(series) == 0 {
+		return math.NaN()
+	}
+	switch agg {
+	case AggMin:
+		out := math.Inf(1)
+		for _, v := range series {
+			if v < out {
+				out = v
+			}
+		}
+		return out
+	case AggMean:
+		var sum float64
+		for _, v := range series {
+			sum += v
+		}
+		return sum / float64(len(series))
+	default: // AggMax
+		out := math.Inf(-1)
+		for _, v := range series {
+			if v > out {
+				out = v
+			}
+		}
+		return out
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lof/internal/geom"
+	"lof/internal/index/linear"
+	"lof/internal/matdb"
+)
+
+// scoreTestData builds a two-cluster dataset with a few straggling points;
+// withDuplicates additionally plants exact duplicate coordinates so the
+// distinct-mode and infinity paths get exercised.
+func scoreTestData(rng *rand.Rand, n int, withDuplicates bool) *geom.Points {
+	pts := geom.NewPoints(2, n)
+	for i := 0; i < n; i++ {
+		var p geom.Point
+		switch {
+		case i < n/2:
+			p = geom.Point{rng.NormFloat64(), rng.NormFloat64()}
+		case i < n-3:
+			p = geom.Point{10 + 0.3*rng.NormFloat64(), 10 + 0.3*rng.NormFloat64()}
+		default:
+			p = geom.Point{rng.Float64() * 20, rng.Float64() * 20}
+		}
+		if err := pts.Append(p); err != nil {
+			panic(err)
+		}
+	}
+	if withDuplicates {
+		// Overwrite a block with copies of one coordinate: more duplicates
+		// than the largest MinPts under test.
+		base := pts.At(0).Clone()
+		for i := 1; i < 10; i++ {
+			copy(pts.At(i), base)
+		}
+	}
+	return pts
+}
+
+// refitSeries computes the LOF series of the query by the definitionally
+// correct route: materialize data ∪ {q} from scratch and sweep.
+func refitSeries(t *testing.T, pts *geom.Points, q geom.Point, metric geom.Metric, lb, ub int, distinct bool) []float64 {
+	t.Helper()
+	all := pts.Clone()
+	if err := all.Append(q); err != nil {
+		t.Fatal(err)
+	}
+	ix := linear.New(all, metric)
+	var opts []matdb.Option
+	if distinct {
+		opts = append(opts, matdb.Distinct())
+	}
+	db, err := matdb.Materialize(all, ix, ub, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := Sweep(db, lb, ub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sweep.Series(all.Len() - 1)
+}
+
+// TestScorerMatchesRefit is the out-of-sample oracle: for every query
+// point, metric and duplicate-handling mode, the scorer's per-MinPts series
+// must match a full refit on data ∪ {q} within 1e-9.
+func TestScorerMatchesRefit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	metrics := []geom.Metric{geom.Euclidean{}, geom.Manhattan{}, geom.Chebyshev{}}
+	const lb, ub = 3, 8
+	for _, distinct := range []bool{false, true} {
+		pts := scoreTestData(rng, 60, distinct)
+		queries := []geom.Point{
+			{0.2, -0.1},                   // deep inside cluster 1
+			{10.1, 9.9},                   // deep inside cluster 2
+			{5, 5},                        // between the clusters: a clear outlier
+			{-40, 35},                     // far from everything
+			pts.At(4).Clone(),             // exact duplicate of a data point
+			pts.At(pts.Len() - 1).Clone(), // duplicate of a straggler
+		}
+		for _, metric := range metrics {
+			ix := linear.New(pts, metric)
+			var opts []matdb.Option
+			if distinct {
+				opts = append(opts, matdb.Distinct())
+			}
+			db, err := matdb.Materialize(pts, ix, ub, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := NewScorer(pts, ix, db, metric, lb, ub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range queries {
+				got, err := sc.ScoreSeries(q)
+				if err != nil {
+					t.Fatalf("distinct=%v metric=%s query %d: %v", distinct, metric.Name(), qi, err)
+				}
+				want := refitSeries(t, pts, q, metric, lb, ub, distinct)
+				if len(got) != len(want) {
+					t.Fatalf("series length %d != %d", len(got), len(want))
+				}
+				for m := range got {
+					if math.IsInf(want[m], 1) {
+						if !math.IsInf(got[m], 1) {
+							t.Errorf("distinct=%v metric=%s query %d MinPts=%d: got %v, want +Inf",
+								distinct, metric.Name(), qi, lb+m, got[m])
+						}
+						continue
+					}
+					if diff := math.Abs(got[m] - want[m]); diff > 1e-9 {
+						t.Errorf("distinct=%v metric=%s query %d MinPts=%d: got %v, want %v (diff %g)",
+							distinct, metric.Name(), qi, lb+m, got[m], want[m], diff)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScorerValidation covers the scorer's constructor and query checks.
+func TestScorerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := scoreTestData(rng, 30, false)
+	metric := geom.Euclidean{}
+	ix := linear.New(pts, metric)
+	db, err := matdb.Materialize(pts, ix, 5, nil...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewScorer(nil, ix, db, metric, 2, 5); err == nil {
+		t.Error("nil points accepted")
+	}
+	if _, err := NewScorer(pts, ix, db, metric, 4, 2); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := NewScorer(pts, ix, db, metric, 2, 6); err == nil {
+		t.Error("range beyond materialized K accepted")
+	}
+	sc, err := NewScorer(pts, ix, db, metric, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.ScoreSeries(geom.Point{1, 2, 3}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+// TestScoreAggregate pins the fold semantics to SweepResult.Aggregate.
+func TestScoreAggregate(t *testing.T) {
+	series := []float64{1.5, 0.9, 2.5, 1.0}
+	if got := ScoreAggregate(series, AggMax); got != 2.5 {
+		t.Errorf("max = %v", got)
+	}
+	if got := ScoreAggregate(series, AggMin); got != 0.9 {
+		t.Errorf("min = %v", got)
+	}
+	if got := ScoreAggregate(series, AggMean); math.Abs(got-1.475) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := ScoreAggregate(nil, AggMax); !math.IsNaN(got) {
+		t.Errorf("empty series = %v, want NaN", got)
+	}
+	sr := &SweepResult{MinPts: []int{2, 3, 4, 5}, Values: [][]float64{{1.5}, {0.9}, {2.5}, {1.0}}}
+	for _, agg := range []Aggregate{AggMax, AggMin, AggMean} {
+		if got, want := ScoreAggregate(series, agg), sr.Aggregate(agg)[0]; got != want {
+			t.Errorf("%v: ScoreAggregate=%v, SweepResult.Aggregate=%v", agg, got, want)
+		}
+	}
+}

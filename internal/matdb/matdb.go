@@ -92,7 +92,7 @@ func Materialize(pts *geom.Points, ix index.Index, k int, opts ...Option) (*DB, 
 	}
 	fill := func(i int) {
 		if cfg.distinct {
-			db.Neighbors[i], db.distinctAt[i] = distinctNeighborhood(pts, ix, i, k)
+			db.Neighbors[i], db.distinctAt[i] = distinctNeighborhoodOf(pts, ix, pts.At(i), i, k)
 		} else {
 			db.Neighbors[i] = index.KNNWithTies(ix, pts.At(i), k, i)
 		}
@@ -141,29 +141,34 @@ func (db *DB) compact() {
 	}
 }
 
-// distinctNeighborhood grows the query k until the neighborhood contains
-// want neighbors at pairwise-distinct coordinates, then returns all
-// neighbors within the k-distinct-distance together with the positions of
-// the first `want` distinct coordinates within that list.
-func distinctNeighborhood(pts *geom.Points, ix index.Index, i, want int) ([]index.Neighbor, []int32) {
-	n := pts.Len()
+// distinctNeighborhoodOf grows the query k until the neighborhood of q
+// contains want neighbors at pairwise-distinct coordinates, then returns
+// all neighbors within the k-distinct-distance together with the positions
+// of the first `want` distinct coordinates within that list. exclude is the
+// index of q itself for in-sample rows, or index.ExcludeNone for
+// out-of-sample query points.
+func distinctNeighborhoodOf(pts *geom.Points, ix index.Index, q geom.Point, exclude, want int) ([]index.Neighbor, []int32) {
+	maxCand := pts.Len()
+	if exclude != index.ExcludeNone {
+		maxCand--
+	}
 	k := want
 	for {
-		nn := ix.KNN(pts.At(i), k, i)
+		nn := ix.KNN(q, k, exclude)
 		cut := distinctRanks(pts, nn, want)
 		if len(cut) == want {
 			kdist := nn[cut[want-1]].Dist
-			full := ix.Range(pts.At(i), kdist, i)
+			full := ix.Range(q, kdist, exclude)
 			return full, distinctRanks(pts, full, want)
 		}
-		if len(nn) >= n-1 {
+		if len(nn) >= maxCand {
 			// The whole dataset holds fewer than want distinct positions;
 			// the full neighborhood is the best possible answer.
 			return nn, cut
 		}
 		k *= 2
-		if k > n-1 {
-			k = n - 1
+		if k > maxCand {
+			k = maxCand
 		}
 	}
 }
@@ -172,9 +177,15 @@ func distinctNeighborhood(pts *geom.Points, ix index.Index, i, want int) ([]inde
 // introduce a new distinct coordinate, fewer if nn does not contain that
 // many distinct positions.
 func distinctRanks(pts *geom.Points, nn []index.Neighbor, want int) []int32 {
+	return distinctRanksAt(pts.At, nn, want)
+}
+
+// distinctRanksAt is distinctRanks over an arbitrary index→point accessor,
+// which lets merged rows resolve the virtual index of a query point.
+func distinctRanksAt(at func(int) geom.Point, nn []index.Neighbor, want int) []int32 {
 	ranks := make([]int32, 0, want)
 	for j := range nn {
-		if !duplicateOfEarlier(pts, nn, j) {
+		if !duplicateOfEarlier(at, nn, j) {
 			ranks = append(ranks, int32(j))
 			if len(ranks) == want {
 				break
@@ -187,10 +198,10 @@ func distinctRanks(pts *geom.Points, nn []index.Neighbor, want int) []int32 {
 // duplicateOfEarlier reports whether nn[j] shares coordinates with an
 // earlier entry. Identical points are equidistant from the query, so only
 // the preceding run of equal distances needs coordinate comparisons.
-func duplicateOfEarlier(pts *geom.Points, nn []index.Neighbor, j int) bool {
-	pj := pts.At(nn[j].Index)
+func duplicateOfEarlier(at func(int) geom.Point, nn []index.Neighbor, j int) bool {
+	pj := at(nn[j].Index)
 	for l := j - 1; l >= 0 && nn[l].Dist == nn[j].Dist; l-- {
-		if pj.Equal(pts.At(nn[l].Index)) {
+		if pj.Equal(at(nn[l].Index)) {
 			return true
 		}
 	}
@@ -206,50 +217,13 @@ func (db *DB) Len() int { return len(db.Neighbors) }
 // distinct coordinates (the k-distinct-distance of the paper's Def. 6
 // remark). minPts must be in [1, K].
 func (db *DB) Neighborhood(i, minPts int) []index.Neighbor {
-	nn := db.Neighbors[i]
-	if len(nn) == 0 {
-		return nn
-	}
-	at := db.rankIndex(i, minPts)
-	if at >= len(nn) {
-		return nn
-	}
-	kdist := nn[at].Dist
-	hi := at + 1
-	for hi < len(nn) && nn[hi].Dist <= kdist {
-		hi++
-	}
-	return nn[:hi]
+	return db.Row(i).Neighborhood(minPts)
 }
 
 // KDistance returns the MinPts-distance of point i (Definition 3), or the
 // MinPts-distinct-distance for distinct-mode databases.
 func (db *DB) KDistance(i, minPts int) float64 {
-	nn := db.Neighbors[i]
-	if len(nn) == 0 {
-		return math.Inf(1)
-	}
-	at := db.rankIndex(i, minPts)
-	if at >= len(nn) {
-		at = len(nn) - 1
-	}
-	return nn[at].Dist
-}
-
-// rankIndex maps a MinPts value to the position within Neighbors[i] that
-// carries the MinPts-distance.
-func (db *DB) rankIndex(i, minPts int) int {
-	if db.distinctAt == nil {
-		return minPts - 1
-	}
-	ranks := db.distinctAt[i]
-	if len(ranks) == 0 {
-		return len(db.Neighbors[i]) // degenerate: no distinct info
-	}
-	if minPts > len(ranks) {
-		minPts = len(ranks)
-	}
-	return int(ranks[minPts-1])
+	return db.Row(i).KDistance(minPts)
 }
 
 // CheckMinPts validates that a MinPts value can be served by this database.

@@ -1,0 +1,123 @@
+package matdb
+
+import (
+	"math"
+	"sort"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+)
+
+// Row is a neighbor list carrying the database's k-distance semantics. It
+// unifies three cases the out-of-sample scoring path needs to treat alike:
+// a stored row of the database, the virtual row an un-indexed query point
+// would have, and a stored row merged with such a query point — the row a
+// point would have in data ∪ {q}. All three answer Definition 3/4 lookups
+// through the same KDistance/Neighborhood methods the in-sample scans use.
+type Row struct {
+	// Neighbors is sorted by (distance, index), self excluded, including
+	// all ties at the row's K-distance.
+	Neighbors []index.Neighbor
+	// ranks holds the distinct-coordinate positions (see DB.distinctAt);
+	// nil for raw-mode rows.
+	ranks    []int32
+	distinct bool
+}
+
+// Row returns the stored row of point i.
+func (db *DB) Row(i int) Row {
+	r := Row{Neighbors: db.Neighbors[i], distinct: db.distinctAt != nil}
+	if db.distinctAt != nil {
+		r.ranks = db.distinctAt[i]
+	}
+	return r
+}
+
+// rankIndex maps a MinPts value to the position within Neighbors that
+// carries the MinPts-distance, mirroring DB.rankIndex.
+func (r Row) rankIndex(minPts int) int {
+	if !r.distinct {
+		return minPts - 1
+	}
+	if len(r.ranks) == 0 {
+		return len(r.Neighbors) // degenerate: no distinct info
+	}
+	if minPts > len(r.ranks) {
+		minPts = len(r.ranks)
+	}
+	return int(r.ranks[minPts-1])
+}
+
+// KDistance returns the row's MinPts-distance (Definition 3), or the
+// MinPts-distinct-distance for distinct-mode rows.
+func (r Row) KDistance(minPts int) float64 {
+	if len(r.Neighbors) == 0 {
+		return math.Inf(1)
+	}
+	at := r.rankIndex(minPts)
+	if at >= len(r.Neighbors) {
+		at = len(r.Neighbors) - 1
+	}
+	return r.Neighbors[at].Dist
+}
+
+// Neighborhood returns the row's MinPts-distance neighborhood
+// (Definition 4): all neighbors within the MinPts-distance, ties included.
+func (r Row) Neighborhood(minPts int) []index.Neighbor {
+	nn := r.Neighbors
+	if len(nn) == 0 {
+		return nn
+	}
+	at := r.rankIndex(minPts)
+	if at >= len(nn) {
+		return nn
+	}
+	kdist := nn[at].Dist
+	hi := at + 1
+	for hi < len(nn) && nn[hi].Dist <= kdist {
+		hi++
+	}
+	return nn[:hi]
+}
+
+// QueryRow computes the row an out-of-sample query point q would occupy in
+// the database: its K-nearest neighborhood (with ties, and with the
+// database's distinct semantics) among the indexed points. pts and ix must
+// be the collection and index the database was materialized from. The
+// result is exactly the row q would get from a re-materialization of
+// data ∪ {q}, because q never belongs to its own neighborhood either way.
+func (db *DB) QueryRow(pts *geom.Points, ix index.Index, q geom.Point) Row {
+	if db.distinctAt == nil {
+		return Row{Neighbors: index.KNNWithTies(ix, q, db.K, index.ExcludeNone)}
+	}
+	nn, ranks := distinctNeighborhoodOf(pts, ix, q, index.ExcludeNone, db.K)
+	return Row{Neighbors: nn, ranks: ranks, distinct: true}
+}
+
+// MergedRow computes the row point i would occupy in data ∪ {q}: its stored
+// row with the query point spliced in at distance d = d(i, q), under the
+// virtual index qIdx (callers pass pts.Len(), matching the row number q
+// would receive in a refit). The result is valid for MinPts values up to K:
+// inserting a point can only shrink k-distances, so every neighbor relevant
+// at MinPts ≤ K is already present in the stored row.
+func (db *DB) MergedRow(pts *geom.Points, i int, q geom.Point, qIdx int, d float64) Row {
+	nn := db.Neighbors[i]
+	// q sorts after every stored tie at distance d: stored indexes are all
+	// smaller than the virtual index.
+	pos := sort.Search(len(nn), func(j int) bool { return nn[j].Dist > d })
+	merged := make([]index.Neighbor, 0, len(nn)+1)
+	merged = append(merged, nn[:pos]...)
+	merged = append(merged, index.Neighbor{Index: qIdx, Dist: d})
+	merged = append(merged, nn[pos:]...)
+	r := Row{Neighbors: merged, distinct: db.distinctAt != nil}
+	if r.distinct {
+		at := func(idx int) geom.Point {
+			if idx == qIdx {
+				return q
+			}
+			return pts.At(idx)
+		}
+		r.ranks = distinctRanksAt(at, merged, db.K)
+	}
+	return r
+}

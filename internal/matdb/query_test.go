@@ -1,0 +1,140 @@
+package matdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+	"lof/internal/index/linear"
+)
+
+// queryTestPoints builds a small 2-d dataset with planted duplicates.
+func queryTestPoints(rng *rand.Rand, n int) *geom.Points {
+	pts := geom.NewPoints(2, n)
+	for i := 0; i < n; i++ {
+		p := geom.Point{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		if i%7 == 0 && i > 0 {
+			p = pts.At(i - 1).Clone() // duplicate run
+		}
+		if err := pts.Append(p); err != nil {
+			panic(err)
+		}
+	}
+	return pts
+}
+
+// neighborSet canonicalizes a neighbor list for set comparison.
+func neighborSet(nn []index.Neighbor) map[int]float64 {
+	out := make(map[int]float64, len(nn))
+	for _, nb := range nn {
+		out[nb.Index] = nb.Dist
+	}
+	return out
+}
+
+// TestQueryAndMergedRowsMatchRefit checks the virtual rows against the
+// ground truth: a database materialized on data ∪ {q}. The query row must
+// equal q's refit row, and every merged row must answer KDistance and
+// Neighborhood lookups exactly like the refit row of the same point.
+func TestQueryAndMergedRowsMatchRefit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const k = 5
+	metric := geom.Euclidean{}
+	for _, distinct := range []bool{false, true} {
+		pts := queryTestPoints(rng, 40)
+		var opts []Option
+		if distinct {
+			opts = append(opts, Distinct())
+		}
+		ix := linear.New(pts, metric)
+		db, err := Materialize(pts, ix, k, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := []geom.Point{
+			{0.1, 0.4},        // inside the cloud
+			{25, -30},         // far away
+			pts.At(3).Clone(), // exact duplicate of a data point
+		}
+		for qi, q := range queries {
+			all := pts.Clone()
+			if err := all.Append(q); err != nil {
+				t.Fatal(err)
+			}
+			allIx := linear.New(all, metric)
+			refit, err := Materialize(all, allIx, k, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qIdx := pts.Len()
+
+			qRow := db.QueryRow(pts, ix, q)
+			for m := 1; m <= k; m++ {
+				if got, want := qRow.KDistance(m), refit.KDistance(qIdx, m); got != want {
+					t.Errorf("distinct=%v query %d: QueryRow.KDistance(%d)=%v, refit %v", distinct, qi, m, got, want)
+				}
+				got, want := neighborSet(qRow.Neighborhood(m)), neighborSet(refit.Neighborhood(qIdx, m))
+				if len(got) != len(want) {
+					t.Errorf("distinct=%v query %d: QueryRow.Neighborhood(%d) size %d, refit %d", distinct, qi, m, len(got), len(want))
+				}
+				for idx, d := range want {
+					if got[idx] != d {
+						t.Errorf("distinct=%v query %d m=%d: neighbor %d dist %v, refit %v", distinct, qi, m, idx, got[idx], d)
+					}
+				}
+			}
+
+			for i := 0; i < pts.Len(); i++ {
+				mr := db.MergedRow(pts, i, q, qIdx, metric.Distance(pts.At(i), q))
+				for m := 1; m <= k; m++ {
+					if got, want := mr.KDistance(m), refit.KDistance(i, m); got != want {
+						t.Errorf("distinct=%v query %d point %d: MergedRow.KDistance(%d)=%v, refit %v",
+							distinct, qi, i, m, got, want)
+					}
+					got, want := neighborSet(mr.Neighborhood(m)), neighborSet(refit.Neighborhood(i, m))
+					if len(got) != len(want) {
+						t.Errorf("distinct=%v query %d point %d m=%d: neighborhood size %d, refit %d",
+							distinct, qi, i, m, len(got), len(want))
+						continue
+					}
+					for idx, d := range want {
+						if got[idx] != d {
+							t.Errorf("distinct=%v query %d point %d m=%d: neighbor %d dist %v, refit %v",
+								distinct, qi, i, m, idx, got[idx], d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRowMatchesDBLookups pins Row as the single source of truth for the
+// stored-row accessors.
+func TestRowMatchesDBLookups(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := queryTestPoints(rng, 30)
+	for _, distinct := range []bool{false, true} {
+		var opts []Option
+		if distinct {
+			opts = append(opts, Distinct())
+		}
+		ix := linear.New(pts, geom.Euclidean{})
+		db, err := Materialize(pts, ix, 4, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < db.Len(); i++ {
+			row := db.Row(i)
+			for m := 1; m <= 4; m++ {
+				if row.KDistance(m) != db.KDistance(i, m) {
+					t.Fatalf("distinct=%v: Row(%d).KDistance(%d) diverges", distinct, i, m)
+				}
+				if len(row.Neighborhood(m)) != len(db.Neighborhood(i, m)) {
+					t.Fatalf("distinct=%v: Row(%d).Neighborhood(%d) diverges", distinct, i, m)
+				}
+			}
+		}
+	}
+}

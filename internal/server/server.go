@@ -1,0 +1,397 @@
+// Package server implements the lofserve HTTP JSON API: fit a model over
+// posted data, score out-of-sample query points against the current model,
+// and expose health and metrics endpoints. It is stdlib-only and built for
+// serving traffic: a concurrency limiter sheds excess load with 429s, every
+// request runs under a timeout, the model is swapped atomically so scoring
+// never blocks behind a refit, and expvar-style counters track request
+// volume, latency and batch sizes.
+//
+// Endpoints:
+//
+//	POST /v1/fit     {"config": {...}, "data": [[...], ...]}
+//	POST /v1/score   {"queries": [[...], ...]}
+//	GET  /v1/model   current model summary
+//	GET  /healthz    liveness + model presence
+//	GET  /metrics    counters (JSON, expvar vars)
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"lof"
+)
+
+// Config parameterizes a Server. The zero value serves with the defaults
+// documented per field.
+type Config struct {
+	// MaxInFlight bounds concurrently served requests; excess requests are
+	// shed immediately with 429. Default 64.
+	MaxInFlight int
+	// RequestTimeout bounds each request; requests that exceed it receive
+	// 503. Default 30s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies. Default 64 MiB.
+	MaxBodyBytes int64
+	// MaxBatch bounds the number of query points per score request.
+	// Default 100000.
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 100000
+	}
+	return c
+}
+
+// metrics are expvar variables deliberately not published to the global
+// expvar registry, so multiple servers (tests, embedding) can coexist in
+// one process; the /metrics handler serves them directly.
+type metrics struct {
+	requests    expvar.Map // per-route completed request counts
+	latencyUS   expvar.Map // per-route summed handler latency, microseconds
+	batchPoints expvar.Int // total query points scored
+	fitPoints   expvar.Int // total data points fitted
+	inFlight    expvar.Int // gauge: requests currently being served
+	shed        expvar.Int // requests rejected by the concurrency limiter
+}
+
+// Server is the HTTP serving state: the current model plus limits and
+// counters. Create with New, expose with Handler.
+type Server struct {
+	cfg     Config
+	model   atomic.Pointer[lof.Model]
+	limiter chan struct{}
+	m       metrics
+}
+
+// testHookScoreStart, when non-nil, runs at the start of every score
+// request after limiter admission. Tests use it to hold requests in flight
+// deterministically.
+var testHookScoreStart func()
+
+// New returns a Server with cfg's limits (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, limiter: make(chan struct{}, cfg.MaxInFlight)}
+	s.m.requests.Init()
+	s.m.latencyUS.Init()
+	return s
+}
+
+// SetModel installs m as the serving model, replacing any previous one.
+// In-flight requests finish against the model they started with.
+func (s *Server) SetModel(m *lof.Model) { s.model.Store(m) }
+
+// Model returns the current serving model, or nil when none is installed.
+func (s *Server) Model() *lof.Model { return s.model.Load() }
+
+// Handler returns the full route table wrapped with the limiter, metrics
+// and timeout middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/fit", s.wrap("/v1/fit", s.handleFit))
+	mux.Handle("POST /v1/score", s.wrap("/v1/score", s.handleScore))
+	mux.Handle("GET /v1/model", s.wrap("/v1/model", s.handleModel))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// wrap applies, outside-in: concurrency shedding, in-flight accounting,
+// request timeout, and per-route count/latency metrics.
+func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
+	timed := http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.limiter <- struct{}{}:
+			defer func() { <-s.limiter }()
+		default:
+			s.m.shed.Add(1)
+			writeError(w, http.StatusTooManyRequests, "server at capacity")
+			return
+		}
+		s.m.inFlight.Add(1)
+		defer s.m.inFlight.Add(-1)
+		start := time.Now()
+		timed.ServeHTTP(w, r)
+		s.m.latencyUS.Add(route, time.Since(start).Microseconds())
+		s.m.requests.Add(route, 1)
+	})
+}
+
+// --- request/response shapes -------------------------------------------
+
+// FitConfig is the JSON shape of a fit request's configuration; fields
+// mirror lof.Config with textual enums.
+type FitConfig struct {
+	MinPts      int       `json:"minPts,omitempty"`
+	MinPtsLB    int       `json:"minPtsLB,omitempty"`
+	MinPtsUB    int       `json:"minPtsUB,omitempty"`
+	Aggregation string    `json:"aggregation,omitempty"`
+	Metric      string    `json:"metric,omitempty"`
+	Weights     []float64 `json:"weights,omitempty"`
+	Index       string    `json:"index,omitempty"`
+	Distinct    bool      `json:"distinct,omitempty"`
+	Workers     int       `json:"workers,omitempty"`
+}
+
+// Detector translates the JSON configuration into a validated detector.
+func (c FitConfig) Detector() (*lof.Detector, error) {
+	agg, err := lof.ParseAggregation(c.Aggregation)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := lof.ParseIndexKind(c.Index)
+	if err != nil {
+		return nil, err
+	}
+	return lof.New(lof.Config{
+		MinPts:      c.MinPts,
+		MinPtsLB:    c.MinPtsLB,
+		MinPtsUB:    c.MinPtsUB,
+		Aggregation: agg,
+		Metric:      c.Metric,
+		Weights:     c.Weights,
+		Index:       kind,
+		Distinct:    c.Distinct,
+		Workers:     c.Workers,
+	})
+}
+
+type fitRequest struct {
+	Config FitConfig   `json:"config"`
+	Data   [][]float64 `json:"data"`
+}
+
+type modelInfo struct {
+	Objects  int    `json:"objects"`
+	Dims     int    `json:"dims"`
+	MinPtsLB int    `json:"minPtsLB"`
+	MinPtsUB int    `json:"minPtsUB"`
+	Metric   string `json:"metric"`
+	Distinct bool   `json:"distinct"`
+}
+
+type fitResponse struct {
+	modelInfo
+	FitMS float64 `json:"fitMillis"`
+}
+
+type scoreRequest struct {
+	Queries [][]float64 `json:"queries"`
+}
+
+type scoreResponse struct {
+	Scores []jsonFloat `json:"scores"`
+}
+
+// jsonFloat marshals non-finite LOF values (possible for duplicate-heavy
+// data without distinct mode) as JSON strings instead of failing the whole
+// response: +Inf → "+Inf".
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 1) {
+		return []byte(`"+Inf"`), nil
+	}
+	if math.IsInf(v, -1) {
+		return []byte(`"-Inf"`), nil
+	}
+	if math.IsNaN(v) {
+		return []byte(`"NaN"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+func infoFor(m *lof.Model) modelInfo {
+	cfg := m.Config()
+	metric := cfg.Metric
+	if metric == "" {
+		metric = "euclidean"
+	}
+	if cfg.Weights != nil {
+		metric = "weighted-euclidean"
+	}
+	return modelInfo{
+		Objects:  m.Len(),
+		Dims:     m.Dim(),
+		MinPtsLB: cfg.MinPtsLB,
+		MinPtsUB: cfg.MinPtsUB,
+		Metric:   metric,
+		Distinct: cfg.Distinct,
+	}
+}
+
+// --- handlers -----------------------------------------------------------
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req fitRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Data) == 0 {
+		writeError(w, http.StatusBadRequest, "fit requires a non-empty data array")
+		return
+	}
+	det, err := req.Config.Detector()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	res, err := det.Fit(req.Data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	m, err := res.Model()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.SetModel(m)
+	s.m.fitPoints.Add(int64(len(req.Data)))
+	writeJSON(w, http.StatusOK, fitResponse{
+		modelInfo: infoFor(m),
+		FitMS:     float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if hook := testHookScoreStart; hook != nil {
+		hook()
+	}
+	m := s.Model()
+	if m == nil {
+		writeError(w, http.StatusConflict, "no fitted model; POST /v1/fit first or start with -model")
+		return
+	}
+	var req scoreRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "score requires a non-empty queries array")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+	scores, err := scoreChunked(r, m, req.Queries)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The timeout middleware already answered; nothing to write.
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.m.batchPoints.Add(int64(len(req.Queries)))
+	out := make([]jsonFloat, len(scores))
+	for i, v := range scores {
+		out[i] = jsonFloat(v)
+	}
+	writeJSON(w, http.StatusOK, scoreResponse{Scores: out})
+}
+
+// scoreChunkSize bounds how much scoring work happens between context
+// checks, so a timed-out request stops burning CPU soon after its deadline.
+const scoreChunkSize = 256
+
+func scoreChunked(r *http.Request, m *lof.Model, queries [][]float64) ([]float64, error) {
+	ctx := r.Context()
+	out := make([]float64, 0, len(queries))
+	for off := 0; off < len(queries); off += scoreChunkSize {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		end := off + scoreChunkSize
+		if end > len(queries) {
+			end = len(queries)
+		}
+		chunk, err := m.ScoreBatch(queries[off:end])
+		if err != nil {
+			if off == 0 {
+				return nil, err
+			}
+			// Row numbers in the error are chunk-relative; anchor them.
+			return nil, fmt.Errorf("batch offset %d: %w", off, err)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	m := s.Model()
+	if m == nil {
+		writeError(w, http.StatusNotFound, "no fitted model")
+		return
+	}
+	writeJSON(w, http.StatusOK, infoFor(m))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "ok",
+		"model":  s.Model() != nil,
+	})
+}
+
+// handleMetrics serves the counters as one JSON object, in expvar's own
+// rendering, without requiring the process-global expvar page.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"requests":%s,"latency_us":%s,"batch_points_total":%s,"fit_points_total":%s,"in_flight":%s,"shed_total":%s}`,
+		s.m.requests.String(), s.m.latencyUS.String(), s.m.batchPoints.String(),
+		s.m.fitPoints.String(), s.m.inFlight.String(), s.m.shed.String())
+	fmt.Fprintln(w)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

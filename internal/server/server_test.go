@@ -1,0 +1,423 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lof"
+)
+
+// testData builds a two-cluster dataset suitable for MinPts ranges ≤ 6.
+func testData(rng *rand.Rand, n int) [][]float64 {
+	data := make([][]float64, n)
+	for i := range data {
+		if i < n/2 {
+			data[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		} else {
+			data[i] = []float64{10 + 0.3*rng.NormFloat64(), 10 + 0.3*rng.NormFloat64()}
+		}
+	}
+	return data
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body interface{}) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, v interface{}) *http.Response {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+type metricsSnapshot struct {
+	Requests    map[string]int64 `json:"requests"`
+	LatencyUS   map[string]int64 `json:"latency_us"`
+	BatchPoints int64            `json:"batch_points_total"`
+	FitPoints   int64            `json:"fit_points_total"`
+	InFlight    int64            `json:"in_flight"`
+	Shed        int64            `json:"shed_total"`
+}
+
+// TestEndToEnd drives the full API surface over HTTP: fit, model info,
+// score, health, and metrics advancement.
+func TestEndToEnd(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Health before any model.
+	var health struct {
+		Status string `json:"status"`
+		Model  bool   `json:"model"`
+	}
+	if resp := getJSON(t, client, ts.URL+"/healthz", &health); resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if health.Status != "ok" || health.Model {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// Scoring without a model must 409.
+	resp, body := postJSON(t, client, ts.URL+"/v1/score", map[string]interface{}{"queries": [][]float64{{1, 2}}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("score without model: status %d body %s", resp.StatusCode, body)
+	}
+
+	// Fit.
+	rng := rand.New(rand.NewSource(21))
+	data := testData(rng, 60)
+	resp, body = postJSON(t, client, ts.URL+"/v1/fit", fitRequest{
+		Config: FitConfig{MinPtsLB: 3, MinPtsUB: 6},
+		Data:   data,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("fit: status %d body %s", resp.StatusCode, body)
+	}
+	var fitResp fitResponse
+	if err := json.Unmarshal(body, &fitResp); err != nil {
+		t.Fatal(err)
+	}
+	if fitResp.Objects != 60 || fitResp.Dims != 2 || fitResp.MinPtsLB != 3 || fitResp.MinPtsUB != 6 {
+		t.Fatalf("fit response %+v", fitResp)
+	}
+
+	// Model info.
+	var info modelInfo
+	if resp := getJSON(t, client, ts.URL+"/v1/model", &info); resp.StatusCode != 200 {
+		t.Fatalf("model info status %d", resp.StatusCode)
+	}
+	if info.Objects != 60 {
+		t.Fatalf("model info %+v", info)
+	}
+
+	// Score: the served values must match the library exactly.
+	queries := [][]float64{{0, 0}, {10, 10}, {5, 5}}
+	resp, body = postJSON(t, client, ts.URL+"/v1/score", scoreRequest{Queries: queries})
+	if resp.StatusCode != 200 {
+		t.Fatalf("score: status %d body %s", resp.StatusCode, body)
+	}
+	var sr struct {
+		Scores []float64 `json:"scores"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	det, err := lof.New(lof.Config{MinPtsLB: 3, MinPtsUB: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	want, err := det.ScoreBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Scores) != len(want) {
+		t.Fatalf("got %d scores, want %d", len(sr.Scores), len(want))
+	}
+	for i := range want {
+		if diff := sr.Scores[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("score %d: served %v, library %v", i, sr.Scores[i], want[i])
+		}
+	}
+	if sr.Scores[2] < sr.Scores[0] || sr.Scores[2] < sr.Scores[1] {
+		t.Errorf("between-cluster point should be the most outlying: %v", sr.Scores)
+	}
+
+	// Metrics must have advanced.
+	var ms metricsSnapshot
+	if resp := getJSON(t, client, ts.URL+"/metrics", &ms); resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ms.Requests["/v1/fit"] != 1 || ms.Requests["/v1/score"] != 2 {
+		t.Errorf("request counts %+v", ms.Requests)
+	}
+	if ms.BatchPoints != 3 {
+		t.Errorf("batch_points_total = %d, want 3", ms.BatchPoints)
+	}
+	if ms.FitPoints != 60 {
+		t.Errorf("fit_points_total = %d, want 60", ms.FitPoints)
+	}
+	if ms.LatencyUS["/v1/fit"] < 0 {
+		t.Errorf("negative latency %+v", ms.LatencyUS)
+	}
+	if ms.InFlight != 0 {
+		t.Errorf("in_flight = %d after requests drained", ms.InFlight)
+	}
+
+	// Validation errors surface as 400 with a descriptive message.
+	resp, body = postJSON(t, client, ts.URL+"/v1/score", scoreRequest{Queries: [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "dimensions") {
+		t.Errorf("dimension mismatch: status %d body %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, client, ts.URL+"/v1/fit", map[string]interface{}{"bogus": true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestSheddingAndDrain pins the two load-control behaviours: with
+// MaxInFlight=1 a second concurrent request is shed with 429, and
+// http.Server.Shutdown waits for the in-flight request to finish (graceful
+// drain).
+func TestSheddingAndDrain(t *testing.T) {
+	srv := New(Config{MaxInFlight: 1})
+	rng := rand.New(rand.NewSource(33))
+	det, err := lof.New(lof.Config{MinPtsLB: 3, MinPtsUB: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Fit(testData(rng, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetModel(m)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	testHookScoreStart = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	defer func() { testHookScoreStart = nil }()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	// First request occupies the only slot.
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/score", "application/json",
+			strings.NewReader(`{"queries":[[0,0]]}`))
+		if err != nil {
+			firstDone <- -1
+			return
+		}
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	<-entered
+
+	// Second request is shed immediately with 429.
+	resp, err := http.Post(base+"/v1/score", "application/json",
+		strings.NewReader(`{"queries":[[0,0]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", resp.StatusCode)
+	}
+
+	// Shutdown must block until the in-flight request drains.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- hs.Shutdown(ctx)
+	}()
+	select {
+	case <-shutdownDone:
+		t.Fatal("Shutdown returned while a request was still in flight")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if status := <-firstDone; status != 200 {
+		t.Fatalf("in-flight request finished with status %d", status)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestScoreConcurrentWithHandlers hammers direct ScoreBatch calls and
+// HTTP score/fit handlers at the same time; run under -race this verifies
+// the atomic model handoff end to end.
+func TestScoreConcurrentWithHandlers(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	rng := rand.New(rand.NewSource(55))
+	data := testData(rng, 50)
+	det, err := lof.New(lof.Config{MinPtsLB: 3, MinPtsUB: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetModel(m)
+
+	queries := make([][]float64, 8)
+	for i := range queries {
+		queries[i] = []float64{rng.Float64() * 12, rng.Float64() * 12}
+	}
+	body, err := json.Marshal(scoreRequest{Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitBody, err := json.Marshal(fitRequest{Config: FitConfig{MinPtsLB: 3, MinPtsUB: 6}, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := det.ScoreBatch(queries); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				resp, err := client.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("score status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			resp, err := client.Post(ts.URL+"/v1/fit", "application/json", bytes.NewReader(fitBody))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("fit status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestJSONFloat pins the non-finite score encoding.
+func TestJSONFloat(t *testing.T) {
+	b, err := json.Marshal(scoreResponse{Scores: []jsonFloat{1.5, jsonFloat(infPos()), jsonFloat(infNeg())}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"scores":[1.5,"+Inf","-Inf"]}`
+	if string(b) != want {
+		t.Errorf("encoded %s, want %s", b, want)
+	}
+}
+
+func infPos() float64 { return 1 / zero() }
+func infNeg() float64 { return -1 / zero() }
+func zero() float64   { return 0 }
+
+// BenchmarkScoreHandler measures the full serving path (JSON decode,
+// chunked batch scoring, JSON encode) through the handler without network
+// overhead, for several batch sizes.
+func BenchmarkScoreHandler(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	det, err := lof.New(lof.Config{MinPtsLB: 10, MinPtsUB: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := det.Fit(testData(rng, 2000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := res.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			srv := New(Config{})
+			srv.SetModel(m)
+			h := srv.Handler()
+			queries := make([][]float64, batch)
+			for i := range queries {
+				queries[i] = []float64{rng.Float64() * 12, rng.Float64() * 12}
+			}
+			body, err := json.Marshal(scoreRequest{Queries: queries})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("POST", "/v1/score", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != 200 {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}

@@ -28,6 +28,7 @@ package lof
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"lof/internal/core"
 	"lof/internal/geom"
@@ -83,6 +84,28 @@ func (k IndexKind) String() string {
 	}
 }
 
+// ParseIndexKind maps the textual index names used by the CLI tools and
+// the HTTP API ("auto", "linear", "grid", "kdtree", "xtree", "vafile") to
+// an IndexKind. The empty string means IndexAuto.
+func ParseIndexKind(name string) (IndexKind, error) {
+	switch name {
+	case "", "auto":
+		return IndexAuto, nil
+	case "linear":
+		return IndexLinear, nil
+	case "grid":
+		return IndexGrid, nil
+	case "kdtree":
+		return IndexKDTree, nil
+	case "xtree":
+		return IndexXTree, nil
+	case "vafile":
+		return IndexVAFile, nil
+	default:
+		return 0, fmt.Errorf("lof: unknown index %q", name)
+	}
+}
+
 // Aggregation selects how per-MinPts LOF values fold into one score.
 type Aggregation int
 
@@ -97,6 +120,22 @@ const (
 	// AggregateMin scores by the minimum LOF over the range.
 	AggregateMin
 )
+
+// ParseAggregation maps the textual aggregate names used by the CLI tools
+// and the HTTP API ("max", "mean", "min") to an Aggregation. The empty
+// string means AggregateMax, the paper's recommendation.
+func ParseAggregation(name string) (Aggregation, error) {
+	switch name {
+	case "", "max":
+		return AggregateMax, nil
+	case "mean":
+		return AggregateMean, nil
+	case "min":
+		return AggregateMin, nil
+	default:
+		return 0, fmt.Errorf("lof: unknown aggregate %q", name)
+	}
+}
 
 // Config parameterizes a Detector. The zero value is usable: it sweeps
 // MinPts over [DefaultMinPtsLB, DefaultMinPtsUB] with max aggregation,
@@ -141,9 +180,15 @@ const (
 )
 
 // Detector computes LOF scores for datasets under a fixed configuration.
+// After a successful Fit it additionally serves out-of-sample queries
+// through Score and ScoreBatch against the most recent fitted model.
+// Detectors must not be copied after first use.
 type Detector struct {
 	cfg    Config
 	metric geom.Metric
+	// model holds the fitted model of the latest Fit; atomic so scoring
+	// can race with a concurrent refit.
+	model atomic.Pointer[Model]
 }
 
 // New validates cfg and returns a Detector.
@@ -240,7 +285,40 @@ func (d *Detector) fitPoints(pts *geom.Points) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{cfg: d.cfg, metric: d.metric, pts: pts, ix: ix, db: db, sweep: sweep}, nil
+	res := &Result{cfg: d.cfg, metric: d.metric, pts: pts, ix: ix, db: db, sweep: sweep}
+	m, err := res.Model()
+	if err != nil {
+		return nil, err
+	}
+	d.model.Store(m)
+	return res, nil
+}
+
+// Model returns the fitted model of the most recent Fit, or nil when the
+// detector has not been fitted yet.
+func (d *Detector) Model() *Model { return d.model.Load() }
+
+// Score computes the out-of-sample LOF of a query point against the most
+// recent fitted model: the LOF the query would receive from a refit on
+// data ∪ {query}, aggregated over the MinPts range. It validates the
+// query's dimensionality and finiteness, and errors if Fit has not been
+// called.
+func (d *Detector) Score(query []float64) (float64, error) {
+	m := d.model.Load()
+	if m == nil {
+		return 0, fmt.Errorf("lof: Score before Fit: no fitted model")
+	}
+	return m.Score(query)
+}
+
+// ScoreBatch scores many query points against the most recent fitted model
+// over a bounded worker pool; see Model.ScoreBatch.
+func (d *Detector) ScoreBatch(queries [][]float64) ([]float64, error) {
+	m := d.model.Load()
+	if m == nil {
+		return nil, fmt.Errorf("lof: ScoreBatch before Fit: no fitted model")
+	}
+	return m.ScoreBatch(queries)
 }
 
 // buildIndex constructs the configured (or automatically selected) index.

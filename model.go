@@ -1,0 +1,393 @@
+package lof
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"lof/internal/core"
+	"lof/internal/geom"
+	"lof/internal/index"
+	"lof/internal/matdb"
+)
+
+// Model is an immutable fitted LOF model supporting out-of-sample
+// inference: it scores arbitrary query points against the fitted data per
+// Definitions 5–7 — each score equals the LOF the query would receive from
+// a full refit on data ∪ {query} at the same MinPts — without mutating or
+// refitting anything. A Model is safe for concurrent use, and can be
+// serialized with WriteTo and shipped to serving replicas that restore it
+// with LoadModel.
+type Model struct {
+	cfg    Config
+	metric geom.Metric
+	pts    *geom.Points
+	ix     index.Index
+	db     *matdb.DB
+	scorer *core.Scorer
+}
+
+// Model returns the fitted model behind this result. The model shares the
+// result's (immutable) fitted state; it remains valid independently of the
+// result.
+func (r *Result) Model() (*Model, error) {
+	sc, err := core.NewScorer(r.pts, r.ix, r.db, r.metric, r.cfg.MinPtsLB, r.cfg.MinPtsUB)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{cfg: r.cfg, metric: r.metric, pts: r.pts, ix: r.ix, db: r.db, scorer: sc}, nil
+}
+
+// WriteModel serializes the fitted model behind this result; see
+// Model.WriteTo.
+func (r *Result) WriteModel(w io.Writer) (int64, error) {
+	m, err := r.Model()
+	if err != nil {
+		return 0, err
+	}
+	return m.WriteTo(w)
+}
+
+// Len returns the number of fitted objects.
+func (m *Model) Len() int { return m.pts.Len() }
+
+// Dim returns the dimensionality of the fitted data.
+func (m *Model) Dim() int { return m.pts.Dim() }
+
+// Config returns the configuration the model was fitted under.
+func (m *Model) Config() Config { return m.cfg }
+
+// validateQuery rejects queries the scoring math would turn into silent
+// garbage: wrong dimensionality and non-finite coordinates.
+func (m *Model) validateQuery(q []float64) error {
+	if len(q) != m.pts.Dim() {
+		return fmt.Errorf("lof: query has %d dimensions, model expects %d", len(q), m.pts.Dim())
+	}
+	for i, c := range q {
+		if math.IsNaN(c) {
+			return fmt.Errorf("lof: query coordinate %d is NaN", i)
+		}
+		if math.IsInf(c, 0) {
+			return fmt.Errorf("lof: query coordinate %d is %v", i, c)
+		}
+	}
+	return nil
+}
+
+// Score returns the query point's LOF aggregated over the model's MinPts
+// range with the configured aggregation. The query is validated for
+// dimensionality and finiteness.
+func (m *Model) Score(query []float64) (float64, error) {
+	if err := m.validateQuery(query); err != nil {
+		return 0, err
+	}
+	series, err := m.scorer.ScoreSeries(query)
+	if err != nil {
+		return 0, err
+	}
+	return core.ScoreAggregate(series, m.coreAggregate()), nil
+}
+
+// ScoreSeries returns the query point's LOF at every MinPts value in the
+// model's range — the out-of-sample analogue of Result.Series.
+func (m *Model) ScoreSeries(query []float64) (minPts []int, lofs []float64, err error) {
+	if err := m.validateQuery(query); err != nil {
+		return nil, nil, err
+	}
+	lofs, err = m.scorer.ScoreSeries(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	lb, ub := m.scorer.MinPtsRange()
+	minPts = make([]int, 0, ub-lb+1)
+	for v := lb; v <= ub; v++ {
+		minPts = append(minPts, v)
+	}
+	return minPts, lofs, nil
+}
+
+// ScoreBatch scores many query points over a bounded worker pool and
+// returns one aggregated LOF per query, in input order. The pool size is
+// Config.Workers, or GOMAXPROCS when unset. Every query is validated
+// before any scoring starts, so an invalid row fails the whole batch with
+// a descriptive error instead of poisoning part of the output.
+func (m *Model) ScoreBatch(queries [][]float64) ([]float64, error) {
+	for i, q := range queries {
+		if err := m.validateQuery(q); err != nil {
+			return nil, fmt.Errorf("lof: batch row %d: %w", i, err)
+		}
+	}
+	out := make([]float64, len(queries))
+	workers := m.cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			s, err := m.Score(q)
+			if err != nil {
+				return nil, fmt.Errorf("lof: batch row %d: %w", i, err)
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				s, err := m.Score(queries[i])
+				if err != nil {
+					errOnce.Do(func() { firstEr = fmt.Errorf("lof: batch row %d: %w", i, err) })
+					continue
+				}
+				out[i] = s
+			}
+		}()
+	}
+	for i := range queries {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return out, nil
+}
+
+func (m *Model) coreAggregate() core.Aggregate {
+	switch m.cfg.Aggregation {
+	case AggregateMean:
+		return core.AggMean
+	case AggregateMin:
+		return core.AggMin
+	default:
+		return core.AggMax
+	}
+}
+
+// --- Model snapshots ----------------------------------------------------
+//
+// A snapshot is the minimum state a serving replica needs to score
+// queries: configuration, fitted coordinates, and the materialization
+// database. The index is rebuilt on load (it is derived state and its
+// in-memory layout is not worth freezing into a format):
+//
+//	magic "LOFS" | version u32
+//	minPtsLB u32 | minPtsUB u32 | aggregation u8 | distinct u8 | index u8
+//	metric name: len u16 + bytes
+//	weights: count u32 + count × f64
+//	dim u32 | n u64 | n×dim × f64 coordinates (row-major)
+//	materialization database (matdb's own self-describing format)
+
+const (
+	modelMagic   = "LOFS"
+	modelVersion = 1
+)
+
+// WriteTo serializes the model. It implements io.WriterTo.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	bw := &countingWriter{w: w}
+	buf := bufio.NewWriter(bw)
+	wr := func(v interface{}) error { return binary.Write(buf, binary.LittleEndian, v) }
+	if _, err := buf.WriteString(modelMagic); err != nil {
+		return bw.n, err
+	}
+	for _, v := range []interface{}{
+		uint32(modelVersion),
+		uint32(m.cfg.MinPtsLB), uint32(m.cfg.MinPtsUB),
+		uint8(m.cfg.Aggregation), boolByte(m.cfg.Distinct), uint8(m.cfg.Index),
+	} {
+		if err := wr(v); err != nil {
+			return bw.n, err
+		}
+	}
+	name := m.cfg.Metric
+	if err := wr(uint16(len(name))); err != nil {
+		return bw.n, err
+	}
+	if _, err := buf.WriteString(name); err != nil {
+		return bw.n, err
+	}
+	if err := wr(uint32(len(m.cfg.Weights))); err != nil {
+		return bw.n, err
+	}
+	for _, wt := range m.cfg.Weights {
+		if err := wr(wt); err != nil {
+			return bw.n, err
+		}
+	}
+	if err := wr(uint32(m.pts.Dim())); err != nil {
+		return bw.n, err
+	}
+	if err := wr(uint64(m.pts.Len())); err != nil {
+		return bw.n, err
+	}
+	if err := wr(m.pts.Coords()); err != nil {
+		return bw.n, err
+	}
+	if err := buf.Flush(); err != nil {
+		return bw.n, err
+	}
+	if _, err := m.db.WriteTo(bw); err != nil {
+		return bw.n, err
+	}
+	return bw.n, nil
+}
+
+// LoadModel restores a model written by WriteTo (or Result.WriteModel),
+// rebuilding the k-NN index from the stored coordinates.
+func LoadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("lof: reading model magic: %w", err)
+	}
+	if string(head) != modelMagic {
+		return nil, fmt.Errorf("lof: bad model magic %q", head)
+	}
+	rd := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+	var ver uint32
+	if err := rd(&ver); err != nil {
+		return nil, fmt.Errorf("lof: reading model version: %w", err)
+	}
+	if ver != modelVersion {
+		return nil, fmt.Errorf("lof: unsupported model version %d", ver)
+	}
+	var lb, ub uint32
+	var agg, distinct, kind uint8
+	for _, v := range []interface{}{&lb, &ub, &agg, &distinct, &kind} {
+		if err := rd(v); err != nil {
+			return nil, fmt.Errorf("lof: reading model header: %w", err)
+		}
+	}
+	if distinct > 1 {
+		return nil, fmt.Errorf("lof: invalid distinct flag %d", distinct)
+	}
+	var nameLen uint16
+	if err := rd(&nameLen); err != nil {
+		return nil, fmt.Errorf("lof: reading metric name: %w", err)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("lof: reading metric name: %w", err)
+	}
+	var wcount uint32
+	if err := rd(&wcount); err != nil {
+		return nil, fmt.Errorf("lof: reading weights: %w", err)
+	}
+	var weights []float64
+	if wcount > 0 {
+		weights = make([]float64, 0, min(uint64(wcount), 1024))
+		for i := uint32(0); i < wcount; i++ {
+			var wt float64
+			if err := rd(&wt); err != nil {
+				return nil, fmt.Errorf("lof: reading weight %d: %w", i, err)
+			}
+			weights = append(weights, wt)
+		}
+	}
+	var dim uint32
+	var n uint64
+	if err := rd(&dim); err != nil {
+		return nil, fmt.Errorf("lof: reading dimensionality: %w", err)
+	}
+	if err := rd(&n); err != nil {
+		return nil, fmt.Errorf("lof: reading point count: %w", err)
+	}
+	if dim == 0 {
+		return nil, fmt.Errorf("lof: model has zero-dimensional points")
+	}
+	const maxPoints = 1 << 40
+	if n > maxPoints {
+		return nil, fmt.Errorf("lof: implausible point count %d", n)
+	}
+	// Grow with parsed data, not with header claims, so a corrupt header
+	// cannot trigger a huge allocation.
+	coords := make([]float64, 0, min(n*uint64(dim), 1<<16))
+	row := make([]float64, dim)
+	for i := uint64(0); i < n; i++ {
+		if err := rd(row); err != nil {
+			return nil, fmt.Errorf("lof: reading point %d: %w", i, err)
+		}
+		coords = append(coords, row...)
+	}
+	pts, err := geom.FromSlice(coords, int(dim))
+	if err != nil {
+		return nil, fmt.Errorf("lof: model coordinates: %w", err)
+	}
+	db, err := matdb.Read(br)
+	if err != nil {
+		return nil, fmt.Errorf("lof: model database: %w", err)
+	}
+	if db.Len() != pts.Len() {
+		return nil, fmt.Errorf("lof: model has %d points but %d materialized rows", pts.Len(), db.Len())
+	}
+	if db.IsDistinct() != (distinct == 1) {
+		return nil, fmt.Errorf("lof: model distinct flag disagrees with its database")
+	}
+	cfg := Config{
+		MinPtsLB:    int(lb),
+		MinPtsUB:    int(ub),
+		Aggregation: Aggregation(agg),
+		Metric:      string(nameBuf),
+		Weights:     weights,
+		Index:       IndexKind(kind),
+		Distinct:    distinct == 1,
+	}
+	det, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("lof: model configuration: %w", err)
+	}
+	cfg = det.cfg // defaults applied
+	if db.K < cfg.MinPtsUB {
+		return nil, fmt.Errorf("lof: model database materialized K=%d below MinPtsUB=%d", db.K, cfg.MinPtsUB)
+	}
+	if cfg.Weights != nil && len(cfg.Weights) != pts.Dim() {
+		return nil, fmt.Errorf("lof: model has %d weights for %d-dimensional data", len(cfg.Weights), pts.Dim())
+	}
+	ix, err := det.buildIndex(pts)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := core.NewScorer(pts, ix, db, det.metric, cfg.MinPtsLB, cfg.MinPtsUB)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg, metric: det.metric, pts: pts, ix: ix, db: db, scorer: sc}, nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// countingWriter tracks bytes written across the buffered and unbuffered
+// sections of a snapshot.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,304 @@
+package lof
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// modelTestData builds a two-cluster dataset with stragglers; when
+// withDuplicates is set, a block of rows shares one exact coordinate.
+func modelTestData(rng *rand.Rand, n int, withDuplicates bool) [][]float64 {
+	data := make([][]float64, n)
+	for i := range data {
+		switch {
+		case i < n/2:
+			data[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		case i < n-3:
+			data[i] = []float64{12 + 0.4*rng.NormFloat64(), 12 + 0.4*rng.NormFloat64()}
+		default:
+			data[i] = []float64{rng.Float64() * 25, rng.Float64() * 25}
+		}
+	}
+	if withDuplicates {
+		for i := 1; i < 8; i++ {
+			data[i] = append([]float64(nil), data[0]...)
+		}
+	}
+	return data
+}
+
+// TestScoreMatchesRefitOracle is the public acceptance oracle: for every
+// query, Detector.Score must equal the LOF of the query from a full refit
+// on data ∪ {q} at the same MinPts range and aggregation, within 1e-9 —
+// across metrics and both duplicate-handling modes.
+func TestScoreMatchesRefitOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, metric := range []string{"euclidean", "manhattan", "chebyshev"} {
+		for _, distinct := range []bool{false, true} {
+			data := modelTestData(rng, 70, distinct)
+			cfg := Config{MinPtsLB: 4, MinPtsUB: 9, Metric: metric, Distinct: distinct}
+			det, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := det.Fit(data); err != nil {
+				t.Fatal(err)
+			}
+			queries := [][]float64{
+				{0, 0.3},
+				{12.2, 11.8},
+				{6, 6},
+				{-50, 20},
+				append([]float64(nil), data[2]...), // duplicate of a data row
+			}
+			for qi, q := range queries {
+				got, err := det.Score(q)
+				if err != nil {
+					t.Fatalf("metric=%s distinct=%v query %d: %v", metric, distinct, qi, err)
+				}
+				refitDet, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := refitDet.Fit(append(append([][]float64{}, data...), q))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := res.Score(len(data))
+				if math.IsInf(want, 1) {
+					if !math.IsInf(got, 1) {
+						t.Errorf("metric=%s distinct=%v query %d: got %v, want +Inf", metric, distinct, qi, got)
+					}
+					continue
+				}
+				if diff := math.Abs(got - want); diff > 1e-9 {
+					t.Errorf("metric=%s distinct=%v query %d: got %v, want %v (diff %g)",
+						metric, distinct, qi, got, want, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestScoreSeriesMatchesRefit checks the per-MinPts series against
+// Result.Series of a refit, plus the returned MinPts axis.
+func TestScoreSeriesMatchesRefit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := modelTestData(rng, 60, false)
+	det, err := New(Config{MinPtsLB: 3, MinPtsUB: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{4, 4}
+	minPts, series, err := det.Model().ScoreSeries(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refitDet, _ := New(Config{MinPtsLB: 3, MinPtsUB: 7})
+	res, err := refitDet.Fit(append(append([][]float64{}, data...), q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMinPts, wantSeries := res.Series(len(data))
+	if len(minPts) != len(wantMinPts) {
+		t.Fatalf("axis length %d != %d", len(minPts), len(wantMinPts))
+	}
+	for i := range minPts {
+		if minPts[i] != wantMinPts[i] {
+			t.Errorf("minPts[%d] = %d, want %d", i, minPts[i], wantMinPts[i])
+		}
+		if diff := math.Abs(series[i] - wantSeries[i]); diff > 1e-9 {
+			t.Errorf("series[%d] = %v, want %v", i, series[i], wantSeries[i])
+		}
+	}
+}
+
+// TestScoreValidation covers the public boundary checks: unfitted
+// detectors, dimension mismatches and non-finite coordinates must fail
+// with descriptive errors rather than produce garbage scores.
+func TestScoreValidation(t *testing.T) {
+	det, err := New(Config{MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Score([]float64{1, 2}); err == nil || !strings.Contains(err.Error(), "no fitted model") {
+		t.Errorf("Score before Fit: %v", err)
+	}
+	if _, err := det.ScoreBatch([][]float64{{1, 2}}); err == nil || !strings.Contains(err.Error(), "no fitted model") {
+		t.Errorf("ScoreBatch before Fit: %v", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if _, err := det.Fit(modelTestData(rng, 30, false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Score([]float64{1, 2, 3}); err == nil || !strings.Contains(err.Error(), "dimensions") {
+		t.Errorf("dimension mismatch: %v", err)
+	}
+	if _, err := det.Score([]float64{1, math.NaN()}); err == nil || !strings.Contains(err.Error(), "NaN") {
+		t.Errorf("NaN coordinate: %v", err)
+	}
+	if _, err := det.Score([]float64{math.Inf(-1), 0}); err == nil || !strings.Contains(err.Error(), "-Inf") {
+		t.Errorf("Inf coordinate: %v", err)
+	}
+	if _, err := det.ScoreBatch([][]float64{{1, 2}, {math.Inf(1), 0}}); err == nil || !strings.Contains(err.Error(), "batch row 1") {
+		t.Errorf("batch validation: %v", err)
+	}
+}
+
+// TestScoreBatchMatchesSequential checks that the worker pool changes
+// nothing about the output.
+func TestScoreBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := modelTestData(rng, 80, false)
+	det, err := New(Config{MinPtsLB: 3, MinPtsUB: 6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float64, 37)
+	for i := range queries {
+		queries[i] = []float64{rng.Float64()*25 - 5, rng.Float64()*25 - 5}
+	}
+	batch, err := det.ScoreBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		s, err := det.Score(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != batch[i] {
+			t.Errorf("query %d: batch %v != sequential %v", i, batch[i], s)
+		}
+	}
+	if _, err := det.ScoreBatch(nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+// TestModelSnapshotRoundTrip serializes a fitted model, restores it, and
+// requires identical scores — including for weighted and distinct models.
+func TestModelSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfgs := []Config{
+		{MinPtsLB: 3, MinPtsUB: 7},
+		{MinPts: 5, Metric: "manhattan", Aggregation: AggregateMean},
+		{MinPtsLB: 3, MinPtsUB: 6, Distinct: true},
+		{MinPtsLB: 3, MinPtsUB: 6, Weights: []float64{1, 0.5}},
+	}
+	for ci, cfg := range cfgs {
+		data := modelTestData(rng, 50, cfg.Distinct)
+		det, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := det.Fit(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if n, err := res.WriteModel(&buf); err != nil || n != int64(buf.Len()) {
+			t.Fatalf("cfg %d: WriteModel n=%d err=%v (buffer %d)", ci, n, err, buf.Len())
+		}
+		loaded, err := LoadModel(&buf)
+		if err != nil {
+			t.Fatalf("cfg %d: LoadModel: %v", ci, err)
+		}
+		if loaded.Len() != len(data) || loaded.Dim() != 2 {
+			t.Fatalf("cfg %d: loaded %d×%d", ci, loaded.Len(), loaded.Dim())
+		}
+		queries := [][]float64{{0, 0}, {12, 12}, {5, 5}, {-30, 40}}
+		for qi, q := range queries {
+			want, err := det.Score(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.Score(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Errorf("cfg %d query %d: loaded score %v != fitted score %v", ci, qi, got, want)
+			}
+		}
+	}
+}
+
+// TestLoadModelRejectsGarbage exercises the defensive parsing paths.
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := LoadModel(strings.NewReader("BOGUS-HEADER")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	rng := rand.New(rand.NewSource(8))
+	det, err := New(Config{MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Fit(modelTestData(rng, 30, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+// TestScoreBatchConcurrentWithRefit hammers ScoreBatch from many
+// goroutines while the detector refits, exercising the atomic model swap
+// under -race.
+func TestScoreBatchConcurrentWithRefit(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data := modelTestData(rng, 60, false)
+	det, err := New(Config{MinPtsLB: 3, MinPtsUB: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float64, 16)
+	for i := range queries {
+		queries[i] = []float64{rng.Float64() * 20, rng.Float64() * 20}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 10; r++ {
+				if _, err := det.ScoreBatch(queries); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 5; r++ {
+			if _, err := det.Fit(data); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
