@@ -10,6 +10,7 @@ package lof_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"lof"
@@ -407,6 +408,35 @@ func BenchmarkPublicAPI(b *testing.B) {
 		if _, err := det.Fit(rows); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFit measures the full fit pipeline (materialization + MinPts
+// sweep) on a 10k-point dataset across worker-pool widths. Results are
+// bit-identical at every width; only wall-clock changes.
+func BenchmarkFit(b *testing.B) {
+	d := dataset.RandomClusters(benchSeed, 10000, 2, 10)
+	rows := make([][]float64, d.Len())
+	for i := range rows {
+		rows[i] = d.Points.At(i)
+	}
+	widths := []int{1, 2, 4}
+	if ncpu := runtime.NumCPU(); ncpu != 1 && ncpu != 2 && ncpu != 4 {
+		widths = append(widths, ncpu)
+	}
+	for _, workers := range widths {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			det, err := lof.New(lof.Config{MinPtsLB: 10, MinPtsUB: 20, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Fit(rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -58,6 +58,7 @@ func main() {
 		weights   = flag.String("weights", "", "comma-separated per-column weights for a weighted euclidean distance")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 		saveModel = flag.String("save-model", "", "write a binary model snapshot for out-of-sample scoring")
+		workers   = flag.Int("workers", 0, "worker pool width for fit and scoring (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -68,6 +69,7 @@ func main() {
 		top: *top, threshold: *threshold,
 		distinct: *distinct, allScores: *allScores, explain: *explain,
 		weights: *weights, jsonOut: *jsonOut, saveModel: *saveModel,
+		workers: *workers,
 	}
 	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "lofcli: %v\n", err)
@@ -93,6 +95,7 @@ type options struct {
 	weights            string
 	jsonOut            bool
 	saveModel          string
+	workers            int
 }
 
 func run(w io.Writer, o options) error {
@@ -119,7 +122,7 @@ func run(w io.Writer, o options) error {
 		return err
 	}
 
-	cfg := lof.Config{Metric: metric, Distinct: distinct}
+	cfg := lof.Config{Metric: metric, Distinct: distinct, Workers: o.workers}
 	if o.weights != "" {
 		ws, err := parseWeights(o.weights)
 		if err != nil {
@@ -217,6 +220,7 @@ func runScoreCmd(args []string, w io.Writer) error {
 		header    = fs.Bool("header", false, "input has a header row")
 		labelCol  = fs.Int("label-col", -1, "index of a non-numeric label column, -1 for none")
 		jsonOut   = fs.Bool("json", false, "emit scores as JSON")
+		workers   = fs.Int("workers", 0, "worker pool width for scoring (0 = all CPUs, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -232,6 +236,9 @@ func runScoreCmd(args []string, w io.Writer) error {
 	mf.Close()
 	if err != nil {
 		return fmt.Errorf("loading %s: %w", *modelPath, err)
+	}
+	if *workers > 0 {
+		model = model.WithWorkers(*workers)
 	}
 
 	var r io.Reader = os.Stdin

@@ -1,0 +1,215 @@
+package lof
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"lof/internal/geom"
+)
+
+// TestExplicitVAFileErrorSurfaces pins the buildIndex contract: an
+// explicitly requested VA-file that cannot be built must error out, not
+// silently degrade to a linear scan.
+func TestExplicitVAFileErrorSurfaces(t *testing.T) {
+	pts, err := toPoints(clusterPlusOutlier(3, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only metrics reachable through Config are all VA-file-compatible,
+	// so drive buildIndex directly with one that is not (Minkowski has no
+	// rectangle upper bound).
+	d := &Detector{cfg: Config{Index: IndexVAFile}, metric: geom.Minkowski{P: 3}}
+	if _, err := d.buildIndex(pts); err == nil {
+		t.Fatal("explicitly requested vafile with an unsupported metric built without error; must surface the failure")
+	}
+	// Auto-selection may still degrade: same metric, Index left to Auto.
+	auto := &Detector{cfg: Config{Index: IndexAuto}, metric: geom.Minkowski{P: 3}}
+	hd := geom.NewPoints(20, 0)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 30; i++ {
+		p := make(geom.Point, 20)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		if err := hd.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := auto.buildIndex(hd) // dim 20 auto-selects vafile
+	if err != nil {
+		t.Fatalf("auto-selected vafile fallback errored: %v", err)
+	}
+	if ix == nil {
+		t.Fatal("auto-selection returned no index")
+	}
+}
+
+// TestExplicitVAFileStillWorks guards against over-correcting: a supported
+// metric with an explicit VA-file request keeps fitting.
+func TestExplicitVAFileStillWorks(t *testing.T) {
+	det, err := New(Config{MinPts: 5, Index: IndexVAFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Fit(clusterPlusOutlier(5, 80)); err != nil {
+		t.Fatalf("explicit vafile fit with euclidean metric failed: %v", err)
+	}
+}
+
+// TestConfigWeightsNotAliased pins the defensive-copy contract of
+// Detector.Config and Model.Config: callers cannot reach the live weights.
+func TestConfigWeightsNotAliased(t *testing.T) {
+	orig := []float64{1, 2}
+	det, err := New(Config{MinPts: 5, Weights: orig})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutating the slice passed to New must not affect the detector.
+	orig[0] = 999
+	if got := det.Config().Weights[0]; got != 1 {
+		t.Fatalf("detector weights follow the caller's slice after New: got %v, want 1", got)
+	}
+
+	// Mutating the slice returned by Config must not affect the detector.
+	det.Config().Weights[1] = -7
+	if got := det.Config().Weights[1]; got != 2 {
+		t.Fatalf("Detector.Config leaks its live weights slice: got %v, want 2", got)
+	}
+
+	rng := rand.New(rand.NewSource(6))
+	data := make([][]float64, 60)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	if _, err := det.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	m := det.Model()
+	m.Config().Weights[0] = -1
+	if got := m.Config().Weights[0]; got != 1 {
+		t.Fatalf("Model.Config leaks its live weights slice: got %v, want 1", got)
+	}
+}
+
+// TestStreamBoundsChecks pins the Stream accessor contract: out-of-range
+// indices score NaN like deleted points, and Remove returns a descriptive
+// error instead of panicking.
+func TestStreamBoundsChecks(t *testing.T) {
+	s, err := NewStream(2, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 10; i++ {
+		if _, err := s.Insert([]float64{rng.NormFloat64(), rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range []int{-1, 10, 1 << 30} {
+		if got := s.Score(i); !math.IsNaN(got) {
+			t.Errorf("Score(%d) = %v, want NaN", i, got)
+		}
+		if err := s.Remove(i); err == nil {
+			t.Errorf("Remove(%d) succeeded, want descriptive error", i)
+		}
+	}
+	// In-range behavior unchanged: live scores finite-or-Inf, removal
+	// tombstones to NaN, double removal errors.
+	if got := s.Score(4); math.IsNaN(got) {
+		t.Fatal("live point scores NaN")
+	}
+	if err := s.Remove(4); err != nil {
+		t.Fatalf("Remove(4): %v", err)
+	}
+	if got := s.Score(4); !math.IsNaN(got) {
+		t.Fatalf("removed point scores %v, want NaN", got)
+	}
+	if err := s.Remove(4); err == nil {
+		t.Fatal("double Remove succeeded, want error")
+	}
+}
+
+// TestDetectorConcurrentFitScoreModel exercises the documented atomic-swap
+// contract under contention: Fit, Score, ScoreBatch and Model racing on
+// one Detector must be safe (run under -race) and every observed model
+// must be internally consistent.
+func TestDetectorConcurrentFitScoreModel(t *testing.T) {
+	det, err := New(Config{MinPtsLB: 3, MinPtsUB: 6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataA := clusterPlusOutlier(11, 50)
+	dataB := clusterPlusOutlier(12, 70)
+	if _, err := det.Fit(dataA); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 30
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4*rounds)
+	wg.Add(4)
+	go func() { // refitter, alternating datasets
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			data := dataA
+			if i%2 == 1 {
+				data = dataB
+			}
+			if _, err := det.Fit(data); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	go func() { // single-point scorer
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := det.Score([]float64{30, 30}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	go func() { // batch scorer
+		defer wg.Done()
+		queries := [][]float64{{0, 0}, {30, 30}, {-5, 2}}
+		for i := 0; i < rounds; i++ {
+			scores, err := det.ScoreBatch(queries)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if len(scores) != len(queries) {
+				errCh <- fmt.Errorf("got %d scores for %d queries", len(scores), len(queries))
+				return
+			}
+		}
+	}()
+	go func() { // model observer
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			m := det.Model()
+			if m == nil {
+				continue
+			}
+			// A model observed mid-refit must still answer consistently.
+			if _, err := m.Score([]float64{1, 1}); err != nil {
+				errCh <- err
+				return
+			}
+			if m.Len() != len(dataA) && m.Len() != len(dataB) {
+				errCh <- fmt.Errorf("observed model with %d objects, want %d or %d", m.Len(), len(dataA), len(dataB))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"lof/internal/index"
 	"lof/internal/matdb"
+	"lof/internal/pool"
 )
 
 // ReachDist computes reach-dist_k(p, o) = max(k-distance(o), d(p, o))
@@ -29,34 +30,45 @@ func LRDs(db *matdb.DB, minPts int) ([]float64, error) {
 	if err := db.CheckMinPts(minPts); err != nil {
 		return nil, err
 	}
+	return lrdsChunked(db, minPts, nil), nil
+}
+
+// lrdsChunked is the scan body of LRDs, chunked over a worker pool (nil
+// for sequential). Every chunk writes only its own indices, so the output
+// is bit-identical to a sequential run.
+func lrdsChunked(db *matdb.DB, minPts int, p *pool.Pool) []float64 {
 	n := db.Len()
 	// Gather every point's MinPts-distance first: the reachability loop
 	// below reads neighbors' k-distances in random order, and a dense
 	// float64 array keeps those reads cache-resident.
 	kd := make([]float64, n)
-	for i := 0; i < n; i++ {
-		kd[i] = db.KDistance(i, minPts)
-	}
+	p.Chunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			kd[i] = db.KDistance(i, minPts)
+		}
+	})
 	lrds := make([]float64, n)
-	for i := 0; i < n; i++ {
-		nn := db.Neighborhood(i, minPts)
-		if len(nn) == 0 {
-			// No neighbors at all (single point): density undefined, use +Inf
-			// so the point never looks outlying.
-			lrds[i] = math.Inf(1)
-			continue
+	p.Chunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			nn := db.Neighborhood(i, minPts)
+			if len(nn) == 0 {
+				// No neighbors at all (single point): density undefined, use
+				// +Inf so the point never looks outlying.
+				lrds[i] = math.Inf(1)
+				continue
+			}
+			var sum float64
+			for _, nb := range nn {
+				sum += ReachDist(kd[nb.Index], nb.Dist)
+			}
+			if sum == 0 {
+				lrds[i] = math.Inf(1)
+				continue
+			}
+			lrds[i] = float64(len(nn)) / sum
 		}
-		var sum float64
-		for _, nb := range nn {
-			sum += ReachDist(kd[nb.Index], nb.Dist)
-		}
-		if sum == 0 {
-			lrds[i] = math.Inf(1)
-			continue
-		}
-		lrds[i] = float64(len(nn)) / sum
-	}
-	return lrds, nil
+	})
+	return lrds
 }
 
 // LRDsRaw computes local densities like LRDs but from raw distances
@@ -101,21 +113,29 @@ func LOFsFromLRDs(db *matdb.DB, minPts int, lrds []float64) ([]float64, error) {
 	if len(lrds) != db.Len() {
 		return nil, fmt.Errorf("core: %d densities for %d points", len(lrds), db.Len())
 	}
+	return lofsFromLRDsChunked(db, minPts, lrds, nil), nil
+}
+
+// lofsFromLRDsChunked is the scan body of LOFsFromLRDs, chunked over a
+// worker pool (nil for sequential).
+func lofsFromLRDsChunked(db *matdb.DB, minPts int, lrds []float64, p *pool.Pool) []float64 {
 	n := db.Len()
 	lofs := make([]float64, n)
-	for i := 0; i < n; i++ {
-		nn := db.Neighborhood(i, minPts)
-		if len(nn) == 0 {
-			lofs[i] = 1 // isolated by construction; nothing to compare against
-			continue
+	p.Chunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			nn := db.Neighborhood(i, minPts)
+			if len(nn) == 0 {
+				lofs[i] = 1 // isolated by construction; nothing to compare against
+				continue
+			}
+			var sum float64
+			for _, nb := range nn {
+				sum += densityRatio(lrds[nb.Index], lrds[i])
+			}
+			lofs[i] = sum / float64(len(nn))
 		}
-		var sum float64
-		for _, nb := range nn {
-			sum += densityRatio(lrds[nb.Index], lrds[i])
-		}
-		lofs[i] = sum / float64(len(nn))
-	}
-	return lofs, nil
+	})
+	return lofs
 }
 
 // densityRatio returns lrdO / lrdP with infinity semantics.
@@ -136,11 +156,16 @@ func densityRatio(lrdO, lrdP float64) float64 {
 // LOFs runs both scans for one MinPts value and returns the LOF of every
 // point.
 func LOFs(db *matdb.DB, minPts int) ([]float64, error) {
-	lrds, err := LRDs(db, minPts)
-	if err != nil {
+	if err := db.CheckMinPts(minPts); err != nil {
 		return nil, err
 	}
-	return LOFsFromLRDs(db, minPts, lrds)
+	return lofsChunked(db, minPts, nil), nil
+}
+
+// lofsChunked runs both scans for one pre-validated MinPts value over a
+// worker pool (nil for sequential).
+func lofsChunked(db *matdb.DB, minPts int, p *pool.Pool) []float64 {
+	return lofsFromLRDsChunked(db, minPts, lrdsChunked(db, minPts, p), p)
 }
 
 // NaiveLOFs computes LOFs for one MinPts value directly against a kNN

@@ -7,6 +7,7 @@ import (
 	"lof/internal/geom"
 	"lof/internal/index"
 	"lof/internal/matdb"
+	"lof/internal/pool"
 )
 
 // Scorer computes out-of-sample LOF values against a fitted model: the
@@ -24,6 +25,8 @@ type Scorer struct {
 	db     *matdb.DB
 	metric geom.Metric
 	lb, ub int
+	// pool, when non-nil, parallelizes ScoreSeries across MinPts values.
+	pool *pool.Pool
 }
 
 // NewScorer validates the model pieces and returns a Scorer for the
@@ -50,65 +53,120 @@ func NewScorer(pts *geom.Points, ix index.Index, db *matdb.DB, metric geom.Metri
 // MinPtsRange returns the swept [lb, ub].
 func (s *Scorer) MinPtsRange() (lb, ub int) { return s.lb, s.ub }
 
+// WithPool returns a copy of the scorer whose ScoreSeries parallelizes its
+// per-MinPts computations over p. A nil pool keeps the sequential path;
+// either way the results are bit-identical.
+func (s *Scorer) WithPool(p *pool.Pool) *Scorer {
+	c := *s
+	c.pool = p
+	return &c
+}
+
 // ScoreSeries returns the query point's LOF at every MinPts value in the
 // scorer's range, in ascending MinPts order — the out-of-sample analogue
 // of Sweep restricted to one point. q must have the model's
 // dimensionality; coordinate validation is the caller's concern.
+//
+// Merged rows are MinPts-independent and every row the computation touches
+// lies within two hops of q, so the cache is built once up front; the
+// per-MinPts values are then independent of each other and run across the
+// scorer's pool, each writing only its own output slot.
 func (s *Scorer) ScoreSeries(q geom.Point) ([]float64, error) {
 	if len(q) != s.pts.Dim() {
 		return nil, fmt.Errorf("core: query has %d dimensions, model has %d", len(q), s.pts.Dim())
 	}
 	qIdx := s.pts.Len() // the row number q would receive in a refit
 	qRow := s.db.QueryRow(s.pts, s.ix, q)
+	rows := s.mergedRows(q, qIdx, qRow)
+	out := make([]float64, s.ub-s.lb+1)
+	s.pool.Each(len(out), func(j int) {
+		out[j] = s.scoreAt(q, qIdx, qRow, rows, s.lb+j)
+	})
+	return out, nil
+}
 
-	// Merged rows are MinPts-independent, so one cache serves the whole
-	// sweep. Every row touched is within two hops of q.
+// mergedRows builds the merged-row cache for q: the rows of q's
+// ub-neighborhood (whose densities enter q's LOF) and of their merged
+// neighbors (whose k-distances enter those densities). Neighborhoods at
+// MinPts ≤ ub are subsets of the ub-neighborhood, so this closure covers
+// every MinPts value in the range. Row computations are independent and
+// run across the pool into write-indexed slots; the map itself is
+// assembled sequentially and read-only afterwards.
+func (s *Scorer) mergedRows(q geom.Point, qIdx int, qRow matdb.Row) map[int]matdb.Row {
 	rows := make(map[int]matdb.Row)
-	mergedRow := func(i int) matdb.Row {
+	fill := func(need []int) []matdb.Row {
+		got := make([]matdb.Row, len(need))
+		s.pool.Each(len(need), func(j int) {
+			i := need[j]
+			got[j] = s.db.MergedRow(s.pts, i, q, qIdx, s.metric.Distance(s.pts.At(i), q))
+		})
+		for j, i := range need {
+			rows[i] = got[j]
+		}
+		return got
+	}
+	seen := make(map[int]bool)
+	collect := func(nn []index.Neighbor) []int {
+		var need []int
+		for _, nb := range nn {
+			if nb.Index != qIdx && !seen[nb.Index] {
+				seen[nb.Index] = true
+				need = append(need, nb.Index)
+			}
+		}
+		return need
+	}
+	hop1 := fill(collect(qRow.Neighborhood(s.ub)))
+	var second []int
+	for _, r := range hop1 {
+		second = append(second, collect(r.Neighborhood(s.ub))...)
+	}
+	fill(second)
+	return rows
+}
+
+// scoreAt computes q's LOF at one MinPts value from the precomputed cache —
+// the same arithmetic, in the same order, as a sequential evaluation.
+func (s *Scorer) scoreAt(q geom.Point, qIdx int, qRow matdb.Row, rows map[int]matdb.Row, minPts int) float64 {
+	// rowOf falls back to an on-the-fly computation for rows outside the
+	// precomputed closure; this cannot happen for well-formed databases but
+	// keeps a cache miss a slowdown instead of a wrong answer.
+	rowOf := func(i int) matdb.Row {
 		if r, ok := rows[i]; ok {
 			return r
 		}
-		r := s.db.MergedRow(s.pts, i, q, qIdx, s.metric.Distance(s.pts.At(i), q))
-		rows[i] = r
-		return r
+		return s.db.MergedRow(s.pts, i, q, qIdx, s.metric.Distance(s.pts.At(i), q))
 	}
-	kdistAt := func(i, minPts int) float64 {
+	kdistAt := func(i int) float64 {
 		if i == qIdx {
 			return qRow.KDistance(minPts)
 		}
-		return mergedRow(i).KDistance(minPts)
+		return rowOf(i).KDistance(minPts)
 	}
 	// lrdOf computes Definition 6 over a row in data ∪ {q}.
-	lrdOf := func(nn []index.Neighbor, minPts int) float64 {
+	lrdOf := func(nn []index.Neighbor) float64 {
 		if len(nn) == 0 {
 			return math.Inf(1)
 		}
 		var sum float64
 		for _, nb := range nn {
-			sum += ReachDist(kdistAt(nb.Index, minPts), nb.Dist)
+			sum += ReachDist(kdistAt(nb.Index), nb.Dist)
 		}
 		if sum == 0 {
 			return math.Inf(1)
 		}
 		return float64(len(nn)) / sum
 	}
-
-	out := make([]float64, 0, s.ub-s.lb+1)
-	for m := s.lb; m <= s.ub; m++ {
-		nq := qRow.Neighborhood(m)
-		if len(nq) == 0 {
-			out = append(out, 1) // isolated by construction
-			continue
-		}
-		lrdQ := lrdOf(nq, m)
-		var sum float64
-		for _, nb := range nq {
-			lrdO := lrdOf(mergedRow(nb.Index).Neighborhood(m), m)
-			sum += densityRatio(lrdO, lrdQ)
-		}
-		out = append(out, sum/float64(len(nq)))
+	nq := qRow.Neighborhood(minPts)
+	if len(nq) == 0 {
+		return 1 // isolated by construction
 	}
-	return out, nil
+	lrdQ := lrdOf(nq)
+	var sum float64
+	for _, nb := range nq {
+		sum += densityRatio(lrdOf(rowOf(nb.Index).Neighborhood(minPts)), lrdQ)
+	}
+	return sum / float64(len(nq))
 }
 
 // ScoreAggregate folds a ScoreSeries into one score with the given

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"lof/internal/matdb"
+	"lof/internal/pool"
 )
 
 // Aggregate selects how per-MinPts LOF values are folded into one score per
@@ -52,6 +53,18 @@ type SweepResult struct {
 // algorithm per value, exactly as the paper's step 2 ("the database M is
 // scanned twice for every value of MinPts between MinPtsLB and MinPtsUB").
 func Sweep(db *matdb.DB, lb, ub int) (*SweepResult, error) {
+	return SweepPool(db, lb, ub, nil)
+}
+
+// SweepPool is Sweep over a shared worker pool (nil for sequential). The
+// 2·(ub−lb+1) scans are embarrassingly independent across MinPts values,
+// so the sweep parallelizes along MinPts first; each scan additionally
+// chunks its per-point loops over the same pool, which picks up the slack
+// when the range is narrower than the pool (a single MinPts value still
+// uses every worker). Every goroutine writes only write-indexed slots and
+// no floating-point reduction is reordered, so the result is bit-identical
+// to the sequential computation.
+func SweepPool(db *matdb.DB, lb, ub int, p *pool.Pool) (*SweepResult, error) {
 	if lb > ub {
 		return nil, fmt.Errorf("core: MinPtsLB=%d exceeds MinPtsUB=%d", lb, ub)
 	}
@@ -61,15 +74,14 @@ func Sweep(db *matdb.DB, lb, ub int) (*SweepResult, error) {
 	if err := db.CheckMinPts(ub); err != nil {
 		return nil, err
 	}
-	res := &SweepResult{}
-	for m := lb; m <= ub; m++ {
-		lofs, err := LOFs(db, m)
-		if err != nil {
-			return nil, err
-		}
-		res.MinPts = append(res.MinPts, m)
-		res.Values = append(res.Values, lofs)
-	}
+	// lb and ub valid imply every MinPts in between is valid, so the scan
+	// bodies below cannot fail.
+	k := ub - lb + 1
+	res := &SweepResult{MinPts: make([]int, k), Values: make([][]float64, k)}
+	p.Each(k, func(j int) {
+		res.MinPts[j] = lb + j
+		res.Values[j] = lofsChunked(db, lb+j, p)
+	})
 	return res, nil
 }
 

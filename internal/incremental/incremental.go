@@ -64,17 +64,22 @@ func (d *Detector) Len() int { return d.live }
 // point indices run over [0, Size).
 func (d *Detector) Size() int { return d.pts.Len() }
 
-// Deleted reports whether point i has been removed.
-func (d *Detector) Deleted(i int) bool { return d.deleted[i] }
+// Deleted reports whether index i does not hold a live point: removed
+// points and out-of-range indices both report true.
+func (d *Detector) Deleted(i int) bool {
+	return i < 0 || i >= len(d.deleted) || d.deleted[i]
+}
 
 // LastAffected returns how many points the most recent Insert updated
 // (neighborhood, density or LOF) — including the inserted point.
 func (d *Detector) LastAffected() int { return d.lastAffected }
 
-// LOF returns point i's current LOF (NaN for deleted points). Before
-// minPts+1 points exist, every LOF is 1 (no meaningful neighborhood).
+// LOF returns point i's current LOF (NaN for deleted points and
+// out-of-range indices, matching the documented "no such live point"
+// behavior instead of panicking). Before minPts+1 points exist, every LOF
+// is 1 (no meaningful neighborhood).
 func (d *Detector) LOF(i int) float64 {
-	if d.deleted[i] {
+	if d.Deleted(i) {
 		return math.NaN()
 	}
 	return d.lof[i]
@@ -148,7 +153,7 @@ func (d *Detector) Insert(p geom.Point) (int, error) {
 // keep their index (subsequent points do not shift) and report NaN.
 func (d *Detector) Delete(i int) error {
 	if i < 0 || i >= d.pts.Len() {
-		return fmt.Errorf("incremental: point %d out of range", i)
+		return fmt.Errorf("incremental: point %d out of range [0, %d)", i, d.pts.Len())
 	}
 	if d.deleted[i] {
 		return fmt.Errorf("incremental: point %d already deleted", i)

@@ -288,3 +288,30 @@ func TestDeleteThenInsertReuse(t *testing.T) {
 		}
 	}
 }
+
+func TestAccessorBoundsChecks(t *testing.T) {
+	det, err := New(2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 8; i++ {
+		if _, err := det.Insert(geom.Point{rng.NormFloat64(), rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range []int{-1, 8, 1 << 40} {
+		if !det.Deleted(i) {
+			t.Errorf("Deleted(%d) = false, want true for out-of-range index", i)
+		}
+		if got := det.LOF(i); !math.IsNaN(got) {
+			t.Errorf("LOF(%d) = %v, want NaN", i, got)
+		}
+		if err := det.Delete(i); err == nil {
+			t.Errorf("Delete(%d) succeeded, want out-of-range error", i)
+		}
+	}
+	if det.Deleted(0) {
+		t.Error("Deleted(0) = true for a live point")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"lof/internal/geom"
 	"lof/internal/index"
+	"lof/internal/pool"
 )
 
 // DB is the materialization database: per point, the K-nearest neighbors
@@ -42,6 +43,7 @@ type Option func(*config)
 type config struct {
 	distinct bool
 	workers  int
+	pool     *pool.Pool
 }
 
 // Distinct switches neighborhoods to the k-distinct-distance semantics the
@@ -61,6 +63,11 @@ func Workers(n int) Option {
 		}
 	}
 }
+
+// WithPool runs materialization on a worker pool shared with the rest of
+// the pipeline, bounding the combined fan-out of nested parallel stages.
+// It supersedes Workers when both are given; a nil pool is sequential.
+func WithPool(p *pool.Pool) Option { return func(c *config) { c.pool = p } }
 
 // Materialize runs step 1 of the two-step algorithm: it computes the
 // K-nearest neighborhoods (with ties) of every indexed point using ix.
@@ -97,30 +104,11 @@ func Materialize(pts *geom.Points, ix index.Index, k int, opts ...Option) (*DB, 
 			db.Neighbors[i] = index.KNNWithTies(ix, pts.At(i), k, i)
 		}
 	}
-	if cfg.workers <= 1 {
-		for i := 0; i < n; i++ {
-			fill(i)
-		}
-		db.compact()
-		return db, nil
+	p := cfg.pool
+	if p == nil {
+		p = pool.New(cfg.workers)
 	}
-	work := make(chan int)
-	done := make(chan struct{})
-	for w := 0; w < cfg.workers; w++ {
-		go func() {
-			for i := range work {
-				fill(i)
-			}
-			done <- struct{}{}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	for w := 0; w < cfg.workers; w++ {
-		<-done
-	}
+	p.Each(n, fill)
 	db.compact()
 	return db, nil
 }

@@ -1,0 +1,122 @@
+// Package pool provides the bounded worker pool shared by every parallel
+// stage of the LOF pipeline: k-NN materialization (matdb.Materialize), the
+// MinPts sweep and its per-point scans (core.SweepPool), and out-of-sample
+// scoring (Model.ScoreBatch, core.Scorer). Sharing one pool across stages
+// bounds the total goroutine fan-out, so nested parallel regions — a batch
+// of queries each sweeping a MinPts range, or a sweep whose per-value scans
+// also chunk — cannot oversubscribe the configured worker count.
+//
+// The pool hands out "spare worker" tokens. Every parallel region runs on
+// the calling goroutine plus however many spare workers it can lend at that
+// moment; a nested region that finds no spare workers simply runs inline on
+// its caller. This makes nesting deadlock-free by construction: callers
+// always make progress, tokens only add concurrency.
+//
+// A nil *Pool is valid and means "sequential": every method runs the work
+// inline on the caller. Parallel execution is deterministic as long as
+// callers write results only to index-addressed locations, which is how the
+// whole pipeline uses it; the pool never reorders reductions itself.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds the number of goroutines concurrently running work across
+// all parallel regions that share it. The zero value is not useful; create
+// pools with New.
+type Pool struct {
+	size  int
+	spare chan struct{}
+}
+
+// New returns a pool that runs at most workers goroutines at once across
+// all regions sharing it. Worker counts below 2 return nil — the valid
+// "run everything inline" pool.
+func New(workers int) *Pool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &Pool{size: workers, spare: make(chan struct{}, workers-1)}
+	for i := 0; i < workers-1; i++ {
+		p.spare <- struct{}{}
+	}
+	return p
+}
+
+// Size returns the configured worker count; a nil pool has size 1.
+func (p *Pool) Size() int {
+	if p == nil {
+		return 1
+	}
+	return p.size
+}
+
+// Chunks splits [0, n) into at most Size() contiguous chunks and runs fn
+// on each. Chunk boundaries depend only on n and Size(), never on timing,
+// so callers that write results at index-addressed locations get output
+// identical to a sequential run. fn must not retain references past the
+// call; Chunks returns only after every chunk completes.
+func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := p.Size()
+	if chunks > n {
+		chunks = n
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	// Borrow whatever spare workers are free right now, up to one per
+	// chunk beyond the caller. Nested regions naturally find fewer (often
+	// zero) spares and degrade toward inline execution.
+	extra := 0
+	for extra < chunks-1 {
+		select {
+		case <-p.spare:
+			extra++
+			continue
+		default:
+		}
+		break
+	}
+	if extra == 0 {
+		fn(0, n)
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			fn(c*n/chunks, (c+1)*n/chunks)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	for i := 0; i < extra; i++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run() // the caller is always one of the workers
+	wg.Wait()
+	for i := 0; i < extra; i++ {
+		p.spare <- struct{}{}
+	}
+}
+
+// Each runs fn(i) for every i in [0, n), chunked across the pool.
+func (p *Pool) Each(n int, fn func(i int)) {
+	p.Chunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if got := p.Size(); got != 1 {
+		t.Fatalf("nil pool size = %d, want 1", got)
+	}
+	var calls []int
+	p.Each(5, func(i int) { calls = append(calls, i) })
+	for i, c := range calls {
+		if c != i {
+			t.Fatalf("nil pool visited %v, want ascending order", calls)
+		}
+	}
+	if len(calls) != 5 {
+		t.Fatalf("nil pool visited %d items, want 5", len(calls))
+	}
+}
+
+func TestNewSmallCountsAreNil(t *testing.T) {
+	for _, w := range []int{-1, 0, 1} {
+		if New(w) != nil {
+			t.Errorf("New(%d) != nil; small pools must collapse to the inline pool", w)
+		}
+	}
+}
+
+func TestChunksCoverEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			p := New(workers)
+			visited := make([]int32, n)
+			p.Chunks(n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visited[i], 1)
+				}
+			})
+			for i, v := range visited {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestChunkBoundariesAreDeterministic(t *testing.T) {
+	p := New(4)
+	record := func() [][2]int {
+		var mu sync.Mutex
+		var got [][2]int
+		p.Chunks(37, func(lo, hi int) {
+			mu.Lock()
+			got = append(got, [2]int{lo, hi})
+			mu.Unlock()
+		})
+		return got
+	}
+	a, b := record(), record()
+	if len(a) != len(b) {
+		t.Fatalf("chunk count varies across runs: %d vs %d", len(a), len(b))
+	}
+	seen := make(map[[2]int]bool)
+	for _, c := range a {
+		seen[c] = true
+	}
+	for _, c := range b {
+		if !seen[c] {
+			t.Fatalf("chunk %v appears in one run but not the other", c)
+		}
+	}
+}
+
+// TestNestedFanOutStaysBounded drives nested parallel regions and verifies
+// the combined concurrency never exceeds the pool size.
+func TestNestedFanOutStaysBounded(t *testing.T) {
+	const workers = 4
+	p := New(workers)
+	var cur, peak atomic.Int64
+	enter := func() {
+		c := cur.Add(1)
+		for {
+			pk := peak.Load()
+			if c <= pk || peak.CompareAndSwap(pk, c) {
+				break
+			}
+		}
+	}
+	p.Each(8, func(i int) {
+		p.Each(16, func(j int) {
+			enter()
+			defer cur.Add(-1)
+			// Busy-ish body so overlaps are observable.
+			s := 0
+			for k := 0; k < 2000; k++ {
+				s += k ^ j
+			}
+			_ = s
+		})
+	})
+	if pk := peak.Load(); pk > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", pk, workers)
+	}
+}
+
+// TestTokensAreReturned verifies repeated regions keep working (tokens are
+// released), including after nested use.
+func TestTokensAreReturned(t *testing.T) {
+	p := New(3)
+	for round := 0; round < 50; round++ {
+		total := atomic.Int64{}
+		p.Each(10, func(i int) {
+			p.Each(3, func(j int) { total.Add(1) })
+		})
+		if got := total.Load(); got != 30 {
+			t.Fatalf("round %d: ran %d units, want 30", round, got)
+		}
+	}
+	if got := len(p.spare); got != p.size-1 {
+		t.Fatalf("pool leaked tokens: %d spare, want %d", got, p.size-1)
+	}
+}
+
+func TestChunksDeterministicOutput(t *testing.T) {
+	p := New(5)
+	n := 503
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = float64(i) * 1.5
+	}
+	for round := 0; round < 20; round++ {
+		out := make([]float64, n)
+		p.Chunks(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = float64(i) * 1.5
+			}
+		})
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("round %d: out[%d] = %v, want %v", round, i, out[i], ref[i])
+			}
+		}
+	}
+}

@@ -197,7 +197,15 @@ type fitResponse struct {
 
 type scoreRequest struct {
 	Queries [][]float64 `json:"queries"`
+	// Workers, when positive, overrides the scoring pool width for this
+	// request only (1 = sequential). Zero keeps the model's fitted
+	// configuration.
+	Workers int `json:"workers,omitempty"`
 }
+
+// maxScoreWorkers caps the per-request workers override; a request cannot
+// conscript an unbounded number of goroutines.
+const maxScoreWorkers = 256
 
 type scoreResponse struct {
 	Scores []jsonFloat `json:"scores"`
@@ -313,6 +321,14 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
 		return
+	}
+	if req.Workers < 0 || req.Workers > maxScoreWorkers {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("workers must be in [0, %d], got %d", maxScoreWorkers, req.Workers))
+		return
+	}
+	if req.Workers > 0 {
+		m = m.WithWorkers(req.Workers)
 	}
 	scores, err := scoreChunked(r, m, req.Queries)
 	if err != nil {

@@ -28,6 +28,7 @@ package lof
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"lof/internal/core"
@@ -39,6 +40,7 @@ import (
 	"lof/internal/index/vafile"
 	"lof/internal/index/xtree"
 	"lof/internal/matdb"
+	"lof/internal/pool"
 )
 
 // IndexKind selects the spatial index used for the k-NN materialization
@@ -167,8 +169,11 @@ type Config struct {
 	// duplicate handling): local densities stay finite even when objects
 	// have MinPts or more exact duplicates.
 	Distinct bool
-	// Workers parallelizes the materialization step when > 1. Results are
-	// identical to the sequential computation.
+	// Workers sizes the bounded worker pool shared by the whole pipeline:
+	// k-NN materialization, the MinPts sweep's per-value and per-point
+	// loops, and out-of-sample scoring (Score and ScoreBatch). Zero means
+	// GOMAXPROCS; 1 forces fully sequential execution. Results are
+	// bit-identical to the sequential computation at every setting.
 	Workers int
 }
 
@@ -186,6 +191,9 @@ const (
 type Detector struct {
 	cfg    Config
 	metric geom.Metric
+	// pool is the bounded worker pool shared by every parallel stage of
+	// this detector's fits and scores; nil means sequential (Workers=1).
+	pool *pool.Pool
 	// model holds the fitted model of the latest Fit; atomic so scoring
 	// can race with a concurrent refit.
 	model atomic.Pointer[Model]
@@ -240,12 +248,33 @@ func New(cfg Config) (*Detector, error) {
 			return nil, err
 		}
 		m = wm
+		// Detach from the caller's slice so later mutations of it cannot
+		// desynchronize the stored config from the metric built above.
+		cfg.Weights = append([]float64(nil), cfg.Weights...)
 	}
-	return &Detector{cfg: cfg, metric: m}, nil
+	return &Detector{cfg: cfg, metric: m, pool: pool.New(effectiveWorkers(cfg.Workers))}, nil
+}
+
+// effectiveWorkers resolves the Workers config to a pool size: zero takes
+// every available CPU.
+func effectiveWorkers(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 // Config returns the detector's effective configuration (defaults applied).
-func (d *Detector) Config() Config { return d.cfg }
+// The returned value is a snapshot: mutating it — including its Weights
+// slice — does not affect the detector.
+func (d *Detector) Config() Config { return d.cfg.clone() }
+
+// clone returns a copy of the config that shares no mutable state with the
+// original.
+func (c Config) clone() Config {
+	c.Weights = append([]float64(nil), c.Weights...)
+	return c
+}
 
 // Fit computes LOF scores for data, one row per object. All rows must have
 // the same dimensionality, contain only finite values, and there must be
@@ -270,22 +299,19 @@ func (d *Detector) fitPoints(pts *geom.Points) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var opts []matdb.Option
+	opts := []matdb.Option{matdb.WithPool(d.pool)}
 	if d.cfg.Distinct {
 		opts = append(opts, matdb.Distinct())
-	}
-	if d.cfg.Workers > 1 {
-		opts = append(opts, matdb.Workers(d.cfg.Workers))
 	}
 	db, err := matdb.Materialize(pts, ix, d.cfg.MinPtsUB, opts...)
 	if err != nil {
 		return nil, err
 	}
-	sweep, err := core.Sweep(db, d.cfg.MinPtsLB, d.cfg.MinPtsUB)
+	sweep, err := core.SweepPool(db, d.cfg.MinPtsLB, d.cfg.MinPtsUB, d.pool)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{cfg: d.cfg, metric: d.metric, pts: pts, ix: ix, db: db, sweep: sweep}
+	res := &Result{cfg: d.cfg, metric: d.metric, pts: pts, ix: ix, db: db, sweep: sweep, pool: d.pool}
 	m, err := res.Model()
 	if err != nil {
 		return nil, err
@@ -348,8 +374,13 @@ func (d *Detector) buildIndex(pts *geom.Points) (index.Index, error) {
 	case IndexVAFile:
 		ix, err := vafile.New(pts, d.metric, 0)
 		if err != nil {
-			// The VA-file supports only the rectangle-boundable metrics;
-			// degrade to the always-correct scan.
+			// The VA-file supports only the rectangle-boundable metrics.
+			// Auto-selection may degrade to the always-correct scan, but an
+			// explicitly requested index must surface the failure instead
+			// of silently changing the performance class.
+			if d.cfg.Index == IndexVAFile {
+				return nil, fmt.Errorf("lof: building requested vafile index: %w", err)
+			}
 			return linear.New(pts, d.metric), nil
 		}
 		return ix, nil

@@ -6,13 +6,12 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
-	"sync"
 
 	"lof/internal/core"
 	"lof/internal/geom"
 	"lof/internal/index"
 	"lof/internal/matdb"
+	"lof/internal/pool"
 )
 
 // Model is an immutable fitted LOF model supporting out-of-sample
@@ -29,6 +28,9 @@ type Model struct {
 	ix     index.Index
 	db     *matdb.DB
 	scorer *core.Scorer
+	// pool bounds the combined fan-out of ScoreBatch's per-query workers
+	// and the scorer's per-MinPts workers.
+	pool *pool.Pool
 }
 
 // Model returns the fitted model behind this result. The model shares the
@@ -39,7 +41,27 @@ func (r *Result) Model() (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Model{cfg: r.cfg, metric: r.metric, pts: r.pts, ix: r.ix, db: r.db, scorer: sc}, nil
+	return &Model{
+		cfg: r.cfg, metric: r.metric, pts: r.pts, ix: r.ix, db: r.db,
+		scorer: sc.WithPool(r.pool), pool: r.pool,
+	}, nil
+}
+
+// WithWorkers returns a model that shares this model's fitted state but
+// scores over its own pool of the given width: n > 1 sets that many
+// workers, n == 1 forces sequential scoring, and n <= 0 means GOMAXPROCS.
+// The receiver is unchanged, so serving code can derive per-request pools
+// from one shared model.
+func (m *Model) WithWorkers(n int) *Model {
+	if n <= 0 {
+		n = effectiveWorkers(0)
+	}
+	p := pool.New(n)
+	c := *m
+	c.cfg.Workers = n
+	c.pool = p
+	c.scorer = m.scorer.WithPool(p)
+	return &c
 }
 
 // WriteModel serializes the fitted model behind this result; see
@@ -58,8 +80,10 @@ func (m *Model) Len() int { return m.pts.Len() }
 // Dim returns the dimensionality of the fitted data.
 func (m *Model) Dim() int { return m.pts.Dim() }
 
-// Config returns the configuration the model was fitted under.
-func (m *Model) Config() Config { return m.cfg }
+// Config returns the configuration the model was fitted under. The
+// returned value is a snapshot: mutating it — including its Weights slice —
+// does not affect the model.
+func (m *Model) Config() Config { return m.cfg.clone() }
 
 // validateQuery rejects queries the scoring math would turn into silent
 // garbage: wrong dimensionality and non-finite coordinates.
@@ -110,11 +134,13 @@ func (m *Model) ScoreSeries(query []float64) (minPts []int, lofs []float64, err 
 	return minPts, lofs, nil
 }
 
-// ScoreBatch scores many query points over a bounded worker pool and
-// returns one aggregated LOF per query, in input order. The pool size is
-// Config.Workers, or GOMAXPROCS when unset. Every query is validated
-// before any scoring starts, so an invalid row fails the whole batch with
-// a descriptive error instead of poisoning part of the output.
+// ScoreBatch scores many query points over the model's bounded worker pool
+// and returns one aggregated LOF per query, in input order. The pool size
+// is Config.Workers (GOMAXPROCS when zero); per-query workers and each
+// query's per-MinPts workers draw from the same pool, so nested fan-out
+// never exceeds that bound. Every query is validated before any scoring
+// starts, so an invalid row fails the whole batch with a descriptive error
+// instead of poisoning part of the output.
 func (m *Model) ScoreBatch(queries [][]float64) ([]float64, error) {
 	for i, q := range queries {
 		if err := m.validateQuery(q); err != nil {
@@ -122,50 +148,14 @@ func (m *Model) ScoreBatch(queries [][]float64) ([]float64, error) {
 		}
 	}
 	out := make([]float64, len(queries))
-	workers := m.cfg.Workers
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	if workers <= 1 {
-		for i, q := range queries {
-			s, err := m.Score(q)
-			if err != nil {
-				return nil, fmt.Errorf("lof: batch row %d: %w", i, err)
-			}
-			out[i] = s
+	errs := make([]error, len(queries))
+	m.pool.Each(len(queries), func(i int) {
+		out[i], errs[i] = m.Score(queries[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("lof: batch row %d: %w", i, err)
 		}
-		return out, nil
-	}
-	var (
-		wg      sync.WaitGroup
-		errOnce sync.Once
-		firstEr error
-	)
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				s, err := m.Score(queries[i])
-				if err != nil {
-					errOnce.Do(func() { firstEr = fmt.Errorf("lof: batch row %d: %w", i, err) })
-					continue
-				}
-				out[i] = s
-			}
-		}()
-	}
-	for i := range queries {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	if firstEr != nil {
-		return nil, firstEr
 	}
 	return out, nil
 }
@@ -369,7 +359,13 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Model{cfg: cfg, metric: det.metric, pts: pts, ix: ix, db: db, scorer: sc}, nil
+	// Snapshots do not carry a Workers setting; restored models score over
+	// a GOMAXPROCS-wide pool (the Workers=0 default), adjustable with
+	// WithWorkers.
+	return &Model{
+		cfg: cfg, metric: det.metric, pts: pts, ix: ix, db: db,
+		scorer: sc.WithPool(det.pool), pool: det.pool,
+	}, nil
 }
 
 func boolByte(b bool) uint8 {

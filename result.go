@@ -9,6 +9,7 @@ import (
 	"lof/internal/index"
 	"lof/internal/matdb"
 	"lof/internal/optics"
+	"lof/internal/pool"
 )
 
 // Result holds the outcome of a Fit: the LOF of every object at every
@@ -21,6 +22,8 @@ type Result struct {
 	ix     index.Index
 	db     *matdb.DB
 	sweep  *core.SweepResult
+	// pool is inherited by models derived from this result.
+	pool *pool.Pool
 
 	// opticsOnce caches the OPTICS ordering behind ClusterContext.
 	opticsOnce     sync.Once

@@ -1,6 +1,7 @@
 #!/bin/sh
 # check.sh runs the full local quality gate: formatting, vet, build and
-# the race-enabled test suite. CI runs exactly this script.
+# the race-enabled test suite. CI runs the same checks as separate steps,
+# plus a pinned staticcheck and a benchmark smoke run.
 set -eu
 
 cd "$(dirname "$0")/.."

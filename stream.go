@@ -39,7 +39,8 @@ func (s *Stream) Insert(p []float64) (int, error) {
 // Len returns the number of inserted points.
 func (s *Stream) Len() int { return s.inner.Len() }
 
-// Score returns point i's current LOF.
+// Score returns point i's current LOF. Removed points and out-of-range
+// indices report NaN rather than panicking.
 func (s *Stream) Score(i int) float64 { return s.inner.LOF(i) }
 
 // Scores returns a copy of all current LOF values.
@@ -51,5 +52,6 @@ func (s *Stream) LastAffected() int { return s.inner.LastAffected() }
 
 // Remove deletes point i from the stream, updating all affected LOF
 // values. Indices of other points are unchanged; removed points report
-// NaN scores.
+// NaN scores. Out-of-range or already-removed indices return a
+// descriptive error.
 func (s *Stream) Remove(i int) error { return s.inner.Delete(i) }
