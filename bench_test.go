@@ -473,3 +473,33 @@ func BenchmarkScoreBatch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFitTraceOverhead compares a plain fit against the same fit with
+// Config.Trace enabled. The disabled-tracer path is the default and is
+// guarded separately by the deterministic zero-allocation test in
+// internal/obs; this benchmark makes the enabled-path cost visible so a
+// regression that slips timestamping into a hot loop shows up as a gap
+// between the two sub-benchmarks (expected: well under 1%, since spans
+// wrap whole phases, never per-point work).
+func BenchmarkFitTraceOverhead(b *testing.B) {
+	d := dataset.RandomClusters(benchSeed, 5000, 2, 8)
+	rows := make([][]float64, d.Len())
+	for i := range rows {
+		rows[i] = d.Points.At(i)
+	}
+	for _, traced := range []bool{false, true} {
+		b.Run(fmt.Sprintf("traced=%v", traced), func(b *testing.B) {
+			det, err := lof.New(lof.Config{MinPtsLB: 10, MinPtsUB: 20, Trace: traced})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Fit(rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}

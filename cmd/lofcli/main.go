@@ -27,6 +27,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"lof"
 	"lof/internal/dataset"
@@ -59,6 +60,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 		saveModel = flag.String("save-model", "", "write a binary model snapshot for out-of-sample scoring")
 		workers   = flag.Int("workers", 0, "worker pool width for fit and scoring (0 = all CPUs, 1 = sequential)")
+		stats     = flag.Bool("stats", false, "trace the fit and print a per-phase timing breakdown")
 	)
 	flag.Parse()
 
@@ -69,7 +71,7 @@ func main() {
 		top: *top, threshold: *threshold,
 		distinct: *distinct, allScores: *allScores, explain: *explain,
 		weights: *weights, jsonOut: *jsonOut, saveModel: *saveModel,
-		workers: *workers,
+		workers: *workers, stats: *stats,
 	}
 	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "lofcli: %v\n", err)
@@ -96,6 +98,7 @@ type options struct {
 	jsonOut            bool
 	saveModel          string
 	workers            int
+	stats              bool
 }
 
 func run(w io.Writer, o options) error {
@@ -122,7 +125,7 @@ func run(w io.Writer, o options) error {
 		return err
 	}
 
-	cfg := lof.Config{Metric: metric, Distinct: distinct, Workers: o.workers}
+	cfg := lof.Config{Metric: metric, Distinct: distinct, Workers: o.workers, Trace: o.stats}
 	if o.weights != "" {
 		ws, err := parseWeights(o.weights)
 		if err != nil {
@@ -150,10 +153,12 @@ func run(w io.Writer, o options) error {
 	for i := range rows {
 		rows[i] = d.Points.At(i)
 	}
+	fitStart := time.Now()
 	res, err := det.Fit(rows)
 	if err != nil {
 		return err
 	}
+	fitWall := time.Since(fitStart)
 
 	if o.saveModel != "" {
 		if err := writeModelFile(res, o.saveModel); err != nil {
@@ -162,11 +167,14 @@ func run(w io.Writer, o options) error {
 	}
 
 	if o.jsonOut {
-		return writeJSON(w, d, res, top, threshold)
+		return writeJSON(w, d, res, top, threshold, o.stats, fitWall)
 	}
 	if allScores {
 		for i, s := range res.Scores() {
 			fmt.Fprintf(w, "%s,%.6f\n", d.Label(i), s)
+		}
+		if o.stats {
+			return writeStats(w, res, fitWall)
 		}
 		return nil
 	}
@@ -194,7 +202,20 @@ func run(w io.Writer, o options) error {
 			fmt.Fprintf(w, "      %8.3f  %s\n", o.Score, d.Label(o.Index))
 		}
 	}
+	if o.stats {
+		return writeStats(w, res, fitWall)
+	}
 	return nil
+}
+
+// writeStats prints the traced fit's phase breakdown after the report.
+// Scores() runs the aggregate phase, so the table is rendered after the
+// report has forced it.
+func writeStats(w io.Writer, res *lof.Result, fitWall time.Duration) error {
+	if _, err := fmt.Fprintf(w, "\nfit wall clock: %v\n", fitWall); err != nil {
+		return err
+	}
+	return res.Stats().WriteTable(w)
 }
 
 // writeModelFile freezes the fitted model into a snapshot file.
@@ -305,6 +326,8 @@ type jsonReport struct {
 	Top       []jsonOutlier `json:"top,omitempty"`
 	Threshold float64       `json:"threshold,omitempty"`
 	Flagged   []jsonOutlier `json:"flagged,omitempty"`
+	FitNS     int64         `json:"fitNS,omitempty"`
+	Stats     *lof.RunStats `json:"stats,omitempty"`
 }
 
 type jsonOutlier struct {
@@ -313,7 +336,7 @@ type jsonOutlier struct {
 	Score float64 `json:"score"`
 }
 
-func writeJSON(w io.Writer, d *dataset.Dataset, res *lof.Result, top int, threshold float64) error {
+func writeJSON(w io.Writer, d *dataset.Dataset, res *lof.Result, top int, threshold float64, stats bool, fitWall time.Duration) error {
 	lb, ub := res.MinPtsRange()
 	rep := jsonReport{Objects: d.Len(), Dims: d.Dim(), MinPtsLB: lb, MinPtsUB: ub}
 	for _, o := range res.TopN(top) {
@@ -324,6 +347,10 @@ func writeJSON(w io.Writer, d *dataset.Dataset, res *lof.Result, top int, thresh
 		for _, o := range res.OutliersAbove(threshold) {
 			rep.Flagged = append(rep.Flagged, jsonOutlier{Index: o.Index, Label: d.Label(o.Index), Score: o.Score})
 		}
+	}
+	if stats {
+		rep.FitNS = int64(fitWall)
+		rep.Stats = res.Stats()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

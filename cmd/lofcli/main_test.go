@@ -287,3 +287,75 @@ func TestSaveModelAndScoreSubcommand(t *testing.T) {
 		t.Error("dimension mismatch accepted")
 	}
 }
+
+// TestRunStatsFlag pins the -stats output: a phase breakdown table after
+// the report, with the pipeline phases and counters present.
+func TestRunStatsFlag(t *testing.T) {
+	path := writeTestCSV(t, false)
+	o := baseOptions(path)
+	o.stats = true
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "fit wall clock:") {
+		t.Fatalf("missing wall clock line:\n%s", s)
+	}
+	for _, want := range []string{"PHASE", "ingest", "index_build", "materialize", "sweep", "aggregate", "total", "COUNTER", "knn_queries_total"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("stats table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunStatsJSON pins the machine-readable stats embedding.
+func TestRunStatsJSON(t *testing.T) {
+	path := writeTestCSV(t, false)
+	o := baseOptions(path)
+	o.stats = true
+	o.jsonOut = true
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		FitNS int64 `json:"fitNS"`
+		Stats *struct {
+			Phases []struct {
+				Name  string `json:"name"`
+				Count int64  `json:"count"`
+			} `json:"phases"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.FitNS <= 0 {
+		t.Fatalf("fitNS = %d, want > 0", rep.FitNS)
+	}
+	if rep.Stats == nil || len(rep.Stats.Phases) == 0 {
+		t.Fatalf("stats missing from JSON report:\n%s", out.String())
+	}
+	names := make(map[string]bool)
+	for _, p := range rep.Stats.Phases {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"ingest", "index_build", "materialize", "sweep"} {
+		if !names[want] {
+			t.Fatalf("JSON stats missing phase %q: %v", want, names)
+		}
+	}
+}
+
+// TestRunNoStatsByDefault keeps tracing opt-in.
+func TestRunNoStatsByDefault(t *testing.T) {
+	path := writeTestCSV(t, false)
+	var out bytes.Buffer
+	if err := run(&out, baseOptions(path)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "PHASE") {
+		t.Fatalf("stats table printed without -stats:\n%s", out.String())
+	}
+}

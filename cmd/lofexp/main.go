@@ -6,17 +6,24 @@
 //
 //	lofexp -exp all
 //	lofexp -exp ds1,fig7,soccer -seed 42
+//	lofexp -exp fig7 -stats
 //	lofexp -list
+//
+// With -stats, each experiment runs under a pipeline tracer and is
+// followed by a per-phase timing and counter breakdown of all the fits it
+// performed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
 	"lof/internal/exp"
+	"lof/internal/obs"
 )
 
 // experiment is one runnable experiment producing printable tables.
@@ -195,6 +202,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed for synthetic datasets")
 		quick    = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		listOnly = flag.Bool("list", false, "list available experiments and exit")
+		stats    = flag.Bool("stats", false, "print a pipeline phase/counter breakdown after each experiment")
 	)
 	flag.Parse()
 
@@ -231,7 +239,7 @@ func main() {
 	}
 
 	for _, e := range selected {
-		tables, err := e.run(*seed, *quick)
+		tables, snap, err := runExperiment(e, *seed, *quick, *stats)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lofexp: %s: %v\n", e.name, err)
 			os.Exit(1)
@@ -240,5 +248,50 @@ func main() {
 			t.Fprint(os.Stdout)
 			fmt.Println()
 		}
+		if snap != nil {
+			printStats(os.Stdout, e.name, snap)
+			fmt.Println()
+		}
+	}
+}
+
+// runExperiment runs one experiment, optionally under a fresh
+// process-default tracer. Experiments call the internal pipeline packages
+// directly rather than through a Config, so the default tracer is the
+// hook that observes them; it is cleared again before returning so traced
+// runs cannot leak into each other.
+func runExperiment(e experiment, seed int64, quick, stats bool) ([]*exp.Table, *obs.RunStats, error) {
+	if !stats {
+		tables, err := e.run(seed, quick)
+		return tables, nil, err
+	}
+	tr := obs.NewTracer()
+	obs.SetDefault(tr)
+	defer obs.SetDefault(nil)
+	tables, err := e.run(seed, quick)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tables, tr.Snapshot(), nil
+}
+
+// printStats renders a tracer snapshot as the experiment's phase and
+// counter breakdown.
+func printStats(w io.Writer, name string, snap *obs.RunStats) {
+	fmt.Fprintf(w, "## %s pipeline stats\n", name)
+	if len(snap.Phases) == 0 {
+		fmt.Fprintln(w, "no traced phases (experiment does not run the LOF pipeline)")
+		return
+	}
+	fmt.Fprintf(w, "%-14s %8s %10s %14s\n", "phase", "count", "items", "total")
+	for _, p := range snap.Phases {
+		indent := ""
+		if obs.Nested(p.Name) {
+			indent = "  "
+		}
+		fmt.Fprintf(w, "%-14s %8d %10d %14v\n", indent+p.Name, p.Count, p.Items, p.Total)
+	}
+	for _, c := range snap.Counters {
+		fmt.Fprintf(w, "%-33s %14d\n", c.Name, c.Value)
 	}
 }

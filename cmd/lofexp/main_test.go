@@ -1,7 +1,10 @@
 package main
 
 import (
+	"strings"
 	"testing"
+
+	"lof/internal/obs"
 )
 
 // Every registered experiment must run in quick mode and produce at least
@@ -36,5 +39,54 @@ func TestExperimentNamesUnique(t *testing.T) {
 		if e.desc == "" {
 			t.Fatalf("experiment %q lacks a description", e.name)
 		}
+	}
+}
+
+// TestRunExperimentStats pins the -stats path: a pipeline-running
+// experiment yields a snapshot with phases, and the process-default tracer
+// is cleared afterwards.
+func TestRunExperimentStats(t *testing.T) {
+	var target experiment
+	for _, e := range experiments() {
+		if e.name == "fig7" {
+			target = e
+		}
+	}
+	tables, snap, err := runExperiment(target, 42, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("no tables")
+	}
+	if snap == nil || len(snap.Phases) == 0 {
+		t.Fatalf("stats run produced no phases: %+v", snap)
+	}
+	found := false
+	for _, p := range snap.Phases {
+		if p.Name == obs.PhaseMaterialize {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("materialize phase missing from %+v", snap.Phases)
+	}
+	if obs.Default() != nil {
+		t.Fatal("default tracer not cleared after traced experiment")
+	}
+
+	var buf strings.Builder
+	printStats(&buf, target.name, snap)
+	if !strings.Contains(buf.String(), "materialize") || !strings.Contains(buf.String(), "phase") {
+		t.Fatalf("printed stats missing content:\n%s", buf.String())
+	}
+
+	// Without -stats no snapshot is produced.
+	_, snap, err = runExperiment(target, 42, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatal("untraced experiment produced a snapshot")
 	}
 }

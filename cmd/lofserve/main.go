@@ -5,18 +5,23 @@
 //	lofserve -addr :8080
 //	lofserve -addr :8080 -model model.bin          # preload a snapshot
 //	lofserve -max-inflight 128 -timeout 10s
+//	lofserve -pprof-addr 127.0.0.1:6060 -log-level debug
 //
 // Endpoints:
 //
-//	POST /v1/fit     fit a model from JSON data, replacing the current one
-//	POST /v1/score   score query points against the current model
-//	GET  /v1/model   current model summary
-//	GET  /healthz    liveness and model presence
-//	GET  /metrics    request/latency/batch counters
+//	POST /v1/fit        fit a model from JSON data, replacing the current one
+//	POST /v1/score      score query points against the current model
+//	GET  /v1/model      current model summary
+//	GET  /healthz       liveness and model presence
+//	GET  /metrics       Prometheus text-format metrics (per-route histograms)
+//	GET  /metrics.json  legacy JSON counter view
 //
 // The server sheds load above -max-inflight with 429 responses, bounds
 // each request by -timeout, and drains in-flight requests before exiting
-// on SIGTERM or SIGINT (up to -grace).
+// on SIGTERM or SIGINT (up to -grace). Logs are structured JSON lines on
+// stderr, one per request, filtered by -log-level. When -pprof-addr is
+// set, net/http/pprof profiling endpoints are served on that address on a
+// separate listener so profiling is never exposed on the API port.
 package main
 
 import (
@@ -25,8 +30,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +51,8 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 64, "concurrent requests before shedding with 429")
 		maxBatch    = flag.Int("max-batch", 100000, "maximum query points per score request")
 		grace       = flag.Duration("grace", 15*time.Second, "graceful shutdown drain budget")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (separate listener; empty disables)")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -51,7 +60,8 @@ func main() {
 	o := options{
 		addr: *addr, modelPath: *modelPath,
 		timeout: *timeout, maxInFlight: *maxInFlight, maxBatch: *maxBatch,
-		grace: *grace,
+		grace:     *grace,
+		pprofAddr: *pprofAddr, logLevel: *logLevel,
 	}
 	if err := run(ctx, o, os.Stderr, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "lofserve: %v\n", err)
@@ -68,17 +78,54 @@ type options struct {
 	maxInFlight int
 	maxBatch    int
 	grace       time.Duration
+	pprofAddr   string
+	logLevel    string
+}
+
+// parseLevel maps the -log-level flag to a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// pprofHandler builds an explicit mux for the profiling listener rather
+// than importing net/http/pprof for its DefaultServeMux side effect, so
+// nothing ever registers profiling routes on the API handler.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // run starts the server and blocks until ctx is cancelled (SIGTERM/SIGINT
 // in production), then shuts down gracefully, draining in-flight requests.
-// If ready is non-nil, the bound address is sent on it once the listener
-// is accepting connections.
-func run(ctx context.Context, o options, logw io.Writer, ready chan<- string) error {
+// If ready is non-nil, the bound API and pprof addresses are sent on it
+// once the listeners are accepting connections (pprof address empty when
+// disabled).
+func run(ctx context.Context, o options, logw io.Writer, ready chan<- [2]string) error {
+	level, err := parseLevel(o.logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewJSONHandler(logw, &slog.HandlerOptions{Level: level}))
 	srv := server.New(server.Config{
 		MaxInFlight:    o.maxInFlight,
 		RequestTimeout: o.timeout,
 		MaxBatch:       o.maxBatch,
+		Logger:         logger,
 	})
 	if o.modelPath != "" {
 		f, err := os.Open(o.modelPath)
@@ -91,11 +138,35 @@ func run(ctx context.Context, o options, logw io.Writer, ready chan<- string) er
 			return fmt.Errorf("loading %s: %w", o.modelPath, err)
 		}
 		srv.SetModel(m)
-		fmt.Fprintf(logw, "lofserve: loaded model: %d objects, %d dims\n", m.Len(), m.Dim())
+		logger.LogAttrs(ctx, slog.LevelInfo, "model loaded",
+			slog.String("path", o.modelPath),
+			slog.Int("objects", m.Len()),
+			slog.Int("dims", m.Dim()))
+	}
+
+	var pprofLn net.Listener
+	var pprofSrv *http.Server
+	pprofAddr := ""
+	if o.pprofAddr != "" {
+		pprofLn, err = net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pprofSrv = &http.Server{
+			Handler:           pprofHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go pprofSrv.Serve(pprofLn)
+		pprofAddr = pprofLn.Addr().String()
+		logger.LogAttrs(ctx, slog.LevelInfo, "pprof listening",
+			slog.String("addr", pprofAddr))
 	}
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
+		if pprofSrv != nil {
+			pprofSrv.Close()
+		}
 		return err
 	}
 	hs := &http.Server{
@@ -104,19 +175,27 @@ func run(ctx context.Context, o options, logw io.Writer, ready chan<- string) er
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Fprintf(logw, "lofserve: listening on %s\n", ln.Addr())
+	logger.LogAttrs(ctx, slog.LevelInfo, "listening",
+		slog.String("addr", ln.Addr().String()))
 	if ready != nil {
-		ready <- ln.Addr().String()
+		ready <- [2]string{ln.Addr().String(), pprofAddr}
 	}
 
 	select {
 	case err := <-errc:
+		if pprofSrv != nil {
+			pprofSrv.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintf(logw, "lofserve: shutting down, draining in-flight requests\n")
+	logger.LogAttrs(context.Background(), slog.LevelInfo, "shutting down",
+		slog.Duration("grace", o.grace))
 	shCtx, cancel := context.WithTimeout(context.Background(), o.grace)
 	defer cancel()
+	if pprofSrv != nil {
+		pprofSrv.Close()
+	}
 	if err := hs.Shutdown(shCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

@@ -22,7 +22,7 @@ func TestExplicitVAFileErrorSurfaces(t *testing.T) {
 	// so drive buildIndex directly with one that is not (Minkowski has no
 	// rectangle upper bound).
 	d := &Detector{cfg: Config{Index: IndexVAFile}, metric: geom.Minkowski{P: 3}}
-	if _, err := d.buildIndex(pts); err == nil {
+	if _, err := d.buildIndex(pts, nil); err == nil {
 		t.Fatal("explicitly requested vafile with an unsupported metric built without error; must surface the failure")
 	}
 	// Auto-selection may still degrade: same metric, Index left to Auto.
@@ -38,7 +38,7 @@ func TestExplicitVAFileErrorSurfaces(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ix, err := auto.buildIndex(hd) // dim 20 auto-selects vafile
+	ix, err := auto.buildIndex(hd, nil) // dim 20 auto-selects vafile
 	if err != nil {
 		t.Fatalf("auto-selected vafile fallback errored: %v", err)
 	}

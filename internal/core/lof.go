@@ -13,6 +13,7 @@ import (
 
 	"lof/internal/index"
 	"lof/internal/matdb"
+	"lof/internal/obs"
 	"lof/internal/pool"
 )
 
@@ -166,6 +167,21 @@ func LOFs(db *matdb.DB, minPts int) ([]float64, error) {
 // worker pool (nil for sequential).
 func lofsChunked(db *matdb.DB, minPts int, p *pool.Pool) []float64 {
 	return lofsFromLRDsChunked(db, minPts, lrdsChunked(db, minPts, p), p)
+}
+
+// lofsTraced is lofsChunked with each scan recorded as a nested phase span
+// on tr. The per-MinPts scans run concurrently inside the sweep, so these
+// spans measure busy time, not wall time; tr is nil-safe.
+func lofsTraced(db *matdb.DB, minPts int, p *pool.Pool, tr *obs.Tracer) []float64 {
+	sp := tr.Phase(obs.PhaseSweepLRD)
+	sp.AddItems(db.Len())
+	lrds := lrdsChunked(db, minPts, p)
+	sp.End()
+	sp = tr.Phase(obs.PhaseSweepLOF)
+	sp.AddItems(db.Len())
+	lofs := lofsFromLRDsChunked(db, minPts, lrds, p)
+	sp.End()
+	return lofs
 }
 
 // NaiveLOFs computes LOFs for one MinPts value directly against a kNN

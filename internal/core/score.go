@@ -7,6 +7,7 @@ import (
 	"lof/internal/geom"
 	"lof/internal/index"
 	"lof/internal/matdb"
+	"lof/internal/obs"
 	"lof/internal/pool"
 )
 
@@ -27,6 +28,8 @@ type Scorer struct {
 	lb, ub int
 	// pool, when non-nil, parallelizes ScoreSeries across MinPts values.
 	pool *pool.Pool
+	// tr, when non-nil, records score phases; nil is a no-op.
+	tr *obs.Tracer
 }
 
 // NewScorer validates the model pieces and returns a Scorer for the
@@ -62,6 +65,14 @@ func (s *Scorer) WithPool(p *pool.Pool) *Scorer {
 	return &c
 }
 
+// WithTracer returns a copy of the scorer that records score phases on t.
+// A nil t disables recording; the scores themselves are unaffected.
+func (s *Scorer) WithTracer(t *obs.Tracer) *Scorer {
+	c := *s
+	c.tr = t
+	return &c
+}
+
 // ScoreSeries returns the query point's LOF at every MinPts value in the
 // scorer's range, in ascending MinPts order — the out-of-sample analogue
 // of Sweep restricted to one point. q must have the model's
@@ -75,13 +86,21 @@ func (s *Scorer) ScoreSeries(q geom.Point) ([]float64, error) {
 	if len(q) != s.pts.Dim() {
 		return nil, fmt.Errorf("core: query has %d dimensions, model has %d", len(q), s.pts.Dim())
 	}
+	tr := obs.Resolve(s.tr)
+	total := tr.Phase(obs.PhaseScore)
+	total.AddItems(1)
+	sp := tr.Phase(obs.PhaseScoreKNN)
 	qIdx := s.pts.Len() // the row number q would receive in a refit
 	qRow := s.db.QueryRow(s.pts, s.ix, q)
+	sp.End()
+	sp = tr.Phase(obs.PhaseScoreMerge)
 	rows := s.mergedRows(q, qIdx, qRow)
+	sp.End()
 	out := make([]float64, s.ub-s.lb+1)
 	s.pool.Each(len(out), func(j int) {
 		out[j] = s.scoreAt(q, qIdx, qRow, rows, s.lb+j)
 	})
+	total.End()
 	return out, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"lof/internal/matdb"
+	"lof/internal/obs"
 	"lof/internal/pool"
 )
 
@@ -65,6 +66,14 @@ func Sweep(db *matdb.DB, lb, ub int) (*SweepResult, error) {
 // no floating-point reduction is reordered, so the result is bit-identical
 // to the sequential computation.
 func SweepPool(db *matdb.DB, lb, ub int, p *pool.Pool) (*SweepResult, error) {
+	return SweepPoolTraced(db, lb, ub, p, nil)
+}
+
+// SweepPoolTraced is SweepPool with phase tracing: the whole sweep is one
+// top-level span on tr, and each per-MinPts scan records nested sweep/lrd
+// and sweep/lof busy-time spans. A nil tr falls back to the process-default
+// tracer and degrades to exactly SweepPool when that is nil too.
+func SweepPoolTraced(db *matdb.DB, lb, ub int, p *pool.Pool, tr *obs.Tracer) (*SweepResult, error) {
 	if lb > ub {
 		return nil, fmt.Errorf("core: MinPtsLB=%d exceeds MinPtsUB=%d", lb, ub)
 	}
@@ -74,14 +83,18 @@ func SweepPool(db *matdb.DB, lb, ub int, p *pool.Pool) (*SweepResult, error) {
 	if err := db.CheckMinPts(ub); err != nil {
 		return nil, err
 	}
+	tr = obs.Resolve(tr)
 	// lb and ub valid imply every MinPts in between is valid, so the scan
 	// bodies below cannot fail.
 	k := ub - lb + 1
 	res := &SweepResult{MinPts: make([]int, k), Values: make([][]float64, k)}
+	sp := tr.Phase(obs.PhaseSweep)
+	sp.AddItems(k)
 	p.Each(k, func(j int) {
 		res.MinPts[j] = lb + j
-		res.Values[j] = lofsChunked(db, lb+j, p)
+		res.Values[j] = lofsTraced(db, lb+j, p, tr)
 	})
+	sp.End()
 	return res, nil
 }
 

@@ -1,0 +1,46 @@
+package index
+
+import (
+	"sync/atomic"
+
+	"lof/internal/geom"
+)
+
+// Counting wraps an Index and counts queries issued through it. The fit
+// pipeline installs it when tracing is enabled so run stats can report how
+// many kNN and range probes the materialization actually cost — the
+// quantity the paper's Section 7 index comparison is about. Counters are
+// atomic, keeping the wrapped index safe for concurrent queries.
+type Counting struct {
+	Index
+	knn, rng atomic.Int64
+}
+
+// NewCounting wraps ix; a nil ix returns nil.
+func NewCounting(ix Index) *Counting {
+	if ix == nil {
+		return nil
+	}
+	return &Counting{Index: ix}
+}
+
+// KNN counts the query and delegates to the wrapped index.
+func (c *Counting) KNN(q geom.Point, k int, exclude int) []Neighbor {
+	c.knn.Add(1)
+	return c.Index.KNN(q, k, exclude)
+}
+
+// Range counts the query and delegates to the wrapped index.
+func (c *Counting) Range(q geom.Point, r float64, exclude int) []Neighbor {
+	c.rng.Add(1)
+	return c.Index.Range(q, r, exclude)
+}
+
+// KNNQueries returns the number of KNN calls observed.
+func (c *Counting) KNNQueries() int64 { return c.knn.Load() }
+
+// RangeQueries returns the number of Range calls observed.
+func (c *Counting) RangeQueries() int64 { return c.rng.Load() }
+
+// Unwrap returns the underlying index.
+func (c *Counting) Unwrap() Index { return c.Index }

@@ -15,6 +15,7 @@ import (
 
 	"lof/internal/geom"
 	"lof/internal/index"
+	"lof/internal/obs"
 	"lof/internal/pool"
 )
 
@@ -44,6 +45,7 @@ type config struct {
 	distinct bool
 	workers  int
 	pool     *pool.Pool
+	tracer   *obs.Tracer
 }
 
 // Distinct switches neighborhoods to the k-distinct-distance semantics the
@@ -68,6 +70,11 @@ func Workers(n int) Option {
 // the pipeline, bounding the combined fan-out of nested parallel stages.
 // It supersedes Workers when both are given; a nil pool is sequential.
 func WithPool(p *pool.Pool) Option { return func(c *config) { c.pool = p } }
+
+// WithTracer records the materialization phase on t. A nil t falls back to
+// the process-default tracer (obs.Default), which is itself nil — and thus
+// a no-op — unless a -stats style caller installed one.
+func WithTracer(t *obs.Tracer) Option { return func(c *config) { c.tracer = t } }
 
 // Materialize runs step 1 of the two-step algorithm: it computes the
 // K-nearest neighborhoods (with ties) of every indexed point using ix.
@@ -108,8 +115,14 @@ func Materialize(pts *geom.Points, ix index.Index, k int, opts ...Option) (*DB, 
 	if p == nil {
 		p = pool.New(cfg.workers)
 	}
+	sp := obs.Resolve(cfg.tracer).Phase(obs.PhaseMaterialize)
+	sp.AddItems(n)
 	p.Each(n, fill)
 	db.compact()
+	sp.End()
+	if cfg.distinct {
+		obs.Resolve(cfg.tracer).Count(obs.CounterDistinct, 1)
+	}
 	return db, nil
 }
 

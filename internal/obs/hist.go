@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are the fixed histogram bounds, in seconds, used
+// for both pipeline phases and HTTP request latencies. They span sub-ms
+// span bookkeeping up to multi-second fits on large datasets.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram with atomic counters,
+// safe for concurrent Observe and Snapshot. Bounds are upper bucket
+// edges in seconds; observations above the last bound land in the
+// implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sumNS  atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds
+// (seconds). The bounds slice is not copied and must not be mutated.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, sec)
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative); the entry past the last bound is the +Inf
+// bucket, so the total observation count is the sum of Counts. Counts and
+// Sum are read bucket-by-bucket and may tear slightly against each other
+// under concurrent Observe, but each individual counter is consistent and
+// the cumulative-bucket invariant holds by construction.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Sum    time.Duration
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    time.Duration(h.sumNS.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Count is the total number of observations in the snapshot.
+func (s HistogramSnapshot) Count() int64 {
+	var n int64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// PromWriter emits Prometheus text exposition format (version 0.0.4).
+// Methods append to w in call order; callers group samples by family.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error encountered, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Family writes the # HELP and # TYPE header for a metric family.
+// typ is "counter", "gauge" or "histogram".
+func (p *PromWriter) Family(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample writes one sample line. labels alternate key, value; values are
+// escaped per the text format.
+func (p *PromWriter) Sample(name string, value float64, labels ...string) {
+	p.printf("%s%s %s\n", name, labelSet(labels), formatValue(value))
+}
+
+// IntSample writes one sample line with an integer value.
+func (p *PromWriter) IntSample(name string, value int64, labels ...string) {
+	p.printf("%s%s %d\n", name, labelSet(labels), value)
+}
+
+// Histo writes the _bucket/_sum/_count series for one histogram snapshot,
+// with the given extra labels on every line. Bucket counts are emitted
+// cumulatively, as the format requires.
+func (p *PromWriter) Histo(name string, s HistogramSnapshot, labels ...string) {
+	var cum int64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		p.printf("%s_bucket%s %d\n", name, labelSet(append(labels, "le", formatValue(b))), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	p.printf("%s_bucket%s %d\n", name, labelSet(append(labels, "le", "+Inf")), cum)
+	p.printf("%s_sum%s %s\n", name, labelSet(labels), formatValue(s.Sum.Seconds()))
+	p.printf("%s_count%s %d\n", name, labelSet(labels), cum)
+}
+
+func labelSet(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -29,6 +29,44 @@ import (
 type Pool struct {
 	size  int
 	spare chan struct{}
+
+	tasks   atomic.Int64 // parallel regions entered (Chunks calls with n > 0)
+	chunks  atomic.Int64 // chunks dispatched, including inline single-chunk runs
+	borrows atomic.Int64 // spare-worker tokens borrowed across all regions
+}
+
+// Stats is a monotonic snapshot of pool activity since creation, consumed
+// by the observability tracer to report how much a run actually fanned out.
+type Stats struct {
+	// Tasks is the number of parallel regions entered.
+	Tasks int64
+	// Chunks is the number of work chunks dispatched, counting regions that
+	// collapsed to a single inline chunk.
+	Chunks int64
+	// Borrows is the number of spare-worker tokens borrowed; zero means
+	// every region ran inline on its caller.
+	Borrows int64
+}
+
+// Stats returns cumulative counters; a nil pool reports zeros.
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	return Stats{
+		Tasks:   p.tasks.Load(),
+		Chunks:  p.chunks.Load(),
+		Borrows: p.borrows.Load(),
+	}
+}
+
+// Sub returns the counter deltas from an earlier snapshot.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Tasks:   s.Tasks - prev.Tasks,
+		Chunks:  s.Chunks - prev.Chunks,
+		Borrows: s.Borrows - prev.Borrows,
+	}
 }
 
 // New returns a pool that runs at most workers goroutines at once across
@@ -62,11 +100,17 @@ func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	if p != nil {
+		p.tasks.Add(1)
+	}
 	chunks := p.Size()
 	if chunks > n {
 		chunks = n
 	}
 	if chunks <= 1 {
+		if p != nil {
+			p.chunks.Add(1)
+		}
 		fn(0, n)
 		return
 	}
@@ -84,9 +128,12 @@ func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
 		break
 	}
 	if extra == 0 {
+		p.chunks.Add(1)
 		fn(0, n)
 		return
 	}
+	p.borrows.Add(int64(extra))
+	p.chunks.Add(int64(chunks))
 	var next atomic.Int64
 	run := func() {
 		for {

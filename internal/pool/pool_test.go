@@ -152,3 +152,66 @@ func TestChunksDeterministicOutput(t *testing.T) {
 		}
 	}
 }
+
+func TestStatsNilPool(t *testing.T) {
+	var p *Pool
+	p.Each(10, func(int) {})
+	if s := p.Stats(); s != (Stats{}) {
+		t.Fatalf("nil pool Stats = %+v, want zeros", s)
+	}
+}
+
+func TestStatsCountsInlineAndParallel(t *testing.T) {
+	p := New(4)
+	// A single-element region collapses to one inline chunk.
+	p.Each(1, func(int) {})
+	s := p.Stats()
+	if s.Tasks != 1 || s.Chunks != 1 || s.Borrows != 0 {
+		t.Fatalf("after inline region: %+v, want tasks=1 chunks=1 borrows=0", s)
+	}
+	// A wide region with all spares free dispatches Size() chunks and
+	// borrows Size()-1 tokens.
+	p.Each(1000, func(int) {})
+	s = p.Stats().Sub(s)
+	if s.Tasks != 1 {
+		t.Fatalf("parallel region tasks delta = %d, want 1", s.Tasks)
+	}
+	if s.Chunks != 4 {
+		t.Fatalf("parallel region chunks delta = %d, want 4", s.Chunks)
+	}
+	if s.Borrows != 3 {
+		t.Fatalf("parallel region borrows delta = %d, want 3", s.Borrows)
+	}
+}
+
+func TestStatsConcurrent(t *testing.T) {
+	p := New(4)
+	const goroutines = 8
+	const regions = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < regions; i++ {
+				p.Each(64, func(int) {})
+				_ = p.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.Tasks != goroutines*regions {
+		t.Fatalf("tasks = %d, want %d", s.Tasks, goroutines*regions)
+	}
+	// Every region dispatches at least one chunk; borrowed tokens are
+	// bounded by Size()-1 extra chunks per region.
+	if s.Chunks < s.Tasks || s.Chunks > s.Tasks*4 {
+		t.Fatalf("chunks = %d out of range [%d, %d]", s.Chunks, s.Tasks, s.Tasks*4)
+	}
+	// A region borrows at most one token per chunk beyond its caller, but
+	// under contention it may dispatch all its chunks on fewer workers.
+	if s.Borrows > s.Chunks-s.Tasks {
+		t.Fatalf("borrows = %d exceeds chunks-tasks = %d", s.Borrows, s.Chunks-s.Tasks)
+	}
+}

@@ -8,25 +8,39 @@
 //
 // Endpoints:
 //
-//	POST /v1/fit     {"config": {...}, "data": [[...], ...]}
-//	POST /v1/score   {"queries": [[...], ...]}
-//	GET  /v1/model   current model summary
-//	GET  /healthz    liveness + model presence
-//	GET  /metrics    counters (JSON, expvar vars)
+//	POST /v1/fit         {"config": {...}, "data": [[...], ...]}
+//	POST /v1/score       {"queries": [[...], ...]}
+//	GET  /v1/model       current model summary
+//	GET  /healthz        liveness + model presence
+//	GET  /metrics        Prometheus text format: per-route latency
+//	                     histograms, request counts by status code, gauges
+//	GET  /metrics.json   the pre-Prometheus JSON counter view (expvar vars)
+//
+// Every request gets an ID (honoring an inbound X-Request-ID), echoed in
+// the X-Request-ID response header, included in error response bodies, and
+// attached to the one structured log line emitted per request.
 package server
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"lof"
+	"lof/internal/obs"
 )
 
 // Config parameterizes a Server. The zero value serves with the defaults
@@ -43,6 +57,9 @@ type Config struct {
 	// MaxBatch bounds the number of query points per score request.
 	// Default 100000.
 	MaxBatch int
+	// Logger receives one structured line per request (route, status,
+	// duration, batch size, request ID). Nil discards logs.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -58,12 +75,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 100000
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
 // metrics are expvar variables deliberately not published to the global
 // expvar registry, so multiple servers (tests, embedding) can coexist in
-// one process; the /metrics handler serves them directly.
+// one process; the /metrics.json handler serves them directly.
 type metrics struct {
 	requests    expvar.Map // per-route completed request counts
 	latencyUS   expvar.Map // per-route summed handler latency, microseconds
@@ -73,6 +93,46 @@ type metrics struct {
 	shed        expvar.Int // requests rejected by the concurrency limiter
 }
 
+// routeStats is the Prometheus-facing per-route view: a latency histogram
+// (replacing the summed-microseconds map, which supported no percentile
+// estimates) and request counts keyed by status code.
+type routeStats struct {
+	latency *obs.Histogram
+	mu      sync.Mutex
+	byCode  map[int]int64
+}
+
+func newRouteStats() *routeStats {
+	return &routeStats{
+		latency: obs.NewHistogram(obs.DefaultLatencyBuckets),
+		byCode:  make(map[int]int64),
+	}
+}
+
+func (rs *routeStats) record(code int, d time.Duration) {
+	rs.latency.Observe(d)
+	rs.mu.Lock()
+	rs.byCode[code]++
+	rs.mu.Unlock()
+}
+
+// codes returns the observed status codes in ascending order with counts.
+func (rs *routeStats) codes() ([]int, map[int]int64) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make(map[int]int64, len(rs.byCode))
+	keys := make([]int, 0, len(rs.byCode))
+	for c, n := range rs.byCode {
+		out[c] = n
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	return keys, out
+}
+
+// metricRoutes fixes the exposition order of per-route series.
+var metricRoutes = []string{"/v1/fit", "/v1/score", "/v1/model"}
+
 // Server is the HTTP serving state: the current model plus limits and
 // counters. Create with New, expose with Handler.
 type Server struct {
@@ -80,6 +140,7 @@ type Server struct {
 	model   atomic.Pointer[lof.Model]
 	limiter chan struct{}
 	m       metrics
+	routes  map[string]*routeStats
 }
 
 // testHookScoreStart, when non-nil, runs at the start of every score
@@ -93,6 +154,10 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, limiter: make(chan struct{}, cfg.MaxInFlight)}
 	s.m.requests.Init()
 	s.m.latencyUS.Init()
+	s.routes = make(map[string]*routeStats, len(metricRoutes))
+	for _, route := range metricRoutes {
+		s.routes[route] = newRouteStats()
+	}
 	return s
 }
 
@@ -112,28 +177,116 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/model", s.wrap("/v1/model", s.handleModel))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	return mux
 }
 
-// wrap applies, outside-in: concurrency shedding, in-flight accounting,
-// request timeout, and per-route count/latency metrics.
+// requestInfo is the per-request observability record carried through the
+// context: the request ID for error bodies and logs, and the batch size
+// reported by the handler. Batch is atomic because the handler may run on
+// the timeout middleware's goroutine while the logging wrapper reads it
+// from the serving goroutine after a timeout.
+type requestInfo struct {
+	id    string
+	batch atomic.Int64
+}
+
+type requestInfoKey struct{}
+
+// infoFromContext returns the request's info record, nil outside wrap.
+func infoFromContext(ctx context.Context) *requestInfo {
+	info, _ := ctx.Value(requestInfoKey{}).(*requestInfo)
+	return info
+}
+
+// newRequestID returns 16 hex chars of crypto/rand entropy; collisions
+// within a debugging window are not a realistic concern at that size.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestID picks the inbound X-Request-ID (so IDs correlate across
+// services) or mints a fresh one. IDs longer than 128 bytes are replaced,
+// not truncated, to keep log lines bounded without emitting half an ID.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 128 {
+		return id
+	}
+	return newRequestID()
+}
+
+// statusWriter records the response status code. The timeout middleware
+// serializes writes on the serving goroutine, so no lock is needed.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// wrap applies, outside-in: request-ID assignment, concurrency shedding,
+// in-flight accounting, request timeout, per-route histograms and counters,
+// and the one structured log line per request.
 func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 	timed := http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	rs := s.routes[route]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		info := &requestInfo{id: requestID(r)}
+		r = r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, info))
+		w.Header().Set("X-Request-ID", info.id)
 		select {
 		case s.limiter <- struct{}{}:
 			defer func() { <-s.limiter }()
 		default:
 			s.m.shed.Add(1)
-			writeError(w, http.StatusTooManyRequests, "server at capacity")
+			writeError(w, r, http.StatusTooManyRequests, "server at capacity")
+			rs.record(http.StatusTooManyRequests, 0)
+			s.m.requests.Add(route, 1)
+			s.cfg.Logger.LogAttrs(r.Context(), slog.LevelWarn, "request shed",
+				slog.String("requestId", info.id),
+				slog.String("route", route),
+				slog.Int("status", http.StatusTooManyRequests))
 			return
 		}
 		s.m.inFlight.Add(1)
 		defer s.m.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		timed.ServeHTTP(w, r)
-		s.m.latencyUS.Add(route, time.Since(start).Microseconds())
+		timed.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing; net/http defaults the status
+		}
+		rs.record(status, elapsed)
+		s.m.latencyUS.Add(route, elapsed.Microseconds())
 		s.m.requests.Add(route, 1)
+		level := slog.LevelInfo
+		if status >= 500 {
+			level = slog.LevelError
+		}
+		s.cfg.Logger.LogAttrs(r.Context(), level, "request",
+			slog.String("requestId", info.id),
+			slog.String("route", route),
+			slog.Int("status", status),
+			slog.Duration("duration", elapsed),
+			slog.Int64("batch", info.batch.Load()))
 	})
 }
 
@@ -258,10 +411,10 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) b
 	if err := dec.Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			writeError(w, r, http.StatusRequestEntityTooLarge, "request body too large")
 			return false
 		}
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
 		return false
 	}
 	return true
@@ -273,23 +426,26 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Data) == 0 {
-		writeError(w, http.StatusBadRequest, "fit requires a non-empty data array")
+		writeError(w, r, http.StatusBadRequest, "fit requires a non-empty data array")
 		return
+	}
+	if info := infoFromContext(r.Context()); info != nil {
+		info.batch.Store(int64(len(req.Data)))
 	}
 	det, err := req.Config.Detector()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	start := time.Now()
 	res, err := det.Fit(req.Data)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	m, err := res.Model()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	s.SetModel(m)
@@ -306,7 +462,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	m := s.Model()
 	if m == nil {
-		writeError(w, http.StatusConflict, "no fitted model; POST /v1/fit first or start with -model")
+		writeError(w, r, http.StatusConflict, "no fitted model; POST /v1/fit first or start with -model")
 		return
 	}
 	var req scoreRequest
@@ -314,16 +470,19 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, "score requires a non-empty queries array")
+		writeError(w, r, http.StatusBadRequest, "score requires a non-empty queries array")
 		return
 	}
 	if len(req.Queries) > s.cfg.MaxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeError(w, r, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
 		return
 	}
+	if info := infoFromContext(r.Context()); info != nil {
+		info.batch.Store(int64(len(req.Queries)))
+	}
 	if req.Workers < 0 || req.Workers > maxScoreWorkers {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, r, http.StatusBadRequest,
 			fmt.Sprintf("workers must be in [0, %d], got %d", maxScoreWorkers, req.Workers))
 		return
 	}
@@ -336,7 +495,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 			// The timeout middleware already answered; nothing to write.
 			return
 		}
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.m.batchPoints.Add(int64(len(req.Queries)))
@@ -378,7 +537,7 @@ func scoreChunked(r *http.Request, m *lof.Model, queries [][]float64) ([]float64
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	m := s.Model()
 	if m == nil {
-		writeError(w, http.StatusNotFound, "no fitted model")
+		writeError(w, r, http.StatusNotFound, "no fitted model")
 		return
 	}
 	writeJSON(w, http.StatusOK, infoFor(m))
@@ -391,9 +550,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics serves the counters as one JSON object, in expvar's own
-// rendering, without requiring the process-global expvar page.
+// handleMetrics serves the Prometheus text exposition: per-route request
+// counts labeled by status code, per-route latency histograms, and the
+// process gauges and totals. Routes are emitted in metricRoutes order and
+// codes in ascending order, so the output is deterministic for a given
+// state — which the scrape lint in scripts/check.sh relies on.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	p.Family("lof_http_requests_total", "counter", "Completed HTTP requests by route and status code.")
+	for _, route := range metricRoutes {
+		keys, counts := s.routes[route].codes()
+		for _, code := range keys {
+			p.IntSample("lof_http_requests_total", counts[code],
+				"route", route, "code", strconv.Itoa(code))
+		}
+	}
+	p.Family("lof_http_request_duration_seconds", "histogram", "HTTP request latency by route.")
+	for _, route := range metricRoutes {
+		p.Histo("lof_http_request_duration_seconds", s.routes[route].latency.Snapshot(),
+			"route", route)
+	}
+	p.Family("lof_http_in_flight", "gauge", "Requests currently being served.")
+	p.IntSample("lof_http_in_flight", s.m.inFlight.Value())
+	p.Family("lof_http_shed_total", "counter", "Requests rejected by the concurrency limiter.")
+	p.IntSample("lof_http_shed_total", s.m.shed.Value())
+	p.Family("lof_fit_points_total", "counter", "Data points fitted across all fit requests.")
+	p.IntSample("lof_fit_points_total", s.m.fitPoints.Value())
+	p.Family("lof_score_points_total", "counter", "Query points scored across all score requests.")
+	p.IntSample("lof_score_points_total", s.m.batchPoints.Value())
+}
+
+// handleMetricsJSON serves the counters as one JSON object, in expvar's
+// own rendering — the view /metrics offered before it switched to the
+// Prometheus text format.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"requests":%s,"latency_us":%s,"batch_points_total":%s,"fit_points_total":%s,"in_flight":%s,"shed_total":%s}`,
 		s.m.requests.String(), s.m.latencyUS.String(), s.m.batchPoints.String(),
@@ -408,6 +599,12 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// writeError answers with {"error": ..., "requestId": ...} so clients can
+// quote the ID that the server's log line carries.
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	body := map[string]string{"error": msg}
+	if info := infoFromContext(r.Context()); info != nil {
+		body["requestId"] = info.id
+	}
+	writeJSON(w, status, body)
 }

@@ -5,10 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -160,10 +164,10 @@ func TestEndToEnd(t *testing.T) {
 		t.Errorf("between-cluster point should be the most outlying: %v", sr.Scores)
 	}
 
-	// Metrics must have advanced.
+	// Metrics must have advanced (JSON counter view).
 	var ms metricsSnapshot
-	if resp := getJSON(t, client, ts.URL+"/metrics", &ms); resp.StatusCode != 200 {
-		t.Fatalf("metrics status %d", resp.StatusCode)
+	if resp := getJSON(t, client, ts.URL+"/metrics.json", &ms); resp.StatusCode != 200 {
+		t.Fatalf("metrics.json status %d", resp.StatusCode)
 	}
 	if ms.Requests["/v1/fit"] != 1 || ms.Requests["/v1/score"] != 2 {
 		t.Errorf("request counts %+v", ms.Requests)
@@ -421,3 +425,335 @@ func BenchmarkScoreHandler(b *testing.B) {
 		})
 	}
 }
+
+// promHistogram is the parsed form of one labeled histogram series.
+type promHistogram struct {
+	buckets []struct {
+		le  float64
+		cum int64
+	}
+	infCum int64
+	sum    float64
+	count  int64
+}
+
+// parsePromText is a minimal parser for the subset of the Prometheus text
+// format the server emits; it fails the test on any line that matches
+// neither a comment nor a sample.
+func parsePromText(t *testing.T, text string) (counters map[string]int64, hists map[string]*promHistogram) {
+	t.Helper()
+	counters = make(map[string]int64)
+	hists = make(map[string]*promHistogram)
+	sampleRE := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+	leRE := regexp.MustCompile(`le="([^"]+)"`)
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		mm := sampleRE.FindStringSubmatch(line)
+		if mm == nil {
+			t.Fatalf("unparseable metrics line: %q", line)
+		}
+		name, labels, valStr := mm[1], mm[2], mm[3]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %q: bad value: %v", line, err)
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			series := strings.TrimSuffix(name, "_bucket") + stripLE(labels)
+			h := hists[series]
+			if h == nil {
+				h = &promHistogram{}
+				hists[series] = h
+			}
+			le := leRE.FindStringSubmatch(labels)
+			if le == nil {
+				t.Fatalf("bucket line without le label: %q", line)
+			}
+			if le[1] == "+Inf" {
+				h.infCum = int64(val)
+			} else {
+				bound, err := strconv.ParseFloat(le[1], 64)
+				if err != nil {
+					t.Fatalf("line %q: bad le: %v", line, err)
+				}
+				h.buckets = append(h.buckets, struct {
+					le  float64
+					cum int64
+				}{bound, int64(val)})
+			}
+		case strings.HasSuffix(name, "_sum"):
+			h := hists[strings.TrimSuffix(name, "_sum")+labels]
+			if h == nil {
+				h = &promHistogram{}
+				hists[strings.TrimSuffix(name, "_sum")+labels] = h
+			}
+			h.sum = val
+		case strings.HasSuffix(name, "_count") && strings.Contains(name, "duration"):
+			h := hists[strings.TrimSuffix(name, "_count")+labels]
+			if h == nil {
+				h = &promHistogram{}
+				hists[strings.TrimSuffix(name, "_count")+labels] = h
+			}
+			h.count = int64(val)
+		default:
+			counters[name+labels] += int64(val)
+		}
+	}
+	return counters, hists
+}
+
+// stripLE removes the le label from a bucket label set so bucket lines of
+// one series share a key.
+func stripLE(labels string) string {
+	inner := strings.Trim(labels, "{}")
+	parts := strings.Split(inner, ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, `le="`) {
+			kept = append(kept, p)
+		}
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// TestMetricsPrometheus drives traffic and validates the /metrics
+// exposition end to end: parseability, bucket monotonicity, +Inf/count
+// agreement, sum/count consistency, and agreement with the request
+// counters — the properties the old summed-latency map could not provide.
+func TestMetricsPrometheus(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	rng := rand.New(rand.NewSource(99))
+	data := testData(rng, 60)
+	resp, body := postJSON(t, client, ts.URL+"/v1/fit", fitRequest{
+		Config: FitConfig{MinPtsLB: 3, MinPtsUB: 6},
+		Data:   data,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("fit: status %d body %s", resp.StatusCode, body)
+	}
+	for i := 0; i < 3; i++ {
+		resp, body = postJSON(t, client, ts.URL+"/v1/score", scoreRequest{Queries: [][]float64{{0, 0}, {5, 5}}})
+		if resp.StatusCode != 200 {
+			t.Fatalf("score: status %d body %s", resp.StatusCode, body)
+		}
+	}
+	// One 4xx so a second code series shows up.
+	resp, _ = postJSON(t, client, ts.URL+"/v1/score", scoreRequest{Queries: nil})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty score: status %d", resp.StatusCode)
+	}
+
+	httpResp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if ct := httpResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type = %q, want text/plain", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(httpResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, family := range []string{
+		"# TYPE lof_http_requests_total counter",
+		"# TYPE lof_http_request_duration_seconds histogram",
+		"# TYPE lof_http_in_flight gauge",
+		"# TYPE lof_http_shed_total counter",
+	} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("metrics output missing %q:\n%s", family, text)
+		}
+	}
+	counters, hists := parsePromText(t, text)
+
+	if got := counters[`lof_http_requests_total{route="/v1/fit",code="200"}`]; got != 1 {
+		t.Errorf("fit 200 count = %d, want 1", got)
+	}
+	if got := counters[`lof_http_requests_total{route="/v1/score",code="200"}`]; got != 3 {
+		t.Errorf("score 200 count = %d, want 3", got)
+	}
+	if got := counters[`lof_http_requests_total{route="/v1/score",code="400"}`]; got != 1 {
+		t.Errorf("score 400 count = %d, want 1", got)
+	}
+	if got := counters["lof_fit_points_total"]; got != 60 {
+		t.Errorf("lof_fit_points_total = %d, want 60", got)
+	}
+	if got := counters["lof_score_points_total"]; got != 6 {
+		t.Errorf("lof_score_points_total = %d, want 6", got)
+	}
+
+	scoreHist := hists[`lof_http_request_duration_seconds{route="/v1/score"}`]
+	if scoreHist == nil {
+		t.Fatalf("score histogram missing; series: %v", hists)
+	}
+	for name, h := range hists {
+		prev := int64(0)
+		prevLE := math.Inf(-1)
+		for _, b := range h.buckets {
+			if b.le <= prevLE {
+				t.Errorf("%s: bucket bounds not ascending at le=%v", name, b.le)
+			}
+			if b.cum < prev {
+				t.Errorf("%s: cumulative counts decrease at le=%v (%d < %d)", name, b.le, b.cum, prev)
+			}
+			prev, prevLE = b.cum, b.le
+		}
+		if h.infCum < prev {
+			t.Errorf("%s: +Inf bucket %d below last bucket %d", name, h.infCum, prev)
+		}
+		if h.infCum != h.count {
+			t.Errorf("%s: +Inf bucket %d != count %d", name, h.infCum, h.count)
+		}
+		if h.count > 0 && h.sum < 0 {
+			t.Errorf("%s: negative sum %v with %d observations", name, h.sum, h.count)
+		}
+	}
+	if scoreHist.count != 4 {
+		t.Errorf("score histogram count = %d, want 4 (3 ok + 1 bad request)", scoreHist.count)
+	}
+
+	// The histogram count and the by-code counters describe the same
+	// requests.
+	var scoreRequests int64
+	for key, v := range counters {
+		if strings.HasPrefix(key, `lof_http_requests_total{route="/v1/score"`) {
+			scoreRequests += v
+		}
+	}
+	if scoreRequests != scoreHist.count {
+		t.Errorf("requests_total %d disagrees with histogram count %d", scoreRequests, scoreHist.count)
+	}
+
+	// The JSON view still serves the old counters alongside.
+	var ms metricsSnapshot
+	if resp := getJSON(t, client, ts.URL+"/metrics.json", &ms); resp.StatusCode != 200 {
+		t.Fatalf("metrics.json status %d", resp.StatusCode)
+	}
+	if ms.Requests["/v1/score"] != 4 {
+		t.Errorf("metrics.json score requests = %d, want 4", ms.Requests["/v1/score"])
+	}
+}
+
+// TestRequestIDs pins the request-ID contract: echoed in the response
+// header, honored when supplied, and embedded in error bodies.
+func TestRequestIDs(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Minted ID on the response header.
+	resp, err := client.Post(ts.URL+"/v1/score", "application/json", strings.NewReader(`{"queries":[[0,0]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Header.Get("X-Request-ID")
+	var errBody struct {
+		Error     string `json:"error"`
+		RequestID string `json:"requestId"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("score without model: status %d", resp.StatusCode)
+	}
+	if id == "" || len(id) != 16 {
+		t.Fatalf("minted X-Request-ID = %q, want 16 hex chars", id)
+	}
+	if errBody.RequestID != id {
+		t.Fatalf("error body requestId %q != header %q", errBody.RequestID, id)
+	}
+	if errBody.Error == "" {
+		t.Fatal("error body missing error message")
+	}
+
+	// Supplied IDs are honored.
+	req, err := http.NewRequest("POST", ts.URL+"/v1/score", strings.NewReader(`{"queries":[[0,0]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "caller-chosen-id")
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "caller-chosen-id" {
+		t.Fatalf("echoed X-Request-ID = %q, want caller-chosen-id", got)
+	}
+}
+
+// TestRequestLogging pins the one-line-per-request contract including the
+// fields the satellite task names: route, status, duration, batch size and
+// request ID.
+func TestRequestLogging(t *testing.T) {
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	lockedW := writerFunc(func(p []byte) (int, error) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return logBuf.Write(p)
+	})
+	srv := New(Config{Logger: slog.New(slog.NewJSONHandler(lockedW, nil))})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	rng := rand.New(rand.NewSource(7))
+	resp, body := postJSON(t, client, ts.URL+"/v1/fit", fitRequest{
+		Config: FitConfig{MinPtsLB: 3, MinPtsUB: 6},
+		Data:   testData(rng, 40),
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("fit: status %d body %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, client, ts.URL+"/v1/score", scoreRequest{Queries: [][]float64{{0, 0}, {1, 1}, {2, 2}}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("score: status %d body %s", resp.StatusCode, body)
+	}
+	wantID := resp.Header.Get("X-Request-ID")
+
+	logMu.Lock()
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	logMu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	var entry struct {
+		Msg       string  `json:"msg"`
+		RequestID string  `json:"requestId"`
+		Route     string  `json:"route"`
+		Status    int     `json:"status"`
+		Duration  float64 `json:"duration"`
+		Batch     int64   `json:"batch"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &entry); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, lines[1])
+	}
+	if entry.Msg != "request" || entry.Route != "/v1/score" || entry.Status != 200 {
+		t.Fatalf("log entry %+v", entry)
+	}
+	if entry.Batch != 3 {
+		t.Fatalf("log batch = %d, want 3", entry.Batch)
+	}
+	if entry.RequestID != wantID {
+		t.Fatalf("log requestId %q != response header %q", entry.RequestID, wantID)
+	}
+	if entry.Duration <= 0 {
+		t.Fatalf("log duration = %v, want > 0", entry.Duration)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -40,6 +40,7 @@ import (
 	"lof/internal/index/vafile"
 	"lof/internal/index/xtree"
 	"lof/internal/matdb"
+	"lof/internal/obs"
 	"lof/internal/pool"
 )
 
@@ -175,6 +176,13 @@ type Config struct {
 	// GOMAXPROCS; 1 forces fully sequential execution. Results are
 	// bit-identical to the sequential computation at every setting.
 	Workers int
+	// Trace enables phase tracing: each Fit records per-phase timings,
+	// latency histograms and pipeline counters, exposed as RunStats through
+	// Result.Stats and Model.Stats. Tracing observes the pipeline without
+	// altering it — scores are bit-identical either way — at the cost of a
+	// few timestamp reads per phase and per-query index counters. Off by
+	// default.
+	Trace bool
 }
 
 // Default MinPts range, following the paper's guideline that values from
@@ -280,14 +288,21 @@ func (c Config) clone() Config {
 // the same dimensionality, contain only finite values, and there must be
 // strictly more rows than MinPtsUB.
 func (d *Detector) Fit(data [][]float64) (*Result, error) {
+	var tr *obs.Tracer
+	if d.cfg.Trace {
+		tr = obs.NewTracer()
+	}
+	sp := tr.Phase(obs.PhaseIngest)
 	pts, err := toPoints(data)
 	if err != nil {
 		return nil, err
 	}
-	return d.fitPoints(pts)
+	sp.AddItems(pts.Len())
+	sp.End()
+	return d.fitPoints(pts, tr)
 }
 
-func (d *Detector) fitPoints(pts *geom.Points) (*Result, error) {
+func (d *Detector) fitPoints(pts *geom.Points, tr *obs.Tracer) (*Result, error) {
 	if d.cfg.Weights != nil && len(d.cfg.Weights) != pts.Dim() {
 		return nil, fmt.Errorf("lof: %d weights for %d-dimensional data", len(d.cfg.Weights), pts.Dim())
 	}
@@ -295,11 +310,24 @@ func (d *Detector) fitPoints(pts *geom.Points) (*Result, error) {
 		return nil, fmt.Errorf("lof: %d objects cannot support MinPtsUB=%d; need at least %d",
 			pts.Len(), d.cfg.MinPtsUB, d.cfg.MinPtsUB+1)
 	}
-	ix, err := d.buildIndex(pts)
+	poolBefore := d.pool.Stats()
+	sp := tr.Phase(obs.PhaseIndexBuild)
+	sp.AddItems(pts.Len())
+	ix, err := d.buildIndex(pts, tr)
 	if err != nil {
 		return nil, err
 	}
-	opts := []matdb.Option{matdb.WithPool(d.pool)}
+	sp.End()
+	// When tracing, count the index probes the materialization issues — the
+	// quantity the paper's index comparison (Sec. 7) is about. The wrapper
+	// adds two atomic increments per query and is skipped entirely when
+	// tracing is off.
+	var counting *index.Counting
+	if tr != nil {
+		counting = index.NewCounting(ix)
+		ix = counting
+	}
+	opts := []matdb.Option{matdb.WithPool(d.pool), matdb.WithTracer(tr)}
 	if d.cfg.Distinct {
 		opts = append(opts, matdb.Distinct())
 	}
@@ -307,11 +335,24 @@ func (d *Detector) fitPoints(pts *geom.Points) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sweep, err := core.SweepPool(db, d.cfg.MinPtsLB, d.cfg.MinPtsUB, d.pool)
+	sweep, err := core.SweepPoolTraced(db, d.cfg.MinPtsLB, d.cfg.MinPtsUB, d.pool, tr)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{cfg: d.cfg, metric: d.metric, pts: pts, ix: ix, db: db, sweep: sweep, pool: d.pool}
+	if counting != nil {
+		tr.Count(obs.CounterKNNQueries, counting.KNNQueries())
+		tr.Count(obs.CounterRangeQueries, counting.RangeQueries())
+		// Keep the raw index on the result: scoring issues its own queries
+		// and should not inherit the fit's counters.
+		ix = counting.Unwrap()
+	}
+	if tr != nil {
+		delta := d.pool.Stats().Sub(poolBefore)
+		tr.Count(obs.CounterPoolTasks, delta.Tasks)
+		tr.Count(obs.CounterPoolChunks, delta.Chunks)
+		tr.Count(obs.CounterPoolBorrows, delta.Borrows)
+	}
+	res := &Result{cfg: d.cfg, metric: d.metric, pts: pts, ix: ix, db: db, sweep: sweep, pool: d.pool, tracer: tr}
 	m, err := res.Model()
 	if err != nil {
 		return nil, err
@@ -348,7 +389,8 @@ func (d *Detector) ScoreBatch(queries [][]float64) ([]float64, error) {
 }
 
 // buildIndex constructs the configured (or automatically selected) index.
-func (d *Detector) buildIndex(pts *geom.Points) (index.Index, error) {
+// tr, when non-nil, counts silent auto-selection fallbacks.
+func (d *Detector) buildIndex(pts *geom.Points, tr *obs.Tracer) (index.Index, error) {
 	kind := d.cfg.Index
 	if kind == IndexAuto {
 		switch dim := pts.Dim(); {
@@ -381,6 +423,7 @@ func (d *Detector) buildIndex(pts *geom.Points) (index.Index, error) {
 			if d.cfg.Index == IndexVAFile {
 				return nil, fmt.Errorf("lof: building requested vafile index: %w", err)
 			}
+			tr.Count(obs.CounterIndexFallback, 1)
 			return linear.New(pts, d.metric), nil
 		}
 		return ix, nil

@@ -11,6 +11,7 @@ import (
 	"lof/internal/geom"
 	"lof/internal/index"
 	"lof/internal/matdb"
+	"lof/internal/obs"
 	"lof/internal/pool"
 )
 
@@ -31,6 +32,9 @@ type Model struct {
 	// pool bounds the combined fan-out of ScoreBatch's per-query workers
 	// and the scorer's per-MinPts workers.
 	pool *pool.Pool
+	// tracer records scoring phases when the model descends from a traced
+	// fit; nil (the default, and always for loaded snapshots) disables it.
+	tracer *obs.Tracer
 }
 
 // Model returns the fitted model behind this result. The model shares the
@@ -43,9 +47,17 @@ func (r *Result) Model() (*Model, error) {
 	}
 	return &Model{
 		cfg: r.cfg, metric: r.metric, pts: r.pts, ix: r.ix, db: r.db,
-		scorer: sc.WithPool(r.pool), pool: r.pool,
+		scorer: sc.WithPool(r.pool).WithTracer(r.tracer), pool: r.pool,
+		tracer: r.tracer,
 	}, nil
 }
+
+// Stats returns the run statistics recorded by the traced fit this model
+// descends from, including any scoring phases recorded since; nil when the
+// fit was untraced or the model was restored from a snapshot. Scoring
+// phases from concurrent queries overlap in time, so their totals are busy
+// time rather than wall time.
+func (m *Model) Stats() *RunStats { return statsFromTracer(m.tracer) }
 
 // WithWorkers returns a model that shares this model's fitted state but
 // scores over its own pool of the given width: n > 1 sets that many
@@ -61,6 +73,18 @@ func (m *Model) WithWorkers(n int) *Model {
 	c.cfg.Workers = n
 	c.pool = p
 	c.scorer = m.scorer.WithPool(p)
+	return &c
+}
+
+// WithTrace returns a model that shares this model's fitted state but
+// records scoring phases on a fresh tracer, readable through Stats. It is
+// how serving code gets scoring observability for models restored with
+// LoadModel, which carry no tracer of their own.
+func (m *Model) WithTrace() *Model {
+	tr := obs.NewTracer()
+	c := *m
+	c.tracer = tr
+	c.scorer = m.scorer.WithTracer(tr)
 	return &c
 }
 
@@ -351,7 +375,7 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if cfg.Weights != nil && len(cfg.Weights) != pts.Dim() {
 		return nil, fmt.Errorf("lof: model has %d weights for %d-dimensional data", len(cfg.Weights), pts.Dim())
 	}
-	ix, err := det.buildIndex(pts)
+	ix, err := det.buildIndex(pts, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"lof/internal/geom"
 	"lof/internal/index"
 	"lof/internal/matdb"
+	"lof/internal/obs"
 	"lof/internal/optics"
 	"lof/internal/pool"
 )
@@ -24,6 +25,9 @@ type Result struct {
 	sweep  *core.SweepResult
 	// pool is inherited by models derived from this result.
 	pool *pool.Pool
+	// tracer records this fit's phases when Config.Trace is set; nil (the
+	// default) disables all recording.
+	tracer *obs.Tracer
 
 	// opticsOnce caches the OPTICS ordering behind ClusterContext.
 	opticsOnce     sync.Once
@@ -50,8 +54,18 @@ func (r *Result) MinPtsRange() (lb, ub int) {
 
 // Scores returns every object's aggregated LOF, indexed by row.
 func (r *Result) Scores() []float64 {
-	return r.sweep.Aggregate(r.coreAggregate())
+	sp := r.tracer.Phase(obs.PhaseAggregate)
+	sp.AddItems(r.Len())
+	out := r.sweep.Aggregate(r.coreAggregate())
+	sp.End()
+	return out
 }
+
+// Stats returns the run statistics recorded during this fit, or nil when
+// the detector was configured without Trace. The snapshot reflects all
+// phases recorded so far — including aggregations triggered by Scores —
+// and can be taken repeatedly.
+func (r *Result) Stats() *RunStats { return statsFromTracer(r.tracer) }
 
 // Score returns object i's aggregated LOF.
 func (r *Result) Score(i int) float64 { return r.Scores()[i] }

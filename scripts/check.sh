@@ -1,10 +1,90 @@
 #!/bin/sh
 # check.sh runs the full local quality gate: formatting, vet, build and
-# the race-enabled test suite. CI runs the same checks as separate steps,
-# plus a pinned staticcheck and a benchmark smoke run.
+# the race-enabled test suite, then lints the live /metrics endpoint. CI
+# runs the same checks as separate steps, plus a pinned staticcheck and a
+# benchmark smoke run.
+#
+# Usage:
+#   ./scripts/check.sh                # full gate
+#   ./scripts/check.sh metrics-lint   # only the /metrics exposition lint
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# metrics_lint builds lofserve, starts it on an ephemeral port, and
+# validates that GET /metrics is parseable Prometheus text format 0.0.4
+# (every line a comment or a sample, the advertised families present) and
+# that GET /metrics.json still serves the JSON counter view.
+metrics_lint() {
+	echo "== metrics lint"
+	tmpdir=$(mktemp -d)
+	trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+	go build -o "$tmpdir/lofserve" ./cmd/lofserve
+	"$tmpdir/lofserve" -addr 127.0.0.1:0 >"$tmpdir/log" 2>&1 &
+	server_pid=$!
+
+	# The bound address appears in the startup log line
+	# {"msg":"listening","addr":"127.0.0.1:PORT"}.
+	addr=""
+	for _ in $(seq 1 50); do
+		addr=$(sed -n 's/.*"msg":"listening".*"addr":"\([^"]*\)".*/\1/p' "$tmpdir/log" | head -n 1)
+		[ -n "$addr" ] && break
+		sleep 0.1
+	done
+	if [ -z "$addr" ]; then
+		echo "lofserve did not report a listen address:" >&2
+		cat "$tmpdir/log" >&2
+		exit 1
+	fi
+
+	curl -fsS "http://$addr/metrics" >"$tmpdir/metrics.txt"
+
+	# Every line must be a comment or a sample:
+	#   name{labels} value   |   name value
+	if grep -Ev '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* |[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+(e[+-][0-9]+)?$|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \+Inf$)' "$tmpdir/metrics.txt" | grep -Ev '^# (HELP|TYPE) ' >"$tmpdir/bad" 2>/dev/null && [ -s "$tmpdir/bad" ]; then
+		echo "unparseable /metrics lines:" >&2
+		cat "$tmpdir/bad" >&2
+		exit 1
+	fi
+
+	for family in \
+		'# TYPE lof_http_requests_total counter' \
+		'# TYPE lof_http_request_duration_seconds histogram' \
+		'# TYPE lof_http_in_flight gauge' \
+		'# TYPE lof_http_shed_total counter'; do
+		if ! grep -qF "$family" "$tmpdir/metrics.txt"; then
+			echo "/metrics missing family: $family" >&2
+			cat "$tmpdir/metrics.txt" >&2
+			exit 1
+		fi
+	done
+
+	# Histogram buckets must carry le labels ending in +Inf.
+	if ! grep -q 'lof_http_request_duration_seconds_bucket{route="/v1/fit",le="+Inf"}' "$tmpdir/metrics.txt"; then
+		echo "/metrics missing +Inf bucket for /v1/fit" >&2
+		exit 1
+	fi
+
+	# The legacy JSON view must still answer with a JSON object.
+	case $(curl -fsS "http://$addr/metrics.json") in
+	\{*) ;;
+	*)
+		echo "/metrics.json is not a JSON object" >&2
+		exit 1
+		;;
+	esac
+
+	kill "$server_pid"
+	wait "$server_pid" 2>/dev/null || true
+	trap - EXIT
+	rm -rf "$tmpdir"
+	echo "metrics lint OK"
+}
+
+if [ "${1:-}" = "metrics-lint" ]; then
+	metrics_lint
+	exit 0
+fi
 
 echo "== gofmt"
 unformatted=$(gofmt -l .)
@@ -22,5 +102,7 @@ go build ./...
 
 echo "== go test -race"
 go test -race ./...
+
+metrics_lint
 
 echo "OK"

@@ -1,0 +1,242 @@
+package lof
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lof/internal/obs"
+)
+
+// traceTestData builds two well-separated clusters plus planted outliers,
+// large enough that every pipeline phase does measurable work.
+func traceTestData(n int) [][]float64 {
+	data := make([][]float64, 0, n+2)
+	for i := 0; i < n/2; i++ {
+		data = append(data, []float64{float64(i%25) * 0.1, float64(i/25) * 0.1})
+	}
+	for i := 0; i < n-n/2; i++ {
+		data = append(data, []float64{50 + float64(i%25)*0.1, 50 + float64(i/25)*0.1})
+	}
+	data = append(data, []float64{25, 25}, []float64{-30, 80})
+	return data
+}
+
+// TestTracedFitBitIdentical is the determinism guard for the tentpole:
+// enabling Trace must not change a single bit of any score.
+func TestTracedFitBitIdentical(t *testing.T) {
+	data := traceTestData(400)
+	for _, workers := range []int{1, 4} {
+		plain, err := New(Config{MinPtsLB: 10, MinPtsUB: 15, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced, err := New(Config{MinPtsLB: 10, MinPtsUB: 15, Workers: workers, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resP, err := plain.Fit(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resT, err := traced.Fit(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, st := resP.Scores(), resT.Scores()
+		for i := range sp {
+			if math.Float64bits(sp[i]) != math.Float64bits(st[i]) {
+				t.Fatalf("workers=%d: score %d differs: %v (plain) vs %v (traced)", workers, i, sp[i], st[i])
+			}
+		}
+		q := []float64{24, 26}
+		vp, err := plain.Score(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vt, err := traced.Score(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(vp) != math.Float64bits(vt) {
+			t.Fatalf("workers=%d: out-of-sample score differs: %v vs %v", workers, vp, vt)
+		}
+	}
+}
+
+// TestRunStatsCoverFitWallClock pins the acceptance criterion: the
+// top-level phase durations must account for the fit's wall-clock time to
+// within 10%.
+func TestRunStatsCoverFitWallClock(t *testing.T) {
+	det, err := New(Config{MinPtsLB: 10, MinPtsUB: 20, Workers: 2, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := traceTestData(2000)
+	start := time.Now()
+	res, err := det.Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	stats := res.Stats()
+	if stats == nil {
+		t.Fatal("traced fit returned nil Stats")
+	}
+	covered := stats.TopLevelTotal()
+	if covered > wall {
+		t.Fatalf("top-level phases sum to %v, more than the %v wall clock", covered, wall)
+	}
+	if covered < wall*9/10 {
+		t.Fatalf("top-level phases sum to %v, under 90%% of the %v wall clock", covered, wall)
+	}
+	for _, name := range []string{"ingest", "index_build", "materialize", "sweep"} {
+		p, ok := stats.Phase(name)
+		if !ok {
+			t.Fatalf("phase %q missing from %+v", name, stats.Phases)
+		}
+		if p.Count != 1 {
+			t.Fatalf("phase %q ran %d times, want 1", name, p.Count)
+		}
+	}
+	sweep, _ := stats.Phase("sweep")
+	if sweep.Items != 11 {
+		t.Fatalf("sweep items = %d, want 11 MinPts values", sweep.Items)
+	}
+	if lrd, ok := stats.Phase("sweep/lrd"); !ok || lrd.Count != 11 {
+		t.Fatalf("sweep/lrd: ok=%v count=%d, want 11 scans", ok, lrd.Count)
+	}
+	if v := stats.Counter("knn_queries_total"); v < int64(len(data)) {
+		t.Fatalf("knn_queries_total = %d, want >= %d (one per materialized point)", v, len(data))
+	}
+	if v := stats.Counter("pool_tasks_total"); v < 1 {
+		t.Fatalf("pool_tasks_total = %d, want >= 1", v)
+	}
+}
+
+// TestUntracedFitHasNoStats pins the default: no Trace, no stats.
+func TestUntracedFitHasNoStats(t *testing.T) {
+	det, err := New(Config{MinPtsLB: 10, MinPtsUB: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Fit(traceTestData(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats() != nil {
+		t.Fatal("untraced fit has non-nil Result.Stats")
+	}
+	if det.Model().Stats() != nil {
+		t.Fatal("untraced fit has non-nil Model.Stats")
+	}
+}
+
+// TestConcurrentTracedFitAndScore exercises the tracer under the race
+// detector: one traced detector refitting while other goroutines score
+// against its models.
+func TestConcurrentTracedFitAndScore(t *testing.T) {
+	det, err := New(Config{MinPtsLB: 10, MinPtsUB: 14, Workers: 4, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := traceTestData(300)
+	if _, err := det.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := det.Fit(data); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := det.Score([]float64{float64(i), 25}); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = det.Model().Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	// Each Fit starts a fresh tracer, so scores recorded during the races
+	// above may live on earlier models; score once more against the final
+	// model to guarantee its tracer saw the score phase.
+	if _, err := det.Score([]float64{25, 25}); err != nil {
+		t.Fatal(err)
+	}
+	stats := det.Model().Stats()
+	if stats == nil {
+		t.Fatal("traced model has nil stats")
+	}
+	if _, ok := stats.Phase(obs.PhaseScore); !ok {
+		t.Fatal("score phase not recorded on traced model")
+	}
+}
+
+// TestModelWithTraceRecordsScoring covers the snapshot-serving path: a
+// model restored without a tracer gains one via WithTrace.
+func TestModelWithTraceRecordsScoring(t *testing.T) {
+	det, err := New(Config{MinPtsLB: 10, MinPtsUB: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Fit(traceTestData(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	// Round-trip through the snapshot format to get a tracer-less model.
+	var bin strings.Builder
+	if _, err := res.WriteModel(&bin); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(strings.NewReader(bin.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats() != nil {
+		t.Fatal("loaded model unexpectedly carries stats")
+	}
+	traced := loaded.WithTrace()
+	if _, err := traced.Score([]float64{25, 25}); err != nil {
+		t.Fatal(err)
+	}
+	stats := traced.Stats()
+	if stats == nil {
+		t.Fatal("WithTrace model has nil stats after scoring")
+	}
+	if p, ok := stats.Phase(obs.PhaseScore); !ok || p.Count != 1 {
+		t.Fatalf("score phase: ok=%v %+v, want one span", ok, p)
+	}
+	if err := stats.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "score") || !strings.Contains(buf.String(), "PHASE") {
+		t.Fatalf("WriteTable output missing expected content:\n%s", buf.String())
+	}
+}
+
+// TestWriteTableNil keeps the nil path printable for untraced runs.
+func TestWriteTableNil(t *testing.T) {
+	var s *RunStats
+	var buf strings.Builder
+	if err := s.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no run stats") {
+		t.Fatalf("nil table output = %q", buf.String())
+	}
+}
