@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"lof/internal/geom"
 	"lof/internal/index"
@@ -30,6 +31,10 @@ type Scorer struct {
 	pool *pool.Pool
 	// tr, when non-nil, records score phases; nil is a no-op.
 	tr *obs.Tracer
+	// cursors recycles index cursors across ScoreSeries calls, so each
+	// query's kNN probe reuses heap and traversal scratch instead of
+	// allocating. Held by pointer so WithPool/WithTracer copies share it.
+	cursors *sync.Pool
 }
 
 // NewScorer validates the model pieces and returns a Scorer for the
@@ -50,7 +55,10 @@ func NewScorer(pts *geom.Points, ix index.Index, db *matdb.DB, metric geom.Metri
 	if err := db.CheckMinPts(ub); err != nil {
 		return nil, err
 	}
-	return &Scorer{pts: pts, ix: ix, db: db, metric: metric, lb: lb, ub: ub}, nil
+	return &Scorer{
+		pts: pts, ix: ix, db: db, metric: metric, lb: lb, ub: ub,
+		cursors: &sync.Pool{New: func() interface{} { return index.NewCursor(ix) }},
+	}, nil
 }
 
 // MinPtsRange returns the swept [lb, ub].
@@ -91,7 +99,9 @@ func (s *Scorer) ScoreSeries(q geom.Point) ([]float64, error) {
 	total.AddItems(1)
 	sp := tr.Phase(obs.PhaseScoreKNN)
 	qIdx := s.pts.Len() // the row number q would receive in a refit
-	qRow := s.db.QueryRow(s.pts, s.ix, q)
+	cur := s.cursors.Get().(index.Cursor)
+	qRow := s.db.QueryRowCursor(s.pts, cur, q)
+	s.cursors.Put(cur)
 	sp.End()
 	sp = tr.Phase(obs.PhaseScoreMerge)
 	rows := s.mergedRows(q, qIdx, qRow)

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"lof/internal/geom"
+	"lof/internal/index"
 )
 
 // Params are the two parameters of the DB(pct, dmin) definition.
@@ -70,6 +71,37 @@ func Detect(pts *geom.Points, m geom.Metric, params Params) ([]bool, error) {
 			}
 		}
 		out[i] = outlier
+	}
+	return out, nil
+}
+
+// DetectIndexed labels every point using range queries against a spatial
+// index over the same dataset — the "index-based algorithms" branch of [13].
+// A single reusable cursor serves all n range probes, and each probe stops
+// contributing work once sorted (the count is just the result length, self
+// included since d(p,p)=0 ≤ dmin). The labelling equals Detect's for any
+// exact index built over pts with the same metric.
+func DetectIndexed(pts *geom.Points, ix index.Index, params Params) ([]bool, error) {
+	if pts == nil || pts.Len() == 0 {
+		return nil, fmt.Errorf("dbout: empty dataset")
+	}
+	if ix == nil {
+		return nil, fmt.Errorf("dbout: nil index")
+	}
+	if ix.Len() != pts.Len() {
+		return nil, fmt.Errorf("dbout: index covers %d points, dataset has %d", ix.Len(), pts.Len())
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	n := pts.Len()
+	maxInside := params.threshold(n)
+	out := make([]bool, n)
+	cur := index.NewCursor(ix)
+	var buf []index.Neighbor
+	for i := 0; i < n; i++ {
+		buf = cur.RangeInto(buf[:0], pts.At(i), params.Dmin, index.ExcludeNone)
+		out[i] = len(buf) <= maxInside
 	}
 	return out, nil
 }

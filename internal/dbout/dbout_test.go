@@ -7,6 +7,9 @@ import (
 
 	"lof/internal/dataset"
 	"lof/internal/geom"
+	"lof/internal/index"
+	"lof/internal/index/grid"
+	"lof/internal/index/kdtree"
 )
 
 func TestParamsValidate(t *testing.T) {
@@ -123,6 +126,75 @@ func TestCellBasedMatchesNestedLoop(t *testing.T) {
 					trial, dim, n, params.Pct, params.Dmin, i, got[i], want[i])
 			}
 		}
+	}
+}
+
+func TestIndexedMatchesNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 12; trial++ {
+		dim := 1 + rng.Intn(3)
+		n := 50 + rng.Intn(200)
+		pts := geom.NewPoints(dim, n)
+		for i := 0; i < n; i++ {
+			p := make(geom.Point, dim)
+			for d := range p {
+				if rng.Float64() < 0.5 {
+					p[d] = rng.NormFloat64()
+				} else {
+					p[d] = 8 + rng.NormFloat64()
+				}
+			}
+			if err := pts.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var m geom.Metric = geom.Euclidean{}
+		if trial%3 == 1 {
+			m = geom.Manhattan{}
+		}
+		var ix index.Index = grid.New(pts, m)
+		if trial%2 == 1 {
+			ix = kdtree.New(pts, m)
+		}
+		params := Params{Pct: 90 + rng.Float64()*9.9, Dmin: 0.5 + rng.Float64()*3}
+		want, err := Detect(pts, m, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DetectIndexed(pts, ix, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (dim=%d n=%d pct=%.2f dmin=%.2f): point %d indexed=%v loop=%v",
+					trial, dim, n, params.Pct, params.Dmin, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIndexedErrors(t *testing.T) {
+	pts, err := geom.FromRows([]geom.Point{{0, 0}, {1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Pct: 90, Dmin: 1}
+	if _, err := DetectIndexed(nil, grid.New(pts, nil), params); err == nil {
+		t.Fatal("nil points accepted")
+	}
+	if _, err := DetectIndexed(pts, nil, params); err == nil {
+		t.Fatal("nil index accepted")
+	}
+	other := geom.NewPoints(2, 0)
+	if err := other.Append(geom.Point{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DetectIndexed(pts, grid.New(other, nil), params); err == nil {
+		t.Fatal("mismatched index accepted")
+	}
+	if _, err := DetectIndexed(pts, grid.New(pts, nil), Params{Pct: -1, Dmin: 1}); err == nil {
+		t.Fatal("bad params accepted")
 	}
 }
 

@@ -12,7 +12,6 @@ package incremental
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"lof/internal/core"
 	"lof/internal/geom"
@@ -40,6 +39,11 @@ type Detector struct {
 	// lastAffected records how many points the most recent update
 	// touched, for observability and the locality tests.
 	lastAffected int
+
+	// scratch is the reusable candidate buffer of recomputeNeighborhood:
+	// one update recomputes many neighborhoods, each of which stages all
+	// live points here before trimming.
+	scratch []index.Neighbor
 }
 
 // New creates an empty incremental detector. dim is the dimensionality of
@@ -249,10 +253,11 @@ func (d *Detector) propagate(kdistChanged, neighborhoodChanged map[int]bool) {
 }
 
 // recomputeNeighborhood rebuilds point q's neighborhood by scan over live
-// points.
+// points. Candidates are staged in the detector's scratch buffer; only the
+// trimmed neighborhood is copied into the retained per-point slice.
 func (d *Detector) recomputeNeighborhood(q int) {
 	n := d.pts.Len()
-	ns := make([]index.Neighbor, 0, n-1)
+	ns := d.scratch[:0]
 	pq := d.pts.At(q)
 	for j := 0; j < n; j++ {
 		if j == q || d.deleted[j] {
@@ -260,12 +265,7 @@ func (d *Detector) recomputeNeighborhood(q int) {
 		}
 		ns = append(ns, index.Neighbor{Index: j, Dist: d.metric.Distance(pq, d.pts.At(j))})
 	}
-	sort.Slice(ns, func(a, b int) bool {
-		if ns[a].Dist != ns[b].Dist {
-			return ns[a].Dist < ns[b].Dist
-		}
-		return ns[a].Index < ns[b].Index
-	})
+	index.SortNeighbors(ns)
 	if len(ns) > d.minPts {
 		kd := ns[d.minPts-1].Dist
 		hi := d.minPts
@@ -274,7 +274,14 @@ func (d *Detector) recomputeNeighborhood(q int) {
 		}
 		ns = ns[:hi]
 	}
-	d.nn[q] = ns
+	d.scratch = ns[:0]
+	row := d.nn[q]
+	if cap(row) < len(ns) {
+		row = make([]index.Neighbor, len(ns))
+	}
+	row = row[:len(ns)]
+	copy(row, ns)
+	d.nn[q] = row
 	if len(ns) >= d.minPts {
 		d.kdist[q] = ns[d.minPts-1].Dist
 	} else if len(ns) > 0 {

@@ -11,9 +11,18 @@ import (
 // many kNN and range probes the materialization actually cost — the
 // quantity the paper's Section 7 index comparison is about. Counters are
 // atomic, keeping the wrapped index safe for concurrent queries.
+//
+// Counting also observes the cursor layer: it tracks how many cursors were
+// created, how many queries were served by a reused cursor (the
+// allocation-free hot path), and how many went through the legacy
+// KNN/Range shims that build a throwaway cursor per call (cursor misses).
 type Counting struct {
 	Index
 	knn, rng atomic.Int64
+
+	cursors     atomic.Int64 // cursors handed out via NewCursor
+	cursorReuse atomic.Int64 // queries served by a cursor after its first
+	cursorMiss  atomic.Int64 // legacy KNN/Range calls (throwaway cursor)
 }
 
 // NewCounting wraps ix; a nil ix returns nil.
@@ -24,23 +33,73 @@ func NewCounting(ix Index) *Counting {
 	return &Counting{Index: ix}
 }
 
-// KNN counts the query and delegates to the wrapped index.
+// KNN counts the query as a legacy-path (cursor-miss) probe and delegates
+// to the wrapped index.
 func (c *Counting) KNN(q geom.Point, k int, exclude int) []Neighbor {
 	c.knn.Add(1)
+	c.cursorMiss.Add(1)
 	return c.Index.KNN(q, k, exclude)
 }
 
-// Range counts the query and delegates to the wrapped index.
+// Range counts the query as a legacy-path (cursor-miss) probe and
+// delegates to the wrapped index.
 func (c *Counting) Range(q geom.Point, r float64, exclude int) []Neighbor {
 	c.rng.Add(1)
+	c.cursorMiss.Add(1)
 	return c.Index.Range(q, r, exclude)
 }
 
-// KNNQueries returns the number of KNN calls observed.
+// NewCursor returns a counting cursor over the wrapped index's cursor, so
+// consumers that thread cursors keep the wrapper's query accounting.
+func (c *Counting) NewCursor() Cursor {
+	c.cursors.Add(1)
+	return &countingCursor{c: c, cur: NewCursor(c.Index)}
+}
+
+// countingCursor delegates to the wrapped index's cursor and attributes
+// queries to the Counting wrapper's counters.
+type countingCursor struct {
+	c    *Counting
+	cur  Cursor
+	used bool
+}
+
+func (cc *countingCursor) Index() Index { return cc.c }
+
+func (cc *countingCursor) count(queries *atomic.Int64) {
+	queries.Add(1)
+	if cc.used {
+		cc.c.cursorReuse.Add(1)
+	}
+	cc.used = true
+}
+
+func (cc *countingCursor) KNNInto(dst []Neighbor, q geom.Point, k int, exclude int) []Neighbor {
+	cc.count(&cc.c.knn)
+	return cc.cur.KNNInto(dst, q, k, exclude)
+}
+
+func (cc *countingCursor) RangeInto(dst []Neighbor, q geom.Point, r float64, exclude int) []Neighbor {
+	cc.count(&cc.c.rng)
+	return cc.cur.RangeInto(dst, q, r, exclude)
+}
+
+// KNNQueries returns the number of KNN calls observed (both paths).
 func (c *Counting) KNNQueries() int64 { return c.knn.Load() }
 
-// RangeQueries returns the number of Range calls observed.
+// RangeQueries returns the number of Range calls observed (both paths).
 func (c *Counting) RangeQueries() int64 { return c.rng.Load() }
+
+// Cursors returns how many cursors were created through the wrapper.
+func (c *Counting) Cursors() int64 { return c.cursors.Load() }
+
+// CursorReuse returns how many queries were served by a reused cursor —
+// every query after the first on each cursor, the allocation-free path.
+func (c *Counting) CursorReuse() int64 { return c.cursorReuse.Load() }
+
+// CursorMisses returns how many queries went through the legacy KNN/Range
+// shims, each of which builds and discards a cursor.
+func (c *Counting) CursorMisses() int64 { return c.cursorMiss.Load() }
 
 // Unwrap returns the underlying index.
 func (c *Counting) Unwrap() Index { return c.Index }

@@ -100,16 +100,16 @@ func New(pts *geom.Points, m geom.Metric) *Index {
 		total *= ix.res[d]
 	}
 	ix.cells = make([][]int32, total)
+	c := make([]int, dim)
 	for i := 0; i < n; i++ {
-		c := ix.linear(ix.cellOf(pts.At(i)))
-		ix.cells[c] = append(ix.cells[c], int32(i))
+		ix.cellOfInto(c, pts.At(i))
+		ix.cells[ix.linear(c)] = append(ix.cells[ix.linear(c)], int32(i))
 	}
 	return ix
 }
 
-// cellOf maps a point to clamped integer cell coordinates.
-func (ix *Index) cellOf(p geom.Point) []int {
-	c := make([]int, len(p))
+// cellOfInto writes the clamped integer cell coordinates of p into c.
+func (ix *Index) cellOfInto(c []int, p geom.Point) {
 	for d := range p {
 		v := int(math.Floor((p[d] - ix.lo[d]) / ix.width[d]))
 		if v < 0 {
@@ -120,7 +120,6 @@ func (ix *Index) cellOf(p geom.Point) []int {
 		}
 		c[d] = v
 	}
-	return c
 }
 
 func (ix *Index) linear(c []int) int {
@@ -131,9 +130,12 @@ func (ix *Index) linear(c []int) int {
 	return li
 }
 
-// cellBox returns the axis-aligned box of cell c.
-func (ix *Index) cellBox(c []int, lo, hi geom.Point) {
-	for d, v := range c {
+// cellBoxLinear writes the axis-aligned box of the cell with linear index
+// li into lo, hi, decoding the multi-coordinates from the strides.
+func (ix *Index) cellBoxLinear(li int, lo, hi geom.Point) {
+	for d := len(ix.stride) - 1; d >= 0; d-- {
+		v := li / ix.stride[d]
+		li -= v * ix.stride[d]
 		lo[d] = ix.lo[d] + float64(v)*ix.width[d]
 		hi[d] = lo[d] + ix.width[d]
 	}
@@ -145,52 +147,39 @@ func (ix *Index) Len() int { return ix.pts.Len() }
 // Metric returns the index's metric.
 func (ix *Index) Metric() geom.Metric { return ix.metric }
 
-// forRing invokes f for every in-grid cell whose Chebyshev cell distance
-// from center is exactly ring. It returns the number of cells visited.
-func (ix *Index) forRing(center []int, ring int, f func(c []int)) int {
-	dim := len(center)
-	c := make([]int, dim)
-	visited := 0
-	var rec func(d int, onShell bool)
-	rec = func(d int, onShell bool) {
-		if d == dim {
-			if onShell || ring == 0 {
-				visited++
-				f(c)
-			}
-			return
-		}
-		lo := center[d] - ring
-		hi := center[d] + ring
-		for v := lo; v <= hi; v++ {
-			if v < 0 || v >= ix.res[d] {
-				continue
-			}
-			c[d] = v
-			delta := v - center[d]
-			if delta < 0 {
-				delta = -delta
-			}
-			rec(d+1, onShell || delta == ring)
-		}
-	}
+// appendRing appends the linear indices of every in-grid cell whose
+// Chebyshev cell distance from center is exactly ring to dst, using c as
+// the coordinate scratch. The enumeration recursion lives in ringRec — a
+// method, not a closure, so ring walks allocate nothing beyond dst growth.
+func (ix *Index) appendRing(dst []int32, center, c []int, ring int) []int32 {
 	if ring == 0 {
-		copy(c, center)
-		inGrid := true
-		for d, v := range c {
-			if v < 0 || v >= ix.res[d] {
-				inGrid = false
-				break
-			}
-		}
-		if inGrid {
-			f(c)
-			return 1
-		}
-		return 0
+		// The center cell comes from cellOfInto, which clamps into the grid.
+		return append(dst, int32(ix.linear(center)))
 	}
-	rec(0, false)
-	return visited
+	return ix.ringRec(dst, center, c, ring, 0, false)
+}
+
+func (ix *Index) ringRec(dst []int32, center, c []int, ring, d int, onShell bool) []int32 {
+	if d == len(center) {
+		if onShell {
+			dst = append(dst, int32(ix.linear(c)))
+		}
+		return dst
+	}
+	lo := center[d] - ring
+	hi := center[d] + ring
+	for v := lo; v <= hi; v++ {
+		if v < 0 || v >= ix.res[d] {
+			continue
+		}
+		c[d] = v
+		delta := v - center[d]
+		if delta < 0 {
+			delta = -delta
+		}
+		dst = ix.ringRec(dst, center, c, ring, d+1, onShell || delta == ring)
+	}
+	return dst
 }
 
 // maxRing is the largest possible Chebyshev ring in the grid.
@@ -204,66 +193,115 @@ func (ix *Index) maxRing() int {
 	return m
 }
 
-// KNN returns the k nearest neighbors of q by expanding-ring search.
-func (ix *Index) KNN(q geom.Point, k int, exclude int) []index.Neighbor {
-	if k <= 0 || ix.pts.Len() == 0 {
-		return nil
+// Cursor is a reusable query object over the grid: it owns the candidate
+// heap, the cell lists of the expanding-ring walk and the cell-box scratch,
+// so repeated queries allocate nothing.
+type Cursor struct {
+	ix           *Index
+	h            *index.Heap
+	sorter       index.Sorter
+	center       []int
+	coord        []int // ring recursion scratch
+	ring         []int32
+	boxLo, boxHi geom.Point
+}
+
+// NewCursor returns a fresh cursor over the index.
+func (ix *Index) NewCursor() index.Cursor {
+	return &Cursor{ix: ix, h: index.NewHeap(0)}
+}
+
+// Index returns the cursor's index.
+func (c *Cursor) Index() index.Index { return c.ix }
+
+// prepare sizes the coordinate scratch for a query of dimensionality dim.
+func (c *Cursor) prepare(dim int) {
+	if cap(c.center) < dim {
+		c.center = make([]int, dim)
+		c.coord = make([]int, dim)
+		c.boxLo = make(geom.Point, dim)
+		c.boxHi = make(geom.Point, dim)
 	}
-	h := index.NewHeap(k)
-	center := ix.cellOf(q)
-	boxLo := make(geom.Point, len(q))
-	boxHi := make(geom.Point, len(q))
+	c.center = c.center[:dim]
+	c.coord = c.coord[:dim]
+	c.boxLo = c.boxLo[:dim]
+	c.boxHi = c.boxHi[:dim]
+}
+
+// KNNInto appends the k nearest neighbors of q to dst by expanding-ring
+// search.
+func (c *Cursor) KNNInto(dst []index.Neighbor, q geom.Point, k int, exclude int) []index.Neighbor {
+	ix := c.ix
+	if k <= 0 || ix.pts.Len() == 0 {
+		return dst
+	}
+	c.prepare(len(q))
+	c.h.Reset(k)
+	ix.cellOfInto(c.center, q)
 	for ring := 0; ring <= ix.maxRing(); ring++ {
 		// Once k candidates are held, no cell at this ring or beyond can
 		// contain anything closer if even the nearest face of the ring is
 		// too far away.
-		if w, full := h.Worst(); full && float64(ring-1)*ix.wmin > w {
+		if w, full := c.h.Worst(); full && float64(ring-1)*ix.wmin > w {
 			break
 		}
-		ix.forRing(center, ring, func(c []int) {
-			ix.cellBox(c, boxLo, boxHi)
-			if w, full := h.Worst(); full && geom.MinDistToRect(ix.metric, q, boxLo, boxHi) > w {
-				return
+		c.ring = ix.appendRing(c.ring[:0], c.center, c.coord, ring)
+		for _, li := range c.ring {
+			ix.cellBoxLinear(int(li), c.boxLo, c.boxHi)
+			if w, full := c.h.Worst(); full && geom.MinDistToRect(ix.metric, q, c.boxLo, c.boxHi) > w {
+				continue
 			}
-			for _, pi := range ix.cells[ix.linear(c)] {
+			for _, pi := range ix.cells[li] {
 				if int(pi) == exclude {
 					continue
 				}
-				h.Push(index.Neighbor{Index: int(pi), Dist: ix.metric.Distance(q, ix.pts.At(int(pi)))})
+				c.h.Push(index.Neighbor{Index: int(pi), Dist: ix.metric.Distance(q, ix.pts.At(int(pi)))})
 			}
-		})
+		}
 	}
-	return h.Sorted()
+	return c.h.AppendSorted(dst)
 }
 
-// Range returns all points within distance r of q.
-func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
+// RangeInto appends all points within distance r of q to dst.
+func (c *Cursor) RangeInto(dst []index.Neighbor, q geom.Point, r float64, exclude int) []index.Neighbor {
+	ix := c.ix
 	if r < 0 || ix.pts.Len() == 0 {
-		return nil
+		return dst
 	}
-	var out []index.Neighbor
-	center := ix.cellOf(q)
-	boxLo := make(geom.Point, len(q))
-	boxHi := make(geom.Point, len(q))
+	c.prepare(len(q))
+	start := len(dst)
+	ix.cellOfInto(c.center, q)
 	for ring := 0; ring <= ix.maxRing(); ring++ {
 		if float64(ring-1)*ix.wmin > r {
 			break
 		}
-		ix.forRing(center, ring, func(c []int) {
-			ix.cellBox(c, boxLo, boxHi)
-			if geom.MinDistToRect(ix.metric, q, boxLo, boxHi) > r {
-				return
+		c.ring = ix.appendRing(c.ring[:0], c.center, c.coord, ring)
+		for _, li := range c.ring {
+			ix.cellBoxLinear(int(li), c.boxLo, c.boxHi)
+			if geom.MinDistToRect(ix.metric, q, c.boxLo, c.boxHi) > r {
+				continue
 			}
-			for _, pi := range ix.cells[ix.linear(c)] {
+			for _, pi := range ix.cells[li] {
 				if int(pi) == exclude {
 					continue
 				}
 				if d := ix.metric.Distance(q, ix.pts.At(int(pi))); d <= r {
-					out = append(out, index.Neighbor{Index: int(pi), Dist: d})
+					dst = append(dst, index.Neighbor{Index: int(pi), Dist: d})
 				}
 			}
-		})
+		}
 	}
-	index.SortNeighbors(out)
-	return out
+	c.sorter.Sort(dst[start:])
+	return dst
+}
+
+// KNN returns the k nearest neighbors of q via a fresh cursor; hot paths
+// should reuse a cursor.
+func (ix *Index) KNN(q geom.Point, k int, exclude int) []index.Neighbor {
+	return ix.NewCursor().KNNInto(nil, q, k, exclude)
+}
+
+// Range returns all points within distance r of q via a fresh cursor.
+func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
+	return ix.NewCursor().RangeInto(nil, q, r, exclude)
 }

@@ -13,6 +13,7 @@ func build(pts *geom.Points, m geom.Metric) index.Index { return grid.New(pts, m
 
 func TestGridContract(t *testing.T)  { indextest.Run(t, build) }
 func TestGridEdgeCases(t *testing.T) { indextest.RunEdgeCases(t, build) }
+func TestGridZeroAlloc(t *testing.T) { indextest.RunZeroAlloc(t, build) }
 
 func TestGridQueryFarOutsideBounds(t *testing.T) {
 	pts, err := geom.FromRows([]geom.Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}})

@@ -48,8 +48,12 @@ const ExcludeNone = -1
 // KNNWithTies returns the k-distance neighborhood of q (Definition 4 of the
 // paper): every point whose distance from q is at most the k-th smallest
 // distance. The result can contain more than k points when several points
-// tie at the k-distance. It is empty when the index holds no other points.
+// tie at the k-distance. It is empty when the index holds no other points
+// or when k is not positive (no k-distance exists then).
 func KNNWithTies(ix Index, q geom.Point, k int, exclude int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
 	nn := ix.KNN(q, k, exclude)
 	if len(nn) < k {
 		return nn // fewer than k candidates: no tie expansion possible
@@ -58,14 +62,43 @@ func KNNWithTies(ix Index, q geom.Point, k int, exclude int) []Neighbor {
 	return ix.Range(q, kdist, exclude)
 }
 
+// byDistIndex implements sort.Interface over neighbors in the canonical
+// (distance, index) order. A named slice type instead of sort.Slice keeps
+// the per-call closure and reflect-based swapper off the query hot path.
+type byDistIndex []Neighbor
+
+func (ns byDistIndex) Len() int { return len(ns) }
+func (ns byDistIndex) Less(i, j int) bool {
+	if ns[i].Dist != ns[j].Dist {
+		return ns[i].Dist < ns[j].Dist
+	}
+	return ns[i].Index < ns[j].Index
+}
+func (ns byDistIndex) Swap(i, j int) { ns[i], ns[j] = ns[j], ns[i] }
+
 // SortNeighbors orders ns by (distance, index), the canonical result order.
 func SortNeighbors(ns []Neighbor) {
-	sort.Slice(ns, func(i, j int) bool {
-		if ns[i].Dist != ns[j].Dist {
-			return ns[i].Dist < ns[j].Dist
-		}
-		return ns[i].Index < ns[j].Index
-	})
+	sort.Sort(byDistIndex(ns))
+}
+
+// Sorter sorts neighbor slices through a reusable sort.Interface value.
+// Cursors embed one so result sorting performs no per-query allocation:
+// sort.Sort takes a pointer to the embedded struct, which never escapes
+// anew, unlike the interface conversion in SortNeighbors.
+type Sorter struct {
+	ns byDistIndex
+}
+
+// Len, Less and Swap implement sort.Interface over the staged slice.
+func (s *Sorter) Len() int           { return s.ns.Len() }
+func (s *Sorter) Less(i, j int) bool { return s.ns.Less(i, j) }
+func (s *Sorter) Swap(i, j int)      { s.ns.Swap(i, j) }
+
+// Sort orders ns by (distance, index) without allocating.
+func (s *Sorter) Sort(ns []Neighbor) {
+	s.ns = ns
+	sort.Sort(s)
+	s.ns = nil
 }
 
 // Heap is a bounded max-heap of neighbor candidates used by k-NN searches:
@@ -79,6 +112,18 @@ type Heap struct {
 // NewHeap returns a heap that retains the k closest candidates.
 func NewHeap(k int) *Heap {
 	return &Heap{k: k, ns: make([]Neighbor, 0, k)}
+}
+
+// Reset empties the heap and retargets it to the k closest candidates,
+// keeping the backing storage so cursors can reuse one heap across queries
+// without allocating (storage grows once when a larger k arrives).
+func (h *Heap) Reset(k int) {
+	h.k = k
+	if cap(h.ns) < k {
+		h.ns = make([]Neighbor, 0, k)
+	} else {
+		h.ns = h.ns[:0]
+	}
 }
 
 // Len returns the number of candidates currently held.
@@ -137,8 +182,10 @@ func (h *Heap) up(i int) {
 	}
 }
 
-func (h *Heap) down(i int) {
-	n := len(h.ns)
+func (h *Heap) down(i int) { h.downTo(i, len(h.ns)) }
+
+// downTo sifts element i down within the heap prefix h.ns[:n].
+func (h *Heap) downTo(i, n int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		best := i
@@ -156,11 +203,26 @@ func (h *Heap) down(i int) {
 	}
 }
 
-// Sorted drains the heap into a slice ordered by (distance, index).
-func (h *Heap) Sorted() []Neighbor {
-	out := make([]Neighbor, len(h.ns))
-	copy(out, h.ns)
-	SortNeighbors(out)
+// AppendSorted drains the heap into dst ordered by (distance, index) and
+// returns the extended slice. The ordering is produced by an in-place
+// heapsort of the heap's own storage — repeatedly moving the worst
+// candidate to the end yields ascending (distance, index) order, since the
+// heap roots the maximum under exactly that comparison — so draining
+// performs no allocation beyond growing dst.
+func (h *Heap) AppendSorted(dst []Neighbor) []Neighbor {
+	for end := len(h.ns) - 1; end > 0; end-- {
+		h.ns[0], h.ns[end] = h.ns[end], h.ns[0]
+		h.downTo(0, end)
+	}
+	dst = append(dst, h.ns...)
 	h.ns = h.ns[:0]
-	return out
+	return dst
+}
+
+// Sorted drains the heap into a fresh slice ordered by (distance, index).
+func (h *Heap) Sorted() []Neighbor {
+	if len(h.ns) == 0 {
+		return nil
+	}
+	return h.AppendSorted(make([]Neighbor, 0, len(h.ns)))
 }

@@ -4,7 +4,37 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+
+	"lof/internal/geom"
 )
+
+// panicIndex fails the test if any query reaches the index, proving a
+// guard short-circuited before touching it.
+type panicIndex struct{}
+
+func (panicIndex) Len() int            { return 3 }
+func (panicIndex) Metric() geom.Metric { return geom.Euclidean{} }
+func (panicIndex) KNN(geom.Point, int, int) []Neighbor {
+	panic("index: KNN called")
+}
+func (panicIndex) Range(geom.Point, float64, int) []Neighbor {
+	panic("index: Range called")
+}
+
+// KNNWithTies used to panic on non-positive k by indexing an empty kNN
+// result; it must now return nil without issuing any query.
+func TestKNNWithTiesNonPositiveK(t *testing.T) {
+	for _, k := range []int{0, -1, -100} {
+		if got := KNNWithTies(panicIndex{}, geom.Point{0}, k, ExcludeNone); got != nil {
+			t.Fatalf("KNNWithTies(k=%d)=%v, want nil", k, got)
+		}
+	}
+	cur := NewCursor(panicIndex{})
+	prefix := []Neighbor{{Index: 1, Dist: 1}}
+	if got := KNNWithTiesInto(cur, prefix, geom.Point{0}, 0, ExcludeNone); len(got) != 1 {
+		t.Fatalf("KNNWithTiesInto(k=0)=%v, want untouched prefix", got)
+	}
+}
 
 func TestHeapKeepsKSmallest(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
@@ -83,6 +113,84 @@ func TestHeapSortedDrains(t *testing.T) {
 	_ = h.Sorted()
 	if h.Len() != 0 {
 		t.Fatalf("Len after drain=%d", h.Len())
+	}
+}
+
+func TestHeapResetReusesStorage(t *testing.T) {
+	h := NewHeap(4)
+	for i := 0; i < 8; i++ {
+		h.Push(Neighbor{Index: i, Dist: float64(8 - i)})
+	}
+	h.Reset(2)
+	h.Push(Neighbor{Index: 0, Dist: 3})
+	h.Push(Neighbor{Index: 1, Dist: 1})
+	h.Push(Neighbor{Index: 2, Dist: 2})
+	got := h.Sorted()
+	if len(got) != 2 || got[0].Index != 1 || got[1].Index != 2 {
+		t.Fatalf("after Reset: %v", got)
+	}
+	// Regrow beyond the original capacity.
+	h.Reset(16)
+	for i := 0; i < 20; i++ {
+		h.Push(Neighbor{Index: i, Dist: float64(i)})
+	}
+	if h.Len() != 16 {
+		t.Fatalf("Len after regrow=%d", h.Len())
+	}
+}
+
+func TestHeapAppendSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(8)
+		h := NewHeap(k)
+		var all []Neighbor
+		for i := 0; i < rng.Intn(40); i++ {
+			nb := Neighbor{Index: i, Dist: float64(rng.Intn(10))}
+			all = append(all, nb)
+			h.Push(nb)
+		}
+		prefix := Neighbor{Index: -1, Dist: -1}
+		got := h.AppendSorted([]Neighbor{prefix})
+		if got[0] != prefix {
+			t.Fatalf("trial %d: prefix clobbered: %v", trial, got[0])
+		}
+		SortNeighbors(all)
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got)-1 != len(want) {
+			t.Fatalf("trial %d: len=%d want %d", trial, len(got)-1, len(want))
+		}
+		for i := range want {
+			if got[i+1] != want[i] {
+				t.Fatalf("trial %d: got[%d]=%v want %v", trial, i, got[i+1], want[i])
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatalf("trial %d: heap not drained, Len=%d", trial, h.Len())
+		}
+	}
+}
+
+func TestSorterMatchesSortNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var s Sorter
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(50)
+		a := make([]Neighbor, n)
+		for i := range a {
+			a[i] = Neighbor{Index: rng.Intn(10), Dist: float64(rng.Intn(5))}
+		}
+		b := append([]Neighbor(nil), a...)
+		SortNeighbors(a)
+		s.Sort(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: Sorter diverges at %d: %v vs %v", trial, i, a[i], b[i])
+			}
+		}
 	}
 }
 

@@ -96,6 +96,16 @@ func Run(t *testing.T, build Builder) {
 			t.Fatalf("trial %d: metric %s want %s", trial, ix.Metric().Name(), m.Name())
 		}
 
+		// One cursor and one destination buffer serve every query of the
+		// trial: cursor results must match the legacy methods bit for bit,
+		// and appending must leave the existing prefix of dst untouched.
+		cur := index.NewCursor(ix)
+		if cur.Index() != index.Index(ix) {
+			t.Fatalf("trial %d: cursor.Index() does not return its index", trial)
+		}
+		sentinel := index.Neighbor{Index: -7, Dist: -1}
+		var dst []index.Neighbor
+
 		for qi := 0; qi < 12; qi++ {
 			var q geom.Point
 			exclude := index.ExcludeNone
@@ -118,12 +128,33 @@ func Run(t *testing.T, build Builder) {
 					trial, qi, k, exclude, m.Name(), n, dim, got, want)
 			}
 
+			// Cursor path: identical results, appended after an intact
+			// prefix, through the cursor reused across every query.
+			dst = append(dst[:0], sentinel)
+			dst = cur.KNNInto(dst, q, k, exclude)
+			if dst[0] != sentinel {
+				t.Fatalf("trial %d query %d: KNNInto clobbered dst prefix: %v", trial, qi, dst[0])
+			}
+			if !exactEqual(dst[1:], got) {
+				t.Fatalf("trial %d query %d: KNNInto(k=%d, exclude=%d, metric=%s)\n got %v\nwant %v",
+					trial, qi, k, exclude, m.Name(), dst[1:], got)
+			}
+
 			r := rng.Float64() * 15
 			gotR := ix.Range(q, r, exclude)
 			wantR := ref.Range(q, r, exclude)
 			if !neighborsEqual(gotR, wantR) {
 				t.Fatalf("trial %d query %d: Range(r=%v, exclude=%d, metric=%s, n=%d, dim=%d)\n got %v\nwant %v",
 					trial, qi, r, exclude, m.Name(), n, dim, gotR, wantR)
+			}
+			dst = append(dst[:0], sentinel)
+			dst = cur.RangeInto(dst, q, r, exclude)
+			if dst[0] != sentinel {
+				t.Fatalf("trial %d query %d: RangeInto clobbered dst prefix: %v", trial, qi, dst[0])
+			}
+			if !exactEqual(dst[1:], gotR) {
+				t.Fatalf("trial %d query %d: RangeInto(r=%v, exclude=%d, metric=%s)\n got %v\nwant %v",
+					trial, qi, r, exclude, m.Name(), dst[1:], gotR)
 			}
 
 			// The tie-inclusive neighborhood must contain the plain kNN
@@ -140,8 +171,31 @@ func Run(t *testing.T, build Builder) {
 					t.Fatalf("trial %d: ties %d < knn %d", trial, len(ties), len(want))
 				}
 			}
+			dst = append(dst[:0], sentinel)
+			dst = index.KNNWithTiesInto(cur, dst, q, k, exclude)
+			if dst[0] != sentinel {
+				t.Fatalf("trial %d query %d: KNNWithTiesInto clobbered dst prefix: %v", trial, qi, dst[0])
+			}
+			if !exactEqual(dst[1:], ties) {
+				t.Fatalf("trial %d query %d: KNNWithTiesInto(k=%d, exclude=%d, metric=%s)\n got %v\nwant %v",
+					trial, qi, k, exclude, m.Name(), dst[1:], ties)
+			}
 		}
 	}
+}
+
+// exactEqual is bitwise equality — the cursor path must not merely be
+// close to the legacy path, it must be the same computation.
+func exactEqual(a, b []index.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // RunEdgeCases exercises empty datasets, k larger than n, zero k, negative
@@ -179,5 +233,77 @@ func RunEdgeCases(t *testing.T, build Builder) {
 	// Zero radius at an exact point location includes that point.
 	if got := ix.Range(geom.Point{1, 1}, 0, index.ExcludeNone); len(got) != 1 {
 		t.Fatalf("zero-radius Range=%v", got)
+	}
+
+	// Cursor edge cases: degenerate queries must leave dst untouched, and
+	// the cursor must stay usable after them.
+	emptyCur := index.NewCursor(build(empty, m))
+	if got := emptyCur.KNNInto(nil, geom.Point{0, 0}, 3, index.ExcludeNone); len(got) != 0 {
+		t.Fatalf("empty cursor KNNInto=%v", got)
+	}
+	if got := emptyCur.RangeInto(nil, geom.Point{0, 0}, 5, index.ExcludeNone); len(got) != 0 {
+		t.Fatalf("empty cursor RangeInto=%v", got)
+	}
+	cur := index.NewCursor(ix)
+	prefix := []index.Neighbor{{Index: 9, Dist: 9}}
+	if got := cur.KNNInto(prefix, geom.Point{0, 0}, 0, index.ExcludeNone); len(got) != 1 || got[0] != prefix[0] {
+		t.Fatalf("k=0 KNNInto=%v", got)
+	}
+	if got := cur.KNNInto(prefix, geom.Point{0, 0}, -3, index.ExcludeNone); len(got) != 1 || got[0] != prefix[0] {
+		t.Fatalf("k=-3 KNNInto=%v", got)
+	}
+	if got := cur.RangeInto(prefix, geom.Point{0, 0}, -1, index.ExcludeNone); len(got) != 1 || got[0] != prefix[0] {
+		t.Fatalf("negative-radius RangeInto=%v", got)
+	}
+	if got := index.KNNWithTiesInto(cur, prefix, geom.Point{0, 0}, 0, index.ExcludeNone); len(got) != 1 || got[0] != prefix[0] {
+		t.Fatalf("k=0 KNNWithTiesInto=%v", got)
+	}
+	if got := cur.KNNInto(nil, geom.Point{0, 0}, 5, index.ExcludeNone); len(got) != 1 || got[0].Index != 0 {
+		t.Fatalf("cursor KNN after degenerate queries=%v", got)
+	}
+}
+
+// RunZeroAlloc pins the cursor hot path to zero allocations per query for
+// the index under test: after a warm-up query sizes the cursor scratch and
+// the destination buffer, KNNInto, RangeInto and KNNWithTiesInto must not
+// allocate at all. Only implementations whose traversal state is fully
+// cursor-owned can pass; callers opt in per package.
+func RunZeroAlloc(t *testing.T, build Builder) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	const n, dim, k = 512, 3, 8
+	pts := randomPoints(rng, n, dim)
+	ix := build(pts, geom.Euclidean{})
+	cur := index.NewCursor(ix)
+
+	queries := make([]geom.Point, 16)
+	for i := range queries {
+		q := make(geom.Point, dim)
+		for d := range q {
+			q[d] = rng.NormFloat64() * 10
+		}
+		queries[i] = q
+	}
+	// Warm up: run every query through every operation once so the heap,
+	// the traversal scratch and the destination buffer reach their final
+	// sizes before allocations are counted.
+	dst := cur.KNNInto(nil, queries[0], k, index.ExcludeNone)
+	r := dst[len(dst)-1].Dist * 1.5
+	for _, q := range queries {
+		dst = cur.KNNInto(dst[:0], q, k, 3)
+		dst = cur.RangeInto(dst[:0], q, r, index.ExcludeNone)
+		dst = index.KNNWithTiesInto(cur, dst[:0], q, k, index.ExcludeNone)
+	}
+
+	qi := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		q := queries[qi%len(queries)]
+		qi++
+		dst = cur.KNNInto(dst[:0], q, k, 3)
+		dst = cur.RangeInto(dst[:0], q, r, index.ExcludeNone)
+		dst = index.KNNWithTiesInto(cur, dst[:0], q, k, index.ExcludeNone)
+	})
+	if allocs != 0 {
+		t.Fatalf("cursor hot path allocates: %v allocs/query, want 0", allocs)
 	}
 }

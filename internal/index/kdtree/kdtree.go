@@ -120,23 +120,46 @@ func (ix *Index) Len() int { return ix.pts.Len() }
 // Metric returns the index's metric.
 func (ix *Index) Metric() geom.Metric { return ix.metric }
 
-// KNN returns the k nearest neighbors of q.
-func (ix *Index) KNN(q geom.Point, k int, exclude int) []index.Neighbor {
-	if k <= 0 || ix.root == nil {
-		return nil
-	}
-	h := index.NewHeap(k)
-	ix.knn(ix.root, q, exclude, h)
-	return h.Sorted()
+// Cursor is a reusable query object over the tree: it owns the candidate
+// heap, the range accumulation buffer and the result sorter, so repeated
+// queries allocate nothing. Branch-and-bound descent state lives on the
+// call stack (method recursion), which costs no heap allocation.
+type Cursor struct {
+	ix     *Index
+	h      *index.Heap
+	sorter index.Sorter
+	// out stages the in-flight RangeInto destination so the recursion can
+	// append without taking the address of a local slice (which would
+	// force a heap escape per query).
+	out []index.Neighbor
 }
 
-func (ix *Index) knn(n *node, q geom.Point, exclude int, h *index.Heap) {
+// NewCursor returns a fresh cursor over the index.
+func (ix *Index) NewCursor() index.Cursor {
+	return &Cursor{ix: ix, h: index.NewHeap(0)}
+}
+
+// Index returns the cursor's index.
+func (c *Cursor) Index() index.Index { return c.ix }
+
+// KNNInto appends the k nearest neighbors of q to dst.
+func (c *Cursor) KNNInto(dst []index.Neighbor, q geom.Point, k int, exclude int) []index.Neighbor {
+	if k <= 0 || c.ix.root == nil {
+		return dst
+	}
+	c.h.Reset(k)
+	c.knn(c.ix.root, q, exclude)
+	return c.h.AppendSorted(dst)
+}
+
+func (c *Cursor) knn(n *node, q geom.Point, exclude int) {
+	ix := c.ix
 	if n.axis < 0 { // leaf
 		for _, pi := range ix.perm[n.start:n.end] {
 			if pi == exclude {
 				continue
 			}
-			h.Push(index.Neighbor{Index: pi, Dist: ix.metric.Distance(q, ix.pts.At(pi))})
+			c.h.Push(index.Neighbor{Index: pi, Dist: ix.metric.Distance(q, ix.pts.At(pi))})
 		}
 		return
 	}
@@ -144,34 +167,38 @@ func (ix *Index) knn(n *node, q geom.Point, exclude int, h *index.Heap) {
 	if q[n.axis] >= n.split {
 		near, far = far, near
 	}
-	ix.knn(near, q, exclude, h)
+	c.knn(near, q, exclude)
 	// The splitting-plane gap, scaled per metric, lower-bounds the distance
 	// to any point in the far subtree.
 	gap := geom.AxisGapLowerBound(ix.metric, n.axis, q[n.axis]-n.split)
-	if w, full := h.Worst(); !full || gap <= w {
-		ix.knn(far, q, exclude, h)
+	if w, full := c.h.Worst(); !full || gap <= w {
+		c.knn(far, q, exclude)
 	}
 }
 
-// Range returns all points within distance r of q.
-func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
-	if r < 0 || ix.root == nil {
-		return nil
+// RangeInto appends all points within distance r of q to dst.
+func (c *Cursor) RangeInto(dst []index.Neighbor, q geom.Point, r float64, exclude int) []index.Neighbor {
+	if r < 0 || c.ix.root == nil {
+		return dst
 	}
-	var out []index.Neighbor
-	ix.rangeQuery(ix.root, q, r, exclude, &out)
-	index.SortNeighbors(out)
-	return out
+	start := len(dst)
+	c.out = dst
+	c.rangeQuery(c.ix.root, q, r, exclude)
+	dst = c.out
+	c.out = nil
+	c.sorter.Sort(dst[start:])
+	return dst
 }
 
-func (ix *Index) rangeQuery(n *node, q geom.Point, r float64, exclude int, out *[]index.Neighbor) {
+func (c *Cursor) rangeQuery(n *node, q geom.Point, r float64, exclude int) {
+	ix := c.ix
 	if n.axis < 0 {
 		for _, pi := range ix.perm[n.start:n.end] {
 			if pi == exclude {
 				continue
 			}
 			if d := ix.metric.Distance(q, ix.pts.At(pi)); d <= r {
-				*out = append(*out, index.Neighbor{Index: pi, Dist: d})
+				c.out = append(c.out, index.Neighbor{Index: pi, Dist: d})
 			}
 		}
 		return
@@ -180,8 +207,19 @@ func (ix *Index) rangeQuery(n *node, q geom.Point, r float64, exclude int, out *
 	if q[n.axis] >= n.split {
 		near, far = far, near
 	}
-	ix.rangeQuery(near, q, r, exclude, out)
+	c.rangeQuery(near, q, r, exclude)
 	if geom.AxisGapLowerBound(ix.metric, n.axis, q[n.axis]-n.split) <= r {
-		ix.rangeQuery(far, q, r, exclude, out)
+		c.rangeQuery(far, q, r, exclude)
 	}
+}
+
+// KNN returns the k nearest neighbors of q via a fresh cursor; hot paths
+// should reuse a cursor.
+func (ix *Index) KNN(q geom.Point, k int, exclude int) []index.Neighbor {
+	return ix.NewCursor().KNNInto(nil, q, k, exclude)
+}
+
+// Range returns all points within distance r of q via a fresh cursor.
+func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
+	return ix.NewCursor().RangeInto(nil, q, r, exclude)
 }

@@ -34,12 +34,29 @@ func (ix *Index) Len() int { return ix.pts.Len() }
 // Metric returns the index's metric.
 func (ix *Index) Metric() geom.Metric { return ix.metric }
 
-// KNN returns the k nearest neighbors of q by full scan.
-func (ix *Index) KNN(q geom.Point, k int, exclude int) []index.Neighbor {
+// Cursor is a reusable query object over the scan: it owns the candidate
+// heap and result sorter, so repeated queries allocate nothing.
+type Cursor struct {
+	ix     *Index
+	h      *index.Heap
+	sorter index.Sorter
+}
+
+// NewCursor returns a fresh cursor over the index.
+func (ix *Index) NewCursor() index.Cursor {
+	return &Cursor{ix: ix, h: index.NewHeap(0)}
+}
+
+// Index returns the cursor's index.
+func (c *Cursor) Index() index.Index { return c.ix }
+
+// KNNInto appends the k nearest neighbors of q to dst by full scan.
+func (c *Cursor) KNNInto(dst []index.Neighbor, q geom.Point, k int, exclude int) []index.Neighbor {
 	if k <= 0 {
-		return nil
+		return dst
 	}
-	h := index.NewHeap(k)
+	ix := c.ix
+	c.h.Reset(k)
 	n := ix.pts.Len()
 	if _, ok := ix.metric.(geom.Euclidean); ok {
 		for i := 0; i < n; i++ {
@@ -48,25 +65,26 @@ func (ix *Index) KNN(q geom.Point, k int, exclude int) []index.Neighbor {
 			}
 			// Pruning and result distances both use the rounded sqrt value
 			// so boundary ties stay consistent with Range.
-			h.Push(index.Neighbor{Index: i, Dist: sqrt(geom.SqDist(q, ix.pts.At(i)))})
+			c.h.Push(index.Neighbor{Index: i, Dist: sqrt(geom.SqDist(q, ix.pts.At(i)))})
 		}
-		return h.Sorted()
+		return c.h.AppendSorted(dst)
 	}
 	for i := 0; i < n; i++ {
 		if i == exclude {
 			continue
 		}
-		h.Push(index.Neighbor{Index: i, Dist: ix.metric.Distance(q, ix.pts.At(i))})
+		c.h.Push(index.Neighbor{Index: i, Dist: ix.metric.Distance(q, ix.pts.At(i))})
 	}
-	return h.Sorted()
+	return c.h.AppendSorted(dst)
 }
 
-// Range returns all points within distance r of q.
-func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
+// RangeInto appends all points within distance r of q to dst.
+func (c *Cursor) RangeInto(dst []index.Neighbor, q geom.Point, r float64, exclude int) []index.Neighbor {
 	if r < 0 {
-		return nil
+		return dst
 	}
-	var out []index.Neighbor
+	ix := c.ix
+	start := len(dst)
 	n := ix.pts.Len()
 	if _, ok := ix.metric.(geom.Euclidean); ok {
 		for i := 0; i < n; i++ {
@@ -77,7 +95,7 @@ func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
 			// k-distance produced by KNN, and squaring it can round below
 			// the boundary point's squared distance.
 			if d := sqrt(geom.SqDist(q, ix.pts.At(i))); d <= r {
-				out = append(out, index.Neighbor{Index: i, Dist: d})
+				dst = append(dst, index.Neighbor{Index: i, Dist: d})
 			}
 		}
 	} else {
@@ -86,12 +104,23 @@ func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
 				continue
 			}
 			if d := ix.metric.Distance(q, ix.pts.At(i)); d <= r {
-				out = append(out, index.Neighbor{Index: i, Dist: d})
+				dst = append(dst, index.Neighbor{Index: i, Dist: d})
 			}
 		}
 	}
-	index.SortNeighbors(out)
-	return out
+	c.sorter.Sort(dst[start:])
+	return dst
+}
+
+// KNN returns the k nearest neighbors of q by full scan. It is a
+// compatibility shim over a fresh cursor; hot paths should reuse a cursor.
+func (ix *Index) KNN(q geom.Point, k int, exclude int) []index.Neighbor {
+	return ix.NewCursor().KNNInto(nil, q, k, exclude)
+}
+
+// Range returns all points within distance r of q via a fresh cursor.
+func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
+	return ix.NewCursor().RangeInto(nil, q, r, exclude)
 }
 
 func sqrt(x float64) float64 {

@@ -16,6 +16,7 @@ func build(pts *geom.Points, m geom.Metric) index.Index { return linear.New(pts,
 // plumbing and the KNNWithTies invariants.
 func TestLinearContract(t *testing.T)  { indextest.Run(t, build) }
 func TestLinearEdgeCases(t *testing.T) { indextest.RunEdgeCases(t, build) }
+func TestLinearZeroAlloc(t *testing.T) { indextest.RunZeroAlloc(t, build) }
 
 func TestLinearKnownAnswers(t *testing.T) {
 	pts, err := geom.FromRows([]geom.Point{{0, 0}, {1, 0}, {2, 0}, {10, 0}})

@@ -126,87 +126,150 @@ func (ix *Index) Metric() geom.Metric { return ix.metric }
 // Bits returns the quantization width per dimension.
 func (ix *Index) Bits() int { return ix.bits }
 
-// KNN returns the exact k nearest neighbors of q via the two-phase VA-file
-// scan.
-func (ix *Index) KNN(q geom.Point, k int, exclude int) []index.Neighbor {
+// cand is a phase-1 candidate: a point whose approximation lower bound may
+// still beat the running k-th upper bound.
+type cand struct {
+	idx   int
+	lower float64
+}
+
+// candSorter sorts a cand slice by (lower bound, index). It is held by
+// pointer inside the cursor so sorting does not allocate: the interface
+// conversion of a *candSorter is allocation-free, and the slice lives in a
+// struct field rather than a boxed value.
+type candSorter struct {
+	cs []cand
+}
+
+func (s *candSorter) Len() int      { return len(s.cs) }
+func (s *candSorter) Swap(i, j int) { s.cs[i], s.cs[j] = s.cs[j], s.cs[i] }
+func (s *candSorter) Less(i, j int) bool {
+	if s.cs[i].lower != s.cs[j].lower {
+		return s.cs[i].lower < s.cs[j].lower
+	}
+	return s.cs[i].idx < s.cs[j].idx
+}
+
+// sort sorts cs by (lower, idx) using the sorter's field as scratch.
+func (s *candSorter) sort(cs []cand) {
+	s.cs = cs
+	sort.Sort(s)
+	s.cs = nil
+}
+
+// Cursor is a reusable query object over the VA-file: it owns the cell
+// rectangle scratch, the candidate set of the filter phase, both bound heaps
+// and the sorters, so repeated queries allocate nothing.
+type Cursor struct {
+	ix         *Index
+	h          *index.Heap // exact result heap
+	ubHeap     *index.Heap // k smallest upper bounds (filter phase)
+	sorter     index.Sorter
+	candSorter candSorter
+	cands      []cand
+	lo, hi     geom.Point
+}
+
+// NewCursor returns a fresh cursor over the index.
+func (ix *Index) NewCursor() index.Cursor {
+	return &Cursor{ix: ix, h: index.NewHeap(0), ubHeap: index.NewHeap(0)}
+}
+
+// Index returns the cursor's index.
+func (c *Cursor) Index() index.Index { return c.ix }
+
+// prepare sizes the rectangle scratch for a query of dimensionality dim.
+func (c *Cursor) prepare(dim int) {
+	if cap(c.lo) < dim {
+		c.lo = make(geom.Point, dim)
+		c.hi = make(geom.Point, dim)
+	}
+	c.lo = c.lo[:dim]
+	c.hi = c.hi[:dim]
+}
+
+// KNNInto appends the exact k nearest neighbors of q to dst via the
+// two-phase VA-file scan.
+func (c *Cursor) KNNInto(dst []index.Neighbor, q geom.Point, k int, exclude int) []index.Neighbor {
+	ix := c.ix
 	if k <= 0 || ix.pts.Len() == 0 {
-		return nil
+		return dst
 	}
 	n := ix.pts.Len()
-	dim := ix.pts.Dim()
-	lo := make(geom.Point, dim)
-	hi := make(geom.Point, dim)
+	c.prepare(ix.pts.Dim())
 
 	// Phase 1: bound every point from its approximation; keep the k
 	// smallest upper bounds to prune candidates.
-	type cand struct {
-		idx   int
-		lower float64
-	}
-	ubHeap := index.NewHeap(k) // tracks k smallest upper bounds
-	cands := make([]cand, 0, n)
+	c.ubHeap.Reset(k)
+	cands := c.cands[:0]
 	for i := 0; i < n; i++ {
 		if i == exclude {
 			continue
 		}
-		ix.cellRect(i, lo, hi)
-		lb := geom.MinDistToRect(ix.metric, q, lo, hi)
-		if w, full := ubHeap.Worst(); full && lb > w {
+		ix.cellRect(i, c.lo, c.hi)
+		lb := geom.MinDistToRect(ix.metric, q, c.lo, c.hi)
+		if w, full := c.ubHeap.Worst(); full && lb > w {
 			continue
 		}
-		ub := geom.MaxDistToRect(ix.metric, q, lo, hi)
-		ubHeap.Push(index.Neighbor{Index: i, Dist: ub})
+		ub := geom.MaxDistToRect(ix.metric, q, c.lo, c.hi)
+		c.ubHeap.Push(index.Neighbor{Index: i, Dist: ub})
 		cands = append(cands, cand{idx: i, lower: lb})
 	}
+	c.cands = cands
 	kthUpper := math.Inf(1)
-	if w, full := ubHeap.Worst(); full {
+	if w, full := c.ubHeap.Worst(); full {
 		kthUpper = w
 	}
 
 	// Phase 2: exact distances for surviving candidates, cheapest lower
 	// bound first so the result heap tightens quickly.
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].lower != cands[b].lower {
-			return cands[a].lower < cands[b].lower
-		}
-		return cands[a].idx < cands[b].idx
-	})
-	h := index.NewHeap(k)
-	for _, c := range cands {
-		if c.lower > kthUpper {
+	c.candSorter.sort(cands)
+	c.h.Reset(k)
+	for _, cd := range cands {
+		if cd.lower > kthUpper {
 			break
 		}
-		if w, full := h.Worst(); full && c.lower > w {
+		if w, full := c.h.Worst(); full && cd.lower > w {
 			break
 		}
-		h.Push(index.Neighbor{Index: c.idx, Dist: ix.metric.Distance(q, ix.pts.At(c.idx))})
+		c.h.Push(index.Neighbor{Index: cd.idx, Dist: ix.metric.Distance(q, ix.pts.At(cd.idx))})
 	}
-	return h.Sorted()
+	return c.h.AppendSorted(dst)
 }
 
-// Range returns all points within distance r of q, using approximation
-// lower bounds to skip exact computations.
-func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
+// RangeInto appends all points within distance r of q to dst, using
+// approximation lower bounds to skip exact computations.
+func (c *Cursor) RangeInto(dst []index.Neighbor, q geom.Point, r float64, exclude int) []index.Neighbor {
+	ix := c.ix
 	if r < 0 || ix.pts.Len() == 0 {
-		return nil
+		return dst
 	}
 	n := ix.pts.Len()
-	dim := ix.pts.Dim()
-	lo := make(geom.Point, dim)
-	hi := make(geom.Point, dim)
-	var out []index.Neighbor
+	c.prepare(ix.pts.Dim())
+	start := len(dst)
 	for i := 0; i < n; i++ {
 		if i == exclude {
 			continue
 		}
-		ix.cellRect(i, lo, hi)
-		if geom.MinDistToRect(ix.metric, q, lo, hi) > r {
+		ix.cellRect(i, c.lo, c.hi)
+		if geom.MinDistToRect(ix.metric, q, c.lo, c.hi) > r {
 			continue
 		}
 		if d := ix.metric.Distance(q, ix.pts.At(i)); d <= r {
-			out = append(out, index.Neighbor{Index: i, Dist: d})
+			dst = append(dst, index.Neighbor{Index: i, Dist: d})
 		}
 	}
-	index.SortNeighbors(out)
-	return out
+	c.sorter.Sort(dst[start:])
+	return dst
+}
+
+// KNN returns the exact k nearest neighbors of q via a fresh cursor; hot
+// paths should reuse a cursor.
+func (ix *Index) KNN(q geom.Point, k int, exclude int) []index.Neighbor {
+	return ix.NewCursor().KNNInto(nil, q, k, exclude)
+}
+
+// Range returns all points within distance r of q via a fresh cursor.
+func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
+	return ix.NewCursor().RangeInto(nil, q, r, exclude)
 }

@@ -11,7 +11,6 @@
 package xtree
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -357,29 +356,86 @@ type pqItem struct {
 	dist float64
 }
 
-type pq []pqItem
+// frontier is a hand-rolled min-heap of pqItems ordered by dist. Unlike
+// container/heap it takes items by value, so pushes do not box the item
+// into an interface — the backing array is cursor-owned scratch reused
+// across queries.
+type frontier []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	it := old[len(old)-1]
-	*q = old[:len(old)-1]
-	return it
+func (f *frontier) push(it pqItem) {
+	*f = append(*f, it)
+	q := *f
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].dist <= q[i].dist {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
 }
 
-// KNN returns the k nearest neighbors of q using best-first MBR search.
-func (ix *Index) KNN(qp geom.Point, k int, exclude int) []index.Neighbor {
-	if k <= 0 || ix.root == nil {
-		return nil
+func (f *frontier) pop() pqItem {
+	q := *f
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	*f = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(q) && q[l].dist < q[least].dist {
+			least = l
+		}
+		if r < len(q) && q[r].dist < q[least].dist {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
 	}
-	h := index.NewHeap(k)
-	frontier := &pq{{n: ix.root, dist: geom.MinDistToRect(ix.metric, qp, ix.root.mbr.lo, ix.root.mbr.hi)}}
-	for frontier.Len() > 0 {
-		it := heap.Pop(frontier).(pqItem)
-		if w, full := h.Worst(); full && it.dist > w {
+	return top
+}
+
+// Cursor is a reusable query object over the tree: it owns the candidate
+// heap, the best-first frontier, the range accumulation buffer and the
+// result sorter, so repeated queries allocate nothing.
+type Cursor struct {
+	ix       *Index
+	h        *index.Heap
+	sorter   index.Sorter
+	frontier frontier
+	// out stages the in-flight RangeInto destination so the recursion can
+	// append without forcing the slice to escape through a pointer.
+	out []index.Neighbor
+}
+
+// NewCursor returns a fresh cursor over the index.
+func (ix *Index) NewCursor() index.Cursor {
+	return &Cursor{ix: ix, h: index.NewHeap(0)}
+}
+
+// Index returns the cursor's index.
+func (c *Cursor) Index() index.Index { return c.ix }
+
+// KNNInto appends the k nearest neighbors of q to dst using best-first MBR
+// search.
+func (c *Cursor) KNNInto(dst []index.Neighbor, qp geom.Point, k int, exclude int) []index.Neighbor {
+	ix := c.ix
+	if k <= 0 || ix.root == nil {
+		return dst
+	}
+	c.h.Reset(k)
+	c.frontier = c.frontier[:0]
+	c.frontier.push(pqItem{n: ix.root, dist: geom.MinDistToRect(ix.metric, qp, ix.root.mbr.lo, ix.root.mbr.hi)})
+	for len(c.frontier) > 0 {
+		it := c.frontier.pop()
+		if w, full := c.h.Worst(); full && it.dist > w {
 			break
 		}
 		if it.n.leaf {
@@ -387,33 +443,37 @@ func (ix *Index) KNN(qp geom.Point, k int, exclude int) []index.Neighbor {
 				if int(pi) == exclude {
 					continue
 				}
-				h.Push(index.Neighbor{Index: int(pi), Dist: ix.metric.Distance(qp, ix.pts.At(int(pi)))})
+				c.h.Push(index.Neighbor{Index: int(pi), Dist: ix.metric.Distance(qp, ix.pts.At(int(pi)))})
 			}
 			continue
 		}
-		for _, c := range it.n.children {
-			d := geom.MinDistToRect(ix.metric, qp, c.mbr.lo, c.mbr.hi)
-			if w, full := h.Worst(); full && d > w {
+		for _, ch := range it.n.children {
+			d := geom.MinDistToRect(ix.metric, qp, ch.mbr.lo, ch.mbr.hi)
+			if w, full := c.h.Worst(); full && d > w {
 				continue
 			}
-			heap.Push(frontier, pqItem{n: c, dist: d})
+			c.frontier.push(pqItem{n: ch, dist: d})
 		}
 	}
-	return h.Sorted()
+	return c.h.AppendSorted(dst)
 }
 
-// Range returns all points within distance r of q.
-func (ix *Index) Range(qp geom.Point, r float64, exclude int) []index.Neighbor {
-	if r < 0 || ix.root == nil {
-		return nil
+// RangeInto appends all points within distance r of q to dst.
+func (c *Cursor) RangeInto(dst []index.Neighbor, qp geom.Point, r float64, exclude int) []index.Neighbor {
+	if r < 0 || c.ix.root == nil {
+		return dst
 	}
-	var out []index.Neighbor
-	ix.rangeQuery(ix.root, qp, r, exclude, &out)
-	index.SortNeighbors(out)
-	return out
+	start := len(dst)
+	c.out = dst
+	c.rangeQuery(c.ix.root, qp, r, exclude)
+	dst = c.out
+	c.out = nil
+	c.sorter.Sort(dst[start:])
+	return dst
 }
 
-func (ix *Index) rangeQuery(n *node, qp geom.Point, r float64, exclude int, out *[]index.Neighbor) {
+func (c *Cursor) rangeQuery(n *node, qp geom.Point, r float64, exclude int) {
+	ix := c.ix
 	if geom.MinDistToRect(ix.metric, qp, n.mbr.lo, n.mbr.hi) > r {
 		return
 	}
@@ -423,12 +483,23 @@ func (ix *Index) rangeQuery(n *node, qp geom.Point, r float64, exclude int, out 
 				continue
 			}
 			if d := ix.metric.Distance(qp, ix.pts.At(int(pi))); d <= r {
-				*out = append(*out, index.Neighbor{Index: int(pi), Dist: d})
+				c.out = append(c.out, index.Neighbor{Index: int(pi), Dist: d})
 			}
 		}
 		return
 	}
-	for _, c := range n.children {
-		ix.rangeQuery(c, qp, r, exclude, out)
+	for _, ch := range n.children {
+		c.rangeQuery(ch, qp, r, exclude)
 	}
+}
+
+// KNN returns the k nearest neighbors of q via a fresh cursor; hot paths
+// should reuse a cursor.
+func (ix *Index) KNN(qp geom.Point, k int, exclude int) []index.Neighbor {
+	return ix.NewCursor().KNNInto(nil, qp, k, exclude)
+}
+
+// Range returns all points within distance r of q via a fresh cursor.
+func (ix *Index) Range(qp geom.Point, r float64, exclude int) []index.Neighbor {
+	return ix.NewCursor().RangeInto(nil, qp, r, exclude)
 }

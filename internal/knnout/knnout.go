@@ -65,9 +65,13 @@ func Scores(pts *geom.Points, ix index.Index, k int) ([]float64, error) {
 	}
 	n := pts.Len()
 	out := make([]float64, n)
+	// One cursor and one result buffer serve the whole scan: each query
+	// only needs its k-th distance, so the buffer is reset between points.
+	cur := index.NewCursor(ix)
+	var buf []index.Neighbor
 	for i := 0; i < n; i++ {
-		nn := ix.KNN(pts.At(i), k, i)
-		out[i] = nn[len(nn)-1].Dist
+		buf = cur.KNNInto(buf[:0], pts.At(i), k, i)
+		out[i] = buf[len(buf)-1].Dist
 	}
 	return out, nil
 }

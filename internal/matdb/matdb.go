@@ -104,11 +104,22 @@ func Materialize(pts *geom.Points, ix index.Index, k int, opts ...Option) (*DB, 
 	if cfg.distinct {
 		db.distinctAt = make([][]int32, n)
 	}
-	fill := func(i int) {
-		if cfg.distinct {
-			db.Neighbors[i], db.distinctAt[i] = distinctNeighborhoodOf(pts, ix, pts.At(i), i, k)
-		} else {
-			db.Neighbors[i] = index.KNNWithTies(ix, pts.At(i), k, i)
+	// Each chunk runs on one goroutine with one cursor and one arena: rows
+	// accumulate in the arena (sliced with a capped three-index expression
+	// so later growth cannot clobber them) and queries reuse the cursor's
+	// scratch, so the hot path performs no per-query allocations. compact()
+	// re-backs every row afterwards, which also releases the arenas.
+	fillRange := func(lo, hi int) {
+		cur := index.NewCursor(ix)
+		arena := make([]index.Neighbor, 0, (hi-lo)*(k+1))
+		for i := lo; i < hi; i++ {
+			start := len(arena)
+			if cfg.distinct {
+				arena, db.distinctAt[i] = distinctNeighborhoodInto(cur, pts, arena, pts.At(i), i, k)
+			} else {
+				arena = index.KNNWithTiesInto(cur, arena, pts.At(i), k, i)
+			}
+			db.Neighbors[i] = arena[start:len(arena):len(arena)]
 		}
 	}
 	p := cfg.pool
@@ -117,7 +128,7 @@ func Materialize(pts *geom.Points, ix index.Index, k int, opts ...Option) (*DB, 
 	}
 	sp := obs.Resolve(cfg.tracer).Phase(obs.PhaseMaterialize)
 	sp.AddItems(n)
-	p.Each(n, fill)
+	p.Chunks(n, fillRange)
 	db.compact()
 	sp.End()
 	if cfg.distinct {
@@ -142,30 +153,34 @@ func (db *DB) compact() {
 	}
 }
 
-// distinctNeighborhoodOf grows the query k until the neighborhood of q
-// contains want neighbors at pairwise-distinct coordinates, then returns
-// all neighbors within the k-distinct-distance together with the positions
-// of the first `want` distinct coordinates within that list. exclude is the
-// index of q itself for in-sample rows, or index.ExcludeNone for
-// out-of-sample query points.
-func distinctNeighborhoodOf(pts *geom.Points, ix index.Index, q geom.Point, exclude, want int) ([]index.Neighbor, []int32) {
+// distinctNeighborhoodInto grows the query k until the neighborhood of q
+// contains want neighbors at pairwise-distinct coordinates, then appends
+// all neighbors within the k-distinct-distance to dst and returns the
+// extended slice together with the positions of the first `want` distinct
+// coordinates within the appended suffix. exclude is the index of q itself
+// for in-sample rows, or index.ExcludeNone for out-of-sample query points.
+// Every retry round restages over the same dst suffix, so the search
+// allocates only when dst must grow.
+func distinctNeighborhoodInto(cur index.Cursor, pts *geom.Points, dst []index.Neighbor, q geom.Point, exclude, want int) ([]index.Neighbor, []int32) {
 	maxCand := pts.Len()
 	if exclude != index.ExcludeNone {
 		maxCand--
 	}
+	start := len(dst)
 	k := want
 	for {
-		nn := ix.KNN(q, k, exclude)
+		dst = cur.KNNInto(dst[:start], q, k, exclude)
+		nn := dst[start:]
 		cut := distinctRanks(pts, nn, want)
 		if len(cut) == want {
 			kdist := nn[cut[want-1]].Dist
-			full := ix.Range(q, kdist, exclude)
-			return full, distinctRanks(pts, full, want)
+			dst = cur.RangeInto(dst[:start], q, kdist, exclude)
+			return dst, distinctRanks(pts, dst[start:], want)
 		}
 		if len(nn) >= maxCand {
 			// The whole dataset holds fewer than want distinct positions;
 			// the full neighborhood is the best possible answer.
-			return nn, cut
+			return dst, cut
 		}
 		k *= 2
 		if k > maxCand {

@@ -87,10 +87,18 @@ func (r Row) Neighborhood(minPts int) []index.Neighbor {
 // result is exactly the row q would get from a re-materialization of
 // data ∪ {q}, because q never belongs to its own neighborhood either way.
 func (db *DB) QueryRow(pts *geom.Points, ix index.Index, q geom.Point) Row {
+	return db.QueryRowCursor(pts, index.NewCursor(ix), q)
+}
+
+// QueryRowCursor is QueryRow through a reusable cursor: batch scorers hold
+// one cursor per goroutine so consecutive query rows share its scratch. The
+// returned row's neighbor list is freshly allocated (rows outlive the call),
+// but the queries behind it run allocation-free on the cursor.
+func (db *DB) QueryRowCursor(pts *geom.Points, cur index.Cursor, q geom.Point) Row {
 	if db.distinctAt == nil {
-		return Row{Neighbors: index.KNNWithTies(ix, q, db.K, index.ExcludeNone)}
+		return Row{Neighbors: index.KNNWithTiesInto(cur, nil, q, db.K, index.ExcludeNone)}
 	}
-	nn, ranks := distinctNeighborhoodOf(pts, ix, q, index.ExcludeNone, db.K)
+	nn, ranks := distinctNeighborhoodInto(cur, pts, nil, q, index.ExcludeNone, db.K)
 	return Row{Neighbors: nn, ranks: ranks, distinct: true}
 }
 

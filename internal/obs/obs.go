@@ -62,6 +62,15 @@ const (
 	CounterKNNQueries = "knn_queries_total"
 	// CounterRangeQueries counts range index queries issued during the fit.
 	CounterRangeQueries = "range_queries_total"
+	// CounterCursors counts index cursors created during the fit — one per
+	// pool chunk on the materialization hot path.
+	CounterCursors = "index_cursors_total"
+	// CounterCursorReuse counts queries served by a reused cursor (every
+	// query after a cursor's first), the allocation-free path.
+	CounterCursorReuse = "cursor_reuse_total"
+	// CounterCursorMisses counts queries that went through the legacy
+	// KNN/Range shims, each building a throwaway cursor.
+	CounterCursorMisses = "cursor_miss_total"
 	// CounterPoolTasks counts parallel regions entered on the worker pool.
 	CounterPoolTasks = "pool_tasks_total"
 	// CounterPoolChunks counts chunks dispatched across those regions.

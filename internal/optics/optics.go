@@ -110,9 +110,14 @@ func Run(pts *geom.Points, ix index.Index, p Params) (*Result, error) {
 	if p.MinPts > n-1 {
 		return nil, fmt.Errorf("optics: MinPts=%d too large for %d points", p.MinPts, n)
 	}
+	// One cursor and one neighbor buffer serve the whole ordering: every
+	// expansion set is fully consumed (seed updates, core distance) before
+	// the next query overwrites the buffer.
+	cur := index.NewCursor(ix)
+	var buf []index.Neighbor
 	eps := p.Eps
 	if eps <= 0 {
-		eps = deriveEps(pts, ix, p.MinPts)
+		eps = deriveEps(pts, cur, p.MinPts)
 	}
 
 	res := &Result{
@@ -123,14 +128,15 @@ func Run(pts *geom.Points, ix index.Index, p Params) (*Result, error) {
 	processed := make([]bool, n)
 
 	// neighbors returns the full eps-neighborhood (the OPTICS expansion
-	// set) and the core distance of point i.
+	// set) and the core distance of point i. The returned slice aliases the
+	// shared buffer and is only valid until the next call.
 	neighbors := func(i int) ([]index.Neighbor, float64) {
-		nn := ix.Range(pts.At(i), eps, i)
+		buf = cur.RangeInto(buf[:0], pts.At(i), eps, i)
 		core := Undefined
-		if len(nn) >= p.MinPts {
-			core = nn[p.MinPts-1].Dist
+		if len(buf) >= p.MinPts {
+			core = buf[p.MinPts-1].Dist
 		}
-		return nn, core
+		return buf, core
 	}
 
 	for start := 0; start < n; start++ {
@@ -173,13 +179,14 @@ func Run(pts *geom.Points, ix index.Index, p Params) (*Result, error) {
 
 // deriveEps returns four times the median MinPts-distance of the dataset,
 // the default expansion radius when the caller does not supply one.
-func deriveEps(pts *geom.Points, ix index.Index, minPts int) float64 {
+func deriveEps(pts *geom.Points, cur index.Cursor, minPts int) float64 {
 	n := pts.Len()
 	kdists := make([]float64, 0, n)
+	var buf []index.Neighbor
 	for i := 0; i < n; i++ {
-		nn := ix.KNN(pts.At(i), minPts, i)
-		if len(nn) > 0 {
-			kdists = append(kdists, nn[len(nn)-1].Dist)
+		buf = cur.KNNInto(buf[:0], pts.At(i), minPts, i)
+		if len(buf) > 0 {
+			kdists = append(kdists, buf[len(buf)-1].Dist)
 		}
 	}
 	med, err := stats.Quantile(kdists, 0.5)

@@ -342,6 +342,9 @@ func (d *Detector) fitPoints(pts *geom.Points, tr *obs.Tracer) (*Result, error) 
 	if counting != nil {
 		tr.Count(obs.CounterKNNQueries, counting.KNNQueries())
 		tr.Count(obs.CounterRangeQueries, counting.RangeQueries())
+		tr.Count(obs.CounterCursors, counting.Cursors())
+		tr.Count(obs.CounterCursorReuse, counting.CursorReuse())
+		tr.Count(obs.CounterCursorMisses, counting.CursorMisses())
 		// Keep the raw index on the result: scoring issues its own queries
 		// and should not inherit the fit's counters.
 		ix = counting.Unwrap()
