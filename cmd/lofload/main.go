@@ -1,0 +1,316 @@
+// Command lofload is a soak and load generator for lofserve. It drives a
+// fit+score request mix at a target rate through the fault-tolerant client
+// (retries, backoff, retry budget), optionally injecting client-side
+// faults — latency spikes, transient errors, dropped responses — so the
+// whole retry path is exercised, and reports throughput, latency quantiles
+// and retry/fault counters at the end.
+//
+// Usage:
+//
+//	lofload -self -duration 10s -rps 50                 # self-hosted target
+//	lofload -addr http://127.0.0.1:8080 -duration 1m    # external server
+//	lofload -self -error-prob 0.1 -latency-prob 0.2 -latency 5ms
+//	lofload -self -mode degraded -rps 200               # degraded opt-in
+//
+// With -self, an in-process lofserve instance is started on a loopback
+// port and torn down afterwards, so a single command is a full soak test.
+// The exit code is 0 only when every logical request eventually succeeded.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lof/internal/client"
+	"lof/internal/faults"
+	"lof/internal/obs"
+	"lof/internal/server"
+)
+
+type options struct {
+	addr      string
+	self      bool
+	duration  time.Duration
+	rps       float64
+	workers   int
+	batch     int
+	dim       int
+	points    int
+	scoreFrac float64
+	mode      string
+	seed      int64
+
+	dropProb    float64
+	errorProb   float64
+	latencyProb float64
+	latency     time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "", "base URL of a running lofserve (e.g. http://127.0.0.1:8080)")
+	flag.BoolVar(&o.self, "self", false, "start an in-process server on a loopback port as the target")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "how long to drive load")
+	flag.Float64Var(&o.rps, "rps", 50, "target request rate per second (open loop)")
+	flag.IntVar(&o.workers, "workers", 8, "concurrent request senders")
+	flag.IntVar(&o.batch, "batch", 16, "query points per score request")
+	flag.IntVar(&o.dim, "dim", 4, "data dimensionality")
+	flag.IntVar(&o.points, "points", 400, "data points per fit request")
+	flag.Float64Var(&o.scoreFrac, "score-frac", 0.95, "fraction of requests that score (the rest refit)")
+	flag.StringVar(&o.mode, "mode", "", `score mode: "" (exact), "full" or "degraded"`)
+	flag.Int64Var(&o.seed, "seed", 1, "seed for workload and fault schedules")
+	flag.Float64Var(&o.dropProb, "drop-prob", 0, "client-side injected dropped-response probability")
+	flag.Float64Var(&o.errorProb, "error-prob", 0, "client-side injected transient-error probability")
+	flag.Float64Var(&o.latencyProb, "latency-prob", 0, "client-side injected latency-spike probability")
+	flag.DurationVar(&o.latency, "latency", 5*time.Millisecond, "injected latency-spike ceiling")
+	flag.Parse()
+
+	rep, err := run(context.Background(), o, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lofload:", err)
+		os.Exit(1)
+	}
+	if rep.failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// report aggregates one run's outcome. Counters are atomic because the
+// workers race on them; read them after run returns.
+type report struct {
+	sent     atomic.Int64 // requests handed to workers
+	skipped  atomic.Int64 // pacer ticks dropped because every worker was busy
+	ok       atomic.Int64
+	failed   atomic.Int64
+	degraded atomic.Int64 // responses served from the degraded model
+
+	fitHist   *obs.Histogram
+	scoreHist *obs.Histogram
+	elapsed   time.Duration
+
+	clientStats client.Stats
+	faultStats  faults.Stats
+}
+
+// loadBuckets spans 100µs to ~26s in powers of two — wide enough for both
+// sub-millisecond scores and multi-second refits.
+var loadBuckets = func() []float64 {
+	var bs []float64
+	for b := 100e-6; b < 30; b *= 2 {
+		bs = append(bs, b)
+	}
+	return bs
+}()
+
+// clusters draws n points from two Gaussian clusters in dim dimensions —
+// the same workload shape the rest of the repo benchmarks with.
+func clusters(rng *rand.Rand, n, dim int) [][]float64 {
+	data := make([][]float64, n)
+	for i := range data {
+		row := make([]float64, dim)
+		off := 0.0
+		if i%2 == 1 {
+			off = 10
+		}
+		for d := range row {
+			row[d] = off + rng.NormFloat64()
+		}
+		data[i] = row
+	}
+	return data
+}
+
+// selfServer starts an in-process lofserve on a loopback port and returns
+// its base URL plus a shutdown func.
+func selfServer() (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := server.New(server.Config{})
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+func run(ctx context.Context, o options, out io.Writer) (*report, error) {
+	if o.addr == "" && !o.self {
+		return nil, fmt.Errorf("need -addr or -self")
+	}
+	if o.rps <= 0 || o.workers <= 0 || o.duration <= 0 {
+		return nil, fmt.Errorf("-rps, -workers and -duration must be positive")
+	}
+	base := o.addr
+	if o.self {
+		var stop func()
+		var err error
+		base, stop, err = selfServer()
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+	}
+
+	inj := faults.New(faults.Config{
+		Seed:        o.seed,
+		DropProb:    o.dropProb,
+		ErrorProb:   o.errorProb,
+		LatencyProb: o.latencyProb,
+		Latency:     o.latency,
+	})
+	c, err := client.New(client.Config{
+		BaseURL:    base,
+		HTTPClient: &http.Client{Transport: inj.Transport(nil)},
+		// Soak posture: more attempts and headroom than the default, so a
+		// lossy schedule still converges to 100% eventual success.
+		MaxAttempts:      8,
+		BaseBackoff:      2 * time.Millisecond,
+		MaxBackoff:       250 * time.Millisecond,
+		RetryBudgetRatio: 2 * (o.dropProb + o.errorProb + 0.05),
+		RetryBudgetBurst: 64,
+		Seed:             o.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &report{
+		fitHist:   obs.NewHistogram(loadBuckets),
+		scoreHist: obs.NewHistogram(loadBuckets),
+	}
+	fitCfg := server.FitConfig{MinPtsLB: 3, MinPtsUB: 10}
+	seedRng := rand.New(rand.NewSource(o.seed))
+	fitData := clusters(seedRng, o.points, o.dim)
+
+	// The soak needs a model before the mix starts; this initial fit also
+	// proves the target is reachable.
+	if _, err := c.Fit(ctx, fitCfg, fitData); err != nil {
+		return nil, fmt.Errorf("initial fit: %w", err)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, o.duration)
+	defer cancel()
+	start := time.Now()
+
+	// Open-loop pacer: ticks arrive at the target rate regardless of how
+	// fast responses come back; a full queue means the workers are
+	// saturated and the tick is counted as skipped rather than deferred —
+	// deferring would hide coordinated omission.
+	jobs := make(chan struct{}, o.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.seed + int64(w)*7919))
+			for range jobs {
+				doOne(runCtx, c, o, rng, fitCfg, rep)
+			}
+		}(w)
+	}
+	interval := time.Duration(float64(time.Second) / o.rps)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+pace:
+	for {
+		select {
+		case <-runCtx.Done():
+			break pace
+		case <-ticker.C:
+			select {
+			case jobs <- struct{}{}:
+				rep.sent.Add(1)
+			default:
+				rep.skipped.Add(1)
+			}
+		}
+	}
+	ticker.Stop()
+	close(jobs)
+	wg.Wait()
+
+	rep.elapsed = time.Since(start)
+	rep.clientStats = c.Stats()
+	rep.faultStats = inj.Stats()
+	printReport(out, o, rep)
+	return rep, nil
+}
+
+// doOne issues one request of the mix. A request that fails after the
+// client's full retry envelope counts as failed; context expiry at the end
+// of the run window does not (the run ended, the request did not fail).
+func doOne(ctx context.Context, c *client.Client, o options, rng *rand.Rand, fitCfg server.FitConfig, rep *report) {
+	score := rng.Float64() < o.scoreFrac
+	start := time.Now()
+	var err error
+	if score {
+		queries := clusters(rng, o.batch, o.dim)
+		var res *client.ScoreResult
+		res, err = c.ScoreMode(ctx, queries, o.mode)
+		if err == nil && res.Mode == "degraded" {
+			rep.degraded.Add(1)
+		}
+	} else {
+		_, err = c.Fit(ctx, fitCfg, clusters(rng, o.points, o.dim))
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		if ctx.Err() != nil {
+			rep.sent.Add(-1) // run window closed mid-request: not a verdict
+			return
+		}
+		rep.failed.Add(1)
+		return
+	}
+	rep.ok.Add(1)
+	if score {
+		rep.scoreHist.Observe(elapsed)
+	} else {
+		rep.fitHist.Observe(elapsed)
+	}
+}
+
+func printReport(w io.Writer, o options, rep *report) {
+	sent, ok, failed := rep.sent.Load(), rep.ok.Load(), rep.failed.Load()
+	fmt.Fprintf(w, "lofload: %s at %.0f rps, %d workers, score-frac %.2f\n",
+		rep.elapsed.Round(time.Millisecond), o.rps, o.workers, o.scoreFrac)
+	fmt.Fprintf(w, "  requests: sent=%d ok=%d failed=%d skipped=%d degraded=%d (%.1f req/s achieved)\n",
+		sent, ok, failed, rep.skipped.Load(), rep.degraded.Load(),
+		float64(ok+failed)/rep.elapsed.Seconds())
+	for _, h := range []struct {
+		name string
+		snap obs.HistogramSnapshot
+	}{{"score", rep.scoreHist.Snapshot()}, {"fit", rep.fitHist.Snapshot()}} {
+		if h.snap.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %s latency: n=%d p50=%s p95=%s p99=%s\n", h.name, h.snap.Count(),
+			h.snap.Quantile(0.50).Round(10*time.Microsecond),
+			h.snap.Quantile(0.95).Round(10*time.Microsecond),
+			h.snap.Quantile(0.99).Round(10*time.Microsecond))
+	}
+	cs := rep.clientStats
+	fmt.Fprintf(w, "  client: attempts=%d retries=%d budget-denials=%d\n",
+		cs.Attempts, cs.Retries, cs.BudgetDenials)
+	fs := rep.faultStats
+	if fs != (faults.Stats{}) {
+		fmt.Fprintf(w, "  injected faults: drops=%d errors=%d latency-spikes=%d\n",
+			fs.Drops, fs.Errors, fs.Latencies)
+	}
+}

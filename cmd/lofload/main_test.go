@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSoakAgainstSelfWithFaults is the short in-process soak: a second of
+// mixed fit+score load through the retrying client against a self-hosted
+// server, with transient errors, drops and latency spikes injected on the
+// client path. Every logical request must eventually succeed, the report
+// must show the retry machinery actually fired, and no goroutines may
+// outlive the run.
+func TestSoakAgainstSelfWithFaults(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	var out bytes.Buffer
+	o := options{
+		self:        true,
+		duration:    1200 * time.Millisecond,
+		rps:         60,
+		workers:     4,
+		batch:       4,
+		dim:         3,
+		points:      150,
+		scoreFrac:   0.9,
+		seed:        1,
+		dropProb:    0.03,
+		errorProb:   0.07,
+		latencyProb: 0.15,
+		latency:     2 * time.Millisecond,
+	}
+	rep, err := run(context.Background(), o, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if got := rep.failed.Load(); got != 0 {
+		t.Errorf("%d requests never succeeded under 10%% fault injection\n%s", got, out.String())
+	}
+	if rep.ok.Load() == 0 {
+		t.Fatalf("soak sent no successful requests\n%s", out.String())
+	}
+	if rep.clientStats.Retries == 0 {
+		t.Errorf("no retries recorded — fault injection did not engage\n%s", out.String())
+	}
+	if rep.faultStats.Drops+rep.faultStats.Errors == 0 {
+		t.Errorf("injector fired no faults\n%s", out.String())
+	}
+	for _, want := range []string{"requests:", "client:", "injected faults:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q section:\n%s", want, out.String())
+		}
+	}
+
+	// The self-server, its pool and the workers must all be gone.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak after soak: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestDegradedSoak: the degraded opt-in flows end to end — the report
+// counts degraded responses when the mode is requested.
+func TestDegradedSoak(t *testing.T) {
+	var out bytes.Buffer
+	o := options{
+		self:      true,
+		duration:  500 * time.Millisecond,
+		rps:       40,
+		workers:   2,
+		batch:     2,
+		dim:       2,
+		points:    120,
+		scoreFrac: 1.0,
+		mode:      "degraded",
+		seed:      2,
+	}
+	rep, err := run(context.Background(), o, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failed.Load() != 0 {
+		t.Errorf("failures in clean degraded soak:\n%s", out.String())
+	}
+	if rep.degraded.Load() == 0 {
+		t.Errorf("no degraded responses recorded despite -mode degraded\n%s", out.String())
+	}
+}
+
+// TestRunValidation: option validation fails fast with a useful error.
+func TestRunValidation(t *testing.T) {
+	if _, err := run(context.Background(), options{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("want error when neither -addr nor -self is set")
+	}
+	if _, err := run(context.Background(), options{self: true}, &bytes.Buffer{}); err == nil {
+		t.Fatal("want error for non-positive rps/workers/duration")
+	}
+}

@@ -1,0 +1,288 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lof"
+	"lof/internal/faults"
+	"lof/internal/server"
+)
+
+// testData draws two Gaussian clusters, the same shape the server tests
+// use, so scores are well-defined and finite.
+func testData(rng *rand.Rand, n int) [][]float64 {
+	data := make([][]float64, n)
+	for i := range data {
+		cx, cy := 0.0, 0.0
+		if i%2 == 1 {
+			cx, cy = 10, 10
+		}
+		data[i] = []float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()}
+	}
+	return data
+}
+
+// fittedServer returns a Server with a model over n points installed.
+func fittedServer(t *testing.T, n int) *server.Server {
+	t.Helper()
+	det, err := lof.New(lof.Config{MinPtsLB: 3, MinPtsUB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Fit(testData(rand.New(rand.NewSource(1)), n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{RequestTimeout: 20 * time.Second})
+	srv.SetModel(m)
+	return srv
+}
+
+// checkNoGoroutineLeak fails the test if the goroutine count has not
+// settled back to (about) the baseline within a grace window.
+func checkNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d running, baseline %d", n, baseline)
+}
+
+// TestChaosEventualSuccess is the headline chaos property: against a
+// server injecting 10% transient errors plus latency spikes and dropped
+// connections, every logical request eventually succeeds, and no
+// goroutines leak.
+func TestChaosEventualSuccess(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv := fittedServer(t, 200)
+	inj := faults.New(faults.Config{
+		Seed:        1,
+		DropProb:    0.05,
+		ErrorProb:   0.10,
+		LatencyProb: 0.20,
+		Latency:     2 * time.Millisecond,
+	})
+	hs := httptest.NewServer(inj.Middleware(srv.Handler()))
+	defer hs.Close()
+
+	c, err := New(Config{
+		BaseURL:           hs.URL,
+		MaxAttempts:       6,
+		BaseBackoff:       time.Millisecond,
+		MaxBackoff:        20 * time.Millisecond,
+		PerAttemptTimeout: 5 * time.Second,
+		RetryBudgetBurst:  1000, // the budget is not under test here
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers   = 4
+		perWorker = 25
+	)
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				q := [][]float64{{rng.NormFloat64(), rng.NormFloat64()}}
+				scores, err := c.Score(context.Background(), q)
+				if err != nil || len(scores) != 1 || math.IsNaN(scores[0]) {
+					t.Errorf("worker %d request %d failed: scores=%v err=%v", w, i, scores, err)
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d of %d chaos requests never succeeded", failures.Load(), workers*perWorker)
+	}
+	st := c.Stats()
+	if st.Retries == 0 {
+		t.Error("no retries recorded — the fault injector appears inert, so the test proved nothing")
+	}
+	if st.Requests != workers*perWorker {
+		t.Errorf("Requests = %d, want %d", st.Requests, workers*perWorker)
+	}
+	hs.Close()
+	checkNoGoroutineLeak(t, baseline)
+}
+
+// TestRetryBudgetExhaustion: when the server only ever sheds, the budget —
+// not the attempt cap — stops the retry loop, and the error says so.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"always down"}`, http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+
+	c, err := New(Config{
+		BaseURL:          hs.URL,
+		MaxAttempts:      10,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       2 * time.Millisecond,
+		RetryBudgetRatio: 0.001, // earns essentially nothing back
+		RetryBudgetBurst: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Model(context.Background())
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("error = %v, want ErrBudgetExhausted", err)
+	}
+	// First try plus the two budgeted retries.
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3 (burst 2 + first try)", got)
+	}
+	st := c.Stats()
+	if st.BudgetDenials != 1 {
+		t.Errorf("BudgetDenials = %d, want 1", st.BudgetDenials)
+	}
+	// A second request earns ~nothing back: one first try, zero retries.
+	hits.Store(0)
+	if _, err := c.Model(context.Background()); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("second request error = %v, want ErrBudgetExhausted", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("drained budget allowed %d attempts, want 1", got)
+	}
+}
+
+// TestRetryAfterHonored: a 503 carrying Retry-After delays the retry by at
+// least the advertised time even though the backoff alone would be shorter.
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"objects":1,"dims":1,"minPtsLB":1,"minPtsUB":1,"metric":"euclidean"}`))
+	}))
+	defer hs.Close()
+
+	c, err := New(Config{
+		BaseURL:     hs.URL,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Model(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("retry fired after %v, want ≥1s per Retry-After", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+// TestPermanentErrorNotRetried: 4xx responses other than 429 fail
+// immediately with the server's error message attached.
+func TestPermanentErrorNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"minPts out of range","requestId":"abc"}`, http.StatusBadRequest)
+	}))
+	defer hs.Close()
+
+	c, err := New(Config{BaseURL: hs.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Score(context.Background(), [][]float64{{1}})
+	if err == nil {
+		t.Fatal("want error for 400 response")
+	}
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %T does not unwrap to *apiError: %v", err, err)
+	}
+	if ae.Status != http.StatusBadRequest || ae.Message != "minPts out of range" || ae.RequestID != "abc" {
+		t.Errorf("apiError = %+v, want 400/minPts out of range/abc", ae)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("400 was attempted %d times, want exactly 1", calls.Load())
+	}
+}
+
+// TestNonFiniteScoreDecoding: the server encodes non-finite LOFs as
+// strings; the client maps them back to float64 specials.
+func TestNonFiniteScoreDecoding(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"scores":["+Inf","-Inf","NaN",1.5]}`))
+	}))
+	defer hs.Close()
+
+	c, err := New(Config{BaseURL: hs.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := c.Score(context.Background(), [][]float64{{0}, {0}, {0}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(scores[0], 1) || !math.IsInf(scores[1], -1) || !math.IsNaN(scores[2]) || scores[3] != 1.5 {
+		t.Errorf("decoded scores = %v, want [+Inf -Inf NaN 1.5]", scores)
+	}
+}
+
+// TestContextCancelsBackoff: cancelling the caller's context during a
+// backoff wait returns promptly with the context error.
+func TestContextCancelsBackoff(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, `{"error":"long drain"}`, http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+
+	c, err := New(Config{BaseURL: hs.URL, MaxAttempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Model(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt return from the 30s Retry-After wait", elapsed)
+	}
+}

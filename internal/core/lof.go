@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,6 +17,17 @@ import (
 	"lof/internal/obs"
 	"lof/internal/pool"
 )
+
+// cancelStride is how many points a scan loop processes between context
+// polls; a power of two so the check is a mask. At ~100ns per point this
+// bounds post-cancellation work to a few tens of microseconds per worker.
+const cancelStride = 256
+
+// strideCancelled polls ctx every cancelStride iterations; i is the loop
+// counter. A nil ctx never cancels.
+func strideCancelled(ctx context.Context, i int) bool {
+	return ctx != nil && i&(cancelStride-1) == 0 && ctx.Err() != nil
+}
 
 // ReachDist computes reach-dist_k(p, o) = max(k-distance(o), d(p, o))
 // (Definition 5) from the k-distance of o and the actual distance d(p, o).
@@ -31,13 +43,15 @@ func LRDs(db *matdb.DB, minPts int) ([]float64, error) {
 	if err := db.CheckMinPts(minPts); err != nil {
 		return nil, err
 	}
-	return lrdsChunked(db, minPts, nil), nil
+	return lrdsChunked(nil, db, minPts, nil), nil
 }
 
 // lrdsChunked is the scan body of LRDs, chunked over a worker pool (nil
 // for sequential). Every chunk writes only its own indices, so the output
-// is bit-identical to a sequential run.
-func lrdsChunked(db *matdb.DB, minPts int, p *pool.Pool) []float64 {
+// is bit-identical to a sequential run. A non-nil ctx is polled every
+// cancelStride points; a cancelled scan returns early with partial output,
+// which callers must discard.
+func lrdsChunked(ctx context.Context, db *matdb.DB, minPts int, p *pool.Pool) []float64 {
 	n := db.Len()
 	// Gather every point's MinPts-distance first: the reachability loop
 	// below reads neighbors' k-distances in random order, and a dense
@@ -45,12 +59,18 @@ func lrdsChunked(db *matdb.DB, minPts int, p *pool.Pool) []float64 {
 	kd := make([]float64, n)
 	p.Chunks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if strideCancelled(ctx, i) {
+				return
+			}
 			kd[i] = db.KDistance(i, minPts)
 		}
 	})
 	lrds := make([]float64, n)
 	p.Chunks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if strideCancelled(ctx, i) {
+				return
+			}
 			nn := db.Neighborhood(i, minPts)
 			if len(nn) == 0 {
 				// No neighbors at all (single point): density undefined, use
@@ -114,16 +134,20 @@ func LOFsFromLRDs(db *matdb.DB, minPts int, lrds []float64) ([]float64, error) {
 	if len(lrds) != db.Len() {
 		return nil, fmt.Errorf("core: %d densities for %d points", len(lrds), db.Len())
 	}
-	return lofsFromLRDsChunked(db, minPts, lrds, nil), nil
+	return lofsFromLRDsChunked(nil, db, minPts, lrds, nil), nil
 }
 
 // lofsFromLRDsChunked is the scan body of LOFsFromLRDs, chunked over a
-// worker pool (nil for sequential).
-func lofsFromLRDsChunked(db *matdb.DB, minPts int, lrds []float64, p *pool.Pool) []float64 {
+// worker pool (nil for sequential). Cancellation follows lrdsChunked: a
+// non-nil cancelled ctx stops the scan early with discardable output.
+func lofsFromLRDsChunked(ctx context.Context, db *matdb.DB, minPts int, lrds []float64, p *pool.Pool) []float64 {
 	n := db.Len()
 	lofs := make([]float64, n)
 	p.Chunks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if strideCancelled(ctx, i) {
+				return
+			}
 			nn := db.Neighborhood(i, minPts)
 			if len(nn) == 0 {
 				lofs[i] = 1 // isolated by construction; nothing to compare against
@@ -160,26 +184,26 @@ func LOFs(db *matdb.DB, minPts int) ([]float64, error) {
 	if err := db.CheckMinPts(minPts); err != nil {
 		return nil, err
 	}
-	return lofsChunked(db, minPts, nil), nil
+	return lofsChunked(nil, db, minPts, nil), nil
 }
 
 // lofsChunked runs both scans for one pre-validated MinPts value over a
 // worker pool (nil for sequential).
-func lofsChunked(db *matdb.DB, minPts int, p *pool.Pool) []float64 {
-	return lofsFromLRDsChunked(db, minPts, lrdsChunked(db, minPts, p), p)
+func lofsChunked(ctx context.Context, db *matdb.DB, minPts int, p *pool.Pool) []float64 {
+	return lofsFromLRDsChunked(ctx, db, minPts, lrdsChunked(ctx, db, minPts, p), p)
 }
 
 // lofsTraced is lofsChunked with each scan recorded as a nested phase span
 // on tr. The per-MinPts scans run concurrently inside the sweep, so these
 // spans measure busy time, not wall time; tr is nil-safe.
-func lofsTraced(db *matdb.DB, minPts int, p *pool.Pool, tr *obs.Tracer) []float64 {
+func lofsTraced(ctx context.Context, db *matdb.DB, minPts int, p *pool.Pool, tr *obs.Tracer) []float64 {
 	sp := tr.Phase(obs.PhaseSweepLRD)
 	sp.AddItems(db.Len())
-	lrds := lrdsChunked(db, minPts, p)
+	lrds := lrdsChunked(ctx, db, minPts, p)
 	sp.End()
 	sp = tr.Phase(obs.PhaseSweepLOF)
 	sp.AddItems(db.Len())
-	lofs := lofsFromLRDsChunked(db, minPts, lrds, p)
+	lofs := lofsFromLRDsChunked(ctx, db, minPts, lrds, p)
 	sp.End()
 	return lofs
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -91,8 +92,22 @@ func (s *Scorer) WithTracer(t *obs.Tracer) *Scorer {
 // per-MinPts values are then independent of each other and run across the
 // scorer's pool, each writing only its own output slot.
 func (s *Scorer) ScoreSeries(q geom.Point) ([]float64, error) {
+	return s.ScoreSeriesCtx(nil, q)
+}
+
+// ScoreSeriesCtx is ScoreSeries under cooperative cancellation: ctx is
+// polled between the kNN probe, the merged-row construction and the
+// per-MinPts evaluations, and a cancelled query returns ctx's error with no
+// series. A nil ctx disables cancellation; an uncancelled query is
+// bit-identical to ScoreSeries.
+func (s *Scorer) ScoreSeriesCtx(ctx context.Context, q geom.Point) ([]float64, error) {
 	if len(q) != s.pts.Dim() {
 		return nil, fmt.Errorf("core: query has %d dimensions, model has %d", len(q), s.pts.Dim())
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	tr := obs.Resolve(s.tr)
 	total := tr.Phase(obs.PhaseScore)
@@ -104,13 +119,25 @@ func (s *Scorer) ScoreSeries(q geom.Point) ([]float64, error) {
 	s.cursors.Put(cur)
 	sp.End()
 	sp = tr.Phase(obs.PhaseScoreMerge)
-	rows := s.mergedRows(q, qIdx, qRow)
+	rows, err := s.mergedRows(ctx, q, qIdx, qRow)
 	sp.End()
+	if err != nil {
+		total.End()
+		return nil, err
+	}
 	out := make([]float64, s.ub-s.lb+1)
-	s.pool.Each(len(out), func(j int) {
+	eval := func(j int) {
 		out[j] = s.scoreAt(q, qIdx, qRow, rows, s.lb+j)
-	})
+	}
+	if ctx != nil {
+		err = s.pool.EachCtx(ctx, len(out), eval)
+	} else {
+		s.pool.Each(len(out), eval)
+	}
 	total.End()
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -121,14 +148,23 @@ func (s *Scorer) ScoreSeries(q geom.Point) ([]float64, error) {
 // every MinPts value in the range. Row computations are independent and
 // run across the pool into write-indexed slots; the map itself is
 // assembled sequentially and read-only afterwards.
-func (s *Scorer) mergedRows(q geom.Point, qIdx int, qRow matdb.Row) map[int]matdb.Row {
+func (s *Scorer) mergedRows(ctx context.Context, q geom.Point, qIdx int, qRow matdb.Row) (map[int]matdb.Row, error) {
 	rows := make(map[int]matdb.Row)
+	var cancelled error
 	fill := func(need []int) []matdb.Row {
 		got := make([]matdb.Row, len(need))
-		s.pool.Each(len(need), func(j int) {
+		compute := func(j int) {
 			i := need[j]
 			got[j] = s.db.MergedRow(s.pts, i, q, qIdx, s.metric.Distance(s.pts.At(i), q))
-		})
+		}
+		if ctx != nil {
+			if err := s.pool.EachCtx(ctx, len(need), compute); err != nil {
+				cancelled = err
+				return nil
+			}
+		} else {
+			s.pool.Each(len(need), compute)
+		}
 		for j, i := range need {
 			rows[i] = got[j]
 		}
@@ -146,12 +182,18 @@ func (s *Scorer) mergedRows(q geom.Point, qIdx int, qRow matdb.Row) map[int]matd
 		return need
 	}
 	hop1 := fill(collect(qRow.Neighborhood(s.ub)))
+	if cancelled != nil {
+		return nil, cancelled
+	}
 	var second []int
 	for _, r := range hop1 {
 		second = append(second, collect(r.Neighborhood(s.ub))...)
 	}
 	fill(second)
-	return rows
+	if cancelled != nil {
+		return nil, cancelled
+	}
+	return rows, nil
 }
 
 // scoreAt computes q's LOF at one MinPts value from the precomputed cache —

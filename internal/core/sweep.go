@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -74,6 +75,15 @@ func SweepPool(db *matdb.DB, lb, ub int, p *pool.Pool) (*SweepResult, error) {
 // and sweep/lof busy-time spans. A nil tr falls back to the process-default
 // tracer and degrades to exactly SweepPool when that is nil too.
 func SweepPoolTraced(db *matdb.DB, lb, ub int, p *pool.Pool, tr *obs.Tracer) (*SweepResult, error) {
+	return SweepCtx(nil, db, lb, ub, p, tr)
+}
+
+// SweepCtx is SweepPoolTraced under cooperative cancellation: ctx is polled
+// between per-MinPts scans and inside each scan's chunked per-point loops,
+// and a cancelled sweep returns ctx's error with no result. A nil ctx
+// disables cancellation; an uncancelled sweep is bit-identical to
+// SweepPoolTraced.
+func SweepCtx(ctx context.Context, db *matdb.DB, lb, ub int, p *pool.Pool, tr *obs.Tracer) (*SweepResult, error) {
 	if lb > ub {
 		return nil, fmt.Errorf("core: MinPtsLB=%d exceeds MinPtsUB=%d", lb, ub)
 	}
@@ -90,11 +100,20 @@ func SweepPoolTraced(db *matdb.DB, lb, ub int, p *pool.Pool, tr *obs.Tracer) (*S
 	res := &SweepResult{MinPts: make([]int, k), Values: make([][]float64, k)}
 	sp := tr.Phase(obs.PhaseSweep)
 	sp.AddItems(k)
-	p.Each(k, func(j int) {
+	scan := func(j int) {
 		res.MinPts[j] = lb + j
-		res.Values[j] = lofsTraced(db, lb+j, p, tr)
-	})
+		res.Values[j] = lofsTraced(ctx, db, lb+j, p, tr)
+	}
+	var err error
+	if ctx != nil {
+		err = p.EachCtx(ctx, k, scan)
+	} else {
+		p.Each(k, scan)
+	}
 	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("core: sweep cancelled: %w", err)
+	}
 	return res, nil
 }
 

@@ -7,6 +7,7 @@
 package matdb
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -46,6 +47,7 @@ type config struct {
 	workers  int
 	pool     *pool.Pool
 	tracer   *obs.Tracer
+	ctx      context.Context
 }
 
 // Distinct switches neighborhoods to the k-distinct-distance semantics the
@@ -75,6 +77,13 @@ func WithPool(p *pool.Pool) Option { return func(c *config) { c.pool = p } }
 // the process-default tracer (obs.Default), which is itself nil — and thus
 // a no-op — unless a -stats style caller installed one.
 func WithTracer(t *obs.Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithContext makes materialization cancellable: ctx is polled at chunk
+// boundaries and between per-point kNN queries, and a cancelled run returns
+// ctx's error with no database — partial rows are never observable. An
+// uncancelled run is bit-identical to one without a context. A nil ctx is
+// ignored.
+func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
 
 // Materialize runs step 1 of the two-step algorithm: it computes the
 // K-nearest neighborhoods (with ties) of every indexed point using ix.
@@ -108,11 +117,16 @@ func Materialize(pts *geom.Points, ix index.Index, k int, opts ...Option) (*DB, 
 	// accumulate in the arena (sliced with a capped three-index expression
 	// so later growth cannot clobber them) and queries reuse the cursor's
 	// scratch, so the hot path performs no per-query allocations. compact()
-	// re-backs every row afterwards, which also releases the arenas.
+	// re-backs every row afterwards, which also releases the arenas. With a
+	// context, the per-point loop bails as soon as cancellation is observed;
+	// the partially filled database is discarded below, never returned.
 	fillRange := func(lo, hi int) {
 		cur := index.NewCursor(ix)
 		arena := make([]index.Neighbor, 0, (hi-lo)*(k+1))
 		for i := lo; i < hi; i++ {
+			if cfg.ctx != nil && cfg.ctx.Err() != nil {
+				return
+			}
 			start := len(arena)
 			if cfg.distinct {
 				arena, db.distinctAt[i] = distinctNeighborhoodInto(cur, pts, arena, pts.At(i), i, k)
@@ -128,7 +142,14 @@ func Materialize(pts *geom.Points, ix index.Index, k int, opts ...Option) (*DB, 
 	}
 	sp := obs.Resolve(cfg.tracer).Phase(obs.PhaseMaterialize)
 	sp.AddItems(n)
-	p.Chunks(n, fillRange)
+	if cfg.ctx != nil {
+		if err := p.ChunksCtx(cfg.ctx, n, fillRange); err != nil {
+			sp.End()
+			return nil, fmt.Errorf("matdb: materialize cancelled: %w", err)
+		}
+	} else {
+		p.Chunks(n, fillRange)
+	}
 	db.compact()
 	sp.End()
 	if cfg.distinct {

@@ -77,6 +77,41 @@ func (s HistogramSnapshot) Count() int64 {
 	return n
 }
 
+// Quantile estimates the q-th quantile (0 < q ≤ 1) by linear interpolation
+// within the bucket that holds the q-th observation — the standard
+// histogram_quantile estimate, so load reports match what Prometheus would
+// compute from the same buckets. Observations in the +Inf bucket clamp to
+// the last finite bound. An empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	total := s.Count()
+	if total == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return time.Duration(s.Bounds[len(s.Bounds)-1] * float64(time.Second))
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := 0.0
+		if c > 0 {
+			frac = (rank - float64(prev)) / float64(c)
+		}
+		return time.Duration((lo + (hi-lo)*frac) * float64(time.Second))
+	}
+	return time.Duration(s.Bounds[len(s.Bounds)-1] * float64(time.Second))
+}
+
 // PromWriter emits Prometheus text exposition format (version 0.0.4).
 // Methods append to w in call order; callers group samples by family.
 type PromWriter struct {

@@ -19,6 +19,7 @@
 package pool
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -97,8 +98,29 @@ func (p *Pool) Size() int {
 // identical to a sequential run. fn must not retain references past the
 // call; Chunks returns only after every chunk completes.
 func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
+	p.chunked(nil, n, fn)
+}
+
+// ChunksCtx is Chunks under cooperative cancellation: ctx is polled before
+// each chunk is claimed, and once it is cancelled no further chunks start
+// (chunks already running finish, so fn never executes concurrently with
+// the return). It returns ctx.Err() when the region was cancelled and nil
+// otherwise. Chunk boundaries are identical to Chunks, so an uncancelled
+// run produces bit-identical results.
+func (p *Pool) ChunksCtx(ctx context.Context, n int, fn func(lo, hi int)) error {
+	return p.chunked(ctx, n, fn)
+}
+
+// chunked is the shared region body; a nil ctx means "never cancelled" and
+// compiles down to the pre-context fast path (one nil check per chunk).
+func (p *Pool) chunked(ctx context.Context, n int, fn func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	if p != nil {
 		p.tasks.Add(1)
@@ -112,7 +134,7 @@ func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
 			p.chunks.Add(1)
 		}
 		fn(0, n)
-		return
+		return ctxErr(ctx)
 	}
 	// Borrow whatever spare workers are free right now, up to one per
 	// chunk beyond the caller. Nested regions naturally find fewer (often
@@ -130,13 +152,16 @@ func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
 	if extra == 0 {
 		p.chunks.Add(1)
 		fn(0, n)
-		return
+		return ctxErr(ctx)
 	}
 	p.borrows.Add(int64(extra))
 	p.chunks.Add(int64(chunks))
 	var next atomic.Int64
 	run := func() {
 		for {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			c := int(next.Add(1)) - 1
 			if c >= chunks {
 				return
@@ -157,12 +182,36 @@ func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
 	for i := 0; i < extra; i++ {
 		p.spare <- struct{}{}
 	}
+	return ctxErr(ctx)
+}
+
+// ctxErr is ctx.Err() tolerating the nil sentinel used by Chunks.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Each runs fn(i) for every i in [0, n), chunked across the pool.
 func (p *Pool) Each(n int, fn func(i int)) {
 	p.Chunks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// EachCtx runs fn(i) for every i in [0, n) with cooperative cancellation:
+// ctx is additionally polled before each item, so one region serves as a
+// cancellation point even when it collapses to a single inline chunk.
+// Returns ctx.Err() when cancelled, nil otherwise.
+func (p *Pool) EachCtx(ctx context.Context, n int, fn func(i int)) error {
+	return p.ChunksCtx(ctx, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 	})

@@ -57,6 +57,15 @@ type Config struct {
 	// MaxBatch bounds the number of query points per score request.
 	// Default 100000.
 	MaxBatch int
+	// DegradedSample sizes the subsampled approximate model maintained
+	// alongside each installed model for degraded-mode serving (see
+	// Model.Subsample). Zero means 2048; negative disables degraded mode.
+	DegradedSample int
+	// DegradedMaxInFlight sizes the reserve concurrency pool that admits
+	// ?mode=degraded score requests after the main limiter is full, so
+	// clients that opt into approximate answers are served instead of shed.
+	// Default max(4, MaxInFlight/8).
+	DegradedMaxInFlight int
 	// Logger receives one structured line per request (route, status,
 	// duration, batch size, request ID). Nil discards logs.
 	Logger *slog.Logger
@@ -75,6 +84,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 100000
 	}
+	if c.DegradedSample == 0 {
+		c.DegradedSample = 2048
+	}
+	if c.DegradedMaxInFlight <= 0 {
+		c.DegradedMaxInFlight = c.MaxInFlight / 8
+		if c.DegradedMaxInFlight < 4 {
+			c.DegradedMaxInFlight = 4
+		}
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -91,6 +109,7 @@ type metrics struct {
 	fitPoints   expvar.Int // total data points fitted
 	inFlight    expvar.Int // gauge: requests currently being served
 	shed        expvar.Int // requests rejected by the concurrency limiter
+	degraded    expvar.Int // score responses served from the degraded model
 }
 
 // routeStats is the Prometheus-facing per-route view: a latency histogram
@@ -136,11 +155,17 @@ var metricRoutes = []string{"/v1/fit", "/v1/score", "/v1/model"}
 // Server is the HTTP serving state: the current model plus limits and
 // counters. Create with New, expose with Handler.
 type Server struct {
-	cfg     Config
-	model   atomic.Pointer[lof.Model]
-	limiter chan struct{}
-	m       metrics
-	routes  map[string]*routeStats
+	cfg      Config
+	model    atomic.Pointer[lof.Model]
+	degraded atomic.Pointer[lof.Model]
+	limiter  chan struct{}
+	// degradedLimiter is a small reserve pool: when the main limiter is
+	// full, score requests that opted into ?mode=degraded may still be
+	// admitted through it, trading accuracy for availability instead of
+	// being shed.
+	degradedLimiter chan struct{}
+	m               metrics
+	routes          map[string]*routeStats
 }
 
 // testHookScoreStart, when non-nil, runs at the start of every score
@@ -148,10 +173,19 @@ type Server struct {
 // deterministically.
 var testHookScoreStart func()
 
+// testHookFitStart, when non-nil, runs at the start of every fit request
+// after limiter admission, before the body is decoded. Tests use it to hold
+// a fit in flight across a graceful shutdown.
+var testHookFitStart func()
+
 // New returns a Server with cfg's limits (zero fields take defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, limiter: make(chan struct{}, cfg.MaxInFlight)}
+	s := &Server{
+		cfg:             cfg,
+		limiter:         make(chan struct{}, cfg.MaxInFlight),
+		degradedLimiter: make(chan struct{}, cfg.DegradedMaxInFlight),
+	}
 	s.m.requests.Init()
 	s.m.latencyUS.Init()
 	s.routes = make(map[string]*routeStats, len(metricRoutes))
@@ -162,8 +196,23 @@ func New(cfg Config) *Server {
 }
 
 // SetModel installs m as the serving model, replacing any previous one.
-// In-flight requests finish against the model they started with.
-func (s *Server) SetModel(m *lof.Model) { s.model.Store(m) }
+// In-flight requests finish against the model they started with. When
+// degraded serving is enabled, a subsampled approximate model is derived
+// from m (synchronously — the subsample refit is small) and installed
+// alongside it; if that derivation fails, degraded requests fall back to
+// the full model rather than erroring.
+func (s *Server) SetModel(m *lof.Model) {
+	s.model.Store(m)
+	if m == nil || s.cfg.DegradedSample < 0 {
+		s.degraded.Store(nil)
+		return
+	}
+	if d, err := m.Subsample(s.cfg.DegradedSample); err == nil {
+		s.degraded.Store(d)
+	} else {
+		s.degraded.Store(nil)
+	}
+}
 
 // Model returns the current serving model, or nil when none is installed.
 func (s *Server) Model() *lof.Model { return s.model.Load() }
@@ -250,11 +299,28 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 		info := &requestInfo{id: requestID(r)}
 		r = r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, info))
 		w.Header().Set("X-Request-ID", info.id)
+		admitted := false
 		select {
 		case s.limiter <- struct{}{}:
+			admitted = true
 			defer func() { <-s.limiter }()
 		default:
+			// Main limiter full. Score requests that opted into degraded
+			// mode may still enter through the small reserve pool.
+			if route == "/v1/score" && r.URL.Query().Get("mode") == modeDegraded {
+				select {
+				case s.degradedLimiter <- struct{}{}:
+					admitted = true
+					defer func() { <-s.degradedLimiter }()
+				default:
+				}
+			}
+		}
+		if !admitted {
 			s.m.shed.Add(1)
+			// A shed is transient by construction — in-flight work drains on
+			// the order of the request timeout, so hint a short retry delay.
+			w.Header().Set("Retry-After", "1")
 			writeError(w, r, http.StatusTooManyRequests, "server at capacity")
 			rs.record(http.StatusTooManyRequests, 0)
 			s.m.requests.Add(route, 1)
@@ -360,8 +426,20 @@ type scoreRequest struct {
 // conscript an unbounded number of goroutines.
 const maxScoreWorkers = 256
 
+// Score-mode query parameter values: full (the default) serves exact
+// scores from the installed model; degraded serves approximate scores from
+// the subsampled snapshot and is admitted through the reserve limiter when
+// the server is saturated.
+const (
+	modeFull     = "full"
+	modeDegraded = "degraded"
+)
+
 type scoreResponse struct {
 	Scores []jsonFloat `json:"scores"`
+	// Mode is "degraded" when the scores came from the subsampled model;
+	// omitted for exact full-model scores.
+	Mode string `json:"mode,omitempty"`
 }
 
 // jsonFloat marshals non-finite LOF values (possible for duplicate-heavy
@@ -421,6 +499,9 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) b
 }
 
 func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	if hook := testHookFitStart; hook != nil {
+		hook()
+	}
 	var req fitRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -438,8 +519,14 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res, err := det.Fit(req.Data)
+	res, err := det.FitContext(r.Context(), req.Data)
 	if err != nil {
+		if r.Context().Err() != nil {
+			// The request deadline expired or the client went away mid-fit;
+			// the timeout middleware already answered (or nobody is
+			// listening), so just stop burning CPU.
+			return
+		}
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -460,10 +547,26 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if hook := testHookScoreStart; hook != nil {
 		hook()
 	}
+	mode := r.URL.Query().Get("mode")
+	if mode != "" && mode != modeFull && mode != modeDegraded {
+		writeError(w, r, http.StatusBadRequest,
+			fmt.Sprintf("unknown mode %q; valid modes are %q and %q", mode, modeFull, modeDegraded))
+		return
+	}
 	m := s.Model()
 	if m == nil {
 		writeError(w, r, http.StatusConflict, "no fitted model; POST /v1/fit first or start with -model")
 		return
+	}
+	servedDegraded := false
+	if mode == modeDegraded {
+		// Serve from the subsampled snapshot when one exists; when degraded
+		// serving is disabled (or derivation failed) the full model answers,
+		// so opting in never makes a request fail.
+		if d := s.degraded.Load(); d != nil {
+			m = d
+			servedDegraded = true
+		}
 	}
 	var req scoreRequest
 	if !s.decode(w, r, &req) {
@@ -499,11 +602,15 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.batchPoints.Add(int64(len(req.Queries)))
-	out := make([]jsonFloat, len(scores))
+	resp := scoreResponse{Scores: make([]jsonFloat, len(scores))}
 	for i, v := range scores {
-		out[i] = jsonFloat(v)
+		resp.Scores[i] = jsonFloat(v)
 	}
-	writeJSON(w, http.StatusOK, scoreResponse{Scores: out})
+	if servedDegraded {
+		resp.Mode = modeDegraded
+		s.m.degraded.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // scoreChunkSize bounds how much scoring work happens between context
@@ -521,8 +628,11 @@ func scoreChunked(r *http.Request, m *lof.Model, queries [][]float64) ([]float64
 		if end > len(queries) {
 			end = len(queries)
 		}
-		chunk, err := m.ScoreBatch(queries[off:end])
+		chunk, err := m.ScoreBatchContext(ctx, queries[off:end])
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
 			if off == 0 {
 				return nil, err
 			}
@@ -575,6 +685,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.IntSample("lof_http_in_flight", s.m.inFlight.Value())
 	p.Family("lof_http_shed_total", "counter", "Requests rejected by the concurrency limiter.")
 	p.IntSample("lof_http_shed_total", s.m.shed.Value())
+	p.Family("lof_http_degraded_total", "counter", "Score responses served from the degraded (subsampled) model.")
+	p.IntSample("lof_http_degraded_total", s.m.degraded.Value())
 	p.Family("lof_fit_points_total", "counter", "Data points fitted across all fit requests.")
 	p.IntSample("lof_fit_points_total", s.m.fitPoints.Value())
 	p.Family("lof_score_points_total", "counter", "Query points scored across all score requests.")

@@ -27,6 +27,7 @@
 package lof
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -288,6 +289,16 @@ func (c Config) clone() Config {
 // the same dimensionality, contain only finite values, and there must be
 // strictly more rows than MinPtsUB.
 func (d *Detector) Fit(data [][]float64) (*Result, error) {
+	return d.FitContext(context.Background(), data)
+}
+
+// FitContext is Fit under cooperative deadline/cancellation propagation:
+// ctx is polled at chunk boundaries throughout the pipeline — the kNN
+// materialization's per-point loop and the sweep's per-point scans — so a
+// cancelled or timed-out fit stops burning CPU within a chunk stride and
+// returns an error wrapping ctx.Err(). No partial result is ever returned,
+// and an uncancelled FitContext is bit-identical to Fit.
+func (d *Detector) FitContext(ctx context.Context, data [][]float64) (*Result, error) {
 	var tr *obs.Tracer
 	if d.cfg.Trace {
 		tr = obs.NewTracer()
@@ -299,10 +310,10 @@ func (d *Detector) Fit(data [][]float64) (*Result, error) {
 	}
 	sp.AddItems(pts.Len())
 	sp.End()
-	return d.fitPoints(pts, tr)
+	return d.fitPoints(ctx, pts, tr)
 }
 
-func (d *Detector) fitPoints(pts *geom.Points, tr *obs.Tracer) (*Result, error) {
+func (d *Detector) fitPoints(ctx context.Context, pts *geom.Points, tr *obs.Tracer) (*Result, error) {
 	if d.cfg.Weights != nil && len(d.cfg.Weights) != pts.Dim() {
 		return nil, fmt.Errorf("lof: %d weights for %d-dimensional data", len(d.cfg.Weights), pts.Dim())
 	}
@@ -327,7 +338,7 @@ func (d *Detector) fitPoints(pts *geom.Points, tr *obs.Tracer) (*Result, error) 
 		counting = index.NewCounting(ix)
 		ix = counting
 	}
-	opts := []matdb.Option{matdb.WithPool(d.pool), matdb.WithTracer(tr)}
+	opts := []matdb.Option{matdb.WithPool(d.pool), matdb.WithTracer(tr), matdb.WithContext(ctx)}
 	if d.cfg.Distinct {
 		opts = append(opts, matdb.Distinct())
 	}
@@ -335,7 +346,7 @@ func (d *Detector) fitPoints(pts *geom.Points, tr *obs.Tracer) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	sweep, err := core.SweepPoolTraced(db, d.cfg.MinPtsLB, d.cfg.MinPtsUB, d.pool, tr)
+	sweep, err := core.SweepCtx(ctx, db, d.cfg.MinPtsLB, d.cfg.MinPtsUB, d.pool, tr)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package lof
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -130,10 +131,18 @@ func (m *Model) validateQuery(q []float64) error {
 // range with the configured aggregation. The query is validated for
 // dimensionality and finiteness.
 func (m *Model) Score(query []float64) (float64, error) {
+	return m.ScoreContext(context.Background(), query)
+}
+
+// ScoreContext is Score under cooperative cancellation: ctx is polled
+// between the query's scoring phases, so a cancelled request stops burning
+// CPU within a phase boundary. An uncancelled call is bit-identical to
+// Score; a cancelled one returns an error wrapping ctx.Err().
+func (m *Model) ScoreContext(ctx context.Context, query []float64) (float64, error) {
 	if err := m.validateQuery(query); err != nil {
 		return 0, err
 	}
-	series, err := m.scorer.ScoreSeries(query)
+	series, err := m.scorer.ScoreSeriesCtx(ctx, query)
 	if err != nil {
 		return 0, err
 	}
@@ -166,6 +175,15 @@ func (m *Model) ScoreSeries(query []float64) (minPts []int, lofs []float64, err 
 // starts, so an invalid row fails the whole batch with a descriptive error
 // instead of poisoning part of the output.
 func (m *Model) ScoreBatch(queries [][]float64) ([]float64, error) {
+	return m.ScoreBatchContext(context.Background(), queries)
+}
+
+// ScoreBatchContext is ScoreBatch under cooperative cancellation: ctx is
+// polled before each query and inside each query's scoring phases, so a
+// cancelled batch frees its pool workers promptly instead of finishing the
+// remaining queries. A cancelled batch returns an error wrapping ctx.Err()
+// and no scores; an uncancelled one is bit-identical to ScoreBatch.
+func (m *Model) ScoreBatchContext(ctx context.Context, queries [][]float64) ([]float64, error) {
 	for i, q := range queries {
 		if err := m.validateQuery(q); err != nil {
 			return nil, fmt.Errorf("lof: batch row %d: %w", i, err)
@@ -173,15 +191,55 @@ func (m *Model) ScoreBatch(queries [][]float64) ([]float64, error) {
 	}
 	out := make([]float64, len(queries))
 	errs := make([]error, len(queries))
-	m.pool.Each(len(queries), func(i int) {
-		out[i], errs[i] = m.Score(queries[i])
-	})
+	if err := m.pool.EachCtx(ctx, len(queries), func(i int) {
+		out[i], errs[i] = m.ScoreContext(ctx, queries[i])
+	}); err != nil {
+		return nil, fmt.Errorf("lof: batch cancelled: %w", err)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("lof: batch row %d: %w", i, err)
 		}
 	}
 	return out, nil
+}
+
+// Subsample returns a model refitted on an evenly strided subsample of at
+// most n fitted points, under the same configuration. It is the cheap
+// approximate model a server can answer from when the full model is too
+// expensive under overload: scores are approximate (densities come from the
+// subsample) but systematically correlated with the full model's. n must
+// exceed the configured MinPtsUB for neighborhoods to exist; when the model
+// already has at most n points the receiver itself is returned.
+func (m *Model) Subsample(n int) (*Model, error) {
+	total := m.pts.Len()
+	if n >= total {
+		return m, nil
+	}
+	if n <= m.cfg.MinPtsUB {
+		return nil, fmt.Errorf("lof: subsample of %d cannot support MinPtsUB=%d; need at least %d",
+			n, m.cfg.MinPtsUB, m.cfg.MinPtsUB+1)
+	}
+	// Deterministic stride sampling keeps the subsample stable across
+	// replicas serving the same model.
+	data := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		src := m.pts.At(i * total / n)
+		row := make([]float64, len(src))
+		copy(row, src)
+		data[i] = row
+	}
+	cfg := m.cfg.clone()
+	cfg.MinPts = 0 // normalized configs carry the range in MinPtsLB/UB
+	det, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("lof: subsample config: %w", err)
+	}
+	res, err := det.Fit(data)
+	if err != nil {
+		return nil, fmt.Errorf("lof: subsample refit: %w", err)
+	}
+	return res.Model()
 }
 
 func (m *Model) coreAggregate() core.Aggregate {

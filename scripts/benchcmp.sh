@@ -1,0 +1,93 @@
+#!/bin/sh
+# benchcmp.sh re-runs the benchmark suite and compares it against a
+# committed baseline (BENCH_4.json by default), failing on regressions:
+#
+#   - ns/op more than 30% above the baseline on any benchmark, or
+#   - any allocs/op increase on the deterministic kNN hot-path benchmarks
+#     (BenchmarkKNN*, whose allocation counts do not depend on timing;
+#     Fit/ScoreBatch allocation counts vary with scheduling and are only
+#     reported, never gated).
+#
+# Duplicate benchmark names (BenchmarkKNN exists once per index package)
+# are matched by occurrence order, which is stable because bench.sh runs
+# packages in a fixed order.
+#
+# The committed baseline was produced on a different machine than CI
+# runners, so absolute ns/op comparisons across machines are advisory:
+# the CI bench-gate step sets BENCHCMP_ADVISORY=1, which prints every
+# verdict but always exits 0. Run without it on the machine that produced
+# the baseline to enforce the thresholds:
+#
+#   ./scripts/benchcmp.sh                  # compare against BENCH_4.json
+#   ./scripts/benchcmp.sh BENCH_4.json 2s  # longer benchtime, stabler ns/op
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline=${1:-BENCH_4.json}
+benchtime=${2:-1x}
+threshold=1.30
+
+if [ ! -f "$baseline" ]; then
+	echo "benchcmp.sh: baseline $baseline not found" >&2
+	exit 1
+fi
+
+current=$(mktemp)
+basetab=$(mktemp)
+curtab=$(mktemp)
+trap 'rm -f "$current" "$basetab" "$curtab"' EXIT
+
+./scripts/bench.sh "$current" "$benchtime"
+
+# extract flattens a bench.sh JSON artifact into "name ns_per_op
+# allocs_per_op" lines, one per record, preserving order.
+extract() {
+	sed -n 's/^ *{"name": "\([^"]*\)", "iterations": [^,]*, "ns_per_op": \([^,]*\), "bytes_per_op": [^,]*, "allocs_per_op": \([^}]*\)}.*$/\1 \2 \3/p' "$1"
+}
+
+extract "$baseline" >"$basetab"
+extract "$current" >"$curtab"
+
+if [ ! -s "$basetab" ] || [ ! -s "$curtab" ]; then
+	echo "benchcmp.sh: could not parse benchmark records" >&2
+	exit 1
+fi
+
+awk -v threshold="$threshold" -v advisory="${BENCHCMP_ADVISORY:-0}" '
+NR == FNR {
+	key = $1 "#" occ[$1]++
+	base_ns[key] = $2
+	base_allocs[key] = $3
+	next
+}
+{
+	key = $1 "#" cur_occ[$1]++
+	compared++
+	if (!(key in base_ns)) {
+		printf "NEW            %s (no baseline entry)\n", $1
+		next
+	}
+	ratio = $2 / base_ns[key]
+	printf "%-5s %7.2fx %s (%.0f -> %.0f ns/op)\n",
+		(ratio > threshold ? "SLOW" : "ok"), ratio, $1, base_ns[key], $2
+	if (ratio > threshold) regressions++
+	# Alloc gate: only the deterministic kNN hot-path benchmarks.
+	if ($1 ~ /^BenchmarkKNN/ && $3 != "null" && base_allocs[key] != "null" && $3 + 0 > base_allocs[key] + 0) {
+		printf "ALLOC          %s (%s -> %s allocs/op)\n", $1, base_allocs[key], $3
+		regressions++
+	}
+}
+END {
+	if (compared == 0) {
+		print "benchcmp.sh: no benchmarks compared" > "/dev/stderr"
+		exit 1
+	}
+	if (regressions > 0) {
+		printf "benchcmp.sh: %d regression(s) against the baseline\n", regressions > "/dev/stderr"
+		if (advisory != "1") exit 1
+		print "benchcmp.sh: BENCHCMP_ADVISORY=1, reporting only" > "/dev/stderr"
+	}
+}' "$basetab" "$curtab"
+
+echo "benchcmp.sh: compared against $baseline (threshold ${threshold}x, benchtime $benchtime)"

@@ -7,9 +7,15 @@
 # Usage:
 #   ./scripts/check.sh                # full gate
 #   ./scripts/check.sh metrics-lint   # only the /metrics exposition lint
+#   ./scripts/check.sh coverage       # coverage run with floor enforcement
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# COVERAGE_FLOOR is the minimum total statement coverage (percent) the
+# suite must reach; `check.sh coverage` and the CI coverage step fail below
+# it. Raise it as coverage grows; never lower it to make a PR pass.
+COVERAGE_FLOOR=78.0
 
 # metrics_lint builds lofserve, starts it on an ephemeral port, and
 # validates that GET /metrics is parseable Prometheus text format 0.0.4
@@ -18,6 +24,10 @@ cd "$(dirname "$0")/.."
 metrics_lint() {
 	echo "== metrics lint"
 	tmpdir=$(mktemp -d)
+	# Initialize before installing the trap: with set -u, an EXIT trap that
+	# fires before the server starts (e.g. the build fails) would otherwise
+	# die on the unset variable and mask the real error.
+	server_pid=
 	trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
 	go build -o "$tmpdir/lofserve" ./cmd/lofserve
 	"$tmpdir/lofserve" -addr 127.0.0.1:0 >"$tmpdir/log" 2>&1 &
@@ -81,10 +91,29 @@ metrics_lint() {
 	echo "metrics lint OK"
 }
 
-if [ "${1:-}" = "metrics-lint" ]; then
+# coverage runs the suite with statement coverage, writes coverage.out for
+# artifact upload, and fails when total coverage drops below the floor.
+coverage() {
+	echo "== coverage (floor ${COVERAGE_FLOOR}%)"
+	go test -coverprofile=coverage.out -covermode=atomic ./...
+	total=$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+	echo "total statement coverage: ${total}%"
+	if awk -v t="$total" -v floor="$COVERAGE_FLOOR" 'BEGIN { exit !(t < floor) }'; then
+		echo "coverage ${total}% is below the floor ${COVERAGE_FLOOR}%" >&2
+		exit 1
+	fi
+}
+
+case "${1:-}" in
+metrics-lint)
 	metrics_lint
 	exit 0
-fi
+	;;
+coverage)
+	coverage
+	exit 0
+	;;
+esac
 
 echo "== gofmt"
 unformatted=$(gofmt -l .)
