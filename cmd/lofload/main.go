@@ -9,16 +9,25 @@
 //
 //	lofload -self -duration 10s -rps 50                 # self-hosted target
 //	lofload -addr http://127.0.0.1:8080 -duration 1m    # external server
+//	lofload -addr http://a:8080,http://b:8080 -rps 400  # round-robin fan-out
 //	lofload -self -error-prob 0.1 -latency-prob 0.2 -latency 5ms
 //	lofload -self -mode degraded -rps 200               # degraded opt-in
+//	lofload -self -json report.json                     # machine-readable report
 //
 // With -self, an in-process lofserve instance is started on a loopback
 // port and torn down afterwards, so a single command is a full soak test.
+// -addr accepts a comma-separated list of base URLs (independent lofserve
+// instances or lofcoord coordinators); requests round-robin across them,
+// which is how throughput scaling across a sharded tier is measured. With
+// -json, a machine-readable report — latency quantiles, error and degraded
+// counts, achieved rate — is written to the given path ("-" for stdout) in
+// the same spirit as the BENCH_*.json baselines.
 // The exit code is 0 only when every logical request eventually succeeded.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +58,7 @@ type options struct {
 	scoreFrac float64
 	mode      string
 	seed      int64
+	jsonPath  string
 
 	dropProb    float64
 	errorProb   float64
@@ -57,7 +68,7 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.addr, "addr", "", "base URL of a running lofserve (e.g. http://127.0.0.1:8080)")
+	flag.StringVar(&o.addr, "addr", "", "comma-separated base URLs of running lofserve/lofcoord targets (round-robin)")
 	flag.BoolVar(&o.self, "self", false, "start an in-process server on a loopback port as the target")
 	flag.DurationVar(&o.duration, "duration", 10*time.Second, "how long to drive load")
 	flag.Float64Var(&o.rps, "rps", 50, "target request rate per second (open loop)")
@@ -68,6 +79,7 @@ func main() {
 	flag.Float64Var(&o.scoreFrac, "score-frac", 0.95, "fraction of requests that score (the rest refit)")
 	flag.StringVar(&o.mode, "mode", "", `score mode: "" (exact), "full" or "degraded"`)
 	flag.Int64Var(&o.seed, "seed", 1, "seed for workload and fault schedules")
+	flag.StringVar(&o.jsonPath, "json", "", `write a machine-readable JSON report to this path ("-" for stdout)`)
 	flag.Float64Var(&o.dropProb, "drop-prob", 0, "client-side injected dropped-response probability")
 	flag.Float64Var(&o.errorProb, "error-prob", 0, "client-side injected transient-error probability")
 	flag.Float64Var(&o.latencyProb, "latency-prob", 0, "client-side injected latency-spike probability")
@@ -87,6 +99,7 @@ func main() {
 // report aggregates one run's outcome. Counters are atomic because the
 // workers race on them; read them after run returns.
 type report struct {
+	targets  []string     // resolved base URLs, in round-robin order
 	sent     atomic.Int64 // requests handed to workers
 	skipped  atomic.Int64 // pacer ticks dropped because every worker was busy
 	ok       atomic.Int64
@@ -154,15 +167,19 @@ func run(ctx context.Context, o options, out io.Writer) (*report, error) {
 	if o.rps <= 0 || o.workers <= 0 || o.duration <= 0 {
 		return nil, fmt.Errorf("-rps, -workers and -duration must be positive")
 	}
-	base := o.addr
+	var targets []string
+	for _, u := range strings.Split(o.addr, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			targets = append(targets, u)
+		}
+	}
 	if o.self {
-		var stop func()
-		var err error
-		base, stop, err = selfServer()
+		base, stop, err := selfServer()
 		if err != nil {
 			return nil, err
 		}
 		defer stop()
+		targets = append(targets, base)
 	}
 
 	inj := faults.New(faults.Config{
@@ -172,23 +189,28 @@ func run(ctx context.Context, o options, out io.Writer) (*report, error) {
 		LatencyProb: o.latencyProb,
 		Latency:     o.latency,
 	})
-	c, err := client.New(client.Config{
-		BaseURL:    base,
-		HTTPClient: &http.Client{Transport: inj.Transport(nil)},
-		// Soak posture: more attempts and headroom than the default, so a
-		// lossy schedule still converges to 100% eventual success.
-		MaxAttempts:      8,
-		BaseBackoff:      2 * time.Millisecond,
-		MaxBackoff:       250 * time.Millisecond,
-		RetryBudgetRatio: 2 * (o.dropProb + o.errorProb + 0.05),
-		RetryBudgetBurst: 64,
-		Seed:             o.seed,
-	})
-	if err != nil {
-		return nil, err
+	clients := make([]*client.Client, len(targets))
+	for i, base := range targets {
+		c, err := client.New(client.Config{
+			BaseURL:    base,
+			HTTPClient: &http.Client{Transport: inj.Transport(nil)},
+			// Soak posture: more attempts and headroom than the default, so a
+			// lossy schedule still converges to 100% eventual success.
+			MaxAttempts:      8,
+			BaseBackoff:      2 * time.Millisecond,
+			MaxBackoff:       250 * time.Millisecond,
+			RetryBudgetRatio: 2 * (o.dropProb + o.errorProb + 0.05),
+			RetryBudgetBurst: 64,
+			Seed:             o.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
 	}
 
 	rep := &report{
+		targets:   targets,
 		fitHist:   obs.NewHistogram(loadBuckets),
 		scoreHist: obs.NewHistogram(loadBuckets),
 	}
@@ -196,10 +218,13 @@ func run(ctx context.Context, o options, out io.Writer) (*report, error) {
 	seedRng := rand.New(rand.NewSource(o.seed))
 	fitData := clusters(seedRng, o.points, o.dim)
 
-	// The soak needs a model before the mix starts; this initial fit also
-	// proves the target is reachable.
-	if _, err := c.Fit(ctx, fitCfg, fitData); err != nil {
-		return nil, fmt.Errorf("initial fit: %w", err)
+	// Every target needs a model before the mix starts (targets are
+	// independent servers or coordinators); the initial fits also prove
+	// each one is reachable.
+	for i, c := range clients {
+		if _, err := c.Fit(ctx, fitCfg, fitData); err != nil {
+			return nil, fmt.Errorf("initial fit on %s: %w", targets[i], err)
+		}
 	}
 
 	runCtx, cancel := context.WithTimeout(ctx, o.duration)
@@ -211,6 +236,7 @@ func run(ctx context.Context, o options, out io.Writer) (*report, error) {
 	// saturated and the tick is counted as skipped rather than deferred —
 	// deferring would hide coordinated omission.
 	jobs := make(chan struct{}, o.workers)
+	var next atomic.Int64 // round-robin cursor over targets
 	var wg sync.WaitGroup
 	for w := 0; w < o.workers; w++ {
 		wg.Add(1)
@@ -218,6 +244,7 @@ func run(ctx context.Context, o options, out io.Writer) (*report, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(o.seed + int64(w)*7919))
 			for range jobs {
+				c := clients[int(next.Add(1))%len(clients)]
 				doOne(runCtx, c, o, rng, fitCfg, rep)
 			}
 		}(w)
@@ -246,10 +273,107 @@ pace:
 	wg.Wait()
 
 	rep.elapsed = time.Since(start)
-	rep.clientStats = c.Stats()
+	for _, c := range clients {
+		s := c.Stats()
+		rep.clientStats.Attempts += s.Attempts
+		rep.clientStats.Retries += s.Retries
+		rep.clientStats.BudgetDenials += s.BudgetDenials
+	}
 	rep.faultStats = inj.Stats()
 	printReport(out, o, rep)
+	if o.jsonPath != "" {
+		if err := writeJSONReport(o, rep, out); err != nil {
+			return nil, fmt.Errorf("writing JSON report: %w", err)
+		}
+	}
 	return rep, nil
+}
+
+// jsonReport is the machine-readable run summary written by -json, shaped
+// like the BENCH_*.json baselines: stable field names, one object per run,
+// durations in milliseconds.
+type jsonReport struct {
+	Targets     []string `json:"targets"`
+	DurationSec float64  `json:"duration_seconds"`
+	TargetRPS   float64  `json:"target_rps"`
+	AchievedRPS float64  `json:"achieved_rps"`
+	Workers     int      `json:"workers"`
+	Batch       int      `json:"batch"`
+	ScoreFrac   float64  `json:"score_frac"`
+	Mode        string   `json:"mode,omitempty"`
+
+	Sent     int64 `json:"sent"`
+	OK       int64 `json:"ok"`
+	Failed   int64 `json:"failed"`
+	Skipped  int64 `json:"skipped"`
+	Degraded int64 `json:"degraded"`
+
+	ScoreLatency *jsonLatency `json:"score_latency,omitempty"`
+	FitLatency   *jsonLatency `json:"fit_latency,omitempty"`
+
+	Client struct {
+		Attempts      int64 `json:"attempts"`
+		Retries       int64 `json:"retries"`
+		BudgetDenials int64 `json:"budget_denials"`
+	} `json:"client"`
+	Faults struct {
+		Drops         int64 `json:"drops"`
+		Errors        int64 `json:"errors"`
+		LatencySpikes int64 `json:"latency_spikes"`
+	} `json:"faults"`
+}
+
+type jsonLatency struct {
+	Count int64   `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+func latencyOf(snap obs.HistogramSnapshot) *jsonLatency {
+	if snap.Count() == 0 {
+		return nil
+	}
+	ms := func(q float64) float64 {
+		return float64(snap.Quantile(q).Microseconds()) / 1000
+	}
+	return &jsonLatency{Count: snap.Count(), P50ms: ms(0.50), P95ms: ms(0.95), P99ms: ms(0.99)}
+}
+
+func writeJSONReport(o options, rep *report, stdout io.Writer) error {
+	jr := jsonReport{
+		Targets:     rep.targets,
+		DurationSec: rep.elapsed.Seconds(),
+		TargetRPS:   o.rps,
+		Workers:     o.workers,
+		Batch:       o.batch,
+		ScoreFrac:   o.scoreFrac,
+		Mode:        o.mode,
+		Sent:        rep.sent.Load(),
+		OK:          rep.ok.Load(),
+		Failed:      rep.failed.Load(),
+		Skipped:     rep.skipped.Load(),
+		Degraded:    rep.degraded.Load(),
+	}
+	jr.AchievedRPS = float64(jr.OK+jr.Failed) / rep.elapsed.Seconds()
+	jr.ScoreLatency = latencyOf(rep.scoreHist.Snapshot())
+	jr.FitLatency = latencyOf(rep.fitHist.Snapshot())
+	jr.Client.Attempts = rep.clientStats.Attempts
+	jr.Client.Retries = rep.clientStats.Retries
+	jr.Client.BudgetDenials = rep.clientStats.BudgetDenials
+	jr.Faults.Drops = rep.faultStats.Drops
+	jr.Faults.Errors = rep.faultStats.Errors
+	jr.Faults.LatencySpikes = rep.faultStats.Latencies
+	buf, err := json.MarshalIndent(jr, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if o.jsonPath == "-" {
+		_, err = stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(o.jsonPath, buf, 0o644)
 }
 
 // doOne issues one request of the mix. A request that fails after the

@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -101,5 +104,60 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := run(context.Background(), options{self: true}, &bytes.Buffer{}); err == nil {
 		t.Fatal("want error for non-positive rps/workers/duration")
+	}
+}
+
+// TestMultiTargetJSONReport drives two independent in-process servers
+// round-robin and checks the machine-readable report: both targets listed,
+// all requests accounted for, quantiles present, the file valid JSON.
+func TestMultiTargetJSONReport(t *testing.T) {
+	baseA, stopA, err := selfServer()
+	if err != nil {
+		t.Fatalf("selfServer: %v", err)
+	}
+	defer stopA()
+	baseB, stopB, err := selfServer()
+	if err != nil {
+		t.Fatalf("selfServer: %v", err)
+	}
+	defer stopB()
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	o := options{
+		addr:      baseA + "," + baseB,
+		duration:  800 * time.Millisecond,
+		rps:       80,
+		workers:   4,
+		batch:     4,
+		dim:       2,
+		points:    120,
+		scoreFrac: 1.0,
+		seed:      3,
+		jsonPath:  path,
+	}
+	rep, err := run(context.Background(), o, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if rep.failed.Load() != 0 || rep.ok.Load() == 0 {
+		t.Fatalf("multi-target soak: ok=%d failed=%d\n%s", rep.ok.Load(), rep.failed.Load(), out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading report: %v", err)
+	}
+	var jr jsonReport
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(jr.Targets) != 2 || jr.Targets[0] != baseA || jr.Targets[1] != baseB {
+		t.Fatalf("report targets = %v", jr.Targets)
+	}
+	if jr.OK != rep.ok.Load() || jr.AchievedRPS <= 0 {
+		t.Fatalf("report counters = %+v", jr)
+	}
+	if jr.ScoreLatency == nil || jr.ScoreLatency.Count == 0 || jr.ScoreLatency.P99ms < jr.ScoreLatency.P50ms {
+		t.Fatalf("report score latency = %+v", jr.ScoreLatency)
 	}
 }

@@ -9,12 +9,22 @@
 //
 // Endpoints:
 //
-//	POST /v1/fit        fit a model from JSON data, replacing the current one
-//	POST /v1/score      score query points against the current model
-//	GET  /v1/model      current model summary
-//	GET  /healthz       liveness and model presence
-//	GET  /metrics       Prometheus text-format metrics (per-route histograms)
-//	GET  /metrics.json  legacy JSON counter view
+//	POST /v1/fit              fit a model from JSON data, replacing the current one
+//	POST /v1/score            score query points against the current model
+//	GET  /v1/model            current model summary
+//	POST /v1/shard/snapshot   install a shard partition pushed by lofcoord
+//	POST /v1/shard/candidates per-partition kNN candidates (shard role)
+//	POST /v1/shard/rows       merged rows of owned points (shard role)
+//	GET  /healthz             liveness only: 200 whenever the process serves
+//	GET  /readyz              readiness: model/partition presence and version,
+//	                          503 while empty or mid-swap
+//	GET  /metrics             Prometheus text-format metrics (per-route histograms)
+//	GET  /metrics.json        legacy JSON counter view
+//
+// A lofserve can therefore serve in two roles: standalone (fit and score
+// the whole model) or as one shard of a lofcoord fleet, holding a
+// partition snapshot at a coordinator-assigned version. -max-snapshot
+// bounds the accepted partition snapshot size.
 //
 // The server sheds load above -max-inflight with 429 responses, bounds
 // each request by -timeout, and drains in-flight requests before exiting
@@ -50,6 +60,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		maxInFlight = flag.Int("max-inflight", 64, "concurrent requests before shedding with 429")
 		maxBatch    = flag.Int("max-batch", 100000, "maximum query points per score request")
+		maxSnap     = flag.Int64("max-snapshot", 1<<30, "maximum shard snapshot size in bytes")
 		grace       = flag.Duration("grace", 15*time.Second, "graceful shutdown drain budget")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (separate listener; empty disables)")
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -60,6 +71,7 @@ func main() {
 	o := options{
 		addr: *addr, modelPath: *modelPath,
 		timeout: *timeout, maxInFlight: *maxInFlight, maxBatch: *maxBatch,
+		maxSnap:   *maxSnap,
 		grace:     *grace,
 		pprofAddr: *pprofAddr, logLevel: *logLevel,
 	}
@@ -77,6 +89,7 @@ type options struct {
 	timeout     time.Duration
 	maxInFlight int
 	maxBatch    int
+	maxSnap     int64
 	grace       time.Duration
 	pprofAddr   string
 	logLevel    string
@@ -122,10 +135,11 @@ func run(ctx context.Context, o options, logw io.Writer, ready chan<- [2]string)
 	}
 	logger := slog.New(slog.NewJSONHandler(logw, &slog.HandlerOptions{Level: level}))
 	srv := server.New(server.Config{
-		MaxInFlight:    o.maxInFlight,
-		RequestTimeout: o.timeout,
-		MaxBatch:       o.maxBatch,
-		Logger:         logger,
+		MaxInFlight:      o.maxInFlight,
+		RequestTimeout:   o.timeout,
+		MaxBatch:         o.maxBatch,
+		MaxSnapshotBytes: o.maxSnap,
+		Logger:           logger,
 	})
 	if o.modelPath != "" {
 		f, err := os.Open(o.modelPath)

@@ -221,6 +221,12 @@ func (e *apiError) Error() string {
 // body is nil) to path, decode a 200 into out. The caller's ctx bounds the
 // whole loop; each attempt additionally gets PerAttemptTimeout.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out interface{}) error {
+	return c.doTyped(ctx, method, path, body, "application/json", out)
+}
+
+// doTyped is do with an explicit request content type; the shard snapshot
+// push sends raw bytes, everything else JSON.
+func (c *Client) doTyped(ctx context.Context, method, path string, body []byte, contentType string, out interface{}) error {
 	c.requests.Add(1)
 	c.earn()
 	var lastErr error
@@ -233,7 +239,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out i
 			c.retries.Add(1)
 		}
 		c.attempts.Add(1)
-		resp, err := c.attempt(ctx, method, path, body)
+		resp, err := c.attempt(ctx, method, path, body, contentType)
 		retry, done := c.finish(resp, err, out)
 		if done == nil && retry == 0 {
 			return nil
@@ -260,7 +266,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out i
 }
 
 // attempt issues one HTTP attempt under the per-attempt timeout.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, contentType string) (*http.Response, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.PerAttemptTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -272,7 +278,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 		return nil, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {

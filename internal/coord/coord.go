@@ -1,0 +1,652 @@
+// Package coord implements the lofcoord scatter-gather coordinator: the
+// control and query plane of the sharded LOF serving tier. It fits a model
+// globally, splits the fitted state into per-shard sub-snapshots
+// (shard.Split), replicates them to lofserve shard processes, and answers
+// score requests by a three-round scatter-gather that reassembles exact
+// global LOF:
+//
+//	round 1  every shard returns its partition's kNN candidates for the
+//	         query batch; the coordinator merges them into each query's
+//	         exact global row (matdb.MergeCandidates)
+//	round 2  the merged rows of each query's neighborhood are fetched from
+//	         their owning shards (matdb.SpliceRow applied shard-side)
+//	round 3  the rows of those rows' neighbors — the two-hop closure the
+//	         LOF arithmetic touches — are fetched the same way
+//
+// Evaluation then runs core.EvalAt over the fetched rows: literally the
+// code path the in-process scorer uses, which is what makes a distributed
+// score bit-identical to a single-node one.
+//
+// Failure policy: per-shard calls hedge across replicas (first success
+// wins); when a whole shard is unreachable, a request that opted into
+// ?mode=degraded is answered from a local subsampled model with the
+// response marked "degraded", and any other request fails with a gateway
+// error — never a silently wrong exact score. A background repair loop
+// re-pushes snapshots to replicas that report unready or stale.
+package coord
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lof"
+	"lof/internal/client"
+	"lof/internal/core"
+	"lof/internal/geom"
+	"lof/internal/index"
+	"lof/internal/matdb"
+	"lof/internal/obs"
+	"lof/internal/pool"
+	"lof/internal/server"
+	"lof/internal/shard"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Targets lists the replica URLs of each shard: Targets[s] are
+	// interchangeable replicas all serving shard s. Required, one entry per
+	// shard, each non-empty.
+	Targets [][]string
+	// Client is the template for per-replica clients; its BaseURL is
+	// ignored. The zero value takes the client package defaults.
+	Client client.Config
+	// Hedge is the delay before a data request is hedged to the next
+	// replica of a shard; 0 or negative leaves pure failover-on-error.
+	Hedge time.Duration
+	// Partitioner is the point→shard assignment rule.
+	Partitioner shard.Partitioner
+	// DegradedSample sizes the local subsampled model kept as the
+	// degraded-mode fallback for shard outages. Zero means 2048; negative
+	// disables degraded serving.
+	DegradedSample int
+	// Workers bounds the coordinator-side merge/eval parallelism per batch.
+	// Zero means GOMAXPROCS.
+	Workers int
+	// RepairInterval paces the background repair loop. Default 2s.
+	RepairInterval time.Duration
+	// Logger receives coordinator events. Nil discards.
+	Logger *slog.Logger
+}
+
+// state is the installed serving state: everything a score request needs,
+// swapped atomically on fit.
+type state struct {
+	version  uint64
+	meta     shard.Meta
+	dim      int
+	lb, ub   int
+	agg      core.Aggregate
+	info     ModelInfo
+	encoded  [][]byte // per-shard snapshots, kept for repair re-pushes
+	degraded *lof.Model
+}
+
+// ModelInfo mirrors the single-node server's model summary, so the same
+// clients understand both.
+type ModelInfo struct {
+	Objects  int    `json:"objects"`
+	Dims     int    `json:"dims"`
+	MinPtsLB int    `json:"minPtsLB"`
+	MinPtsUB int    `json:"minPtsUB"`
+	Metric   string `json:"metric"`
+	Distinct bool   `json:"distinct"`
+	Shards   int    `json:"shards,omitempty"`
+	Version  uint64 `json:"version,omitempty"`
+}
+
+// Coordinator owns the replica sets and the installed state. Safe for
+// concurrent use; fits are serialized.
+type Coordinator struct {
+	cfg      Config
+	replicas []*client.ReplicaSet
+	pool     *pool.Pool
+	state    atomic.Pointer[state]
+	version  atomic.Uint64
+
+	fitMu sync.Mutex
+
+	// Per-shard observability: RPC latency and failures by shard index.
+	shardLatency []*obs.Histogram
+	shardFails   []expvar.Int
+	degradedHits expvar.Int
+	repairPushes expvar.Int
+	fits         expvar.Int
+	scoreQueries expvar.Int
+}
+
+// New validates cfg and returns a Coordinator with one client per replica.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, errors.New("coord: at least one shard target is required")
+	}
+	if cfg.DegradedSample == 0 {
+		cfg.DegradedSample = 2048
+	}
+	if cfg.RepairInterval <= 0 {
+		cfg.RepairInterval = 2 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(discardHandler{})
+	}
+	c := &Coordinator{
+		cfg:          cfg,
+		replicas:     make([]*client.ReplicaSet, len(cfg.Targets)),
+		pool:         pool.New(cfg.Workers),
+		shardLatency: make([]*obs.Histogram, len(cfg.Targets)),
+		shardFails:   make([]expvar.Int, len(cfg.Targets)),
+	}
+	for s, urls := range cfg.Targets {
+		rs, err := client.NewReplicaSet(urls, cfg.Client)
+		if err != nil {
+			return nil, fmt.Errorf("coord: shard %d: %w", s, err)
+		}
+		c.replicas[s] = rs
+		c.shardLatency[s] = obs.NewHistogram(obs.DefaultLatencyBuckets)
+	}
+	return c, nil
+}
+
+// Shards returns the configured shard count.
+func (c *Coordinator) Shards() int { return len(c.replicas) }
+
+// Info returns the installed model summary, or false when none is.
+func (c *Coordinator) Info() (ModelInfo, bool) {
+	st := c.state.Load()
+	if st == nil {
+		return ModelInfo{}, false
+	}
+	return st.info, true
+}
+
+// Version returns the installed snapshot version (0 before the first fit).
+func (c *Coordinator) Version() uint64 {
+	if st := c.state.Load(); st != nil {
+		return st.version
+	}
+	return 0
+}
+
+// Fit fits the model globally, splits it, and replicates one sub-snapshot
+// per shard. The new version serves once every shard has acknowledged the
+// push on at least one replica; remaining replicas are brought up to date
+// by the repair loop. The full fitted model is released after the split —
+// the coordinator keeps only the encoded parts and the small degraded
+// fallback.
+func (c *Coordinator) Fit(ctx context.Context, fitCfg server.FitConfig, data [][]float64) (ModelInfo, error) {
+	c.fitMu.Lock()
+	defer c.fitMu.Unlock()
+	det, err := fitCfg.Detector()
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	res, err := det.FitContext(ctx, data)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	m, err := res.Model()
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	st, err := c.buildState(m)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	if err := c.distribute(ctx, st); err != nil {
+		return ModelInfo{}, err
+	}
+	c.state.Store(st)
+	c.fits.Add(1)
+	c.cfg.Logger.LogAttrs(ctx, slog.LevelInfo, "model distributed",
+		slog.Uint64("version", st.version),
+		slog.Int("shards", len(c.replicas)),
+		slog.Int("objects", st.info.Objects))
+	return st.info, nil
+}
+
+// Install splits and replicates an already-fitted model — the preload path
+// (lofcoord -model) and the test seam.
+func (c *Coordinator) Install(ctx context.Context, m *lof.Model) (ModelInfo, error) {
+	c.fitMu.Lock()
+	defer c.fitMu.Unlock()
+	st, err := c.buildState(m)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	if err := c.distribute(ctx, st); err != nil {
+		return ModelInfo{}, err
+	}
+	c.state.Store(st)
+	return st.info, nil
+}
+
+// buildState splits m into encoded per-shard snapshots under a fresh
+// version and derives the degraded fallback.
+func (c *Coordinator) buildState(m *lof.Model) (*state, error) {
+	pts, db := m.Fitted()
+	mcfg := m.Config()
+	version := c.version.Add(1)
+	meta := shard.Meta{Metric: mcfg.Metric, Weights: mcfg.Weights}
+	parts, err := shard.Split(pts, db, meta, len(c.replicas), c.cfg.Partitioner, version)
+	if err != nil {
+		return nil, fmt.Errorf("coord: splitting model: %w", err)
+	}
+	st := &state{
+		version: version,
+		meta:    parts[0].Meta(),
+		dim:     pts.Dim(),
+		lb:      mcfg.MinPtsLB,
+		ub:      mcfg.MinPtsUB,
+		agg:     coreAggregate(mcfg.Aggregation),
+		encoded: make([][]byte, len(parts)),
+	}
+	metric := mcfg.Metric
+	if metric == "" {
+		metric = "euclidean"
+	}
+	if mcfg.Weights != nil {
+		metric = "weighted-euclidean"
+	}
+	st.info = ModelInfo{
+		Objects: pts.Len(), Dims: pts.Dim(),
+		MinPtsLB: mcfg.MinPtsLB, MinPtsUB: mcfg.MinPtsUB,
+		Metric: metric, Distinct: mcfg.Distinct,
+		Shards: len(parts), Version: version,
+	}
+	for s, p := range parts {
+		if st.encoded[s], err = shard.EncodePart(p); err != nil {
+			return nil, fmt.Errorf("coord: encoding shard %d: %w", s, err)
+		}
+	}
+	if c.cfg.DegradedSample > 0 {
+		if d, err := m.Subsample(c.cfg.DegradedSample); err == nil {
+			st.degraded = d
+		}
+	}
+	return st, nil
+}
+
+// distribute pushes every shard's snapshot to all of its replicas in
+// parallel. A shard is distributed once any replica acknowledges; a shard
+// with zero successful replicas fails the distribution.
+func (c *Coordinator) distribute(ctx context.Context, st *state) error {
+	type push struct{ s, r int }
+	var work []push
+	for s := range c.replicas {
+		for r := range c.replicas[s].Clients() {
+			work = append(work, push{s, r})
+		}
+	}
+	okByShard := make([]atomic.Int64, len(c.replicas))
+	errsByShard := make([]atomic.Pointer[error], len(c.replicas))
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func(w push) {
+			defer wg.Done()
+			cl := c.replicas[w.s].Clients()[w.r]
+			if _, err := cl.PushSnapshot(ctx, st.encoded[w.s]); err != nil {
+				errsByShard[w.s].Store(&err)
+				return
+			}
+			okByShard[w.s].Add(1)
+		}(w)
+	}
+	wg.Wait()
+	for s := range c.replicas {
+		if okByShard[s].Load() == 0 {
+			err := fmt.Errorf("no replica reachable")
+			if p := errsByShard[s].Load(); p != nil {
+				err = *p
+			}
+			return fmt.Errorf("coord: distributing snapshot to shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// errNoModel distinguishes "nothing fitted yet" for the HTTP layer.
+var errNoModel = errors.New("coord: no fitted model")
+
+// shardError marks a scatter-gather round that lost a shard — the class of
+// failure degraded mode may absorb.
+type shardError struct {
+	shard int
+	err   error
+}
+
+func (e *shardError) Error() string {
+	return fmt.Sprintf("coord: shard %d unavailable: %v", e.shard, e.err)
+}
+
+func (e *shardError) Unwrap() error { return e.err }
+
+// Score answers a batch of queries. allowDegraded governs the failure
+// policy: when a shard is unreachable, an allowDegraded request is served
+// from the local subsampled model (mode "degraded" in the return), any
+// other fails. Exact answers return mode "".
+func (c *Coordinator) Score(ctx context.Context, queries [][]float64, allowDegraded bool) ([]float64, string, error) {
+	st := c.state.Load()
+	if st == nil {
+		return nil, "", errNoModel
+	}
+	for i, q := range queries {
+		if len(q) != st.dim {
+			return nil, "", fmt.Errorf("coord: batch row %d has %d dimensions, model expects %d", i, len(q), st.dim)
+		}
+		if !geom.Point(q).Valid() {
+			return nil, "", fmt.Errorf("coord: batch row %d has non-finite coordinates", i)
+		}
+	}
+	scores, err := c.scoreExact(ctx, st, queries)
+	if err == nil {
+		c.scoreQueries.Add(int64(len(queries)))
+		return scores, "", nil
+	}
+	var se *shardError
+	if errors.As(err, &se) && allowDegraded && st.degraded != nil {
+		if ctx.Err() != nil {
+			return nil, "", err
+		}
+		c.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "serving degraded",
+			slog.Int("shard", se.shard), slog.String("cause", se.err.Error()))
+		scores, derr := st.degraded.ScoreBatchContext(ctx, queries)
+		if derr != nil {
+			return nil, "", fmt.Errorf("coord: degraded fallback after %v: %w", err, derr)
+		}
+		c.degradedHits.Add(int64(len(queries)))
+		return scores, "degraded", nil
+	}
+	return nil, "", err
+}
+
+// shardCall runs op against a shard's replica set with hedging and records
+// per-shard latency and failures.
+func shardCall[T any](ctx context.Context, c *Coordinator, s int, op func(context.Context, *client.Client) (T, error)) (T, error) {
+	start := time.Now()
+	v, err := client.Hedged(ctx, c.replicas[s], c.cfg.Hedge, op)
+	c.shardLatency[s].Observe(time.Since(start))
+	if err != nil {
+		c.shardFails[s].Add(1)
+	}
+	return v, err
+}
+
+// scoreExact runs the three-round scatter-gather and evaluation.
+func (c *Coordinator) scoreExact(ctx context.Context, st *state, queries [][]float64) ([]float64, error) {
+	nq := len(queries)
+	qIdx := st.meta.Total
+
+	// Round 1: per-partition candidates from every shard, in parallel.
+	candsByShard := make([][][]shard.WireCandidate, len(c.replicas))
+	if err := c.eachShard(ctx, func(s int) error {
+		resp, err := shardCall(ctx, c, s, func(ctx context.Context, cl *client.Client) (*shard.CandidatesResponse, error) {
+			return cl.Candidates(ctx, st.version, queries)
+		})
+		if err != nil {
+			return err
+		}
+		if len(resp.Candidates) != nq {
+			return fmt.Errorf("shard %d returned %d candidate lists for %d queries", s, len(resp.Candidates), nq)
+		}
+		candsByShard[s] = resp.Candidates
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Merge each query's global row locally; coordinate lookups for
+	// distinct-rank recomputation come from the candidate payloads.
+	qRows := make([]matdb.Row, nq)
+	coords := make([]map[int]geom.Point, nq)
+	mergeErrs := make([]error, nq)
+	c.pool.Each(nq, func(qi int) {
+		var cands []index.Neighbor
+		var at func(int) geom.Point
+		if st.meta.Distinct {
+			cm := make(map[int]geom.Point)
+			for s := range candsByShard {
+				for _, cand := range candsByShard[s][qi] {
+					cands = append(cands, cand.Neighbor())
+					cm[int(cand.ID)] = cand.Point
+				}
+			}
+			coords[qi] = cm
+			at = func(i int) geom.Point {
+				if i == qIdx {
+					return queries[qi]
+				}
+				return cm[i]
+			}
+		} else {
+			for s := range candsByShard {
+				for _, cand := range candsByShard[s][qi] {
+					cands = append(cands, cand.Neighbor())
+				}
+			}
+		}
+		qRows[qi], mergeErrs[qi] = matdb.MergeCandidates(cands, at, st.meta.K, st.meta.Distinct)
+	})
+	for qi, err := range mergeErrs {
+		if err != nil {
+			return nil, fmt.Errorf("coord: merging query %d: %w", qi, err)
+		}
+	}
+
+	// Rounds 2 and 3: fetch the two-hop merged-row closure.
+	rows := make([]map[int]matdb.Row, nq)
+	for qi := range rows {
+		rows[qi] = make(map[int]matdb.Row)
+	}
+	need := make([][]int, nq)
+	for qi := range need {
+		need[qi] = neighborIDs(qRows[qi], st.ub, qIdx, rows[qi])
+	}
+	if err := c.fetchRows(ctx, st, queries, need, rows); err != nil {
+		return nil, err
+	}
+	for qi := range need {
+		var second []int
+		seen := make(map[int]bool)
+		for _, id := range need[qi] {
+			for _, nid := range neighborIDs(rows[qi][id], st.ub, qIdx, rows[qi]) {
+				if !seen[nid] {
+					seen[nid] = true
+					second = append(second, nid)
+				}
+			}
+		}
+		need[qi] = second
+	}
+	if err := c.fetchRows(ctx, st, queries, need, rows); err != nil {
+		return nil, err
+	}
+
+	// Evaluate: the same core.EvalAt the in-process scorer runs.
+	out := make([]float64, nq)
+	evalErrs := make([]error, nq)
+	c.pool.Each(nq, func(qi int) {
+		missing := -1
+		rowOf := func(i int) matdb.Row {
+			r, ok := rows[qi][i]
+			if !ok && missing < 0 {
+				missing = i
+			}
+			return r
+		}
+		series := make([]float64, st.ub-st.lb+1)
+		for j := range series {
+			series[j] = core.EvalAt(qIdx, qRows[qi], rowOf, st.lb+j)
+		}
+		if missing >= 0 {
+			evalErrs[qi] = fmt.Errorf("coord: query %d: merged row %d missing from the fetched closure", qi, missing)
+			return
+		}
+		out[qi] = core.ScoreAggregate(series, st.agg)
+	})
+	for _, err := range evalErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// eachShard runs fn for every shard concurrently and returns the first
+// error wrapped as a shardError.
+func (c *Coordinator) eachShard(ctx context.Context, fn func(s int) error) error {
+	errs := make([]error, len(c.replicas))
+	var wg sync.WaitGroup
+	for s := range c.replicas {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = fn(s)
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return &shardError{shard: s, err: err}
+		}
+	}
+	return nil
+}
+
+// neighborIDs returns the ids in row's ub-neighborhood that are real points
+// (not the query) and not already fetched.
+func neighborIDs(row matdb.Row, ub, qIdx int, have map[int]matdb.Row) []int {
+	var out []int
+	for _, nb := range row.Neighborhood(ub) {
+		if nb.Index == qIdx {
+			continue
+		}
+		if _, ok := have[nb.Index]; ok {
+			continue
+		}
+		out = append(out, nb.Index)
+	}
+	return out
+}
+
+// fetchRows fetches the merged rows of need[qi] for every query, grouped by
+// owning shard, and records them in rows[qi]. One Rows RPC per shard covers
+// the whole batch.
+func (c *Coordinator) fetchRows(ctx context.Context, st *state, queries [][]float64, need [][]int, rows []map[int]matdb.Row) error {
+	reqs := make([][]shard.RowsQuery, len(c.replicas))
+	backRefs := make([][]int, len(c.replicas)) // request entry → query index
+	for qi, ids := range need {
+		if len(ids) == 0 {
+			continue
+		}
+		byShard := make(map[int][]uint32)
+		for _, id := range ids {
+			s := c.cfg.Partitioner.Shard(uint32(id), len(c.replicas), st.meta.Total)
+			byShard[s] = append(byShard[s], uint32(id))
+		}
+		for s, sids := range byShard {
+			reqs[s] = append(reqs[s], shard.RowsQuery{Query: queries[qi], IDs: sids})
+			backRefs[s] = append(backRefs[s], qi)
+		}
+	}
+	var mu sync.Mutex
+	return c.eachShard(ctx, func(s int) error {
+		if len(reqs[s]) == 0 {
+			return nil
+		}
+		resp, err := shardCall(ctx, c, s, func(ctx context.Context, cl *client.Client) (*shard.RowsResponse, error) {
+			return cl.Rows(ctx, st.version, reqs[s])
+		})
+		if err != nil {
+			return err
+		}
+		if len(resp.Rows) != len(reqs[s]) {
+			return fmt.Errorf("shard %d returned %d row lists for %d requests", s, len(resp.Rows), len(reqs[s]))
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for e, wireRows := range resp.Rows {
+			qi := backRefs[s][e]
+			for _, wr := range wireRows {
+				rows[qi][int(wr.ID)] = wr.Row(st.meta.Distinct)
+			}
+		}
+		return nil
+	})
+}
+
+// Repair runs one repair sweep: every replica reporting unreachable,
+// unready, or a version other than the installed one gets the current
+// snapshot re-pushed. Returns the number of pushes performed.
+func (c *Coordinator) Repair(ctx context.Context) int {
+	st := c.state.Load()
+	if st == nil {
+		return 0
+	}
+	var pushes atomic.Int64
+	var wg sync.WaitGroup
+	for s := range c.replicas {
+		for _, cl := range c.replicas[s].Clients() {
+			wg.Add(1)
+			go func(s int, cl *client.Client) {
+				defer wg.Done()
+				info, err := cl.Readyz(ctx)
+				if err == nil && info.Ready && info.Version == st.version {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if _, err := cl.PushSnapshot(ctx, st.encoded[s]); err == nil {
+					pushes.Add(1)
+					c.cfg.Logger.LogAttrs(ctx, slog.LevelInfo, "repaired replica",
+						slog.Int("shard", s), slog.Uint64("version", st.version))
+				}
+			}(s, cl)
+		}
+	}
+	wg.Wait()
+	n := int(pushes.Load())
+	c.repairPushes.Add(int64(n))
+	return n
+}
+
+// Run drives the repair loop until ctx is cancelled.
+func (c *Coordinator) Run(ctx context.Context) {
+	t := time.NewTicker(c.cfg.RepairInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.Repair(ctx)
+		}
+	}
+}
+
+// coreAggregate maps the public aggregation enum onto the core one.
+func coreAggregate(a lof.Aggregation) core.Aggregate {
+	switch a {
+	case lof.AggregateMean:
+		return core.AggMean
+	case lof.AggregateMin:
+		return core.AggMin
+	default:
+		return core.AggMax
+	}
+}
+
+// discardHandler is a slog.Handler that drops everything (slog.DiscardHandler
+// arrived in Go 1.24; this build supports 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

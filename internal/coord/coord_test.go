@@ -1,0 +1,404 @@
+package coord_test
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lof"
+	"lof/internal/client"
+	"lof/internal/coord"
+	"lof/internal/faults"
+	"lof/internal/server"
+	"lof/internal/shard"
+)
+
+// trainData is the shared fixture: three separated clusters, two clear
+// outliers, and a block of exact duplicates that makes distinct mode
+// meaningful.
+func trainData() [][]float64 {
+	var data [][]float64
+	emit := func(cx, cy float64, n int, spread float64) {
+		for i := 0; i < n; i++ {
+			// Deterministic low-discrepancy jitter; no RNG needed.
+			fx := float64(i%7)/7 - 0.5
+			fy := float64(i%5)/5 - 0.5
+			data = append(data, []float64{cx + spread*fx, cy + spread*fy})
+		}
+	}
+	emit(0, 0, 40, 1.0)
+	emit(12, 12, 40, 1.5)
+	emit(-10, 8, 40, 0.8)
+	data = append(data, []float64{50, -40}, []float64{-35, 60}) // outliers
+	for i := 0; i < 6; i++ {                                    // exact duplicates
+		data = append(data, []float64{3.25, 3.25})
+	}
+	return data
+}
+
+func testQueries() [][]float64 {
+	return [][]float64{
+		{0, 0}, {0.3, -0.2}, {12, 12}, {-10, 8},
+		{50, -40}, {25, 25}, {3.25, 3.25}, {-35, 60},
+		{6, 6}, {100, 100}, {0.5, 0.5}, {11.4, 12.6},
+	}
+}
+
+func fitModel(t *testing.T, cfg lof.Config) *lof.Model {
+	t.Helper()
+	det, err := lof.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := det.Fit(trainData())
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	m, err := res.Model()
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	return m
+}
+
+// startShards launches n lofserve shard processes (in-process) and returns
+// one single-replica target list per shard. wrap, when non-nil, may
+// instrument a shard's handler — the chaos tests' hook.
+func startShards(t *testing.T, n int, wrap func(shardID int, h http.Handler) http.Handler) [][]string {
+	t.Helper()
+	targets := make([][]string, n)
+	for s := 0; s < n; s++ {
+		h := http.Handler(server.New(server.Config{}).Handler())
+		if wrap != nil {
+			h = wrap(s, h)
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		targets[s] = []string{ts.URL}
+	}
+	return targets
+}
+
+func fastClient() client.Config {
+	return client.Config{
+		MaxAttempts: 5,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+	}
+}
+
+func newCoord(t *testing.T, targets [][]string, part shard.Partitioner) *coord.Coordinator {
+	t.Helper()
+	c, err := coord.New(coord.Config{
+		Targets:     targets,
+		Client:      fastClient(),
+		Partitioner: part,
+	})
+	if err != nil {
+		t.Fatalf("coord.New: %v", err)
+	}
+	return c
+}
+
+// assertBitIdentical fails unless got and want agree bit for bit.
+func assertBitIdentical(t *testing.T, got, want []float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d scores, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: query %d: sharded %v (%#x) != single-node %v (%#x)",
+				label, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestOracle is the acceptance oracle: for every query, a sharded
+// scatter-gather score must be bit-identical to the single-node model's
+// score — across shard counts, partitioners, and both tie semantics.
+func TestOracle(t *testing.T) {
+	queries := testQueries()
+	for _, tc := range []struct {
+		name string
+		cfg  lof.Config
+	}{
+		{"plain", lof.Config{MinPtsLB: 3, MinPtsUB: 9}},
+		{"distinct", lof.Config{MinPtsLB: 3, MinPtsUB: 9, Distinct: true}},
+		{"mean-agg", lof.Config{MinPtsLB: 4, MinPtsUB: 7, Aggregation: lof.AggregateMean}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := fitModel(t, tc.cfg)
+			want, err := m.ScoreBatchContext(context.Background(), queries)
+			if err != nil {
+				t.Fatalf("single-node scores: %v", err)
+			}
+			for _, shards := range []int{2, 3, 5} {
+				for _, part := range []shard.Partitioner{shard.PartitionHash, shard.PartitionRange} {
+					c := newCoord(t, startShards(t, shards, nil), part)
+					if _, err := c.Install(context.Background(), m); err != nil {
+						t.Fatalf("shards=%d part=%v: Install: %v", shards, part, err)
+					}
+					got, mode, err := c.Score(context.Background(), queries, false)
+					if err != nil {
+						t.Fatalf("shards=%d part=%v: Score: %v", shards, part, err)
+					}
+					if mode != "" {
+						t.Fatalf("shards=%d part=%v: exact score reported mode %q", shards, part, mode)
+					}
+					assertBitIdentical(t, got, want, tc.name)
+				}
+			}
+		})
+	}
+}
+
+// TestOracleHTTP drives the whole tier over HTTP: fit through the
+// coordinator's API with the standard client, score through it, and compare
+// against a local fit of the same data — bit-identical because fitting is
+// deterministic and the evaluation path is shared.
+func TestOracleHTTP(t *testing.T) {
+	c := newCoord(t, startShards(t, 3, nil), shard.PartitionHash)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	cl, err := client.New(client.Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatalf("client.New: %v", err)
+	}
+	ctx := context.Background()
+
+	// Unfitted: model 404s, readyz 503s, score conflicts.
+	if _, err := cl.Model(ctx); err == nil {
+		t.Fatal("Model before fit succeeded")
+	}
+	if info, err := cl.Readyz(ctx); err != nil || info.Ready {
+		t.Fatalf("readyz before fit: %+v, %v", info, err)
+	}
+
+	fitCfg := server.FitConfig{MinPtsLB: 3, MinPtsUB: 8}
+	fr, err := cl.Fit(ctx, fitCfg, trainData())
+	if err != nil {
+		t.Fatalf("Fit via coordinator: %v", err)
+	}
+	if fr.Objects != len(trainData()) || fr.Dims != 2 {
+		t.Fatalf("fit result = %+v", fr)
+	}
+
+	queries := testQueries()
+	got, err := cl.Score(ctx, queries)
+	if err != nil {
+		t.Fatalf("Score via coordinator: %v", err)
+	}
+	m := fitModel(t, lof.Config{MinPtsLB: 3, MinPtsUB: 8})
+	want, err := m.ScoreBatchContext(ctx, queries)
+	if err != nil {
+		t.Fatalf("local scores: %v", err)
+	}
+	assertBitIdentical(t, got, want, "http")
+
+	if info, err := cl.Readyz(ctx); err != nil || !info.Ready || info.Role != "coordinator" || info.Shards != 3 {
+		t.Fatalf("readyz after fit: %+v, %v", info, err)
+	}
+	mi, err := cl.Model(ctx)
+	if err != nil || mi.Objects != len(trainData()) {
+		t.Fatalf("model info: %+v, %v", mi, err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, family := range []string{
+		"lof_coord_fits_total", "lof_coord_score_points_total",
+		"lof_coord_shard_rpc_duration_seconds", "lof_coord_snapshot_version",
+	} {
+		if !strings.Contains(body, family) {
+			t.Fatalf("metrics missing %s:\n%s", family, body)
+		}
+	}
+}
+
+// TestChaosFaultyShard keeps one shard behind a 15%% fault profile (a mix
+// of dropped connections and injected 503s). Every answered request must
+// still be exact: retries absorb the faults, and a wrong score — rather
+// than an error — is the one unacceptable outcome.
+func TestChaosFaultyShard(t *testing.T) {
+	inj := faults.New(faults.Config{
+		Seed:       42,
+		DropProb:   0.05,
+		ErrorProb:  0.10,
+		RetryAfter: time.Millisecond,
+	})
+	targets := startShards(t, 3, func(s int, h http.Handler) http.Handler {
+		if s == 1 {
+			return inj.Middleware(h)
+		}
+		return h
+	})
+	m := fitModel(t, lof.Config{MinPtsLB: 3, MinPtsUB: 9})
+	c := newCoord(t, targets, shard.PartitionHash)
+	if _, err := c.Install(context.Background(), m); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	queries := testQueries()
+	want, err := m.ScoreBatchContext(context.Background(), queries)
+	if err != nil {
+		t.Fatalf("single-node scores: %v", err)
+	}
+	answered := 0
+	for round := 0; round < 25; round++ {
+		got, mode, err := c.Score(context.Background(), queries, false)
+		if err != nil {
+			// A shard exhausting its retries is an acceptable, explicit
+			// outcome; a silent wrong answer is not.
+			continue
+		}
+		if mode != "" {
+			t.Fatalf("round %d: exact request served mode %q", round, mode)
+		}
+		assertBitIdentical(t, got, want, "chaos")
+		answered++
+	}
+	if answered == 0 {
+		t.Fatal("no round survived a 15% fault rate; retries are not engaging")
+	}
+	if st := inj.Stats(); st.Drops+st.Errors == 0 {
+		t.Fatal("fault injector never fired; the chaos test tested nothing")
+	}
+}
+
+// TestChaosShardDown takes a whole shard offline. Exact requests must fail
+// loudly; requests that opted into degraded mode get the subsampled
+// fallback, explicitly labeled.
+func TestChaosShardDown(t *testing.T) {
+	var down atomic.Bool
+	targets := startShards(t, 2, func(s int, h http.Handler) http.Handler {
+		if s != 1 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if down.Load() {
+				panic(http.ErrAbortHandler) // sever the connection, like a crash
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	m := fitModel(t, lof.Config{MinPtsLB: 3, MinPtsUB: 9})
+	c := newCoord(t, targets, shard.PartitionRange)
+	if _, err := c.Install(context.Background(), m); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	queries := testQueries()
+	down.Store(true)
+
+	if _, _, err := c.Score(context.Background(), queries, false); err == nil {
+		t.Fatal("exact score succeeded with a shard down")
+	}
+	scores, mode, err := c.Score(context.Background(), queries, true)
+	if err != nil {
+		t.Fatalf("degraded score with a shard down: %v", err)
+	}
+	if mode != "degraded" {
+		t.Fatalf("fallback answer labeled %q, want degraded", mode)
+	}
+	if len(scores) != len(queries) {
+		t.Fatalf("degraded scores: %d for %d queries", len(scores), len(queries))
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) || s < 0 {
+			t.Fatalf("degraded score %d = %v", i, s)
+		}
+	}
+
+	// Recovery: the shard comes back, exact serving resumes bit-identically.
+	down.Store(false)
+	want, _ := m.ScoreBatchContext(context.Background(), queries)
+	got, mode, err := c.Score(context.Background(), queries, false)
+	if err != nil || mode != "" {
+		t.Fatalf("exact score after recovery: mode=%q err=%v", mode, err)
+	}
+	assertBitIdentical(t, got, want, "recovered")
+}
+
+// TestRepairAndFailover exercises replica management: a replica that missed
+// the initial distribution is caught up by Repair, after which it can carry
+// the shard alone when the primary dies.
+func TestRepairAndFailover(t *testing.T) {
+	var primaryDead, secondaryUp atomic.Bool
+	gated := func(flag *atomic.Bool, want bool, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if flag.Load() != want {
+				panic(http.ErrAbortHandler)
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+	primary := httptest.NewServer(gated(&primaryDead, false, server.New(server.Config{}).Handler()))
+	defer primary.Close()
+	secondary := httptest.NewServer(gated(&secondaryUp, true, server.New(server.Config{}).Handler()))
+	defer secondary.Close()
+	other := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer other.Close()
+
+	targets := [][]string{{primary.URL, secondary.URL}, {other.URL}}
+	c := newCoord(t, targets, shard.PartitionHash)
+	m := fitModel(t, lof.Config{MinPtsLB: 3, MinPtsUB: 9})
+	queries := testQueries()
+	want, _ := m.ScoreBatchContext(context.Background(), queries)
+
+	// Distribution succeeds despite the dead secondary: one live replica per
+	// shard is enough.
+	if _, err := c.Install(context.Background(), m); err != nil {
+		t.Fatalf("Install with one replica down: %v", err)
+	}
+	got, _, err := c.Score(context.Background(), queries, false)
+	if err != nil {
+		t.Fatalf("Score via primary: %v", err)
+	}
+	assertBitIdentical(t, got, want, "primary")
+
+	// The secondary comes up empty; a repair sweep pushes the snapshot.
+	secondaryUp.Store(true)
+	if n := c.Repair(context.Background()); n == 0 {
+		t.Fatal("Repair pushed nothing to the empty secondary")
+	}
+	if n := c.Repair(context.Background()); n != 0 {
+		t.Fatalf("second Repair sweep re-pushed %d snapshots to converged replicas", n)
+	}
+
+	// The primary dies; failover serves exact scores from the secondary.
+	primaryDead.Store(true)
+	got, mode, err := c.Score(context.Background(), queries, false)
+	if err != nil || mode != "" {
+		t.Fatalf("Score after failover: mode=%q err=%v", mode, err)
+	}
+	assertBitIdentical(t, got, want, "failover")
+}
+
+// TestScoreValidation covers the coordinator's own request validation.
+func TestScoreValidation(t *testing.T) {
+	c := newCoord(t, startShards(t, 2, nil), shard.PartitionHash)
+	ctx := context.Background()
+	if _, _, err := c.Score(ctx, [][]float64{{0, 0}}, false); err == nil {
+		t.Fatal("Score before any fit succeeded")
+	}
+	m := fitModel(t, lof.Config{MinPtsLB: 2, MinPtsUB: 4})
+	if _, err := c.Install(ctx, m); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	if _, _, err := c.Score(ctx, [][]float64{{1, 2, 3}}, false); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, _, err := c.Score(ctx, [][]float64{{math.NaN(), 0}}, false); err == nil {
+		t.Fatal("NaN query accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package coord
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lof/internal/obs"
+	"lof/internal/server"
+)
+
+// The coordinator's HTTP surface speaks the same JSON protocol as the
+// single-node lofserve API — same request bodies, same response shapes,
+// same error envelope — so internal/client (and anything else written
+// against lofserve) points at a lofcoord unchanged. Coordinator-specific
+// detail (shard count, snapshot version) rides in additive fields.
+
+const defaultMaxBodyBytes = 1 << 30
+
+type fitRequest struct {
+	Config server.FitConfig `json:"config"`
+	Data   [][]float64      `json:"data"`
+}
+
+type fitResponse struct {
+	ModelInfo
+	FitMS float64 `json:"fitMillis"`
+}
+
+type scoreRequest struct {
+	Queries [][]float64 `json:"queries"`
+	// Workers is accepted for lofserve protocol compatibility; the
+	// coordinator sizes its own merge pool and ignores it.
+	Workers int `json:"workers,omitempty"`
+}
+
+type scoreResponse struct {
+	Scores []jsonFloat `json:"scores"`
+	Mode   string      `json:"mode,omitempty"`
+}
+
+// jsonFloat mirrors the server's non-finite-tolerant float rendering:
+// +Inf/-Inf/NaN marshal as strings instead of failing the response.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 1) {
+		return []byte(`"+Inf"`), nil
+	}
+	if math.IsInf(v, -1) {
+		return []byte(`"-Inf"`), nil
+	}
+	if math.IsNaN(v) {
+		return []byte(`"NaN"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/fit", c.handleFit)
+	mux.HandleFunc("POST /v1/score", c.handleScore)
+	mux.HandleFunc("GET /v1/model", c.handleModel)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /readyz", c.handleReadyz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+func (c *Coordinator) decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, defaultMaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req fitRequest
+	if !c.decode(w, r, &req) {
+		return
+	}
+	if len(req.Data) == 0 {
+		writeError(w, http.StatusBadRequest, "fit requires a non-empty data array")
+		return
+	}
+	start := time.Now()
+	info, err := c.Fit(r.Context(), req.Config, req.Data)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, fitResponse{
+		ModelInfo: info,
+		FitMS:     float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (c *Coordinator) handleScore(w http.ResponseWriter, r *http.Request) {
+	mode := r.URL.Query().Get("mode")
+	if mode != "" && mode != "full" && mode != "degraded" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown mode %q; valid modes are %q and %q", mode, "full", "degraded"))
+		return
+	}
+	var req scoreRequest
+	if !c.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "score requires a non-empty queries array")
+		return
+	}
+	scores, servedMode, err := c.Score(r.Context(), req.Queries, mode == "degraded")
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		switch {
+		case errors.Is(err, errNoModel):
+			writeError(w, http.StatusConflict, "no fitted model; POST /v1/fit first or start with -model")
+		case isShardError(err):
+			writeError(w, http.StatusBadGateway, err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	resp := scoreResponse{Scores: make([]jsonFloat, len(scores)), Mode: servedMode}
+	for i, v := range scores {
+		resp.Scores[i] = jsonFloat(v)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func isShardError(err error) bool {
+	var se *shardError
+	return errors.As(err, &se)
+}
+
+func (c *Coordinator) handleModel(w http.ResponseWriter, r *http.Request) {
+	info, ok := c.Info()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no fitted model")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleHealthz is pure liveness, like the shard servers': the process is
+// up and serving HTTP. Routing decisions belong to /readyz.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	_, ok := c.Info()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"status": "ok", "model": ok})
+}
+
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	info, ok := c.Info()
+	ri := server.ReadyInfo{
+		Ready:   ok,
+		Version: info.Version,
+		Role:    "coordinator",
+		Model:   ok,
+		Shards:  len(c.replicas),
+		Points:  info.Objects,
+	}
+	status := http.StatusOK
+	if !ri.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ri)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	p.Family("lof_coord_fits_total", "counter", "Models fitted and distributed by this coordinator.")
+	p.IntSample("lof_coord_fits_total", c.fits.Value())
+	p.Family("lof_coord_score_points_total", "counter", "Query points answered exactly via scatter-gather.")
+	p.IntSample("lof_coord_score_points_total", c.scoreQueries.Value())
+	p.Family("lof_coord_degraded_total", "counter", "Query points answered from the local degraded model.")
+	p.IntSample("lof_coord_degraded_total", c.degradedHits.Value())
+	p.Family("lof_coord_repair_pushes_total", "counter", "Snapshot re-pushes performed by the repair loop.")
+	p.IntSample("lof_coord_repair_pushes_total", c.repairPushes.Value())
+	p.Family("lof_coord_snapshot_version", "gauge", "Installed snapshot version.")
+	p.IntSample("lof_coord_snapshot_version", int64(c.Version()))
+	p.Family("lof_coord_shard_failures_total", "counter", "Failed shard RPC rounds by shard.")
+	for s := range c.shardFails {
+		p.IntSample("lof_coord_shard_failures_total", c.shardFails[s].Value(), "shard", strconv.Itoa(s))
+	}
+	p.Family("lof_coord_shard_rpc_duration_seconds", "histogram", "Shard RPC round latency by shard (hedging included).")
+	for s, h := range c.shardLatency {
+		p.Histo("lof_coord_shard_rpc_duration_seconds", h.Snapshot(), "shard", strconv.Itoa(s))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -208,6 +208,17 @@ func (s *Scorer) scoreAt(q geom.Point, qIdx int, qRow matdb.Row, rows map[int]ma
 		}
 		return s.db.MergedRow(s.pts, i, q, qIdx, s.metric.Distance(s.pts.At(i), q))
 	}
+	return EvalAt(qIdx, qRow, rowOf, minPts)
+}
+
+// EvalAt computes the LOF of a query point at one MinPts value from merged
+// rows alone: qRow is the row the query occupies in data ∪ {q} and rowOf
+// resolves the merged row of any point within two hops of it (it is never
+// asked for qIdx). This is the single evaluation both the in-process scorer
+// and the scatter-gather coordinator run — the coordinator's rowOf reads
+// rows fetched from shards, the scorer's reads its local cache — so a
+// distributed score is bit-identical to a single-node one by construction.
+func EvalAt(qIdx int, qRow matdb.Row, rowOf func(int) matdb.Row, minPts int) float64 {
 	kdistAt := func(i int) float64 {
 		if i == qIdx {
 			return qRow.KDistance(minPts)

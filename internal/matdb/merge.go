@@ -1,0 +1,139 @@
+package matdb
+
+import (
+	"fmt"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+)
+
+// This file is the exported merge surface of the materialization database:
+// the primitives a distributed serving tier needs to reassemble exact
+// global LOF state from per-shard pieces. A shard holds only its partition
+// of the fitted points, but each point's stored row is the *global* row (the
+// neighborhoods computed during the single global materialization), so:
+//
+//   - MergeCandidates turns the union of per-shard kNN candidate lists into
+//     the exact row a query point would occupy in the full database, and
+//   - SpliceRow turns a stored global row into the merged row of
+//     data ∪ {q}, the same computation MergedRow performs in-process.
+//
+// Both functions are the single implementation the in-process scoring path
+// also runs through, so a scatter-gather evaluation is bit-identical to a
+// single-node one by construction, not by parallel maintenance.
+
+// NewRow assembles a Row from its serialized parts: a neighbor list sorted
+// by (distance, index) and, for distinct-semantics databases, the positions
+// of the first distinct coordinates. It is the inverse of Row.Neighbors plus
+// Row.Ranks, for rows that crossed a process boundary.
+func NewRow(neighbors []index.Neighbor, ranks []int32, distinct bool) Row {
+	r := Row{Neighbors: neighbors, distinct: distinct}
+	if distinct {
+		r.ranks = ranks
+	}
+	return r
+}
+
+// Ranks returns the distinct-coordinate positions of a distinct-mode row,
+// nil otherwise. The returned slice aliases the row's storage.
+func (r Row) Ranks() []int32 { return r.ranks }
+
+// IsDistinct reports whether the row carries k-distinct-distance semantics.
+func (r Row) IsDistinct() bool { return r.distinct }
+
+// SpliceRow computes the row point's merged row in data ∪ {q}: the stored
+// (global) row with the query point spliced in at distance d, under the
+// virtual index qIdx. Callers pass the total dataset size as qIdx — every
+// stored index is smaller, which fixes q's position among distance ties.
+// at resolves stored neighbor indices to coordinates and is consulted only
+// for distinct-mode rows, where the distinct ranks must be recomputed with
+// q in place; the resolver never sees qIdx. k is the materialized K of the
+// database the row came from.
+//
+// DB.MergedRow is this function applied to an in-process row; a shard
+// applies it to its partition's rows with a resolver backed by its halo of
+// neighbor coordinates.
+func SpliceRow(stored Row, q geom.Point, qIdx int, d float64, at func(int) geom.Point, k int) Row {
+	nn := stored.Neighbors
+	// q sorts after every stored tie at distance d: stored indexes are all
+	// smaller than the virtual index.
+	pos := 0
+	for pos < len(nn) && nn[pos].Dist <= d {
+		pos++
+	}
+	merged := make([]index.Neighbor, 0, len(nn)+1)
+	merged = append(merged, nn[:pos]...)
+	merged = append(merged, index.Neighbor{Index: qIdx, Dist: d})
+	merged = append(merged, nn[pos:]...)
+	r := Row{Neighbors: merged, distinct: stored.distinct}
+	if r.distinct {
+		resolve := func(idx int) geom.Point {
+			if idx == qIdx {
+				return q
+			}
+			return at(idx)
+		}
+		r.ranks = distinctRanksAt(resolve, merged, k)
+	}
+	return r
+}
+
+// QueryCandidates returns q's k-nearest neighborhood (with ties, under the
+// given duplicate semantics) among the indexed points — the per-partition
+// candidate set a shard contributes to a scatter-gather query. Indices in
+// the result are positions within pts; the caller maps them to global ids.
+// It is exactly the neighbor list QueryRow computes, detached from a DB so
+// a shard can serve candidates without rematerializing one.
+func QueryCandidates(cur index.Cursor, pts *geom.Points, q geom.Point, k int, distinct bool) []index.Neighbor {
+	if !distinct {
+		return index.KNNWithTiesInto(cur, nil, q, k, index.ExcludeNone)
+	}
+	nn, _ := distinctNeighborhoodInto(cur, pts, nil, q, index.ExcludeNone, k)
+	return nn
+}
+
+// MergeCandidates merges per-shard candidate lists into the exact row q
+// would occupy in the full database — the distributed counterpart of
+// QueryRow. cands is the concatenation of every shard's QueryCandidates
+// result with indices already mapped to global ids (shards own disjoint
+// id sets, so no deduplication is needed); each shard's list must cover its
+// partition's contribution to the global neighborhood, which QueryCandidates
+// guarantees: a partition's k-(distinct-)distance is never smaller than the
+// global one. at resolves global ids to coordinates and is consulted only
+// in distinct mode. cands is sorted in place.
+func MergeCandidates(cands []index.Neighbor, at func(int) geom.Point, k int, distinct bool) (Row, error) {
+	if k <= 0 {
+		return Row{}, fmt.Errorf("matdb: merge K must be positive, got %d", k)
+	}
+	index.SortNeighbors(cands)
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Index == cands[i-1].Index {
+			return Row{}, fmt.Errorf("matdb: duplicate candidate id %d; shard partitions must be disjoint", cands[i].Index)
+		}
+	}
+	if !distinct {
+		if len(cands) <= k {
+			return Row{Neighbors: cands}, nil
+		}
+		kdist := cands[k-1].Dist
+		hi := k
+		for hi < len(cands) && cands[hi].Dist <= kdist {
+			hi++
+		}
+		return Row{Neighbors: cands[:hi]}, nil
+	}
+	ranks := distinctRanksAt(at, cands, k)
+	if len(ranks) < k {
+		// Fewer than k distinct positions exist in the whole dataset; the
+		// full candidate union is the best possible neighborhood, matching
+		// distinctNeighborhoodInto's degenerate case.
+		return Row{Neighbors: cands, ranks: ranks, distinct: true}, nil
+	}
+	kdist := cands[ranks[k-1]].Dist
+	hi := int(ranks[k-1]) + 1
+	for hi < len(cands) && cands[hi].Dist <= kdist {
+		hi++
+	}
+	cut := cands[:hi]
+	return Row{Neighbors: cut, ranks: distinctRanksAt(at, cut, k), distinct: true}, nil
+}

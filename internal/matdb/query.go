@@ -2,7 +2,6 @@ package matdb
 
 import (
 	"math"
-	"sort"
 
 	"lof/internal/geom"
 	"lof/internal/index"
@@ -107,25 +106,9 @@ func (db *DB) QueryRowCursor(pts *geom.Points, cur index.Cursor, q geom.Point) R
 // virtual index qIdx (callers pass pts.Len(), matching the row number q
 // would receive in a refit). The result is valid for MinPts values up to K:
 // inserting a point can only shrink k-distances, so every neighbor relevant
-// at MinPts ≤ K is already present in the stored row.
+// at MinPts ≤ K is already present in the stored row. The splice itself is
+// SpliceRow, the exported entry point sharded serving applies to rows that
+// crossed a process boundary.
 func (db *DB) MergedRow(pts *geom.Points, i int, q geom.Point, qIdx int, d float64) Row {
-	nn := db.Neighbors[i]
-	// q sorts after every stored tie at distance d: stored indexes are all
-	// smaller than the virtual index.
-	pos := sort.Search(len(nn), func(j int) bool { return nn[j].Dist > d })
-	merged := make([]index.Neighbor, 0, len(nn)+1)
-	merged = append(merged, nn[:pos]...)
-	merged = append(merged, index.Neighbor{Index: qIdx, Dist: d})
-	merged = append(merged, nn[pos:]...)
-	r := Row{Neighbors: merged, distinct: db.distinctAt != nil}
-	if r.distinct {
-		at := func(idx int) geom.Point {
-			if idx == qIdx {
-				return q
-			}
-			return pts.At(idx)
-		}
-		r.ranks = distinctRanksAt(at, merged, db.K)
-	}
-	return r
+	return SpliceRow(db.Row(i), q, qIdx, d, pts.At, db.K)
 }

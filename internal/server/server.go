@@ -8,13 +8,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/fit         {"config": {...}, "data": [[...], ...]}
-//	POST /v1/score       {"queries": [[...], ...]}
-//	GET  /v1/model       current model summary
-//	GET  /healthz        liveness + model presence
-//	GET  /metrics        Prometheus text format: per-route latency
-//	                     histograms, request counts by status code, gauges
-//	GET  /metrics.json   the pre-Prometheus JSON counter view (expvar vars)
+//	POST /v1/fit              {"config": {...}, "data": [[...], ...]}
+//	POST /v1/score            {"queries": [[...], ...]}
+//	GET  /v1/model            current model summary
+//	POST /v1/shard/snapshot   install a pushed shard partition (octet-stream)
+//	POST /v1/shard/candidates per-partition kNN candidates (shard role)
+//	POST /v1/shard/rows       merged rows of owned points (shard role)
+//	GET  /healthz             liveness only: 200 whenever the process serves
+//	GET  /readyz              readiness: 503 until state is installed, or
+//	                          while a snapshot swap is in flight
+//	GET  /metrics             Prometheus text format: per-route latency
+//	                          histograms, request counts by status code, gauges
+//	GET  /metrics.json        the pre-Prometheus JSON counter view (expvar vars)
 //
 // Every request gets an ID (honoring an inbound X-Request-ID), echoed in
 // the X-Request-ID response header, included in error response bodies, and
@@ -41,6 +46,7 @@ import (
 
 	"lof"
 	"lof/internal/obs"
+	"lof/internal/shard"
 )
 
 // Config parameterizes a Server. The zero value serves with the defaults
@@ -66,6 +72,8 @@ type Config struct {
 	// clients that opt into approximate answers are served instead of shed.
 	// Default max(4, MaxInFlight/8).
 	DegradedMaxInFlight int
+	// MaxSnapshotBytes bounds pushed shard snapshots. Default 1 GiB.
+	MaxSnapshotBytes int64
 	// Logger receives one structured line per request (route, status,
 	// duration, batch size, request ID). Nil discards logs.
 	Logger *slog.Logger
@@ -93,6 +101,9 @@ func (c Config) withDefaults() Config {
 			c.DegradedMaxInFlight = 4
 		}
 	}
+	if c.MaxSnapshotBytes <= 0 {
+		c.MaxSnapshotBytes = 1 << 30
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -110,6 +121,8 @@ type metrics struct {
 	inFlight    expvar.Int // gauge: requests currently being served
 	shed        expvar.Int // requests rejected by the concurrency limiter
 	degraded    expvar.Int // score responses served from the degraded model
+	snapshots   expvar.Int // shard snapshots installed
+	stale       expvar.Int // shard data requests refused for version mismatch
 }
 
 // routeStats is the Prometheus-facing per-route view: a latency histogram
@@ -150,7 +163,10 @@ func (rs *routeStats) codes() ([]int, map[int]int64) {
 }
 
 // metricRoutes fixes the exposition order of per-route series.
-var metricRoutes = []string{"/v1/fit", "/v1/score", "/v1/model"}
+var metricRoutes = []string{
+	"/v1/fit", "/v1/score", "/v1/model",
+	"/v1/shard/snapshot", "/v1/shard/candidates", "/v1/shard/rows",
+}
 
 // Server is the HTTP serving state: the current model plus limits and
 // counters. Create with New, expose with Handler.
@@ -158,6 +174,16 @@ type Server struct {
 	cfg      Config
 	model    atomic.Pointer[lof.Model]
 	degraded atomic.Pointer[lof.Model]
+	// part is the installed shard partition when this process serves as one
+	// shard of a scatter-gather tier; version mirrors the snapshot version
+	// of the current state (part pushes set it, fits advance it) and is what
+	// /readyz reports and shard data requests pin against. swapping gates
+	// /readyz to 503 while a snapshot install is in flight; swapMu
+	// serializes installs.
+	part     atomic.Pointer[shard.Part]
+	version  atomic.Uint64
+	swapping atomic.Bool
+	swapMu   sync.Mutex
 	limiter  chan struct{}
 	// degradedLimiter is a small reserve pool: when the main limiter is
 	// full, score requests that opted into ?mode=degraded may still be
@@ -203,6 +229,9 @@ func New(cfg Config) *Server {
 // the full model rather than erroring.
 func (s *Server) SetModel(m *lof.Model) {
 	s.model.Store(m)
+	// Installing a model is a state change the readiness report must
+	// reflect; each install gets a fresh (monotonic, process-local) version.
+	s.version.Add(1)
 	if m == nil || s.cfg.DegradedSample < 0 {
 		s.degraded.Store(nil)
 		return
@@ -224,7 +253,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/fit", s.wrap("/v1/fit", s.handleFit))
 	mux.Handle("POST /v1/score", s.wrap("/v1/score", s.handleScore))
 	mux.Handle("GET /v1/model", s.wrap("/v1/model", s.handleModel))
+	mux.Handle("POST /v1/shard/snapshot", s.wrap("/v1/shard/snapshot", s.handleShardSnapshot))
+	mux.Handle("POST /v1/shard/candidates", s.wrap("/v1/shard/candidates", s.handleShardCandidates))
+	mux.Handle("POST /v1/shard/rows", s.wrap("/v1/shard/rows", s.handleShardRows))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	return mux
@@ -653,6 +686,9 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infoFor(m))
 }
 
+// handleHealthz is pure liveness: 200 whenever the process is serving,
+// regardless of model state. Routing decisions belong to /readyz; the model
+// field is reported for operator convenience only.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status": "ok",
@@ -687,6 +723,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.IntSample("lof_http_shed_total", s.m.shed.Value())
 	p.Family("lof_http_degraded_total", "counter", "Score responses served from the degraded (subsampled) model.")
 	p.IntSample("lof_http_degraded_total", s.m.degraded.Value())
+	p.Family("lof_shard_snapshots_total", "counter", "Shard partition snapshots installed.")
+	p.IntSample("lof_shard_snapshots_total", s.m.snapshots.Value())
+	p.Family("lof_shard_stale_total", "counter", "Shard data requests refused for a stale snapshot version.")
+	p.IntSample("lof_shard_stale_total", s.m.stale.Value())
+	p.Family("lof_snapshot_version", "gauge", "Version of the installed serving state.")
+	p.IntSample("lof_snapshot_version", int64(s.version.Load()))
 	p.Family("lof_fit_points_total", "counter", "Data points fitted across all fit requests.")
 	p.IntSample("lof_fit_points_total", s.m.fitPoints.Value())
 	p.Family("lof_score_points_total", "counter", "Query points scored across all score requests.")

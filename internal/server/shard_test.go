@@ -1,0 +1,201 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lof"
+	"lof/internal/shard"
+)
+
+// splitParts fits a small model and splits it for the shard-role tests.
+func splitParts(t *testing.T, n int, version uint64) []*shard.Part {
+	t.Helper()
+	det, err := lof.New(lof.Config{MinPtsLB: 2, MinPtsUB: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	data := [][]float64{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5},
+		{10, 10}, {11, 10}, {10, 11}, {11, 11}, {30, -20},
+	}
+	res, err := det.Fit(data)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	m, err := res.Model()
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	pts, db := m.Fitted()
+	parts, err := shard.Split(pts, db, shard.Meta{}, n, shard.PartitionRange, version)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	return parts
+}
+
+func postBytes(t *testing.T, c *http.Client, url, contentType string, body []byte, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := c.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func getReady(t *testing.T, c *http.Client, base string) (int, ReadyInfo) {
+	t.Helper()
+	resp, err := c.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	defer resp.Body.Close()
+	var info ReadyInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("decoding readyz: %v", err)
+	}
+	return resp.StatusCode, info
+}
+
+func TestShardRole(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	// Not ready before any state: 503, but liveness stays 200.
+	if code, info := getReady(t, c, ts.URL); code != http.StatusServiceUnavailable || info.Ready {
+		t.Fatalf("readyz before install: code=%d info=%+v", code, info)
+	}
+	if resp, err := c.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz must stay 200 while unready: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Data requests before a snapshot: 409, not retriable.
+	body, _ := json.Marshal(shard.CandidatesRequest{Version: 1, Queries: [][]float64{{0, 0}}})
+	if resp := postBytes(t, c, ts.URL+"/v1/shard/candidates", "application/json", body, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("candidates before snapshot: status %d", resp.StatusCode)
+	}
+
+	// Push shard 0 of 2 at version 7.
+	parts := splitParts(t, 2, 7)
+	enc, err := shard.EncodePart(parts[0])
+	if err != nil {
+		t.Fatalf("EncodePart: %v", err)
+	}
+	var ack shard.SnapshotInfo
+	if resp := postBytes(t, c, ts.URL+"/v1/shard/snapshot", "application/octet-stream", enc, &ack); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot push: status %d", resp.StatusCode)
+	}
+	if ack.Version != 7 || ack.Shard != 0 || ack.Shards != 2 || ack.Points != parts[0].Len() {
+		t.Fatalf("snapshot ack = %+v", ack)
+	}
+	if code, info := getReady(t, c, ts.URL); code != http.StatusOK || !info.Ready ||
+		info.Version != 7 || info.Role != "shard" || info.Shards != 2 {
+		t.Fatalf("readyz after install: code=%d info=%+v", code, info)
+	}
+
+	// Candidates pinned to the installed version answer.
+	body, _ = json.Marshal(shard.CandidatesRequest{Version: 7, Queries: [][]float64{{0.4, 0.4}, {10.5, 10.5}}})
+	var cresp shard.CandidatesResponse
+	if resp := postBytes(t, c, ts.URL+"/v1/shard/candidates", "application/json", body, &cresp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("candidates: status %d", resp.StatusCode)
+	}
+	if cresp.Version != 7 || len(cresp.Candidates) != 2 || len(cresp.Candidates[0]) == 0 {
+		t.Fatalf("candidates = %+v", cresp)
+	}
+
+	// A stale version pin is refused with a retriable 503 + Retry-After.
+	body, _ = json.Marshal(shard.CandidatesRequest{Version: 6, Queries: [][]float64{{0, 0}}})
+	resp, err := c.Post(ts.URL+"/v1/shard/candidates", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("stale candidates: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("stale pin: status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// Merged rows for an owned id; an unowned id is a 400.
+	ownedID := uint32(0) // range partitioning: low ids live on shard 0
+	body, _ = json.Marshal(shard.RowsRequest{Version: 7, Queries: []shard.RowsQuery{{Query: []float64{0.4, 0.4}, IDs: []uint32{ownedID}}}})
+	var rresp shard.RowsResponse
+	if resp := postBytes(t, c, ts.URL+"/v1/shard/rows", "application/json", body, &rresp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("rows: status %d", resp.StatusCode)
+	}
+	if len(rresp.Rows) != 1 || len(rresp.Rows[0]) != 1 || rresp.Rows[0][0].ID != ownedID {
+		t.Fatalf("rows = %+v", rresp)
+	}
+	unowned := uint32(9)
+	body, _ = json.Marshal(shard.RowsRequest{Version: 7, Queries: []shard.RowsQuery{{Query: []float64{0, 0}, IDs: []uint32{unowned}}}})
+	if resp := postBytes(t, c, ts.URL+"/v1/shard/rows", "application/json", body, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unowned rows request: status %d", resp.StatusCode)
+	}
+
+	// A corrupt push is rejected descriptively and leaves the old part live.
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)/2] ^= 1
+	if resp := postBytes(t, c, ts.URL+"/v1/shard/snapshot", "application/octet-stream", bad, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt snapshot: status %d", resp.StatusCode)
+	}
+	if code, info := getReady(t, c, ts.URL); code != http.StatusOK || info.Version != 7 {
+		t.Fatalf("readyz after rejected push: code=%d info=%+v", code, info)
+	}
+
+	// A re-push at a newer version swaps atomically.
+	parts2 := splitParts(t, 2, 8)
+	enc2, _ := shard.EncodePart(parts2[0])
+	if resp := postBytes(t, c, ts.URL+"/v1/shard/snapshot", "application/octet-stream", enc2, &ack); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second snapshot push: status %d", resp.StatusCode)
+	}
+	if code, info := getReady(t, c, ts.URL); code != http.StatusOK || info.Version != 8 {
+		t.Fatalf("readyz after second push: code=%d info=%+v", code, info)
+	}
+}
+
+func TestShardSnapshotTooLarge(t *testing.T) {
+	srv := New(Config{MaxSnapshotBytes: 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	parts := splitParts(t, 2, 1)
+	enc, _ := shard.EncodePart(parts[0])
+	resp := postBytes(t, ts.Client(), ts.URL+"/v1/shard/snapshot", "application/octet-stream", enc, nil)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized snapshot: status %d", resp.StatusCode)
+	}
+}
+
+func TestReadyzSingleRole(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	det, err := lof.New(lof.Config{MinPtsLB: 2, MinPtsUB: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := det.Fit([][]float64{{0}, {1}, {2}, {3}, {10}})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	m, err := res.Model()
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	srv.SetModel(m)
+	code, info := getReady(t, ts.Client(), ts.URL)
+	if code != http.StatusOK || !info.Ready || info.Role != "single" || !info.Model || info.Version == 0 {
+		t.Fatalf("single-role readyz: code=%d info=%+v", code, info)
+	}
+}

@@ -1,0 +1,373 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"lof/internal/geom"
+	"lof/internal/index"
+)
+
+// Part snapshots are the replication unit of the sharded tier: the
+// coordinator splits a fitted model, encodes each part, and pushes the
+// bytes to its shard, which installs them atomically. The format mirrors
+// the model snapshot's framing — magic, format version, little-endian
+// fields, CRC32-Castagnoli trailer over every preceding byte — so a
+// corrupt or truncated push is a descriptive error on the shard, never a
+// silently wrong partition:
+//
+//	magic "LOFP" | fmtver u32
+//	snapshot version u64 | shard u32 | shards u32 | partitioner u8
+//	total u64 | k u32 | distinct u8 | dim u32
+//	metric name: len u16 + bytes
+//	weights: count u32 + count × f64
+//	owned count u64
+//	ids: count × u32 (strictly increasing global ids)
+//	coords: count × dim × f64 (row-major, local order)
+//	rows: count × (len u32 + len × (id u32, dist f64)
+//	                [+ rank count u32 + count × i32, distinct only])
+//	halo (distinct only): count u64 + count × (id u32, dim × f64)
+//	crc32c u32
+const (
+	partMagic   = "LOFP"
+	partVersion = 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+type crcWriter struct {
+	w   io.Writer
+	sum hash.Hash32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum.Write(p[:n])
+	return n, err
+}
+
+// crcReader hashes the bytes the decoder actually consumes; it sits above
+// any buffering so read-ahead never contaminates the digest.
+type crcReader struct {
+	r   io.Reader
+	sum hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.sum.Write(p[:n])
+	return n, err
+}
+
+// WritePart serializes a part in the replication format.
+func WritePart(w io.Writer, p *Part) error {
+	cw := &crcWriter{w: w, sum: crc32.New(crcTable)}
+	buf := bufio.NewWriter(cw)
+	wr := func(v interface{}) error { return binary.Write(buf, binary.LittleEndian, v) }
+	if _, err := buf.WriteString(partMagic); err != nil {
+		return err
+	}
+	for _, v := range []interface{}{
+		uint32(partVersion), p.version,
+		uint32(p.shardID), uint32(p.numShards), uint8(p.parter),
+		uint64(p.meta.Total), uint32(p.meta.K), boolByte(p.meta.Distinct), uint32(p.pts.Dim()),
+	} {
+		if err := wr(v); err != nil {
+			return err
+		}
+	}
+	if err := wr(uint16(len(p.meta.Metric))); err != nil {
+		return err
+	}
+	if _, err := buf.WriteString(p.meta.Metric); err != nil {
+		return err
+	}
+	if err := wr(uint32(len(p.meta.Weights))); err != nil {
+		return err
+	}
+	for _, wt := range p.meta.Weights {
+		if err := wr(wt); err != nil {
+			return err
+		}
+	}
+	if err := wr(uint64(len(p.ids))); err != nil {
+		return err
+	}
+	if err := wr(p.ids); err != nil {
+		return err
+	}
+	if err := wr(p.pts.Coords()); err != nil {
+		return err
+	}
+	for i, nn := range p.rows {
+		if err := wr(uint32(len(nn))); err != nil {
+			return err
+		}
+		for _, nb := range nn {
+			if err := wr(uint32(nb.Index)); err != nil {
+				return err
+			}
+			if err := wr(nb.Dist); err != nil {
+				return err
+			}
+		}
+		if p.meta.Distinct {
+			rk := p.rks[i]
+			if err := wr(uint32(len(rk))); err != nil {
+				return err
+			}
+			if err := wr(rk); err != nil {
+				return err
+			}
+		}
+	}
+	if p.meta.Distinct {
+		// Deterministic halo order: ascending id, so identical parts encode
+		// to identical bytes.
+		hids := make([]uint32, 0, len(p.halo))
+		for id := range p.halo {
+			hids = append(hids, id)
+		}
+		sortU32(hids)
+		if err := wr(uint64(len(hids))); err != nil {
+			return err
+		}
+		for _, id := range hids {
+			if err := wr(id); err != nil {
+				return err
+			}
+			if err := wr([]float64(p.halo[id])); err != nil {
+				return err
+			}
+		}
+	}
+	if err := buf.Flush(); err != nil {
+		return err
+	}
+	// The trailer is the checksum of everything before it, so it bypasses
+	// the hashing writer.
+	return binary.Write(w, binary.LittleEndian, cw.sum.Sum32())
+}
+
+// EncodePart serializes a part to a byte slice — the payload a coordinator
+// pushes over the replication endpoint.
+func EncodePart(p *Part) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WritePart(&buf, p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadPart restores a part from its replication format, verifying the
+// checksum and every structural invariant the serving path assumes, and
+// rebuilds the local kNN index. Corruption, truncation and
+// newer-than-supported formats all load as descriptive errors.
+func ReadPart(r io.Reader) (*Part, error) {
+	br := bufio.NewReader(r)
+	cr := &crcReader{r: br, sum: crc32.New(crcTable)}
+	head := make([]byte, len(partMagic)+4)
+	if _, err := io.ReadFull(cr, head); err != nil {
+		return nil, fmt.Errorf("shard: reading part header: %w", err)
+	}
+	if string(head[:len(partMagic)]) != partMagic {
+		return nil, fmt.Errorf("shard: bad part magic %q", head[:len(partMagic)])
+	}
+	if ver := binary.LittleEndian.Uint32(head[len(partMagic):]); ver != partVersion {
+		if ver > partVersion {
+			return nil, fmt.Errorf("shard: part format version %d is newer than the supported %d; upgrade this binary", ver, partVersion)
+		}
+		return nil, fmt.Errorf("shard: unsupported part format version %d", ver)
+	}
+	rd := func(v interface{}) error { return binary.Read(cr, binary.LittleEndian, v) }
+	p := &Part{}
+	var snapVersion uint64
+	var shardID, shards uint32
+	var parter, distinct uint8
+	var total uint64
+	var k, dim uint32
+	for _, v := range []interface{}{&snapVersion, &shardID, &shards, &parter, &total, &k, &distinct, &dim} {
+		if err := rd(v); err != nil {
+			return nil, fmt.Errorf("shard: reading part header: %w", err)
+		}
+	}
+	if distinct > 1 {
+		return nil, fmt.Errorf("shard: invalid distinct flag %d", distinct)
+	}
+	if dim == 0 {
+		return nil, fmt.Errorf("shard: part has zero-dimensional points")
+	}
+	const maxPoints = 1 << 40
+	if total > maxPoints {
+		return nil, fmt.Errorf("shard: implausible total point count %d", total)
+	}
+	p.version = snapVersion
+	p.shardID = int(shardID)
+	p.numShards = int(shards)
+	p.parter = Partitioner(parter)
+	p.meta = Meta{Total: int(total), K: int(k), Distinct: distinct == 1}
+	var nameLen uint16
+	if err := rd(&nameLen); err != nil {
+		return nil, fmt.Errorf("shard: reading metric name: %w", err)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(cr, nameBuf); err != nil {
+		return nil, fmt.Errorf("shard: reading metric name: %w", err)
+	}
+	p.meta.Metric = string(nameBuf)
+	var wcount uint32
+	if err := rd(&wcount); err != nil {
+		return nil, fmt.Errorf("shard: reading weights: %w", err)
+	}
+	if wcount > 0 {
+		// Grow with parsed data, not header claims, so a corrupt count cannot
+		// trigger a huge allocation before the checksum is checked.
+		p.meta.Weights = make([]float64, 0, minU64(uint64(wcount), 1024))
+		for i := uint32(0); i < wcount; i++ {
+			var wt float64
+			if err := rd(&wt); err != nil {
+				return nil, fmt.Errorf("shard: reading weight %d: %w", i, err)
+			}
+			p.meta.Weights = append(p.meta.Weights, wt)
+		}
+	}
+	var owned uint64
+	if err := rd(&owned); err != nil {
+		return nil, fmt.Errorf("shard: reading owned count: %w", err)
+	}
+	if owned > total {
+		return nil, fmt.Errorf("shard: part claims %d owned points of %d total", owned, total)
+	}
+	p.ids = make([]uint32, 0, minU64(owned, 1<<16))
+	for i := uint64(0); i < owned; i++ {
+		var id uint32
+		if err := rd(&id); err != nil {
+			return nil, fmt.Errorf("shard: reading owned id %d: %w", i, err)
+		}
+		p.ids = append(p.ids, id)
+	}
+	p.pts = geom.NewPoints(int(dim), int(minU64(owned, 1<<16)))
+	row := make([]float64, dim)
+	for i := uint64(0); i < owned; i++ {
+		if err := rd(row); err != nil {
+			return nil, fmt.Errorf("shard: reading point %d: %w", i, err)
+		}
+		if err := p.pts.Append(geom.Point(row)); err != nil {
+			return nil, fmt.Errorf("shard: point %d: %w", i, err)
+		}
+	}
+	p.rows = make([][]index.Neighbor, 0, minU64(owned, 1<<16))
+	if p.meta.Distinct {
+		p.rks = make([][]int32, 0, minU64(owned, 1<<16))
+	}
+	for i := uint64(0); i < owned; i++ {
+		var cnt uint32
+		if err := rd(&cnt); err != nil {
+			return nil, fmt.Errorf("shard: reading row %d: %w", i, err)
+		}
+		nn := make([]index.Neighbor, 0, minU64(uint64(cnt), 1<<12))
+		for j := uint32(0); j < cnt; j++ {
+			var id uint32
+			var d float64
+			if err := rd(&id); err != nil {
+				return nil, fmt.Errorf("shard: reading row %d: %w", i, err)
+			}
+			if err := rd(&d); err != nil {
+				return nil, fmt.Errorf("shard: reading row %d: %w", i, err)
+			}
+			if uint64(id) >= total {
+				return nil, fmt.Errorf("shard: row %d references neighbor id %d outside total %d", i, id, total)
+			}
+			if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+				return nil, fmt.Errorf("shard: row %d has invalid neighbor distance %v", i, d)
+			}
+			nn = append(nn, index.Neighbor{Index: int(id), Dist: d})
+		}
+		p.rows = append(p.rows, nn)
+		if p.meta.Distinct {
+			var rc uint32
+			if err := rd(&rc); err != nil {
+				return nil, fmt.Errorf("shard: reading row %d ranks: %w", i, err)
+			}
+			rk := make([]int32, 0, minU64(uint64(rc), 1<<12))
+			for j := uint32(0); j < rc; j++ {
+				var v int32
+				if err := rd(&v); err != nil {
+					return nil, fmt.Errorf("shard: reading row %d ranks: %w", i, err)
+				}
+				if v < 0 || int(v) >= len(nn) {
+					return nil, fmt.Errorf("shard: row %d rank %d outside its %d neighbors", i, v, len(nn))
+				}
+				rk = append(rk, v)
+			}
+			p.rks = append(p.rks, rk)
+		}
+	}
+	if p.meta.Distinct {
+		var hcount uint64
+		if err := rd(&hcount); err != nil {
+			return nil, fmt.Errorf("shard: reading halo count: %w", err)
+		}
+		if hcount > total {
+			return nil, fmt.Errorf("shard: part claims %d halo points of %d total", hcount, total)
+		}
+		p.halo = make(map[uint32]geom.Point, minU64(hcount, 1<<16))
+		for i := uint64(0); i < hcount; i++ {
+			var id uint32
+			if err := rd(&id); err != nil {
+				return nil, fmt.Errorf("shard: reading halo id %d: %w", i, err)
+			}
+			pt := make(geom.Point, dim)
+			if err := rd([]float64(pt)); err != nil {
+				return nil, fmt.Errorf("shard: reading halo point %d: %w", i, err)
+			}
+			if !pt.Valid() {
+				return nil, fmt.Errorf("shard: halo point %d has non-finite coordinates", id)
+			}
+			p.halo[id] = pt
+		}
+	}
+	var want uint32
+	// The trailer bypasses the hashing reader: it is the checksum of
+	// everything before it.
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("shard: reading part checksum: %w", err)
+	}
+	if got := cr.sum.Sum32(); got != want {
+		return nil, fmt.Errorf("shard: part checksum mismatch (stored %08x, computed %08x): corrupt or truncated snapshot", want, got)
+	}
+	if err := p.finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodePart restores a part from an encoded byte slice.
+func DecodePart(b []byte) (*Part, error) {
+	return ReadPart(bytes.NewReader(b))
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func sortU32(s []uint32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

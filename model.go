@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -253,6 +255,11 @@ func (m *Model) coreAggregate() core.Aggregate {
 	}
 }
 
+// Fitted exposes the fitted state the sharding subsystem partitions into
+// per-shard sub-snapshots: the point collection and the materialization
+// database. Both are immutable; callers must not modify them.
+func (m *Model) Fitted() (*geom.Points, *matdb.DB) { return m.pts, m.db }
+
 // --- Model snapshots ----------------------------------------------------
 //
 // A snapshot is the minimum state a serving replica needs to score
@@ -266,16 +273,26 @@ func (m *Model) coreAggregate() core.Aggregate {
 //	weights: count u32 + count × f64
 //	dim u32 | n u64 | n×dim × f64 coordinates (row-major)
 //	materialization database (matdb's own self-describing format)
+//	crc32c u32 (version ≥ 2): Castagnoli checksum of every preceding byte,
+//	magic and version included
+//
+// The checksum makes corruption — a truncated download, a flipped bit in a
+// replicated snapshot — a descriptive load error instead of a decode panic
+// or, worse, a silently wrong model on a serving replica. Version-1
+// snapshots (no trailer) remain loadable; versions above the current one
+// are rejected up front so an old replica fails a new snapshot cleanly.
 
 const (
-	modelMagic   = "LOFS"
-	modelVersion = 1
+	modelMagic         = "LOFS"
+	modelVersion       = 2
+	modelVersionLegacy = 1 // pre-checksum format, still readable
 )
 
 // WriteTo serializes the model. It implements io.WriterTo.
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	bw := &countingWriter{w: w}
-	buf := bufio.NewWriter(bw)
+	cw := &crcWriter{w: bw, sum: crc32.New(crcTable)}
+	buf := bufio.NewWriter(cw)
 	wr := func(v interface{}) error { return binary.Write(buf, binary.LittleEndian, v) }
 	if _, err := buf.WriteString(modelMagic); err != nil {
 		return bw.n, err
@@ -316,31 +333,50 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	if err := buf.Flush(); err != nil {
 		return bw.n, err
 	}
-	if _, err := m.db.WriteTo(bw); err != nil {
+	if _, err := m.db.WriteTo(cw); err != nil {
+		return bw.n, err
+	}
+	// The trailer is the checksum of everything before it, so it bypasses
+	// the hashing writer.
+	if err := binary.Write(bw, binary.LittleEndian, cw.sum.Sum32()); err != nil {
 		return bw.n, err
 	}
 	return bw.n, nil
 }
 
 // LoadModel restores a model written by WriteTo (or Result.WriteModel),
-// rebuilding the k-NN index from the stored coordinates.
+// rebuilding the k-NN index from the stored coordinates. Snapshots in the
+// current format carry a CRC32 trailer which is verified before the model
+// is returned: a corrupt or truncated snapshot loads as a descriptive
+// error, never as a silently wrong model. Snapshots from a newer format
+// version than this build understands are rejected up front.
 func LoadModel(r io.Reader) (*Model, error) {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(modelMagic))
+	head := make([]byte, len(modelMagic)+4)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("lof: reading model magic: %w", err)
+		return nil, fmt.Errorf("lof: reading model header: %w", err)
 	}
-	if string(head) != modelMagic {
-		return nil, fmt.Errorf("lof: bad model magic %q", head)
+	if string(head[:len(modelMagic)]) != modelMagic {
+		return nil, fmt.Errorf("lof: bad model magic %q", head[:len(modelMagic)])
 	}
-	rd := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
-	var ver uint32
-	if err := rd(&ver); err != nil {
-		return nil, fmt.Errorf("lof: reading model version: %w", err)
+	ver := binary.LittleEndian.Uint32(head[len(modelMagic):])
+	if ver > modelVersion {
+		return nil, fmt.Errorf("lof: snapshot format version %d is newer than the supported %d; upgrade this binary", ver, modelVersion)
 	}
-	if ver != modelVersion {
+	if ver != modelVersion && ver != modelVersionLegacy {
 		return nil, fmt.Errorf("lof: unsupported model version %d", ver)
 	}
+	// For checksummed snapshots every payload byte consumed from here on is
+	// hashed, seeded with the header already read; the trailer itself is
+	// read around the hash at the end.
+	var payload io.Reader = br
+	var cr *crcReader
+	if ver >= 2 {
+		cr = &crcReader{r: br, sum: crc32.New(crcTable)}
+		cr.sum.Write(head)
+		payload = cr
+	}
+	rd := func(v interface{}) error { return binary.Read(payload, binary.LittleEndian, v) }
 	var lb, ub uint32
 	var agg, distinct, kind uint8
 	for _, v := range []interface{}{&lb, &ub, &agg, &distinct, &kind} {
@@ -356,7 +392,7 @@ func LoadModel(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("lof: reading metric name: %w", err)
 	}
 	nameBuf := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, nameBuf); err != nil {
+	if _, err := io.ReadFull(payload, nameBuf); err != nil {
 		return nil, fmt.Errorf("lof: reading metric name: %w", err)
 	}
 	var wcount uint32
@@ -403,9 +439,18 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lof: model coordinates: %w", err)
 	}
-	db, err := matdb.Read(br)
+	db, err := matdb.Read(payload)
 	if err != nil {
 		return nil, fmt.Errorf("lof: model database: %w", err)
+	}
+	if cr != nil {
+		var want uint32
+		if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+			return nil, fmt.Errorf("lof: reading snapshot checksum: %w", err)
+		}
+		if got := cr.sum.Sum32(); got != want {
+			return nil, fmt.Errorf("lof: snapshot checksum mismatch (stored %08x, computed %08x): corrupt or truncated snapshot", want, got)
+		}
 	}
 	if db.Len() != pts.Len() {
 		return nil, fmt.Errorf("lof: model has %d points but %d materialized rows", pts.Len(), db.Len())
@@ -467,5 +512,36 @@ type countingWriter struct {
 func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
+	return n, err
+}
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms serving replicas run on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWriter hashes every byte it forwards, so a snapshot's checksum is
+// computed in the same single pass that writes it.
+type crcWriter struct {
+	w   io.Writer
+	sum hash.Hash32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum.Write(p[:n])
+	return n, err
+}
+
+// crcReader hashes every byte the decoder consumes. It sits above the
+// buffered reader, so read-ahead inside the buffer never contaminates the
+// digest — only bytes actually delivered to the decoder count.
+type crcReader struct {
+	r   io.Reader
+	sum hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.sum.Write(p[:n])
 	return n, err
 }

@@ -8,6 +8,7 @@
 #   ./scripts/check.sh                # full gate
 #   ./scripts/check.sh metrics-lint   # only the /metrics exposition lint
 #   ./scripts/check.sh coverage       # coverage run with floor enforcement
+#   ./scripts/check.sh shard-smoke    # only the sharded-tier smoke test
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -113,6 +114,10 @@ coverage)
 	coverage
 	exit 0
 	;;
+shard-smoke)
+	./scripts/shard_smoke.sh
+	exit 0
+	;;
 esac
 
 echo "== gofmt"
@@ -133,5 +138,8 @@ echo "== go test -race"
 go test -race ./...
 
 metrics_lint
+
+echo "== shard smoke"
+./scripts/shard_smoke.sh
 
 echo "OK"
