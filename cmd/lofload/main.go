@@ -13,6 +13,7 @@
 //	lofload -self -error-prob 0.1 -latency-prob 0.2 -latency 5ms
 //	lofload -self -mode degraded -rps 200               # degraded opt-in
 //	lofload -self -json report.json                     # machine-readable report
+//	lofload -self -stream -rps 500 -score-frac 0.5      # streaming ingest mix
 //
 // With -self, an in-process lofserve instance is started on a loopback
 // port and torn down afterwards, so a single command is a full soak test.
@@ -22,6 +23,16 @@
 // -json, a machine-readable report — latency quantiles, error and degraded
 // counts, achieved rate — is written to the given path ("-" for stdout) in
 // the same spirit as the BENCH_*.json baselines.
+//
+// With -stream, the workload switches from fit+score to streaming
+// ingestion: each request is either a batched insert push (which the
+// server's sliding window bounds, expiring the oldest points) or an
+// out-of-sample score against the published epoch, mixed by -score-frac.
+// The report then adds sustained inserts/sec and the insert-push latency
+// quantiles — the streaming bench numbers BENCH_5 baselines. Pushes ride
+// the same retry loop as everything else; a push retried after a lost
+// response re-inserts its batch, which inflates ingest volume slightly
+// under injected faults but never corrupts the window.
 // The exit code is 0 only when every logical request eventually succeeded.
 package main
 
@@ -60,6 +71,10 @@ type options struct {
 	seed      int64
 	jsonPath  string
 
+	stream       bool
+	streamWindow int
+	streamMinPts int
+
 	dropProb    float64
 	errorProb   float64
 	latencyProb float64
@@ -80,6 +95,9 @@ func main() {
 	flag.StringVar(&o.mode, "mode", "", `score mode: "" (exact), "full" or "degraded"`)
 	flag.Int64Var(&o.seed, "seed", 1, "seed for workload and fault schedules")
 	flag.StringVar(&o.jsonPath, "json", "", `write a machine-readable JSON report to this path ("-" for stdout)`)
+	flag.BoolVar(&o.stream, "stream", false, "drive streaming ingest traffic (insert pushes + epoch scores) instead of fit+score")
+	flag.IntVar(&o.streamWindow, "stream-window", 2000, "sliding-window point bound for -stream")
+	flag.IntVar(&o.streamMinPts, "stream-minpts", 10, "MinPts for -stream pipelines")
 	flag.Float64Var(&o.dropProb, "drop-prob", 0, "client-side injected dropped-response probability")
 	flag.Float64Var(&o.errorProb, "error-prob", 0, "client-side injected transient-error probability")
 	flag.Float64Var(&o.latencyProb, "latency-prob", 0, "client-side injected latency-spike probability")
@@ -105,10 +123,13 @@ type report struct {
 	ok       atomic.Int64
 	failed   atomic.Int64
 	degraded atomic.Int64 // responses served from the degraded model
+	inserted atomic.Int64 // points ingested in -stream mode
+	expired  atomic.Int64 // points the sliding window expired in -stream mode
 
-	fitHist   *obs.Histogram
-	scoreHist *obs.Histogram
-	elapsed   time.Duration
+	fitHist    *obs.Histogram
+	scoreHist  *obs.Histogram
+	insertHist *obs.Histogram
+	elapsed    time.Duration
 
 	clientStats client.Stats
 	faultStats  faults.Stats
@@ -210,20 +231,40 @@ func run(ctx context.Context, o options, out io.Writer) (*report, error) {
 	}
 
 	rep := &report{
-		targets:   targets,
-		fitHist:   obs.NewHistogram(loadBuckets),
-		scoreHist: obs.NewHistogram(loadBuckets),
+		targets:    targets,
+		fitHist:    obs.NewHistogram(loadBuckets),
+		scoreHist:  obs.NewHistogram(loadBuckets),
+		insertHist: obs.NewHistogram(loadBuckets),
 	}
 	fitCfg := server.FitConfig{MinPtsLB: 3, MinPtsUB: 10}
 	seedRng := rand.New(rand.NewSource(o.seed))
-	fitData := clusters(seedRng, o.points, o.dim)
 
-	// Every target needs a model before the mix starts (targets are
-	// independent servers or coordinators); the initial fits also prove
-	// each one is reachable.
-	for i, c := range clients {
-		if _, err := c.Fit(ctx, fitCfg, fitData); err != nil {
-			return nil, fmt.Errorf("initial fit on %s: %w", targets[i], err)
+	if o.stream {
+		if o.streamWindow <= o.streamMinPts {
+			return nil, fmt.Errorf("-stream-window (%d) must exceed -stream-minpts (%d)", o.streamWindow, o.streamMinPts)
+		}
+		// Each target gets its own pipeline, primed with one batch so the
+		// first scores see a populated window; priming also proves each
+		// target is reachable.
+		scfg := server.StreamConfig{Dim: o.dim, MinPts: o.streamMinPts, MaxPoints: o.streamWindow}
+		prime := clusters(seedRng, o.points, o.dim)
+		for i, c := range clients {
+			if _, err := c.StreamInit(ctx, scfg); err != nil {
+				return nil, fmt.Errorf("stream init on %s: %w", targets[i], err)
+			}
+			if _, err := c.StreamPush(ctx, prime, nil, 0); err != nil {
+				return nil, fmt.Errorf("priming push on %s: %w", targets[i], err)
+			}
+		}
+	} else {
+		fitData := clusters(seedRng, o.points, o.dim)
+		// Every target needs a model before the mix starts (targets are
+		// independent servers or coordinators); the initial fits also prove
+		// each one is reachable.
+		for i, c := range clients {
+			if _, err := c.Fit(ctx, fitCfg, fitData); err != nil {
+				return nil, fmt.Errorf("initial fit on %s: %w", targets[i], err)
+			}
 		}
 	}
 
@@ -308,8 +349,11 @@ type jsonReport struct {
 	Skipped  int64 `json:"skipped"`
 	Degraded int64 `json:"degraded"`
 
-	ScoreLatency *jsonLatency `json:"score_latency,omitempty"`
-	FitLatency   *jsonLatency `json:"fit_latency,omitempty"`
+	ScoreLatency  *jsonLatency `json:"score_latency,omitempty"`
+	FitLatency    *jsonLatency `json:"fit_latency,omitempty"`
+	InsertLatency *jsonLatency `json:"insert_latency,omitempty"`
+
+	Stream *jsonStream `json:"stream,omitempty"`
 
 	Client struct {
 		Attempts      int64 `json:"attempts"`
@@ -328,6 +372,16 @@ type jsonLatency struct {
 	P50ms float64 `json:"p50_ms"`
 	P95ms float64 `json:"p95_ms"`
 	P99ms float64 `json:"p99_ms"`
+}
+
+// jsonStream is the -stream addendum: sustained ingest throughput and the
+// window churn that produced it.
+type jsonStream struct {
+	WindowPoints  int     `json:"window_points"`
+	MinPts        int     `json:"min_pts"`
+	Inserted      int64   `json:"inserted"`
+	Expired       int64   `json:"expired"`
+	InsertsPerSec float64 `json:"inserts_per_sec"`
 }
 
 func latencyOf(snap obs.HistogramSnapshot) *jsonLatency {
@@ -358,6 +412,16 @@ func writeJSONReport(o options, rep *report, stdout io.Writer) error {
 	jr.AchievedRPS = float64(jr.OK+jr.Failed) / rep.elapsed.Seconds()
 	jr.ScoreLatency = latencyOf(rep.scoreHist.Snapshot())
 	jr.FitLatency = latencyOf(rep.fitHist.Snapshot())
+	jr.InsertLatency = latencyOf(rep.insertHist.Snapshot())
+	if o.stream {
+		jr.Stream = &jsonStream{
+			WindowPoints:  o.streamWindow,
+			MinPts:        o.streamMinPts,
+			Inserted:      rep.inserted.Load(),
+			Expired:       rep.expired.Load(),
+			InsertsPerSec: float64(rep.inserted.Load()) / rep.elapsed.Seconds(),
+		}
+	}
 	jr.Client.Attempts = rep.clientStats.Attempts
 	jr.Client.Retries = rep.clientStats.Retries
 	jr.Client.BudgetDenials = rep.clientStats.BudgetDenials
@@ -383,14 +447,24 @@ func doOne(ctx context.Context, c *client.Client, o options, rng *rand.Rand, fit
 	score := rng.Float64() < o.scoreFrac
 	start := time.Now()
 	var err error
-	if score {
+	switch {
+	case o.stream && score:
+		_, err = c.StreamScore(ctx, clusters(rng, o.batch, o.dim))
+	case o.stream:
+		var res *client.StreamPushResult
+		res, err = c.StreamPush(ctx, clusters(rng, o.batch, o.dim), nil, 0)
+		if err == nil {
+			rep.inserted.Add(int64(len(res.Inserted)))
+			rep.expired.Add(int64(len(res.Expired)))
+		}
+	case score:
 		queries := clusters(rng, o.batch, o.dim)
 		var res *client.ScoreResult
 		res, err = c.ScoreMode(ctx, queries, o.mode)
 		if err == nil && res.Mode == "degraded" {
 			rep.degraded.Add(1)
 		}
-	} else {
+	default:
 		_, err = c.Fit(ctx, fitCfg, clusters(rng, o.points, o.dim))
 	}
 	elapsed := time.Since(start)
@@ -403,9 +477,12 @@ func doOne(ctx context.Context, c *client.Client, o options, rng *rand.Rand, fit
 		return
 	}
 	rep.ok.Add(1)
-	if score {
+	switch {
+	case score:
 		rep.scoreHist.Observe(elapsed)
-	} else {
+	case o.stream:
+		rep.insertHist.Observe(elapsed)
+	default:
 		rep.fitHist.Observe(elapsed)
 	}
 }
@@ -417,10 +494,15 @@ func printReport(w io.Writer, o options, rep *report) {
 	fmt.Fprintf(w, "  requests: sent=%d ok=%d failed=%d skipped=%d degraded=%d (%.1f req/s achieved)\n",
 		sent, ok, failed, rep.skipped.Load(), rep.degraded.Load(),
 		float64(ok+failed)/rep.elapsed.Seconds())
+	if o.stream {
+		fmt.Fprintf(w, "  stream: inserted=%d expired=%d window=%d (%.0f inserts/s sustained)\n",
+			rep.inserted.Load(), rep.expired.Load(), o.streamWindow,
+			float64(rep.inserted.Load())/rep.elapsed.Seconds())
+	}
 	for _, h := range []struct {
 		name string
 		snap obs.HistogramSnapshot
-	}{{"score", rep.scoreHist.Snapshot()}, {"fit", rep.fitHist.Snapshot()}} {
+	}{{"score", rep.scoreHist.Snapshot()}, {"fit", rep.fitHist.Snapshot()}, {"insert", rep.insertHist.Snapshot()}} {
 		if h.snap.Count() == 0 {
 			continue
 		}

@@ -97,6 +97,69 @@ func TestDegradedSoak(t *testing.T) {
 	}
 }
 
+// TestStreamSoak drives the -stream mixed insert/expire/score workload
+// against a self-hosted server: the window must churn (inserts and
+// expiries both observed), the report must carry the stream section and
+// insert quantiles, and the JSON report must include the stream block.
+func TestStreamSoak(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	o := options{
+		self:         true,
+		duration:     1200 * time.Millisecond,
+		rps:          40,
+		workers:      4,
+		batch:        8,
+		dim:          2,
+		points:       80,
+		scoreFrac:    0.5,
+		seed:         5,
+		jsonPath:     path,
+		stream:       true,
+		streamWindow: 100,
+		streamMinPts: 5,
+	}
+	rep, err := run(context.Background(), o, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if rep.failed.Load() != 0 || rep.ok.Load() == 0 {
+		t.Fatalf("stream soak: ok=%d failed=%d\n%s", rep.ok.Load(), rep.failed.Load(), out.String())
+	}
+	if rep.inserted.Load() == 0 || rep.expired.Load() == 0 {
+		t.Fatalf("window did not churn: inserted=%d expired=%d\n%s",
+			rep.inserted.Load(), rep.expired.Load(), out.String())
+	}
+	if !strings.Contains(out.String(), "stream:") || !strings.Contains(out.String(), "insert latency:") {
+		t.Errorf("report missing stream sections:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr jsonReport
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, raw)
+	}
+	if jr.Stream == nil || jr.Stream.Inserted != rep.inserted.Load() || jr.Stream.InsertsPerSec <= 0 {
+		t.Fatalf("JSON stream block = %+v", jr.Stream)
+	}
+	if jr.InsertLatency == nil || jr.InsertLatency.Count == 0 {
+		t.Fatalf("JSON insert latency = %+v", jr.InsertLatency)
+	}
+}
+
+// TestStreamValidation: -stream option validation fails fast.
+func TestStreamValidation(t *testing.T) {
+	o := options{
+		self: true, duration: time.Second, rps: 10, workers: 1, batch: 1,
+		dim: 2, points: 10, stream: true, streamWindow: 5, streamMinPts: 5,
+	}
+	if _, err := run(context.Background(), o, &bytes.Buffer{}); err == nil {
+		t.Fatal("want error when -stream-window does not exceed -stream-minpts")
+	}
+}
+
 // TestRunValidation: option validation fails fast with a useful error.
 func TestRunValidation(t *testing.T) {
 	if _, err := run(context.Background(), options{}, &bytes.Buffer{}); err == nil {

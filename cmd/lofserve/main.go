@@ -6,6 +6,8 @@
 //	lofserve -addr :8080 -model model.bin          # preload a snapshot
 //	lofserve -max-inflight 128 -timeout 10s
 //	lofserve -pprof-addr 127.0.0.1:6060 -log-level debug
+//	lofserve -stream-dim 2 -stream-minpts 10 -stream-max-points 10000 \
+//	    -stream-freeze-every 30s -stream-snapshot window.bin
 //
 // Endpoints:
 //
@@ -15,6 +17,12 @@
 //	POST /v1/shard/snapshot   install a shard partition pushed by lofcoord
 //	POST /v1/shard/candidates per-partition kNN candidates (shard role)
 //	POST /v1/shard/rows       merged rows of owned points (shard role)
+//	POST /v1/stream/init      create (or replace) the streaming pipeline
+//	POST /v1/stream           apply one ingestion batch (inserts/deletes/expiry)
+//	POST /v1/stream/score     score queries against the published stream epoch
+//	GET  /v1/stream/lofs      stream window IDs and maintained LOF values
+//	GET  /v1/stream/stats     stream pipeline counters and epoch shape
+//	POST /v1/stream/freeze    refit the stream window into the serving model
 //	GET  /healthz             liveness only: 200 whenever the process serves
 //	GET  /readyz              readiness: model/partition presence and version,
 //	                          503 while empty or mid-swap
@@ -51,6 +59,7 @@ import (
 
 	"lof"
 	"lof/internal/server"
+	"lof/internal/stream"
 )
 
 func main() {
@@ -64,6 +73,14 @@ func main() {
 		grace       = flag.Duration("grace", 15*time.Second, "graceful shutdown drain budget")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (separate listener; empty disables)")
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+
+		streamDim       = flag.Int("stream-dim", 0, "start a streaming pipeline for points of this dimensionality (0 disables; /v1/stream/init can still create one)")
+		streamMinPts    = flag.Int("stream-minpts", 10, "MinPts for the streaming pipeline")
+		streamMetric    = flag.String("stream-metric", "", "metric for the streaming pipeline (default euclidean)")
+		streamMaxPoints = flag.Int("stream-max-points", 0, "sliding-window point bound for the streaming pipeline (0 = unbounded)")
+		streamMaxAge    = flag.Duration("stream-max-age", 0, "sliding-window age bound for the streaming pipeline (0 = unbounded)")
+		freezeEvery     = flag.Duration("stream-freeze-every", 0, "periodically freeze the stream window into the serving model (0 disables)")
+		snapshotPath    = flag.String("stream-snapshot", "", "also save each frozen model to this snapshot file (requires -stream-freeze-every)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -74,6 +91,9 @@ func main() {
 		maxSnap:   *maxSnap,
 		grace:     *grace,
 		pprofAddr: *pprofAddr, logLevel: *logLevel,
+		streamDim: *streamDim, streamMinPts: *streamMinPts, streamMetric: *streamMetric,
+		streamMaxPoints: *streamMaxPoints, streamMaxAge: *streamMaxAge,
+		freezeEvery: *freezeEvery, snapshotPath: *snapshotPath,
 	}
 	if err := run(ctx, o, os.Stderr, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "lofserve: %v\n", err)
@@ -93,6 +113,14 @@ type options struct {
 	grace       time.Duration
 	pprofAddr   string
 	logLevel    string
+
+	streamDim       int
+	streamMinPts    int
+	streamMetric    string
+	streamMaxPoints int
+	streamMaxAge    time.Duration
+	freezeEvery     time.Duration
+	snapshotPath    string
 }
 
 // parseLevel maps the -log-level flag to a slog level.
@@ -158,6 +186,35 @@ func run(ctx context.Context, o options, logw io.Writer, ready chan<- [2]string)
 			slog.Int("dims", m.Dim()))
 	}
 
+	var freezeDone chan struct{}
+	if o.streamDim > 0 {
+		pl, err := stream.New(stream.Config{
+			Dim:       o.streamDim,
+			MinPts:    o.streamMinPts,
+			Metric:    o.streamMetric,
+			MaxPoints: o.streamMaxPoints,
+			MaxAge:    o.streamMaxAge,
+		})
+		if err != nil {
+			return fmt.Errorf("stream pipeline: %w", err)
+		}
+		srv.SetStream(pl)
+		logger.LogAttrs(ctx, slog.LevelInfo, "stream pipeline started",
+			slog.Int("dim", o.streamDim),
+			slog.Int("minPts", o.streamMinPts),
+			slog.Int("maxPoints", o.streamMaxPoints),
+			slog.Duration("maxAge", o.streamMaxAge))
+		if o.freezeEvery > 0 {
+			freezeDone = make(chan struct{})
+			go func() {
+				defer close(freezeDone)
+				freezeLoop(ctx, srv, o, logger)
+			}()
+		}
+	} else if o.freezeEvery > 0 || o.snapshotPath != "" {
+		return fmt.Errorf("-stream-freeze-every and -stream-snapshot require -stream-dim")
+	}
+
 	var pprofLn net.Listener
 	var pprofSrv *http.Server
 	pprofAddr := ""
@@ -216,5 +273,60 @@ func run(ctx context.Context, o options, logw io.Writer, ready chan<- [2]string)
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if freezeDone != nil {
+		<-freezeDone
+	}
 	return nil
+}
+
+// freezeLoop periodically refits the stream window into the serving model
+// and, when configured, saves it as a standard snapshot file. The save
+// goes through a temp file and rename, so a concurrent loader never sees
+// a torn snapshot.
+func freezeLoop(ctx context.Context, srv *server.Server, o options, logger *slog.Logger) {
+	t := time.NewTicker(o.freezeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		m, seq, err := srv.FreezeStreamInstall()
+		if err != nil {
+			// A window too small to refit is routine during warm-up.
+			logger.LogAttrs(ctx, slog.LevelDebug, "stream freeze skipped",
+				slog.String("reason", err.Error()))
+			continue
+		}
+		attrs := []slog.Attr{slog.Uint64("epoch", seq), slog.Int("objects", m.Len())}
+		if o.snapshotPath != "" {
+			if err := saveSnapshot(o.snapshotPath, m); err != nil {
+				logger.LogAttrs(ctx, slog.LevelError, "stream snapshot save failed",
+					slog.String("error", err.Error()))
+				continue
+			}
+			attrs = append(attrs, slog.String("snapshot", o.snapshotPath))
+		}
+		logger.LogAttrs(ctx, slog.LevelInfo, "stream window frozen", attrs...)
+	}
+}
+
+// saveSnapshot writes m to path atomically via a same-directory temp file.
+func saveSnapshot(path string, m *lof.Model) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := m.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

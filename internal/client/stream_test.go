@@ -1,0 +1,118 @@
+package client
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"lof"
+	"lof/internal/server"
+)
+
+// TestClientStreamRoundTrip drives the streaming API through the retrying
+// client: init, pushes, scores pinned to an epoch, window LOFs matching a
+// batch fit, stats, and freeze into the batch model.
+func TestClientStreamRoundTrip(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c, err := New(Config{BaseURL: ts.URL, HTTPClient: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Stream calls before init surface the server's 409 as a permanent
+	// (non-retried) API error.
+	if _, err := c.StreamStats(ctx); err == nil {
+		t.Fatal("stats before init succeeded")
+	}
+	st, err := c.StreamInit(ctx, server.StreamConfig{Dim: 2, MinPts: 4, MaxPoints: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 0 || st.Live != 0 || st.MinPts != 4 || st.Dim != 2 {
+		t.Fatalf("init stats=%+v", st)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	window := make(map[uint64][]float64)
+	var lastID uint64
+	for batch := 0; batch < 4; batch++ {
+		inserts := make([][]float64, 15)
+		for i := range inserts {
+			inserts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		res, err := c.StreamPush(ctx, inserts, nil, 0)
+		if err != nil {
+			t.Fatalf("push %d: %v", batch, err)
+		}
+		for i, id := range res.Inserted {
+			window[id] = inserts[i]
+			lastID = id
+		}
+		for _, id := range res.Expired {
+			delete(window, id)
+		}
+		if res.Live != len(window) {
+			t.Fatalf("push %d: live=%d tracked=%d", batch, res.Live, len(window))
+		}
+	}
+
+	// Delete one point by ID; deleting it again must fail permanently.
+	if _, err := c.StreamPush(ctx, nil, []uint64{lastID}, 0); err != nil {
+		t.Fatal(err)
+	}
+	delete(window, lastID)
+	if _, err := c.StreamPush(ctx, nil, []uint64{lastID}, 0); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+
+	lofs, err := c.StreamWindowLOFs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, len(lofs.IDs))
+	for i, id := range lofs.IDs {
+		rows[i] = window[id]
+	}
+	want, err := lof.Scores(rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(lofs.LOFs[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("id %d: stream %v batch %v", lofs.IDs[i], lofs.LOFs[i], want[i])
+		}
+	}
+
+	sc, err := c.StreamScore(ctx, [][]float64{{0, 0}, {6, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Scores) != 2 || sc.Epoch != lofs.Epoch {
+		t.Fatalf("score=%+v, want 2 scores at epoch %d", sc, lofs.Epoch)
+	}
+
+	fr, err := c.StreamFreeze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Objects != len(window) || fr.Epoch != lofs.Epoch {
+		t.Fatalf("freeze=%+v, want objects=%d epoch=%d", fr, len(window), lofs.Epoch)
+	}
+	// The frozen model now serves the batch Score API.
+	if _, err := c.Score(ctx, [][]float64{{0, 0}}); err != nil {
+		t.Fatalf("batch score after freeze: %v", err)
+	}
+
+	st, err = c.StreamStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Live != len(window) || st.Inserts != 60 || st.Deletes != 1 {
+		t.Fatalf("stats=%+v, want live=%d inserts=60 deletes=1", st, len(window))
+	}
+}

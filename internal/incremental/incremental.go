@@ -7,6 +7,16 @@
 // k-distances, and the points whose LOF depends on those densities. All
 // values stay exactly equal to a from-scratch batch computation, which the
 // tests verify after every update.
+//
+// Neighborhood and reverse-neighbor queries run through a dynamic spatial
+// index (internal/index/dynamic: immutable k-d tree base plus overlay and
+// tombstones), so the cost of one update tracks the size of the affected
+// neighborhood rather than the dataset. Reverse k-nearest-neighbor sets
+// are found exactly with one range query: every point q with
+// d(q,p) ≤ kdist(q) lies within maxKdist of p, where maxKdist is a
+// maintained upper bound on all live k-distances, so Range(p, maxKdist)
+// plus a per-candidate k-distance check yields the reverse set without a
+// linear scan.
 package incremental
 
 import (
@@ -16,13 +26,29 @@ import (
 	"lof/internal/core"
 	"lof/internal/geom"
 	"lof/internal/index"
+	"lof/internal/index/dynamic"
 )
 
-// Detector is a dynamic (insert/delete) LOF maintenance structure.
+// boundRecomputeEvery is how many updates may pass before the k-distance
+// upper bound is recomputed exactly. Deletions only ever leave the bound
+// stale-high (a correct but looser reverse-query radius), so a periodic
+// exact pass keeps query cost tight at O(Size/boundRecomputeEvery)
+// amortized per update.
+const boundRecomputeEvery = 64
+
+// Detector is a dynamic (insert/delete) LOF maintenance structure. It is
+// not safe for concurrent mutation; read-only scoring against a quiescent
+// detector is safe from many goroutines via ScoreAtCursor (the epoch layer
+// in internal/stream builds exactly that discipline on top).
 type Detector struct {
 	minPts int
 	metric geom.Metric
-	pts    *geom.Points
+
+	// ix owns the point storage and tombstones; slot indices are stable
+	// across all mutations and compact only via Compact.
+	ix *dynamic.Index
+	// cur is the writer-owned query cursor over ix.
+	cur index.Cursor
 
 	// nn[i] is point i's MinPts-distance neighborhood (with ties), sorted
 	// by (distance, index). Empty until at least minPts+1 points exist.
@@ -31,19 +57,23 @@ type Detector struct {
 	lrd   []float64
 	lof   []float64
 
-	// deleted marks tombstoned points; they are excluded from every
-	// neighborhood and carry NaN LOFs.
-	deleted []bool
-	live    int
-
 	// lastAffected records how many points the most recent update
 	// touched, for observability and the locality tests.
 	lastAffected int
 
-	// scratch is the reusable candidate buffer of recomputeNeighborhood:
-	// one update recomputes many neighborhoods, each of which stages all
-	// live points here before trimming.
-	scratch []index.Neighbor
+	// kdistBound is an upper bound on every live point's current
+	// k-distance — the reverse-query radius. Raised eagerly whenever a
+	// recomputed k-distance exceeds it, tightened exactly every
+	// boundRecomputeEvery updates and on every rebuild.
+	kdistBound   float64
+	updatesSince int
+
+	// scratch stages one neighborhood per recomputeNeighborhood call;
+	// rscratch stages reverse-range candidates; icands holds the filtered
+	// reverse-neighbor indices while their neighborhoods are recomputed.
+	scratch  []index.Neighbor
+	rscratch []index.Neighbor
+	icands   []int
 }
 
 // New creates an empty incremental detector. dim is the dimensionality of
@@ -58,24 +88,37 @@ func New(dim, minPts int, m geom.Metric) (*Detector, error) {
 	if m == nil {
 		m = geom.Euclidean{}
 	}
-	return &Detector{minPts: minPts, metric: m, pts: geom.NewPoints(dim, 0)}, nil
+	ix := dynamic.New(dim, m)
+	return &Detector{minPts: minPts, metric: m, ix: ix, cur: ix.NewCursor()}, nil
 }
 
 // Len returns the number of live (inserted and not deleted) points.
-func (d *Detector) Len() int { return d.live }
+func (d *Detector) Len() int { return d.ix.Len() }
 
 // Size returns the number of slots ever allocated, including tombstones;
 // point indices run over [0, Size).
-func (d *Detector) Size() int { return d.pts.Len() }
+func (d *Detector) Size() int { return d.ix.Size() }
+
+// Dim returns the dimensionality of the detector's points.
+func (d *Detector) Dim() int { return d.ix.Dim() }
+
+// MinPts returns the MinPts value the detector maintains LOFs at.
+func (d *Detector) MinPts() int { return d.minPts }
+
+// Metric returns the detector's distance metric.
+func (d *Detector) Metric() geom.Metric { return d.metric }
+
+// At returns a view of slot i's coordinates (deleted slots keep their last
+// coordinates); callers must not modify it.
+func (d *Detector) At(i int) geom.Point { return d.ix.At(i) }
 
 // Deleted reports whether index i does not hold a live point: removed
 // points and out-of-range indices both report true.
-func (d *Detector) Deleted(i int) bool {
-	return i < 0 || i >= len(d.deleted) || d.deleted[i]
-}
+func (d *Detector) Deleted(i int) bool { return d.ix.Deleted(i) }
 
-// LastAffected returns how many points the most recent Insert updated
-// (neighborhood, density or LOF) — including the inserted point.
+// LastAffected returns how many points the most recent Insert or Delete
+// updated (neighborhood, density or LOF) — including the point inserted
+// or deleted by that update.
 func (d *Detector) LastAffected() int { return d.lastAffected }
 
 // LOF returns point i's current LOF (NaN for deleted points and
@@ -100,29 +143,24 @@ func (d *Detector) LOFs() []float64 {
 }
 
 // Insert adds p and updates all affected LOF values. It returns the new
-// point's index.
+// point's index. The coordinates are copied on insert (geom.Points.Append
+// clones into the detector's storage), so the caller may reuse or mutate
+// p's backing array after Insert returns without affecting any score.
 func (d *Detector) Insert(p geom.Point) (int, error) {
-	if err := d.pts.Append(p); err != nil {
+	i, err := d.ix.Insert(p)
+	if err != nil {
 		return 0, err
 	}
-	i := d.pts.Len() - 1
 	d.nn = append(d.nn, nil)
 	d.kdist = append(d.kdist, math.Inf(1))
 	d.lrd = append(d.lrd, math.Inf(1))
 	d.lof = append(d.lof, 1)
-	d.deleted = append(d.deleted, false)
-	d.live++
 
-	n := d.live
-	if n <= d.minPts {
-		// Not enough points for any MinPts-neighborhood yet: rebuild all
-		// once enough arrive (cheap at these sizes).
-		d.lastAffected = n
-		d.rebuildAll()
-		return i, nil
-	}
-	if n == d.minPts+1 {
-		// First time neighborhoods become defined for everyone.
+	n := d.ix.Len()
+	if n <= d.minPts+1 {
+		// Not enough points for incremental maintenance: either no
+		// MinPts-neighborhood exists yet, or neighborhoods just became
+		// defined for everyone. Rebuild (cheap at these sizes).
 		d.lastAffected = n
 		d.rebuildAll()
 		return i, nil
@@ -133,67 +171,117 @@ func (d *Detector) Insert(p geom.Point) (int, error) {
 
 	// 2. Reverse neighbors: points q whose MinPts-distance neighborhood
 	// absorbs p (d(q,p) ≤ kdist(q)). Their neighborhoods — and possibly
-	// k-distances — change.
+	// k-distances — change. Candidates come from one range query at the
+	// k-distance upper bound; the filter applies each point's own bound.
 	kdistChanged := map[int]bool{i: true}
 	neighborhoodChanged := map[int]bool{i: true}
-	for q := 0; q < d.pts.Len(); q++ {
-		if q == i || d.deleted[q] {
-			continue
+	d.icands = d.icands[:0]
+	d.rscratch = d.cur.RangeInto(d.rscratch[:0], d.ix.At(i), d.kdistBound, i)
+	for _, nb := range d.rscratch {
+		if nb.Dist <= d.kdist[nb.Index] {
+			d.icands = append(d.icands, nb.Index)
 		}
-		if d.metric.Distance(d.pts.At(q), p) <= d.kdist[q] {
-			old := d.kdist[q]
-			d.recomputeNeighborhood(q)
-			neighborhoodChanged[q] = true
-			if d.kdist[q] != old {
-				kdistChanged[q] = true
-			}
+	}
+	for _, q := range d.icands {
+		old := d.kdist[q]
+		d.recomputeNeighborhood(q)
+		neighborhoodChanged[q] = true
+		if d.kdist[q] != old {
+			kdistChanged[q] = true
 		}
 	}
 	d.propagate(kdistChanged, neighborhoodChanged)
+	d.countUpdate()
 	return i, nil
 }
 
 // Delete removes point i, updating all affected LOF values. Deleted slots
-// keep their index (subsequent points do not shift) and report NaN.
+// keep their index (subsequent points do not shift) and report NaN; the
+// raw LOF slot is also set to NaN so no stale pre-delete value survives.
 func (d *Detector) Delete(i int) error {
-	if i < 0 || i >= d.pts.Len() {
-		return fmt.Errorf("incremental: point %d out of range [0, %d)", i, d.pts.Len())
+	if i < 0 || i >= d.ix.Size() {
+		return fmt.Errorf("incremental: point %d out of range [0, %d)", i, d.ix.Size())
 	}
-	if d.deleted[i] {
+	if d.ix.Deleted(i) {
 		return fmt.Errorf("incremental: point %d already deleted", i)
 	}
-	p := d.pts.At(i).Clone()
-	d.deleted[i] = true
-	d.live--
+	p := d.ix.At(i).Clone()
+	if err := d.ix.Delete(i); err != nil {
+		return err
+	}
 	d.nn[i] = nil
 	d.kdist[i] = math.Inf(1)
 	d.lrd[i] = math.Inf(1)
+	d.lof[i] = math.NaN()
 
-	if d.live <= d.minPts+1 {
-		d.lastAffected = d.live
+	if d.ix.Len() <= d.minPts+1 {
+		d.lastAffected = d.ix.Len() + 1
 		d.rebuildAll()
 		return nil
 	}
 
 	// Points that held i in their neighborhood lose a neighbor; their
-	// k-distances can only grow.
+	// k-distances can only grow. The candidate range query uses the
+	// pre-delete k-distances, which the bound still covers.
 	kdistChanged := map[int]bool{}
 	neighborhoodChanged := map[int]bool{}
-	for q := 0; q < d.pts.Len(); q++ {
-		if q == i || d.deleted[q] {
-			continue
+	d.icands = d.icands[:0]
+	d.rscratch = d.cur.RangeInto(d.rscratch[:0], p, d.kdistBound, i)
+	for _, nb := range d.rscratch {
+		if nb.Dist <= d.kdist[nb.Index] {
+			d.icands = append(d.icands, nb.Index)
 		}
-		if d.metric.Distance(d.pts.At(q), p) <= d.kdist[q] {
-			old := d.kdist[q]
-			d.recomputeNeighborhood(q)
-			neighborhoodChanged[q] = true
-			if d.kdist[q] != old {
-				kdistChanged[q] = true
-			}
+	}
+	for _, q := range d.icands {
+		old := d.kdist[q]
+		d.recomputeNeighborhood(q)
+		neighborhoodChanged[q] = true
+		if d.kdist[q] != old {
+			kdistChanged[q] = true
 		}
 	}
 	d.propagate(kdistChanged, neighborhoodChanged)
+	// Count the removed point itself, mirroring Insert's "including the
+	// inserted point" contract.
+	d.lastAffected++
+	d.countUpdate()
 	return nil
+}
+
+// countUpdate ticks the periodic exact recomputation of the k-distance
+// upper bound.
+func (d *Detector) countUpdate() {
+	d.updatesSince++
+	if d.updatesSince >= boundRecomputeEvery {
+		d.recomputeBound()
+	}
+}
+
+// recomputeBound tightens kdistBound to the exact maximum live
+// k-distance.
+func (d *Detector) recomputeBound() {
+	d.updatesSince = 0
+	bound := 0.0
+	for q := 0; q < d.ix.Size(); q++ {
+		if !d.ix.Deleted(q) && d.kdist[q] > bound {
+			bound = d.kdist[q]
+		}
+	}
+	d.kdistBound = bound
+}
+
+// reverseDirty marks every live point whose neighborhood contains c. A
+// live point o holds c in its neighborhood exactly when d(o,c) ≤ kdist(o)
+// (neighborhoods are maintained as "all live points within the
+// k-distance"), so one bounded range query around c plus the
+// per-candidate check finds the set without a scan.
+func (d *Detector) reverseDirty(c int, mark map[int]bool) {
+	d.rscratch = d.cur.RangeInto(d.rscratch[:0], d.ix.At(c), d.kdistBound, c)
+	for _, nb := range d.rscratch {
+		if nb.Dist <= d.kdist[nb.Index] {
+			mark[nb.Index] = true
+		}
+	}
 }
 
 // propagate refreshes densities and LOFs downstream of neighborhood and
@@ -205,19 +293,13 @@ func (d *Detector) propagate(kdistChanged, neighborhoodChanged map[int]bool) {
 	// shift).
 	lrdDirty := map[int]bool{}
 	for q := range neighborhoodChanged {
-		if !d.deleted[q] {
+		if !d.ix.Deleted(q) {
 			lrdDirty[q] = true
 		}
 	}
-	for o := 0; o < d.pts.Len(); o++ {
-		if lrdDirty[o] || d.deleted[o] {
-			continue
-		}
-		for _, nb := range d.nn[o] {
-			if kdistChanged[nb.Index] {
-				lrdDirty[o] = true
-				break
-			}
+	for c := range kdistChanged {
+		if !d.ix.Deleted(c) {
+			d.reverseDirty(c, lrdDirty)
 		}
 	}
 	lrdChanged := map[int]bool{}
@@ -235,15 +317,9 @@ func (d *Detector) propagate(kdistChanged, neighborhoodChanged map[int]bool) {
 	for o := range lrdDirty {
 		lofDirty[o] = true
 	}
-	for x := 0; x < d.pts.Len(); x++ {
-		if lofDirty[x] || d.deleted[x] {
-			continue
-		}
-		for _, nb := range d.nn[x] {
-			if lrdChanged[nb.Index] {
-				lofDirty[x] = true
-				break
-			}
+	for c := range lrdChanged {
+		if !d.ix.Deleted(c) {
+			d.reverseDirty(c, lofDirty)
 		}
 	}
 	for x := range lofDirty {
@@ -252,28 +328,13 @@ func (d *Detector) propagate(kdistChanged, neighborhoodChanged map[int]bool) {
 	d.lastAffected = len(lofDirty)
 }
 
-// recomputeNeighborhood rebuilds point q's neighborhood by scan over live
-// points. Candidates are staged in the detector's scratch buffer; only the
-// trimmed neighborhood is copied into the retained per-point slice.
+// recomputeNeighborhood rebuilds point q's neighborhood through the
+// dynamic index: a kNN-with-ties probe whose cost tracks the neighborhood,
+// not the dataset. Candidates are staged in the detector's scratch buffer;
+// only the trimmed neighborhood is copied into the retained per-point
+// slice.
 func (d *Detector) recomputeNeighborhood(q int) {
-	n := d.pts.Len()
-	ns := d.scratch[:0]
-	pq := d.pts.At(q)
-	for j := 0; j < n; j++ {
-		if j == q || d.deleted[j] {
-			continue
-		}
-		ns = append(ns, index.Neighbor{Index: j, Dist: d.metric.Distance(pq, d.pts.At(j))})
-	}
-	index.SortNeighbors(ns)
-	if len(ns) > d.minPts {
-		kd := ns[d.minPts-1].Dist
-		hi := d.minPts
-		for hi < len(ns) && ns[hi].Dist <= kd {
-			hi++
-		}
-		ns = ns[:hi]
-	}
+	ns := index.KNNWithTiesInto(d.cur, d.scratch[:0], d.ix.At(q), d.minPts, q)
 	d.scratch = ns[:0]
 	row := d.nn[q]
 	if cap(row) < len(ns) {
@@ -288,6 +349,9 @@ func (d *Detector) recomputeNeighborhood(q int) {
 		d.kdist[q] = ns[len(ns)-1].Dist
 	} else {
 		d.kdist[q] = math.Inf(1)
+	}
+	if d.kdist[q] > d.kdistBound {
+		d.kdistBound = d.kdist[q]
 	}
 }
 
@@ -334,22 +398,190 @@ func ratio(lrdO, lrdP float64) float64 {
 }
 
 // rebuildAll recomputes every structure from scratch (used while the
-// dataset is still smaller than MinPts+1).
+// dataset is still smaller than MinPts+2) and retightens the k-distance
+// bound.
 func (d *Detector) rebuildAll() {
-	n := d.pts.Len()
+	n := d.ix.Size()
 	for q := 0; q < n; q++ {
-		if !d.deleted[q] {
+		if !d.ix.Deleted(q) {
 			d.recomputeNeighborhood(q)
 		}
 	}
 	for o := 0; o < n; o++ {
-		if !d.deleted[o] {
+		if !d.ix.Deleted(o) {
 			d.lrd[o] = d.computeLRD(o)
 		}
 	}
 	for x := 0; x < n; x++ {
-		if !d.deleted[x] {
+		if !d.ix.Deleted(x) {
 			d.lof[x] = d.computeLOF(x)
 		}
 	}
+	d.recomputeBound()
+}
+
+// Compact rebuilds the detector over only its live points, dropping every
+// tombstoned slot: live points keep their relative order but move to
+// dense indices [0, Len). No LOF, density or neighborhood value changes —
+// the remapping is monotone, so tie-breaking order (and therefore every
+// floating-point sum) is preserved bit for bit. It returns the slot
+// remapping: remap[old] is the new index of old's point, or -1 if old was
+// deleted.
+func (d *Detector) Compact() []int {
+	size := d.ix.Size()
+	remap := make([]int, size)
+	nix := dynamic.New(d.Dim(), d.metric)
+	nn := make([][]index.Neighbor, 0, d.ix.Len())
+	kdist := make([]float64, 0, d.ix.Len())
+	lrd := make([]float64, 0, d.ix.Len())
+	lof := make([]float64, 0, d.ix.Len())
+	for i := 0; i < size; i++ {
+		if d.ix.Deleted(i) {
+			remap[i] = -1
+			continue
+		}
+		slot, err := nix.Insert(d.ix.At(i))
+		if err != nil {
+			// Stored coordinates were validated on their original insert.
+			panic(fmt.Sprintf("incremental: compact re-insert: %v", err))
+		}
+		remap[i] = slot
+		nn = append(nn, d.nn[i])
+		kdist = append(kdist, d.kdist[i])
+		lrd = append(lrd, d.lrd[i])
+		lof = append(lof, d.lof[i])
+	}
+	nix.Rebuild()
+	for _, row := range nn {
+		for j := range row {
+			row[j].Index = remap[row[j].Index]
+		}
+	}
+	d.ix = nix
+	d.cur = nix.NewCursor()
+	d.nn, d.kdist, d.lrd, d.lof = nn, kdist, lrd, lof
+	d.recomputeBound()
+	return remap
+}
+
+// NewCursor returns a query cursor over the detector's current index, for
+// use with ScoreAtCursor. Cursors are single-goroutine objects; allocate
+// one per concurrent reader. A cursor is bound to the detector's index at
+// call time: Compact replaces the index, invalidating prior cursors.
+func (d *Detector) NewCursor() index.Cursor { return d.ix.NewCursor() }
+
+// ScoreAt returns the LOF the query point would receive from a full batch
+// recomputation over the live points plus q, without inserting it — the
+// out-of-sample analogue of Insert followed by LOF and Delete, at a
+// fraction of the cost. Uses the detector's internal cursor, so it must
+// not run concurrently with mutations or other internal-cursor calls.
+func (d *Detector) ScoreAt(q geom.Point) (float64, error) {
+	return d.ScoreAtCursor(d.cur, q)
+}
+
+// mrow is a merged row for out-of-sample scoring: one point's
+// neighborhood and k-distance in live ∪ {q}.
+type mrow struct {
+	nn    []index.Neighbor
+	kdist float64
+}
+
+// ScoreAtCursor is ScoreAt through a caller-owned cursor (see NewCursor).
+// Many goroutines may score concurrently against a quiescent detector,
+// each with its own cursor; scoring must not overlap mutations.
+//
+// The result is bit-identical to what lof.Fit over the live points plus q
+// (in live slot order, q last) would report for q: the query's
+// neighborhood is probed with ties, q is spliced into the neighborhoods
+// of points it would displace — shrinking their k-distances exactly as a
+// refit would — and the Definition 5–7 sums run in the same canonical
+// (distance, index) order.
+func (d *Detector) ScoreAtCursor(cur index.Cursor, q geom.Point) (float64, error) {
+	if len(q) != d.Dim() {
+		return 0, fmt.Errorf("incremental: query has %d dimensions, detector has %d", len(q), d.Dim())
+	}
+	if !q.Valid() {
+		return 0, geom.ErrInvalidCoord
+	}
+	// qIdx orders q after every live slot, exactly where a refit over
+	// live ∪ {q} would place it (live slots compact monotonically).
+	qIdx := d.ix.Size()
+	nq := index.KNNWithTiesInto(cur, nil, q, d.minPts, index.ExcludeNone)
+	if len(nq) == 0 {
+		return 1, nil // isolated by construction
+	}
+	kdistQ := nq[len(nq)-1].Dist
+	if len(nq) >= d.minPts {
+		kdistQ = nq[d.minPts-1].Dist
+	}
+
+	// mergedRow computes o's row in live ∪ {q}: if q lands within o's
+	// current k-distance it is spliced into the neighborhood — at the
+	// position (d(o,q), qIdx) — and the MinPts cut with ties reapplied.
+	// The merged neighborhood is a subset of nn[o] ∪ {q}, so the stored
+	// rows are a sufficient candidate set.
+	rows := map[int]mrow{}
+	mergedRow := func(o int) mrow {
+		if r, ok := rows[o]; ok {
+			return r
+		}
+		doq := d.metric.Distance(d.ix.At(o), q)
+		r := mrow{nn: d.nn[o], kdist: d.kdist[o]}
+		if doq <= d.kdist[o] {
+			old := d.nn[o]
+			cand := make([]index.Neighbor, 0, len(old)+1)
+			at := len(old)
+			for j, nb := range old {
+				// q loses distance ties: qIdx exceeds every live slot.
+				if doq < nb.Dist {
+					at = j
+					break
+				}
+			}
+			cand = append(cand, old[:at]...)
+			cand = append(cand, index.Neighbor{Index: qIdx, Dist: doq})
+			cand = append(cand, old[at:]...)
+			if len(cand) > d.minPts {
+				kd := cand[d.minPts-1].Dist
+				hi := d.minPts
+				for hi < len(cand) && cand[hi].Dist <= kd {
+					hi++
+				}
+				cand = cand[:hi]
+			}
+			r.nn = cand
+			if len(cand) >= d.minPts {
+				r.kdist = cand[d.minPts-1].Dist
+			} else if len(cand) > 0 {
+				r.kdist = cand[len(cand)-1].Dist
+			}
+		}
+		rows[o] = r
+		return r
+	}
+	kdistAt := func(i int) float64 {
+		if i == qIdx {
+			return kdistQ
+		}
+		return mergedRow(i).kdist
+	}
+	lrdOf := func(nn []index.Neighbor) float64 {
+		if len(nn) == 0 {
+			return math.Inf(1)
+		}
+		var sum float64
+		for _, nb := range nn {
+			sum += core.ReachDist(kdistAt(nb.Index), nb.Dist)
+		}
+		if sum == 0 {
+			return math.Inf(1)
+		}
+		return float64(len(nn)) / sum
+	}
+	lrdQ := lrdOf(nq)
+	var sum float64
+	for _, nb := range nq {
+		sum += ratio(lrdOf(mergedRow(nb.Index).nn), lrdQ)
+	}
+	return sum / float64(len(nq)), nil
 }

@@ -31,6 +31,17 @@ type Index struct {
 	stride []int     // linear index strides
 	cells  [][]int32 // point ids per cell, dense
 	wmin   float64   // smallest cell width across dimensions
+	// eps is the per-dimension outward slack added to cell box faces, and
+	// tol its metric-space counterpart subtracted from ring lower bounds.
+	// Bucketing computes floor((p-lo)/width) in floating point, so a point
+	// can land in a cell whose nominal box excludes it by a few ulps — most
+	// visibly the data maximum, which clamps into the last cell while
+	// lo+res·width often rounds below it. Pruning against unwidened boxes
+	// would then drop exact-distance matches (a Range(p, 0) that cannot
+	// find p's own duplicates), so boxes are widened until they provably
+	// contain every point bucketed into them.
+	eps []float64
+	tol float64
 }
 
 // New builds a grid index over pts with the given metric (Euclidean when
@@ -79,6 +90,7 @@ func New(pts *geom.Points, m geom.Metric) *Index {
 	ix.res = make([]int, dim)
 	ix.width = make([]float64, dim)
 	ix.stride = make([]int, dim)
+	ix.eps = make([]float64, dim)
 	ix.wmin = math.Inf(1)
 	total := 1
 	for d := 0; d < dim; d++ {
@@ -91,10 +103,18 @@ func New(pts *geom.Points, m geom.Metric) *Index {
 			ix.res[d] = perDim
 			ix.width[d] = span / float64(perDim)
 		}
+		// Bucketing incurs a handful of rounding errors, each relatively
+		// tiny; 2⁻⁵⁰ of the coordinate magnitude (8 ulps) dominates their
+		// sum, so boxes widened by eps contain every point of their cell.
+		ix.eps[d] = (math.Abs(ix.lo[d]) + math.Abs(ix.hi[d]) + span) * 0x1p-50
 		// The ring stopping rule needs the smallest metric distance a
-		// one-cell coordinate gap can represent on any axis.
+		// one-cell coordinate gap can represent on any axis, and the
+		// largest metric distance the bucketing slack can hide.
 		if mw := geom.AxisGapLowerBound(m, d, ix.width[d]); mw < ix.wmin {
 			ix.wmin = mw
+		}
+		if mt := 2 * geom.AxisGapLowerBound(m, d, ix.eps[d]); mt > ix.tol {
+			ix.tol = mt
 		}
 		ix.stride[d] = total
 		total *= ix.res[d]
@@ -131,13 +151,23 @@ func (ix *Index) linear(c []int) int {
 }
 
 // cellBoxLinear writes the axis-aligned box of the cell with linear index
-// li into lo, hi, decoding the multi-coordinates from the strides.
+// li into lo, hi, decoding the multi-coordinates from the strides. The box
+// is conservative: faces are pushed outward by the bucketing slack, and the
+// outermost cells extend to the data bounds so the clamped extremes (whose
+// nominal box can round short of them) stay inside. Distance lower bounds
+// against these boxes therefore never exceed the distance to any point the
+// cell actually holds.
 func (ix *Index) cellBoxLinear(li int, lo, hi geom.Point) {
 	for d := len(ix.stride) - 1; d >= 0; d-- {
 		v := li / ix.stride[d]
 		li -= v * ix.stride[d]
-		lo[d] = ix.lo[d] + float64(v)*ix.width[d]
-		hi[d] = lo[d] + ix.width[d]
+		l := ix.lo[d] + float64(v)*ix.width[d]
+		h := l + ix.width[d]
+		if v == ix.res[d]-1 && h < ix.hi[d] {
+			h = ix.hi[d]
+		}
+		lo[d] = l - ix.eps[d]
+		hi[d] = h + ix.eps[d]
 	}
 }
 
@@ -241,8 +271,9 @@ func (c *Cursor) KNNInto(dst []index.Neighbor, q geom.Point, k int, exclude int)
 	for ring := 0; ring <= ix.maxRing(); ring++ {
 		// Once k candidates are held, no cell at this ring or beyond can
 		// contain anything closer if even the nearest face of the ring is
-		// too far away.
-		if w, full := c.h.Worst(); full && float64(ring-1)*ix.wmin > w {
+		// too far away; tol keeps the bound valid for points the bucketing
+		// slack pushed just outside their nominal cell.
+		if w, full := c.h.Worst(); full && float64(ring-1)*ix.wmin > w+ix.tol {
 			break
 		}
 		c.ring = ix.appendRing(c.ring[:0], c.center, c.coord, ring)
@@ -272,7 +303,7 @@ func (c *Cursor) RangeInto(dst []index.Neighbor, q geom.Point, r float64, exclud
 	start := len(dst)
 	ix.cellOfInto(c.center, q)
 	for ring := 0; ring <= ix.maxRing(); ring++ {
-		if float64(ring-1)*ix.wmin > r {
+		if float64(ring-1)*ix.wmin > r+ix.tol {
 			break
 		}
 		c.ring = ix.appendRing(c.ring[:0], c.center, c.coord, ring)

@@ -14,6 +14,12 @@
 //	POST /v1/shard/snapshot   install a pushed shard partition (octet-stream)
 //	POST /v1/shard/candidates per-partition kNN candidates (shard role)
 //	POST /v1/shard/rows       merged rows of owned points (shard role)
+//	POST /v1/stream/init      create (or replace) the streaming pipeline
+//	POST /v1/stream           apply one ingestion batch (inserts/deletes/expiry)
+//	POST /v1/stream/score     score queries against the published stream epoch
+//	GET  /v1/stream/lofs      stream window IDs and maintained LOF values
+//	GET  /v1/stream/stats     stream pipeline counters and epoch shape
+//	POST /v1/stream/freeze    refit the stream window into the serving model
 //	GET  /healthz             liveness only: 200 whenever the process serves
 //	GET  /readyz              readiness: 503 until state is installed, or
 //	                          while a snapshot swap is in flight
@@ -47,6 +53,7 @@ import (
 	"lof"
 	"lof/internal/obs"
 	"lof/internal/shard"
+	"lof/internal/stream"
 )
 
 // Config parameterizes a Server. The zero value serves with the defaults
@@ -123,6 +130,11 @@ type metrics struct {
 	degraded    expvar.Int // score responses served from the degraded model
 	snapshots   expvar.Int // shard snapshots installed
 	stale       expvar.Int // shard data requests refused for version mismatch
+
+	streamBatches expvar.Int // stream push batches applied
+	streamInserts expvar.Int // points inserted through the stream
+	streamExpired expvar.Int // points expired by window bounds
+	streamFreezes expvar.Int // stream windows frozen into batch models
 }
 
 // routeStats is the Prometheus-facing per-route view: a latency histogram
@@ -166,6 +178,8 @@ func (rs *routeStats) codes() ([]int, map[int]int64) {
 var metricRoutes = []string{
 	"/v1/fit", "/v1/score", "/v1/model",
 	"/v1/shard/snapshot", "/v1/shard/candidates", "/v1/shard/rows",
+	"/v1/stream/init", "/v1/stream", "/v1/stream/score",
+	"/v1/stream/lofs", "/v1/stream/stats", "/v1/stream/freeze",
 }
 
 // Server is the HTTP serving state: the current model plus limits and
@@ -184,7 +198,10 @@ type Server struct {
 	version  atomic.Uint64
 	swapping atomic.Bool
 	swapMu   sync.Mutex
-	limiter  chan struct{}
+	// stream is the online ingestion pipeline (nil until initialized via
+	// /v1/stream/init or SetStream); handlers in stream.go serve it.
+	stream  atomic.Pointer[stream.Pipeline]
+	limiter chan struct{}
 	// degradedLimiter is a small reserve pool: when the main limiter is
 	// full, score requests that opted into ?mode=degraded may still be
 	// admitted through it, trading accuracy for availability instead of
@@ -256,6 +273,12 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/shard/snapshot", s.wrap("/v1/shard/snapshot", s.handleShardSnapshot))
 	mux.Handle("POST /v1/shard/candidates", s.wrap("/v1/shard/candidates", s.handleShardCandidates))
 	mux.Handle("POST /v1/shard/rows", s.wrap("/v1/shard/rows", s.handleShardRows))
+	mux.Handle("POST /v1/stream/init", s.wrap("/v1/stream/init", s.handleStreamInit))
+	mux.Handle("POST /v1/stream", s.wrap("/v1/stream", s.handleStreamPush))
+	mux.Handle("POST /v1/stream/score", s.wrap("/v1/stream/score", s.handleStreamScore))
+	mux.Handle("GET /v1/stream/lofs", s.wrap("/v1/stream/lofs", s.handleStreamLOFs))
+	mux.Handle("GET /v1/stream/stats", s.wrap("/v1/stream/stats", s.handleStreamStats))
+	mux.Handle("POST /v1/stream/freeze", s.wrap("/v1/stream/freeze", s.handleStreamFreeze))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -729,6 +752,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.IntSample("lof_shard_stale_total", s.m.stale.Value())
 	p.Family("lof_snapshot_version", "gauge", "Version of the installed serving state.")
 	p.IntSample("lof_snapshot_version", int64(s.version.Load()))
+	p.Family("lof_stream_batches_total", "counter", "Stream push batches applied.")
+	p.IntSample("lof_stream_batches_total", s.m.streamBatches.Value())
+	p.Family("lof_stream_inserts_total", "counter", "Points inserted through the stream.")
+	p.IntSample("lof_stream_inserts_total", s.m.streamInserts.Value())
+	p.Family("lof_stream_expired_total", "counter", "Points expired by the stream's window bounds.")
+	p.IntSample("lof_stream_expired_total", s.m.streamExpired.Value())
+	p.Family("lof_stream_freezes_total", "counter", "Stream windows frozen into batch models.")
+	p.IntSample("lof_stream_freezes_total", s.m.streamFreezes.Value())
+	if pl := s.stream.Load(); pl != nil {
+		st := pl.Stats()
+		p.Family("lof_stream_epoch", "gauge", "Published stream epoch sequence number.")
+		p.IntSample("lof_stream_epoch", int64(st.Seq))
+		p.Family("lof_stream_live", "gauge", "Live points in the stream window.")
+		p.IntSample("lof_stream_live", int64(st.Live))
+	}
 	p.Family("lof_fit_points_total", "counter", "Data points fitted across all fit requests.")
 	p.IntSample("lof_fit_points_total", s.m.fitPoints.Value())
 	p.Family("lof_score_points_total", "counter", "Query points scored across all score requests.")

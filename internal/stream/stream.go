@@ -1,0 +1,534 @@
+// Package stream turns the incremental LOF detector into a concurrently
+// readable ingestion pipeline using epoch-based double buffering.
+//
+// Two incremental detectors evolve in lockstep: the published one serves
+// reads (out-of-sample scoring, window LOFs), the other is the writer's
+// working copy. One Apply batch is planned once — explicit deletes,
+// inserts, sliding-window expiry and compaction are resolved into a single
+// deterministic operation list — applied to the back detector, published
+// atomically as the next epoch, and then, after every reader of the
+// previous epoch has drained, replayed verbatim onto the old detector.
+// Because both detectors start empty and apply identical operation lists,
+// they hold bit-identical state at every epoch boundary, and a reader
+// never observes a half-applied update: the detector it acquired is not
+// mutated until the reader releases it (see DESIGN.md, "Streaming
+// epochs").
+//
+// All maintained and served values are exact: after every epoch publish,
+// the live LOFs equal a from-scratch batch fit over the window at the same
+// MinPts, bit for bit — the randomized oracle in stream_test.go checks
+// exactly that while concurrent readers score mid-write.
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lof/internal/geom"
+	"lof/internal/incremental"
+	"lof/internal/index"
+)
+
+// compactMinDead is the tombstone floor below which compaction never
+// triggers; above it, compaction runs when tombstones outnumber live
+// points, amortizing the O(n) rebuild over the deletes that caused it.
+const compactMinDead = 256
+
+// Config parameterizes a Pipeline.
+type Config struct {
+	// Dim is the dimensionality of all ingested points.
+	Dim int
+	// MinPts as in the batch algorithm.
+	MinPts int
+	// Metric names the distance, as in lof.Config.Metric ("" = euclidean).
+	Metric string
+	// MaxPoints, when positive, bounds the window by count: each batch
+	// expires the oldest live points until at most MaxPoints remain.
+	MaxPoints int
+	// MaxAge, when positive, bounds the window by age: points inserted
+	// more than MaxAge before the batch's Now are expired.
+	MaxAge time.Duration
+}
+
+// Update is one writer batch: explicit deletes, inserts, and the time
+// against which age expiry is evaluated.
+type Update struct {
+	// Inserts are appended to the window in order; coordinates are copied.
+	Inserts []geom.Point
+	// Deletes names points by the IDs Apply assigned on insert. Unknown or
+	// already-deleted IDs reject the whole batch before anything applies.
+	Deletes []uint64
+	// Now is the batch timestamp for age expiry; the zero value disables
+	// age expiry for this batch.
+	Now time.Time
+}
+
+// Result reports what one Apply batch did.
+type Result struct {
+	// Seq is the epoch published by this batch.
+	Seq uint64
+	// Inserted holds the assigned ID of each insert, in order.
+	Inserted []uint64
+	// Expired holds the IDs removed by window expiry (age or count).
+	Expired []uint64
+	// Deleted counts the explicit deletes applied.
+	Deleted int
+	// Live is the window size after the batch.
+	Live int
+	// Compacted reports whether this batch also compacted the detectors.
+	Compacted bool
+}
+
+// Stats is a point-in-time snapshot of the pipeline.
+type Stats struct {
+	Seq         uint64 `json:"epoch"`
+	Live        int    `json:"live"`
+	Slots       int    `json:"slots"`
+	Inserts     uint64 `json:"inserts_total"`
+	Deletes     uint64 `json:"deletes_total"`
+	Expired     uint64 `json:"expired_total"`
+	Compactions uint64 `json:"compactions_total"`
+	MinPts      int    `json:"min_pts"`
+	Dim         int    `json:"dim"`
+}
+
+// epoch is one published immutable view. The detector it names is not
+// mutated while any reader holds a reference; cursors are pooled per epoch
+// because compaction can replace the detector's index between epochs.
+type epoch struct {
+	det     *incremental.Detector
+	ids     []uint64 // slot → external ID (live slots only meaningful)
+	seq     uint64
+	refs    atomic.Int64
+	cursors sync.Pool
+}
+
+// opKind discriminates planned operations.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opDelete
+	opCompact
+)
+
+// op is one step of a planned batch; the same list is applied to both
+// detectors, which is what keeps them bit-identical.
+type op struct {
+	kind opKind
+	p    geom.Point // opInsert: coordinates (owned by the plan)
+	slot int        // opDelete: slot to remove
+}
+
+// entry is one window FIFO record.
+type entry struct {
+	id uint64
+	ts int64 // unix nanoseconds of insertion
+}
+
+// Pipeline is the epoch-based streaming LOF detector. Apply is
+// single-writer (internally serialized); Score, LOFs, Stats and Freeze
+// may run concurrently with each other and with Apply.
+type Pipeline struct {
+	cfg    Config
+	metric geom.Metric
+
+	mu  sync.Mutex // serializes writers
+	a   *incremental.Detector
+	b   *incremental.Detector
+	pub atomic.Pointer[epoch]
+	seq uint64
+
+	nextID   uint64
+	idToSlot map[uint64]int
+	slotToID []uint64
+	window   []entry // FIFO of live insertions (lazily pruned)
+
+	inserts     atomic.Uint64
+	deletes     atomic.Uint64
+	expired     atomic.Uint64
+	compactions atomic.Uint64
+}
+
+// New validates cfg and returns an empty pipeline at epoch 0.
+func New(cfg Config) (*Pipeline, error) {
+	m, err := geom.MetricByName(cfg.Metric)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxPoints < 0 {
+		return nil, fmt.Errorf("stream: MaxPoints must be non-negative, got %d", cfg.MaxPoints)
+	}
+	if cfg.MaxAge < 0 {
+		return nil, fmt.Errorf("stream: MaxAge must be non-negative, got %v", cfg.MaxAge)
+	}
+	a, err := incremental.New(cfg.Dim, cfg.MinPts, m)
+	if err != nil {
+		return nil, err
+	}
+	b, err := incremental.New(cfg.Dim, cfg.MinPts, m)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg: cfg, metric: m,
+		a: a, b: b,
+		idToSlot: make(map[uint64]int),
+	}
+	p.pub.Store(p.newEpoch(a, 0))
+	return p, nil
+}
+
+// newEpoch wraps det as the published view at seq.
+func (p *Pipeline) newEpoch(det *incremental.Detector, seq uint64) *epoch {
+	e := &epoch{det: det, seq: seq}
+	// Readers index ids only by live slots, all below len at publish time;
+	// the writer appends beyond it but never rewrites published entries.
+	e.ids = p.slotToID[:len(p.slotToID):len(p.slotToID)]
+	e.cursors.New = func() interface{} { return det.NewCursor() }
+	return e
+}
+
+// acquire pins the published epoch against writer replay: the writer
+// replays a batch onto a detector only after its epoch's refcount drains.
+// The re-check closes the publish/increment race — an epoch superseded
+// between Load and Add is released and retried, so a successful acquire
+// always holds the refcount of an epoch the writer is still draining (or
+// the current one), never one being mutated.
+func (p *Pipeline) acquire() *epoch {
+	for {
+		e := p.pub.Load()
+		e.refs.Add(1)
+		if p.pub.Load() == e {
+			return e
+		}
+		e.refs.Add(-1)
+	}
+}
+
+func (e *epoch) release() { e.refs.Add(-1) }
+
+// drain blocks until no reader holds e.
+func (p *Pipeline) drain(e *epoch) {
+	for i := 0; e.refs.Load() != 0; i++ {
+		if i < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
+// Apply ingests one batch atomically: either the whole batch is rejected
+// (unknown delete ID, malformed point) before any state changes, or all
+// of it lands in the next published epoch. Concurrent Apply calls are
+// serialized; readers keep scoring against the previous epoch until the
+// new one is published.
+func (p *Pipeline) Apply(u Update) (Result, error) {
+	for _, q := range u.Inserts {
+		if len(q) != p.cfg.Dim {
+			return Result{}, fmt.Errorf("stream: insert has %d dimensions, pipeline has %d", len(q), p.cfg.Dim)
+		}
+		if !q.Valid() {
+			return Result{}, geom.ErrInvalidCoord
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	cur := p.pub.Load()
+	back := p.a
+	if cur.det == p.a {
+		back = p.b
+	}
+
+	ops, res, err := p.plan(back, u)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Apply to the back detector, then publish it: readers switch to the
+	// new epoch while the old detector still holds the previous state.
+	// Timestamps for this batch's inserts: zero Now stamps 0, which only
+	// matters under MaxAge — age-bounded pipelines pass real times on
+	// every batch.
+	var ts int64
+	if !u.Now.IsZero() {
+		ts = u.Now.UnixNano()
+	}
+	remap := p.apply(back, ops)
+	p.bookkeep(ops, remap, &res, ts)
+	p.seq++
+	res.Seq = p.seq
+	res.Live = back.Len()
+	next := p.newEpoch(back, p.seq)
+	prev := p.pub.Swap(next)
+
+	// Replay the identical list onto the previous epoch's detector once
+	// its readers are gone; both detectors are now bit-identical again.
+	p.drain(prev)
+	p.apply(prev.det, ops)
+
+	p.inserts.Add(uint64(len(res.Inserted)))
+	p.deletes.Add(uint64(res.Deleted))
+	p.expired.Add(uint64(len(res.Expired)))
+	if res.Compacted {
+		p.compactions.Add(1)
+	}
+	return res, nil
+}
+
+// plan resolves one batch into the deterministic op list both detectors
+// will apply: explicit deletes, then age expiry, then inserts, then count
+// expiry, then (when tombstones have piled up) a compaction. Slot numbers
+// for new inserts are the detector's next appends, so the whole list is
+// computable before anything mutates.
+func (p *Pipeline) plan(back *incremental.Detector, u Update) ([]op, Result, error) {
+	var res Result
+	ops := make([]op, 0, len(u.Deletes)+len(u.Inserts)+2)
+	gone := make(map[uint64]bool, len(u.Deletes))
+
+	for _, id := range u.Deletes {
+		slot, ok := p.idToSlot[id]
+		if !ok || gone[id] {
+			return nil, res, fmt.Errorf("stream: delete of unknown id %d", id)
+		}
+		gone[id] = true
+		ops = append(ops, op{kind: opDelete, slot: slot})
+	}
+	res.Deleted = len(u.Deletes)
+	live := back.Len() - len(u.Deletes)
+
+	// Age expiry: the window FIFO is ordered by insertion time, so expired
+	// entries form a prefix (lazily skipping explicitly deleted IDs).
+	if p.cfg.MaxAge > 0 && !u.Now.IsZero() {
+		cutoff := u.Now.Add(-p.cfg.MaxAge).UnixNano()
+		for len(p.window) > 0 {
+			head := p.window[0]
+			if _, alive := p.idToSlot[head.id]; !alive || gone[head.id] {
+				p.window = p.window[1:]
+				continue
+			}
+			if head.ts > cutoff {
+				break
+			}
+			gone[head.id] = true
+			ops = append(ops, op{kind: opDelete, slot: p.idToSlot[head.id]})
+			res.Expired = append(res.Expired, head.id)
+			p.window = p.window[1:]
+			live--
+		}
+	}
+
+	nextSlot := back.Size()
+	for _, q := range u.Inserts {
+		ops = append(ops, op{kind: opInsert, p: q.Clone(), slot: nextSlot})
+		res.Inserted = append(res.Inserted, p.nextID)
+		p.nextID++
+		nextSlot++
+		live++
+	}
+
+	// Count expiry: evict the oldest live entries (including, when a batch
+	// overflows the window by itself, entries inserted by this batch).
+	if p.cfg.MaxPoints > 0 && live > p.cfg.MaxPoints {
+		// The window FIFO does not yet contain this batch's inserts; treat
+		// them as a virtual tail in insertion order.
+		virt := 0
+		for live > p.cfg.MaxPoints {
+			var id uint64
+			var slot int
+			if len(p.window) > 0 {
+				head := p.window[0]
+				if _, alive := p.idToSlot[head.id]; !alive || gone[head.id] {
+					p.window = p.window[1:]
+					continue
+				}
+				id, slot = head.id, p.idToSlot[head.id]
+				p.window = p.window[1:]
+			} else if virt < len(res.Inserted) {
+				id = res.Inserted[virt]
+				slot = back.Size() + virt
+				virt++
+			} else {
+				break
+			}
+			gone[id] = true
+			ops = append(ops, op{kind: opDelete, slot: slot})
+			res.Expired = append(res.Expired, id)
+			live--
+		}
+	}
+
+	// Compaction: when tombstoned slots outnumber live points (and clear
+	// the floor), fold a compact into this batch so both detectors shrink.
+	slots := back.Size() + len(u.Inserts)
+	if dead := slots - live; dead >= compactMinDead && dead > live {
+		ops = append(ops, op{kind: opCompact})
+		res.Compacted = true
+	}
+	return ops, res, nil
+}
+
+// apply runs the op list on det, returning the slot remap of the final
+// compact op (nil when the list has none).
+func (p *Pipeline) apply(det *incremental.Detector, ops []op) []int {
+	var remap []int
+	for _, o := range ops {
+		switch o.kind {
+		case opInsert:
+			slot, err := det.Insert(o.p)
+			if err != nil || slot != o.slot {
+				panic(fmt.Sprintf("stream: planned insert at slot %d got %d, err=%v", o.slot, slot, err))
+			}
+		case opDelete:
+			if err := det.Delete(o.slot); err != nil {
+				panic(fmt.Sprintf("stream: planned delete of slot %d: %v", o.slot, err))
+			}
+		case opCompact:
+			remap = det.Compact()
+		}
+	}
+	return remap
+}
+
+// bookkeep applies one batch's effects to the writer's ID maps: delete
+// ops unmap their IDs, insert ops map fresh IDs to their planned slots,
+// and a compaction remaps every surviving slot. ts stamps this batch's
+// inserts in the window FIFO.
+func (p *Pipeline) bookkeep(ops []op, remap []int, res *Result, ts int64) {
+	insertAt := 0
+	for _, o := range ops {
+		switch o.kind {
+		case opInsert:
+			id := res.Inserted[insertAt]
+			insertAt++
+			p.idToSlot[id] = o.slot
+			for len(p.slotToID) <= o.slot {
+				p.slotToID = append(p.slotToID, 0)
+			}
+			p.slotToID[o.slot] = id
+		case opDelete:
+			delete(p.idToSlot, p.slotToID[o.slot])
+		}
+	}
+	// Record this batch's inserts in the window FIFO (skipping ones the
+	// same batch already expired).
+	for _, id := range res.Inserted {
+		if _, alive := p.idToSlot[id]; alive {
+			p.window = append(p.window, entry{id: id, ts: ts})
+		}
+	}
+	if remap != nil {
+		idToSlot := make(map[uint64]int, len(p.idToSlot))
+		slotToID := make([]uint64, 0, len(p.idToSlot))
+		for old, ns := range remap {
+			if ns < 0 {
+				continue
+			}
+			id := p.slotToID[old]
+			idToSlot[id] = ns
+			for len(slotToID) <= ns {
+				slotToID = append(slotToID, 0)
+			}
+			slotToID[ns] = id
+		}
+		p.idToSlot = idToSlot
+		p.slotToID = slotToID
+	}
+}
+
+// Score returns the LOF the query would receive from a batch fit over the
+// current window plus q — served from the published epoch, bit-identical
+// to that refit — along with the epoch sequence it was computed against.
+// Safe for concurrent use.
+func (p *Pipeline) Score(q geom.Point) (float64, uint64, error) {
+	e := p.acquire()
+	defer e.release()
+	cur := e.cursors.Get().(index.Cursor)
+	v, err := e.det.ScoreAtCursor(cur, q)
+	e.cursors.Put(cur)
+	return v, e.seq, err
+}
+
+// ScoreBatch scores every query against one consistent epoch.
+func (p *Pipeline) ScoreBatch(qs []geom.Point) ([]float64, uint64, error) {
+	e := p.acquire()
+	defer e.release()
+	cur := e.cursors.Get().(index.Cursor)
+	defer e.cursors.Put(cur)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		v, err := e.det.ScoreAtCursor(cur, q)
+		if err != nil {
+			return nil, e.seq, fmt.Errorf("stream: query %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, e.seq, nil
+}
+
+// LOFs returns the current window's IDs and maintained LOF values (live
+// points only, in slot order) and the epoch they belong to. Safe for
+// concurrent use.
+func (p *Pipeline) LOFs() (ids []uint64, lofs []float64, seq uint64) {
+	e := p.acquire()
+	defer e.release()
+	det := e.det
+	for i := 0; i < det.Size(); i++ {
+		if det.Deleted(i) {
+			continue
+		}
+		ids = append(ids, e.ids[i])
+		lofs = append(lofs, det.LOF(i))
+	}
+	return ids, lofs, e.seq
+}
+
+// Seq returns the published epoch sequence number.
+func (p *Pipeline) Seq() uint64 { return p.pub.Load().seq }
+
+// Stats snapshots the pipeline counters and the published epoch shape.
+func (p *Pipeline) Stats() Stats {
+	e := p.acquire()
+	defer e.release()
+	return Stats{
+		Seq:         e.seq,
+		Live:        e.det.Len(),
+		Slots:       e.det.Size(),
+		Inserts:     p.inserts.Load(),
+		Deletes:     p.deletes.Load(),
+		Expired:     p.expired.Load(),
+		Compactions: p.compactions.Load(),
+		MinPts:      p.cfg.MinPts,
+		Dim:         p.cfg.Dim,
+	}
+}
+
+// Window returns the live points of the published epoch as rows, in slot
+// order — the dataset a batch refit of this epoch would see — plus the
+// epoch sequence. The rows are copies.
+func (p *Pipeline) Window() (data [][]float64, seq uint64) {
+	e := p.acquire()
+	defer e.release()
+	det := e.det
+	for i := 0; i < det.Size(); i++ {
+		if det.Deleted(i) {
+			continue
+		}
+		data = append(data, append([]float64(nil), det.At(i)...))
+	}
+	return data, e.seq
+}
+
+// MinPts returns the pipeline's MinPts value.
+func (p *Pipeline) MinPts() int { return p.cfg.MinPts }
+
+// Metric returns the configured metric name ("" meaning euclidean).
+func (p *Pipeline) Metric() string { return p.cfg.Metric }
+
+// Dim returns the dimensionality of ingested points.
+func (p *Pipeline) Dim() int { return p.cfg.Dim }

@@ -1,0 +1,437 @@
+package stream_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lof"
+	"lof/internal/geom"
+	"lof/internal/stream"
+)
+
+// checkOracle compares the published epoch's LOFs against a from-scratch
+// batch fit over the same window at the same MinPts — Float64bits
+// equality, the acceptance bar for the whole pipeline. Windows too small
+// for a batch fit (live ≤ MinPts+1) are skipped.
+func checkOracle(t *testing.T, p *stream.Pipeline) {
+	t.Helper()
+	data, seq := p.Window()
+	if len(data) <= p.MinPts()+1 {
+		return
+	}
+	want, err := lof.Scores(data, p.MinPts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, lofs, lseq := p.LOFs()
+	if lseq != seq {
+		// A concurrent writer published between the two reads; skip this
+		// check rather than compare across epochs. (Single-writer tests
+		// never hit this.)
+		return
+	}
+	if len(lofs) != len(want) {
+		t.Fatalf("epoch %d: %d live LOFs but %d refit scores", seq, len(lofs), len(want))
+	}
+	for j := range want {
+		if math.Float64bits(lofs[j]) != math.Float64bits(want[j]) {
+			t.Fatalf("epoch %d: id %d LOF=%v refit=%v (bits differ)", seq, ids[j], lofs[j], want[j])
+		}
+	}
+}
+
+// TestOracleRandomOps drives random batched inserts, explicit deletes and
+// count-based expiry, checking every published epoch against the batch
+// refit bit for bit.
+func TestOracleRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	p, err := stream.New(stream.Config{Dim: 2, MinPts: 4, MaxPoints: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []uint64
+	for batch := 0; batch < 60; batch++ {
+		var u stream.Update
+		for n := rng.Intn(6); n > 0; n-- {
+			pt := geom.Point{rng.NormFloat64() * 2, rng.NormFloat64() * 2}
+			switch rng.Intn(10) {
+			case 0:
+				pt = geom.Point{3, 3} // duplicate pocket
+			case 1:
+				pt = geom.Point{80 + rng.NormFloat64(), -40} // far outlier
+			}
+			u.Inserts = append(u.Inserts, pt)
+		}
+		for n := rng.Intn(3); n > 0 && len(live) > 0; n-- {
+			j := rng.Intn(len(live))
+			u.Deletes = append(u.Deletes, live[j])
+			live = append(live[:j], live[j+1:]...)
+		}
+		res, err := p.Apply(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, res.Inserted...)
+		dead := map[uint64]bool{}
+		for _, id := range res.Expired {
+			dead[id] = true
+		}
+		if len(dead) > 0 {
+			kept := live[:0]
+			for _, id := range live {
+				if !dead[id] {
+					kept = append(kept, id)
+				}
+			}
+			live = kept
+		}
+		if res.Live != len(live) {
+			t.Fatalf("batch %d: pipeline live=%d, test tracks %d", batch, res.Live, len(live))
+		}
+		if res.Live > 60 {
+			t.Fatalf("batch %d: window overflow: live=%d > MaxPoints=60", batch, res.Live)
+		}
+		if res.Seq != p.Seq() {
+			t.Fatalf("batch %d: result seq %d != published %d", batch, res.Seq, p.Seq())
+		}
+		checkOracle(t, p)
+	}
+	st := p.Stats()
+	if st.Inserts == 0 || st.Expired == 0 || st.Deletes == 0 {
+		t.Fatalf("stats did not count: %+v", st)
+	}
+}
+
+// TestConcurrentReadersDuringWrites is the acceptance-criterion test:
+// concurrent readers score against published epochs while the writer
+// applies batches, under -race, and every published epoch still matches
+// the batch refit bit for bit.
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	p, err := stream.New(stream.Config{Dim: 2, MinPts: 5, MaxPoints: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var lastSeq uint64
+			for !stop.Load() {
+				q := geom.Point{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+				v, seq, err := p.Score(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if math.IsNaN(v) {
+					t.Errorf("reader got NaN score at epoch %d", seq)
+					return
+				}
+				if seq < lastSeq {
+					t.Errorf("epoch went backwards: %d after %d", seq, lastSeq)
+					return
+				}
+				lastSeq = seq
+				if rng.Intn(8) == 0 {
+					if _, _, err := p.ScoreBatch([]geom.Point{q, {0, 0}}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if rng.Intn(8) == 0 {
+					_, lofs, _ := p.LOFs()
+					for _, l := range lofs {
+						if math.IsNaN(l) {
+							t.Error("NaN LOF served for a live point")
+							return
+						}
+					}
+				}
+			}
+		}(int64(400 + r))
+	}
+	rng := rand.New(rand.NewSource(399))
+	var live []uint64
+	for batch := 0; batch < 40; batch++ {
+		var u stream.Update
+		for n := 3 + rng.Intn(5); n > 0; n-- {
+			u.Inserts = append(u.Inserts, geom.Point{rng.NormFloat64() * 3, rng.NormFloat64() * 3})
+		}
+		for n := rng.Intn(2); n > 0 && len(live) > 5; n-- {
+			j := rng.Intn(len(live))
+			u.Deletes = append(u.Deletes, live[j])
+			live = append(live[:j], live[j+1:]...)
+		}
+		res, err := p.Apply(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, res.Inserted...)
+		dead := map[uint64]bool{}
+		for _, id := range res.Expired {
+			dead[id] = true
+		}
+		kept := live[:0]
+		for _, id := range live {
+			if !dead[id] {
+				kept = append(kept, id)
+			}
+		}
+		live = kept
+		checkOracle(t, p)
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestScoreMatchesRefitWithQuery pins the served score's contract
+// end-to-end: Score(q) equals the LOF q receives from a batch fit over
+// window ∪ {q}.
+func TestScoreMatchesRefitWithQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	p, err := stream.New(stream.Config{Dim: 2, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u stream.Update
+	for i := 0; i < 50; i++ {
+		u.Inserts = append(u.Inserts, geom.Point{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	if _, err := p.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []geom.Point{{0, 0}, {4, -4}, {0.3, 0.1}} {
+		got, _, err := p.Score(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := p.Window()
+		data = append(data, []float64(q))
+		want, err := lof.Scores(data, p.MinPts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want[len(want)-1]) {
+			t.Fatalf("Score(%v)=%v, refit=%v (bits differ)", q, got, want[len(want)-1])
+		}
+	}
+}
+
+// TestExpiryByAge drives a pipeline bounded by MaxAge: points inserted
+// more than MaxAge before a batch's Now are expired by that batch.
+func TestExpiryByAge(t *testing.T) {
+	p, err := stream.New(stream.Config{Dim: 1, MinPts: 2, MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	r1, err := p.Apply(stream.Update{
+		Inserts: []geom.Point{{0}, {1}, {2}, {3}, {4}, {5}},
+		Now:     t0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 minutes later: nothing expires.
+	r2, err := p.Apply(stream.Update{
+		Inserts: []geom.Point{{6}, {7}},
+		Now:     t0.Add(30 * time.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Expired) != 0 || r2.Live != 8 {
+		t.Fatalf("early batch expired %v, live=%d", r2.Expired, r2.Live)
+	}
+	// 61 minutes after t0: the first batch ages out, the second stays.
+	r3, err := p.Apply(stream.Update{Now: t0.Add(61 * time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r3.Expired) != len(r1.Inserted) {
+		t.Fatalf("expired %d ids, want the whole first batch (%d)", len(r3.Expired), len(r1.Inserted))
+	}
+	if r3.Live != 2 {
+		t.Fatalf("live=%d after age expiry, want 2", r3.Live)
+	}
+	checkOracle(t, p)
+}
+
+// TestApplyRejectsBadBatches pins atomic batch semantics: a bad delete or
+// insert rejects the whole batch and publishes nothing.
+func TestApplyRejectsBadBatches(t *testing.T) {
+	p, err := stream.New(stream.Config{Dim: 2, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Apply(stream.Update{Inserts: []geom.Point{{0, 0}, {1, 1}, {2, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := p.Seq()
+	if _, err := p.Apply(stream.Update{Deletes: []uint64{999}}); err == nil {
+		t.Error("unknown delete id accepted")
+	}
+	if _, err := p.Apply(stream.Update{
+		Inserts: []geom.Point{{1, 2}},
+		Deletes: []uint64{res.Inserted[0], res.Inserted[0]},
+	}); err == nil {
+		t.Error("duplicate delete id accepted")
+	}
+	if _, err := p.Apply(stream.Update{Inserts: []geom.Point{{1}}}); err == nil {
+		t.Error("wrong-dimension insert accepted")
+	}
+	if _, err := p.Apply(stream.Update{Inserts: []geom.Point{{math.NaN(), 0}}}); err == nil {
+		t.Error("NaN insert accepted")
+	}
+	if p.Seq() != seq {
+		t.Errorf("rejected batches advanced the epoch: %d → %d", seq, p.Seq())
+	}
+	if st := p.Stats(); st.Live != 3 {
+		t.Errorf("live=%d after rejected batches, want 3", st.Live)
+	}
+}
+
+// TestInsertDoesNotRetainCallerBuffer is the satellite regression at the
+// pipeline level: reusing one coordinate buffer across batches must not
+// change any published score.
+func TestInsertDoesNotRetainCallerBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	reused, err := stream.New(stream.Config{Dim: 2, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloned, err := stream.New(stream.Config{Dim: 2, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make(geom.Point, 2)
+	for i := 0; i < 25; i++ {
+		buf[0], buf[1] = rng.NormFloat64(), rng.NormFloat64()
+		if _, err := reused.Apply(stream.Update{Inserts: []geom.Point{buf}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cloned.Apply(stream.Update{Inserts: []geom.Point{buf.Clone()}}); err != nil {
+			t.Fatal(err)
+		}
+		buf[0], buf[1] = -1e12, 1e12
+	}
+	_, a, _ := reused.LOFs()
+	_, b, _ := cloned.LOFs()
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("slot %d: reused-buffer LOF %v != cloned %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCompactionTriggersAndPreservesScores runs enough churn through a
+// small window to cross the compaction floor, then verifies the slot
+// count shrank and the oracle still holds.
+func TestCompactionTriggersAndPreservesScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	p, err := stream.New(stream.Config{Dim: 2, MinPts: 3, MaxPoints: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 60; batch++ {
+		var u stream.Update
+		for n := 0; n < 12; n++ {
+			u.Inserts = append(u.Inserts, geom.Point{rng.NormFloat64(), rng.NormFloat64()})
+		}
+		if _, err := p.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after %d inserts in a 40-point window: %+v", st.Inserts, st)
+	}
+	// Slot growth is bounded by the compaction threshold (the 256-dead
+	// floor plus one batch of slack), not by the 720 points ever inserted.
+	if st.Slots > st.Live+256+12 {
+		t.Fatalf("slots=%d live=%d: compaction is not bounding tombstones", st.Slots, st.Live)
+	}
+	checkOracle(t, p)
+}
+
+// TestConfigValidation covers constructor rejections.
+func TestConfigValidation(t *testing.T) {
+	bad := []stream.Config{
+		{Dim: 0, MinPts: 3},
+		{Dim: 2, MinPts: 0},
+		{Dim: 2, MinPts: 3, Metric: "nosuch"},
+		{Dim: 2, MinPts: 3, MaxPoints: -1},
+		{Dim: 2, MinPts: 3, MaxAge: -time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := stream.New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// FuzzStreamOps drives arbitrary op sequences — batched inserts with
+// duplicate-prone coordinates, deletes (including delete-then-reinsert
+// patterns), and window shrinkage below MinPts+1 — and checks the refit
+// oracle at every epoch.
+func FuzzStreamOps(f *testing.F) {
+	f.Add([]byte{0x10, 0x21, 0x32, 0x80, 0x43, 0x91, 0x54, 0x65, 0x76, 0x80})
+	f.Add([]byte{0x10, 0x10, 0x10, 0x10, 0x80, 0x80, 0x80, 0x10})             // duplicates, shrink to empty
+	f.Add([]byte{0x15, 0x26, 0x80, 0x15, 0x80, 0x15})                         // delete-then-reinsert same site
+	f.Add([]byte{0x31, 0x32, 0x33, 0x34, 0x35, 0x36, 0x37, 0xc0, 0xc1, 0xc2}) // batch then explicit deletes
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := stream.New(stream.Config{Dim: 1, MinPts: 2, MaxPoints: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []uint64
+		var u stream.Update
+		flush := func() {
+			res, err := p.Apply(u)
+			if err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+			u = stream.Update{}
+			live = append(live, res.Inserted...)
+			dead := map[uint64]bool{}
+			for _, id := range res.Expired {
+				dead[id] = true
+			}
+			kept := live[:0]
+			for _, id := range live {
+				if !dead[id] {
+					kept = append(kept, id)
+				}
+			}
+			live = kept
+			if res.Live != len(live) {
+				t.Fatalf("live=%d, tracked %d", res.Live, len(live))
+			}
+			checkOracle(t, p)
+		}
+		for _, b := range data {
+			switch {
+			case b < 0x80: // stage an insert; low nibble picks a site
+				u.Inserts = append(u.Inserts, geom.Point{float64(b & 0x0f)})
+			case b < 0xc0: // flush the staged batch
+				flush()
+			default: // stage a delete of a tracked live id
+				if len(live) == 0 {
+					continue
+				}
+				id := live[int(b&0x3f)%len(live)]
+				live = append(live[:int(b&0x3f)%len(live)], live[int(b&0x3f)%len(live)+1:]...)
+				u.Deletes = append(u.Deletes, id)
+			}
+		}
+		flush()
+	})
+}

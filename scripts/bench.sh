@@ -18,10 +18,11 @@ benchtime=${2:-1x}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-# Fit/score pipeline benchmarks (repo root) and per-index KNN benchmarks,
-# legacy and cursor paths.
+# Fit/score pipeline benchmarks (repo root), per-index KNN benchmarks
+# (legacy and cursor paths), and streaming ingestion benchmarks.
 go test -run NONE -bench 'Fit|ScoreBatch' -benchtime "$benchtime" -benchmem . | tee -a "$tmp"
 go test -run NONE -bench 'KNN' -benchtime "$benchtime" -benchmem ./internal/index/... | tee -a "$tmp"
+go test -run NONE -bench 'Stream' -benchtime "$benchtime" -benchmem ./internal/stream | tee -a "$tmp"
 
 # Fold benchmark result lines into JSON. Values are located by their unit
 # suffix rather than by column, so benchmarks reporting extra custom

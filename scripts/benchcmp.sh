@@ -20,6 +20,15 @@
 #
 #   ./scripts/benchcmp.sh                  # compare against BENCH_4.json
 #   ./scripts/benchcmp.sh BENCH_4.json 2s  # longer benchtime, stabler ns/op
+#
+# A baseline produced by stream_bench.sh (recognized by its
+# "inserts_per_sec" field, BENCH_5.json by convention) switches to the
+# streaming gate instead: the same lofload workload is re-run, and the run
+# fails when sustained inserts/sec drops below baseline/1.30 or the
+# insert-push p99 rises above baseline*1.30. The second argument is then a
+# duration (default 5s) rather than a benchtime:
+#
+#   ./scripts/benchcmp.sh BENCH_5.json 30s
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,6 +40,62 @@ threshold=1.30
 if [ ! -f "$baseline" ]; then
 	echo "benchcmp.sh: baseline $baseline not found" >&2
 	exit 1
+fi
+
+# stream_field file block key: the value of "key" inside the JSON object
+# named "block" of a pretty-printed lofload report.
+stream_field() {
+	awk -v block="\"$2\":" -v key="\"$3\":" '
+		index($0, block) { inblock = 1; next }
+		inblock && index($0, key) { gsub(/[",]/, "", $2); print $2; exit }
+		inblock && /}/ { inblock = 0 }
+	' "$1"
+}
+
+if grep -q '"inserts_per_sec"' "$baseline"; then
+	duration=$benchtime
+	case "$duration" in
+	1x) duration=5s ;; # benchtime default leaked in: use the soak default
+	esac
+	current=$(mktemp)
+	trap 'rm -f "$current"' EXIT
+	./scripts/stream_bench.sh "$current" "$duration"
+
+	base_ips=$(stream_field "$baseline" stream inserts_per_sec)
+	cur_ips=$(stream_field "$current" stream inserts_per_sec)
+	base_p99=$(stream_field "$baseline" insert_latency p99_ms)
+	cur_p99=$(stream_field "$current" insert_latency p99_ms)
+	failed=$(sed -n 's/^ *"failed": \([0-9]*\),*$/\1/p' "$current" | head -n 1)
+	if [ -z "$base_ips" ] || [ -z "$cur_ips" ] || [ -z "$base_p99" ] || [ -z "$cur_p99" ]; then
+		echo "benchcmp.sh: could not parse streaming records" >&2
+		exit 1
+	fi
+
+	awk -v threshold="$threshold" -v advisory="${BENCHCMP_ADVISORY:-0}" \
+		-v bips="$base_ips" -v cips="$cur_ips" \
+		-v bp99="$base_p99" -v cp99="$cur_p99" -v failed="${failed:-0}" '
+	BEGIN {
+		regressions = 0
+		ips_ratio = bips / cips
+		printf "%-5s %7.2fx stream inserts/sec (%.0f -> %.0f)\n",
+			(ips_ratio > threshold ? "SLOW" : "ok"), ips_ratio, bips, cips
+		if (ips_ratio > threshold) regressions++
+		p99_ratio = cp99 / bp99
+		printf "%-5s %7.2fx stream insert p99 (%.2f -> %.2f ms)\n",
+			(p99_ratio > threshold ? "SLOW" : "ok"), p99_ratio, bp99, cp99
+		if (p99_ratio > threshold) regressions++
+		if (failed + 0 > 0) {
+			printf "FAIL   %d requests never succeeded\n", failed
+			regressions++
+		}
+		if (regressions > 0) {
+			printf "benchcmp.sh: %d streaming regression(s) against the baseline\n", regressions > "/dev/stderr"
+			if (advisory != "1") exit 1
+			print "benchcmp.sh: BENCHCMP_ADVISORY=1, reporting only" > "/dev/stderr"
+		}
+	}'
+	echo "benchcmp.sh: compared against $baseline (threshold ${threshold}x, duration $duration)"
+	exit 0
 fi
 
 current=$(mktemp)

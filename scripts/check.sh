@@ -9,6 +9,7 @@
 #   ./scripts/check.sh metrics-lint   # only the /metrics exposition lint
 #   ./scripts/check.sh coverage       # coverage run with floor enforcement
 #   ./scripts/check.sh shard-smoke    # only the sharded-tier smoke test
+#   ./scripts/check.sh stream-soak    # only the streaming ingest soak
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -92,6 +93,20 @@ metrics_lint() {
 	echo "metrics lint OK"
 }
 
+# stream_soak drives a short mixed insert/expire/score workload against a
+# self-hosted lofserve through the retrying client, with client-side
+# faults injected so the non-idempotent push path is exercised under
+# retries. lofload exits non-zero unless every logical request eventually
+# succeeded, which is the gate.
+stream_soak() {
+	echo "== stream soak"
+	go run ./cmd/lofload -self -stream \
+		-duration 3s -rps 200 -workers 6 -batch 8 -dim 3 \
+		-score-frac 0.5 -stream-window 600 -stream-minpts 8 -seed 1 \
+		-error-prob 0.05 -drop-prob 0.02 -latency-prob 0.10 -latency 2ms
+	echo "stream soak OK"
+}
+
 # coverage runs the suite with statement coverage, writes coverage.out for
 # artifact upload, and fails when total coverage drops below the floor.
 coverage() {
@@ -118,6 +133,10 @@ shard-smoke)
 	./scripts/shard_smoke.sh
 	exit 0
 	;;
+stream-soak)
+	stream_soak
+	exit 0
+	;;
 esac
 
 echo "== gofmt"
@@ -141,5 +160,7 @@ metrics_lint
 
 echo "== shard smoke"
 ./scripts/shard_smoke.sh
+
+stream_soak
 
 echo "OK"

@@ -1,0 +1,34 @@
+#!/bin/sh
+# stream_bench.sh measures the streaming serving tier end to end: lofload
+# drives a mixed insert/expire/score workload against a self-hosted
+# lofserve through the retrying client, and the machine-readable report —
+# sustained inserts/sec, insert-push and score latency quantiles — becomes
+# the BENCH_5.json baseline. benchcmp.sh knows how to gate against it
+# (inserts/sec floor, p99 ceiling); the CI stream-soak step runs the same
+# workload with faults injected and only checks eventual success.
+#
+# Usage:
+#   ./scripts/stream_bench.sh [out.json] [duration]
+#
+# out.json defaults to BENCH_5.json; duration defaults to 5s, which is a
+# smoke run — pass e.g. 30s for stable quantiles.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_5.json}
+duration=${2:-5s}
+
+# The window is sized so the priming batch (-points) nearly fills it and
+# the run spends its whole duration in steady-state churn — every insert
+# push also expires points — rather than in the cheaper fill-up phase.
+# The rate is deliberately below the single-writer's saturation point:
+# pushes serialize on the writer lock, so an open loop beyond capacity
+# would measure queueing depth, not the ingest path. benchcmp.sh gating is
+# on sustained inserts/sec and the below-saturation insert p99.
+go run ./cmd/lofload -self -stream \
+	-duration "$duration" -rps 15 -workers 4 -batch 16 -dim 3 \
+	-points 480 -score-frac 0.5 -stream-window 500 -stream-minpts 10 \
+	-seed 1 -json "$out"
+
+echo "wrote $out (streaming baseline, duration=$duration)"

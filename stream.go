@@ -31,7 +31,8 @@ func NewStream(dim, minPts int, metric string) (*Stream, error) {
 }
 
 // Insert adds one point and updates all affected LOF values. It returns
-// the point's index.
+// the point's index. The coordinates are copied: the caller may reuse or
+// mutate p's backing array after Insert returns.
 func (s *Stream) Insert(p []float64) (int, error) {
 	return s.inner.Insert(geom.Point(p))
 }
@@ -55,3 +56,19 @@ func (s *Stream) LastAffected() int { return s.inner.LastAffected() }
 // NaN scores. Out-of-range or already-removed indices return a
 // descriptive error.
 func (s *Stream) Remove(i int) error { return s.inner.Delete(i) }
+
+// ScoreQuery returns the out-of-sample LOF of q against the current
+// stream state: the LOF q would receive from a batch fit over the live
+// points plus q, bit for bit, without inserting q. An empty stream scores
+// every query 1.
+func (s *Stream) ScoreQuery(q []float64) (float64, error) {
+	return s.inner.ScoreAt(geom.Point(q))
+}
+
+// Compact rebuilds the stream's internal storage without the slots of
+// removed points. Point indices change: the return value maps each old
+// index to its new one, -1 for removed points. Maintained LOF values are
+// unchanged, bit for bit. Long-running streams with many removals call
+// this to keep memory proportional to the live set; the serving pipeline
+// (internal/stream) folds it into ingestion batches automatically.
+func (s *Stream) Compact() []int { return s.inner.Compact() }

@@ -104,3 +104,109 @@ func TestStreamRemove(t *testing.T) {
 		t.Error("out-of-range remove accepted")
 	}
 }
+
+func TestStreamInsertDoesNotRetainBuffer(t *testing.T) {
+	// Regression: Insert used to keep a reference into the caller's slice,
+	// so reusing one buffer across inserts silently corrupted earlier
+	// points. Coordinates must be copied on insert.
+	const minPts = 3
+	rng := rand.New(rand.NewSource(47))
+	s, err := NewStream(2, minPts, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data [][]float64
+	buf := make([]float64, 2)
+	for i := 0; i < 30; i++ {
+		buf[0], buf[1] = rng.NormFloat64(), rng.NormFloat64()
+		data = append(data, []float64{buf[0], buf[1]})
+		if _, err := s.Insert(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf[0], buf[1] = math.Inf(1), math.Inf(1) // poison the reused buffer
+	want, err := Scores(data, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range s.Scores() {
+		if math.Float64bits(g) != math.Float64bits(want[i]) {
+			t.Fatalf("point %d: stream=%v batch=%v", i, g, want[i])
+		}
+	}
+}
+
+func TestStreamScoreQuery(t *testing.T) {
+	const minPts = 4
+	rng := rand.New(rand.NewSource(53))
+	s, err := NewStream(2, minPts, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data [][]float64
+	for i := 0; i < 50; i++ {
+		p := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		data = append(data, p)
+		if _, err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range [][]float64{{0, 0}, {5, 5}, data[3]} {
+		got, err := s.ScoreQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: the LOF q receives from a batch fit over data ∪ {q}.
+		want, err := Scores(append(append([][]float64{}, data...), q), minPts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want[len(want)-1]) {
+			t.Fatalf("query %v: ScoreQuery=%v refit=%v", q, got, want[len(want)-1])
+		}
+	}
+	if _, err := s.ScoreQuery([]float64{1}); err == nil {
+		t.Error("wrong-dimension query accepted")
+	}
+}
+
+func TestStreamCompact(t *testing.T) {
+	const minPts = 4
+	rng := rand.New(rand.NewSource(59))
+	s, err := NewStream(2, minPts, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data [][]float64
+	for i := 0; i < 40; i++ {
+		p := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		data = append(data, p)
+		if _, err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Remove(i * 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Scores()
+	remap := s.Compact()
+	if len(remap) != 40 {
+		t.Fatalf("remap len=%d", len(remap))
+	}
+	if s.Len() != 30 {
+		t.Fatalf("Len=%d after compact", s.Len())
+	}
+	for old, now := range remap {
+		if old%3 == 0 && old/3 < 10 {
+			if now != -1 {
+				t.Fatalf("removed point %d remapped to %d", old, now)
+			}
+			continue
+		}
+		if math.Float64bits(s.Score(now)) != math.Float64bits(before[old]) {
+			t.Fatalf("point %d→%d: %v vs %v", old, now, s.Score(now), before[old])
+		}
+	}
+}
