@@ -41,6 +41,7 @@ import (
 	"lof/internal/client"
 	"lof/internal/coord"
 	"lof/internal/shard"
+	"lof/internal/trace"
 )
 
 func main() {
@@ -54,6 +55,9 @@ func main() {
 		repairEvery    = flag.Duration("repair-interval", 2*time.Second, "how often to sweep replicas for repair")
 		grace          = flag.Duration("grace", 15*time.Second, "graceful shutdown drain budget")
 		logLevel       = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		traceSample    = flag.Float64("trace-sample", 0, "probability of recording a trace for requests without an inbound sampled traceparent (0 disables tracing unless -trace-slow is set)")
+		traceSlow      = flag.Duration("trace-slow", 0, "always record spans at least this slow, even unsampled (0 disables the slow override)")
+		traceBuffer    = flag.Int("trace-buffer", 4096, "recorded spans kept in the in-process ring buffer served by /v1/debug/traces")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -63,6 +67,7 @@ func main() {
 		hedge: *hedge, partitioner: *partitioner,
 		degradedSample: *degradedSample, repairEvery: *repairEvery,
 		grace: *grace, logLevel: *logLevel,
+		traceSample: *traceSample, traceSlow: *traceSlow, traceBuffer: *traceBuffer,
 	}
 	if err := run(ctx, o, os.Stderr, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "lofcoord: %v\n", err)
@@ -80,6 +85,9 @@ type options struct {
 	repairEvery    time.Duration
 	grace          time.Duration
 	logLevel       string
+	traceSample    float64
+	traceSlow      time.Duration
+	traceBuffer    int
 }
 
 // parseTargets splits the -shards grammar: ';' between shards, ',' between
@@ -135,6 +143,19 @@ func run(ctx context.Context, o options, logw io.Writer, ready chan<- string) er
 	if err != nil {
 		return err
 	}
+	var collector *trace.Collector
+	if o.traceSample > 0 || o.traceSlow > 0 {
+		collector = trace.NewCollector(trace.Config{
+			Service:       "lofcoord",
+			Capacity:      o.traceBuffer,
+			Sample:        o.traceSample,
+			SlowThreshold: o.traceSlow,
+		})
+		logger.LogAttrs(ctx, slog.LevelInfo, "tracing enabled",
+			slog.Float64("sample", o.traceSample),
+			slog.Duration("slow", o.traceSlow),
+			slog.Int("buffer", o.traceBuffer))
+	}
 	c, err := coord.New(coord.Config{
 		Targets:        targets,
 		Client:         client.Config{},
@@ -143,6 +164,7 @@ func run(ctx context.Context, o options, logw io.Writer, ready chan<- string) er
 		DegradedSample: o.degradedSample,
 		RepairInterval: o.repairEvery,
 		Logger:         logger,
+		Trace:          collector,
 	})
 	if err != nil {
 		return err

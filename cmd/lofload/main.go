@@ -14,6 +14,7 @@
 //	lofload -self -mode degraded -rps 200               # degraded opt-in
 //	lofload -self -json report.json                     # machine-readable report
 //	lofload -self -stream -rps 500 -score-frac 0.5      # streaming ingest mix
+//	lofload -self -trace -json -                        # trace IDs of p99 stragglers
 //
 // With -self, an in-process lofserve instance is started on a loopback
 // port and torn down afterwards, so a single command is a full soak test.
@@ -46,6 +47,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,6 +57,7 @@ import (
 	"lof/internal/faults"
 	"lof/internal/obs"
 	"lof/internal/server"
+	"lof/internal/trace"
 )
 
 type options struct {
@@ -70,6 +73,8 @@ type options struct {
 	mode      string
 	seed      int64
 	jsonPath  string
+
+	trace bool
 
 	stream       bool
 	streamWindow int
@@ -95,6 +100,7 @@ func main() {
 	flag.StringVar(&o.mode, "mode", "", `score mode: "" (exact), "full" or "degraded"`)
 	flag.Int64Var(&o.seed, "seed", 1, "seed for workload and fault schedules")
 	flag.StringVar(&o.jsonPath, "json", "", `write a machine-readable JSON report to this path ("-" for stdout)`)
+	flag.BoolVar(&o.trace, "trace", false, "send a sampled traceparent with every request and report the trace IDs of p99 score stragglers (pair with the target's -trace-sample/-trace-slow and /v1/debug/traces)")
 	flag.BoolVar(&o.stream, "stream", false, "drive streaming ingest traffic (insert pushes + epoch scores) instead of fit+score")
 	flag.IntVar(&o.streamWindow, "stream-window", 2000, "sliding-window point bound for -stream")
 	flag.IntVar(&o.streamMinPts, "stream-minpts", 10, "MinPts for -stream pipelines")
@@ -131,8 +137,66 @@ type report struct {
 	insertHist *obs.Histogram
 	elapsed    time.Duration
 
+	// stragglers keeps the slowest traced score requests (trace ID +
+	// latency) so the report can name what to pull from /v1/debug/traces.
+	stragglerMu sync.Mutex
+	stragglers  []straggler
+
 	clientStats client.Stats
 	faultStats  faults.Stats
+}
+
+// straggler is one traced score request retained for the report.
+type straggler struct {
+	TraceID string  `json:"trace_id"`
+	MS      float64 `json:"latency_ms"`
+}
+
+// maxStragglers bounds retention: only the slowest requests matter, and a
+// long soak must not accumulate one entry per request.
+const maxStragglers = 64
+
+// noteTraced records a traced score request, evicting the fastest retained
+// entry once the bound is hit.
+func (rep *report) noteTraced(traceID string, elapsed time.Duration) {
+	ms := float64(elapsed.Microseconds()) / 1000
+	rep.stragglerMu.Lock()
+	defer rep.stragglerMu.Unlock()
+	if len(rep.stragglers) < maxStragglers {
+		rep.stragglers = append(rep.stragglers, straggler{traceID, ms})
+		return
+	}
+	min := 0
+	for i := 1; i < len(rep.stragglers); i++ {
+		if rep.stragglers[i].MS < rep.stragglers[min].MS {
+			min = i
+		}
+	}
+	if ms > rep.stragglers[min].MS {
+		rep.stragglers[min] = straggler{traceID, ms}
+	}
+}
+
+// p99Stragglers returns the slowest 1% of score requests (at least one),
+// slowest first, capped at n. The cut is by rank, not by the histogram's
+// p99 estimate: bucket interpolation can place that estimate above the true
+// maximum, which would name no stragglers at all.
+func (rep *report) p99Stragglers(n int) []straggler {
+	k := int(rep.scoreHist.Snapshot().Count() / 100)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	rep.stragglerMu.Lock()
+	out := append([]straggler(nil), rep.stragglers...)
+	rep.stragglerMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].MS > out[j].MS })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
 }
 
 // loadBuckets spans 100µs to ~26s in powers of two — wide enough for both
@@ -164,13 +228,18 @@ func clusters(rng *rand.Rand, n, dim int) [][]float64 {
 }
 
 // selfServer starts an in-process lofserve on a loopback port and returns
-// its base URL plus a shutdown func.
-func selfServer() (string, func(), error) {
+// its base URL plus a shutdown func. With traced, the server records every
+// span so -self -trace is a self-contained demo of the straggler report.
+func selfServer(traced bool) (string, func(), error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
 	}
-	srv := server.New(server.Config{})
+	var cfg server.Config
+	if traced {
+		cfg.Trace = trace.NewCollector(trace.Config{Service: "lofload-self", Sample: 1})
+	}
+	srv := server.New(cfg)
 	hs := &http.Server{Handler: srv.Handler()}
 	go func() { _ = hs.Serve(ln) }()
 	stop := func() {
@@ -195,7 +264,7 @@ func run(ctx context.Context, o options, out io.Writer) (*report, error) {
 		}
 	}
 	if o.self {
-		base, stop, err := selfServer()
+		base, stop, err := selfServer(o.trace)
 		if err != nil {
 			return nil, err
 		}
@@ -355,6 +424,10 @@ type jsonReport struct {
 
 	Stream *jsonStream `json:"stream,omitempty"`
 
+	// TraceStragglers lists the slowest traced score requests at or above
+	// the p99, slowest first — the IDs to pull from /v1/debug/traces.
+	TraceStragglers []straggler `json:"trace_stragglers,omitempty"`
+
 	Client struct {
 		Attempts      int64 `json:"attempts"`
 		Retries       int64 `json:"retries"`
@@ -422,6 +495,9 @@ func writeJSONReport(o options, rep *report, stdout io.Writer) error {
 			InsertsPerSec: float64(rep.inserted.Load()) / rep.elapsed.Seconds(),
 		}
 	}
+	if o.trace {
+		jr.TraceStragglers = rep.p99Stragglers(10)
+	}
 	jr.Client.Attempts = rep.clientStats.Attempts
 	jr.Client.Retries = rep.clientStats.Retries
 	jr.Client.BudgetDenials = rep.clientStats.BudgetDenials
@@ -445,6 +521,15 @@ func writeJSONReport(o options, rep *report, stdout io.Writer) error {
 // of the run window does not (the run ended, the request did not fail).
 func doOne(ctx context.Context, c *client.Client, o options, rng *rand.Rand, fitCfg server.FitConfig, rep *report) {
 	score := rng.Float64() < o.scoreFrac
+	var traceID string
+	if o.trace {
+		// A fresh sampled trace per request: the client injects it as the
+		// traceparent, the target records the request's spans under it, and
+		// the report names the IDs worth pulling from /v1/debug/traces.
+		sc := trace.SpanContext{TraceID: trace.NewTraceID(), SpanID: trace.NewSpanID(), Sampled: true}
+		ctx = trace.ContextWithRemote(ctx, sc)
+		traceID = sc.TraceID.String()
+	}
 	start := time.Now()
 	var err error
 	switch {
@@ -480,6 +565,9 @@ func doOne(ctx context.Context, c *client.Client, o options, rng *rand.Rand, fit
 	switch {
 	case score:
 		rep.scoreHist.Observe(elapsed)
+		if traceID != "" {
+			rep.noteTraced(traceID, elapsed)
+		}
 	case o.stream:
 		rep.insertHist.Observe(elapsed)
 	default:
@@ -510,6 +598,11 @@ func printReport(w io.Writer, o options, rep *report) {
 			h.snap.Quantile(0.50).Round(10*time.Microsecond),
 			h.snap.Quantile(0.95).Round(10*time.Microsecond),
 			h.snap.Quantile(0.99).Round(10*time.Microsecond))
+	}
+	if o.trace {
+		for _, s := range rep.p99Stragglers(5) {
+			fmt.Fprintf(w, "  p99 straggler: trace=%s latency=%.2fms\n", s.TraceID, s.MS)
+		}
 	}
 	cs := rep.clientStats
 	fmt.Fprintf(w, "  client: attempts=%d retries=%d budget-denials=%d\n",

@@ -174,12 +174,12 @@ func TestRunValidation(t *testing.T) {
 // round-robin and checks the machine-readable report: both targets listed,
 // all requests accounted for, quantiles present, the file valid JSON.
 func TestMultiTargetJSONReport(t *testing.T) {
-	baseA, stopA, err := selfServer()
+	baseA, stopA, err := selfServer(false)
 	if err != nil {
 		t.Fatalf("selfServer: %v", err)
 	}
 	defer stopA()
-	baseB, stopB, err := selfServer()
+	baseB, stopB, err := selfServer(false)
 	if err != nil {
 		t.Fatalf("selfServer: %v", err)
 	}
@@ -222,5 +222,52 @@ func TestMultiTargetJSONReport(t *testing.T) {
 	}
 	if jr.ScoreLatency == nil || jr.ScoreLatency.Count == 0 || jr.ScoreLatency.P99ms < jr.ScoreLatency.P50ms {
 		t.Fatalf("report score latency = %+v", jr.ScoreLatency)
+	}
+}
+
+// TestTraceStragglerReport: with -trace every score request carries a
+// sampled traceparent and the report names the p99 stragglers' trace IDs,
+// both in the text summary and the JSON report.
+func TestTraceStragglerReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	o := options{
+		self:      true,
+		trace:     true,
+		duration:  600 * time.Millisecond,
+		rps:       60,
+		workers:   4,
+		batch:     4,
+		dim:       2,
+		points:    120,
+		scoreFrac: 1.0,
+		seed:      4,
+		jsonPath:  path,
+	}
+	rep, err := run(context.Background(), o, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if rep.failed.Load() != 0 || rep.ok.Load() == 0 {
+		t.Fatalf("trace soak: ok=%d failed=%d\n%s", rep.ok.Load(), rep.failed.Load(), out.String())
+	}
+	if !strings.Contains(out.String(), "p99 straggler: trace=") {
+		t.Errorf("report missing straggler lines:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr jsonReport
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(jr.TraceStragglers) == 0 {
+		t.Fatalf("JSON report has no trace stragglers: %s", raw)
+	}
+	for _, s := range jr.TraceStragglers {
+		if len(s.TraceID) != 32 || s.MS <= 0 {
+			t.Fatalf("malformed straggler %+v", s)
+		}
 	}
 }

@@ -60,6 +60,7 @@ import (
 	"lof"
 	"lof/internal/server"
 	"lof/internal/stream"
+	"lof/internal/trace"
 )
 
 func main() {
@@ -73,6 +74,10 @@ func main() {
 		grace       = flag.Duration("grace", 15*time.Second, "graceful shutdown drain budget")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (separate listener; empty disables)")
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+
+		traceSample = flag.Float64("trace-sample", 0, "probability of recording a trace for requests without an inbound sampled traceparent (0 disables tracing unless -trace-slow is set)")
+		traceSlow   = flag.Duration("trace-slow", 0, "always record spans at least this slow, even unsampled (0 disables the slow override)")
+		traceBuffer = flag.Int("trace-buffer", 4096, "recorded spans kept in the in-process ring buffer served by /v1/debug/traces")
 
 		streamDim       = flag.Int("stream-dim", 0, "start a streaming pipeline for points of this dimensionality (0 disables; /v1/stream/init can still create one)")
 		streamMinPts    = flag.Int("stream-minpts", 10, "MinPts for the streaming pipeline")
@@ -91,6 +96,7 @@ func main() {
 		maxSnap:   *maxSnap,
 		grace:     *grace,
 		pprofAddr: *pprofAddr, logLevel: *logLevel,
+		traceSample: *traceSample, traceSlow: *traceSlow, traceBuffer: *traceBuffer,
 		streamDim: *streamDim, streamMinPts: *streamMinPts, streamMetric: *streamMetric,
 		streamMaxPoints: *streamMaxPoints, streamMaxAge: *streamMaxAge,
 		freezeEvery: *freezeEvery, snapshotPath: *snapshotPath,
@@ -113,6 +119,10 @@ type options struct {
 	grace       time.Duration
 	pprofAddr   string
 	logLevel    string
+
+	traceSample float64
+	traceSlow   time.Duration
+	traceBuffer int
 
 	streamDim       int
 	streamMinPts    int
@@ -162,12 +172,26 @@ func run(ctx context.Context, o options, logw io.Writer, ready chan<- [2]string)
 		return err
 	}
 	logger := slog.New(slog.NewJSONHandler(logw, &slog.HandlerOptions{Level: level}))
+	var collector *trace.Collector
+	if o.traceSample > 0 || o.traceSlow > 0 {
+		collector = trace.NewCollector(trace.Config{
+			Service:       "lofserve",
+			Capacity:      o.traceBuffer,
+			Sample:        o.traceSample,
+			SlowThreshold: o.traceSlow,
+		})
+		logger.LogAttrs(ctx, slog.LevelInfo, "tracing enabled",
+			slog.Float64("sample", o.traceSample),
+			slog.Duration("slow", o.traceSlow),
+			slog.Int("buffer", o.traceBuffer))
+	}
 	srv := server.New(server.Config{
 		MaxInFlight:      o.maxInFlight,
 		RequestTimeout:   o.timeout,
 		MaxBatch:         o.maxBatch,
 		MaxSnapshotBytes: o.maxSnap,
 		Logger:           logger,
+		Trace:            collector,
 	})
 	if o.modelPath != "" {
 		f, err := os.Open(o.modelPath)

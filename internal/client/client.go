@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"lof/internal/server"
+	"lof/internal/trace"
 )
 
 // ErrBudgetExhausted wraps the last attempt's error when the retry budget
@@ -239,8 +240,17 @@ func (c *Client) doTyped(ctx context.Context, method, path string, body []byte, 
 			c.retries.Add(1)
 		}
 		c.attempts.Add(1)
-		resp, err := c.attempt(ctx, method, path, body, contentType)
+		sp, sctx := trace.StartSpan(ctx, "rpc "+path)
+		sp.SetAttrInt("attempt", int64(attempt))
+		resp, err := c.attempt(sctx, method, path, body, contentType)
 		retry, done := c.finish(resp, err, out)
+		if resp != nil {
+			sp.SetAttrInt("status", int64(resp.StatusCode))
+		}
+		if done != nil {
+			sp.SetError(done.Error())
+		}
+		sp.End()
 		if done == nil && retry == 0 {
 			return nil
 		}
@@ -280,6 +290,10 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		req.Header.Set("Content-Type", contentType)
 	}
+	// Propagate the trace context and correlation ID on every attempt —
+	// retries and hedges included — so server-side spans parent correctly
+	// and both sides log the same X-Request-ID.
+	trace.Inject(ctx, req.Header)
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ import (
 
 	"lof/internal/server"
 	"lof/internal/shard"
+	"lof/internal/trace"
 )
 
 // Shard-tier methods: the coordinator talks to each shard replica through
@@ -65,6 +66,7 @@ func (c *Client) Readyz(ctx context.Context) (*server.ReadyInfo, error) {
 	if err != nil {
 		return nil, err
 	}
+	trace.Inject(ctx, req.Header)
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return nil, err
@@ -129,9 +131,29 @@ func Hedged[T any](ctx context.Context, rs *ReplicaSet, hedge time.Duration, op 
 	launched := 0
 	launch := func() {
 		c := rs.clients[launched]
+		idx := launched
 		launched++
 		go func() {
-			v, err := op(cctx, c)
+			// Each replica attempt is its own span, so hedge winners and
+			// losers show up as siblings under the caller's span; op runs
+			// under the replica span's context so its RPC spans nest inside.
+			sp, sctx := trace.StartSpan(cctx, "replica")
+			sp.SetAttrInt("replica", int64(idx))
+			if idx > 0 {
+				sp.SetAttr("hedged", "true")
+			}
+			v, err := op(sctx, c)
+			switch {
+			case err == nil:
+				sp.SetAttr("outcome", "won")
+			case cctx.Err() != nil:
+				// Cancelled because a sibling already won.
+				sp.SetAttr("outcome", "lost")
+			default:
+				sp.SetAttr("outcome", "error")
+				sp.SetError(err.Error())
+			}
+			sp.End()
 			ch <- result{v, err}
 		}()
 	}

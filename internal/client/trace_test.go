@@ -1,0 +1,160 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"lof/internal/trace"
+)
+
+// TestRequestIDForwardedAcrossRetries is the regression test for the bug
+// where internal/client dropped X-Request-ID on the wire: coordinator-side
+// and shard-side logs for one request could not be joined. Every attempt of
+// a retried request must now carry the same correlation ID and the same
+// trace ID.
+func TestRequestIDForwardedAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var ids, traceparents []string
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ids = append(ids, r.Header.Get("X-Request-ID"))
+		traceparents = append(traceparents, r.Header.Get("traceparent"))
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= 2 {
+			// Transient failures; the client must retry with the same IDs.
+			http.Error(w, `{"error":"injected"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","model":true}`))
+	}))
+	defer ts.Close()
+
+	cl, err := New(Config{
+		BaseURL:          ts.URL,
+		MaxAttempts:      4,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       2 * time.Millisecond,
+		RetryBudgetRatio: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col := trace.NewCollector(trace.Config{Service: "test", Sample: 1})
+	sp, ctx := col.StartRequest(context.Background(), "root", "")
+	ctx = trace.ContextWithRequestID(ctx, "chaos-42")
+	if _, err := cl.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ids) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(ids))
+	}
+	for i, id := range ids {
+		if id != "chaos-42" {
+			t.Fatalf("attempt %d carried X-Request-ID %q, want chaos-42 on every attempt", i, id)
+		}
+	}
+	root := sp.Context().TraceID
+	seenSpanIDs := map[string]bool{}
+	for i, tp := range traceparents {
+		sc, ok := trace.Parse(tp)
+		if !ok {
+			t.Fatalf("attempt %d carried unparsable traceparent %q", i, tp)
+		}
+		if sc.TraceID != root {
+			t.Fatalf("attempt %d trace ID %s, want root %s", i, sc.TraceID, root)
+		}
+		seenSpanIDs[sc.SpanID.String()] = true
+	}
+	// Each attempt is its own span, so the propagated parent differs per try.
+	if len(seenSpanIDs) != 3 {
+		t.Fatalf("attempts shared span IDs: %v", seenSpanIDs)
+	}
+
+	// The collector holds one rpc span per attempt, failures marked.
+	var rpcs []trace.Recorded
+	for _, rec := range col.Spans(trace.Query{TraceID: root.String()}) {
+		if rec.Name == "rpc /healthz" {
+			rpcs = append(rpcs, rec)
+		}
+	}
+	if len(rpcs) != 3 {
+		t.Fatalf("collector holds %d rpc spans, want 3", len(rpcs))
+	}
+	failed := 0
+	for _, rec := range rpcs {
+		if rec.Error != "" {
+			failed++
+		}
+	}
+	if failed != 2 {
+		t.Fatalf("%d rpc spans marked failed, want the 2 injected 503s", failed)
+	}
+}
+
+// TestHedgedSiblingSpans asserts hedge fan-out is visible in the trace:
+// each engaged replica is a sibling span under the caller's span, the
+// failed one marked error and the winner marked won.
+func TestHedgedSiblingSpans(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"injected"}`, http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","model":true}`))
+	}))
+	defer good.Close()
+
+	rs, err := NewReplicaSet([]string{bad.URL, good.URL}, Config{
+		BaseURL:          "placeholder",
+		MaxAttempts:      1,
+		RetryBudgetRatio: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col := trace.NewCollector(trace.Config{Service: "coord", Sample: 1})
+	sp, ctx := col.StartRequest(context.Background(), "root", "")
+	_, err = Hedged(ctx, rs, 0, func(ctx context.Context, c *Client) (bool, error) {
+		return c.Healthz(ctx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+
+	var replicas []trace.Recorded
+	for _, rec := range col.Spans(trace.Query{TraceID: sp.Context().TraceID.String()}) {
+		if rec.Name == "replica" {
+			replicas = append(replicas, rec)
+		}
+	}
+	if len(replicas) != 2 {
+		t.Fatalf("recorded %d replica spans, want 2 siblings", len(replicas))
+	}
+	parent := sp.Context().SpanID.String()
+	outcomes := map[string]string{}
+	for _, rec := range replicas {
+		if rec.ParentID != parent {
+			t.Fatalf("replica span parented to %s, want the caller's span %s", rec.ParentID, parent)
+		}
+		outcomes[rec.Attrs["replica"]] = rec.Attrs["outcome"]
+	}
+	if outcomes["0"] != "error" || outcomes["1"] != "won" {
+		t.Fatalf("outcomes %v, want replica 0 error and replica 1 won", outcomes)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"lof/internal/pool"
 	"lof/internal/server"
 	"lof/internal/shard"
+	"lof/internal/trace"
 )
 
 // Config parameterizes a Coordinator.
@@ -72,6 +73,9 @@ type Config struct {
 	RepairInterval time.Duration
 	// Logger receives coordinator events. Nil discards.
 	Logger *slog.Logger
+	// Trace collects distributed-tracing spans for coordinator requests and
+	// scatter-gather rounds; nil disables tracing.
+	Trace *trace.Collector
 }
 
 // state is the installed serving state: everything a score request needs,
@@ -118,6 +122,9 @@ type Coordinator struct {
 	repairPushes expvar.Int
 	fits         expvar.Int
 	scoreQueries expvar.Int
+
+	// Per-route HTTP observability (see http.go's wrap middleware).
+	routes map[string]*coordRoute
 }
 
 // New validates cfg and returns a Coordinator with one client per replica.
@@ -140,6 +147,10 @@ func New(cfg Config) (*Coordinator, error) {
 		pool:         pool.New(cfg.Workers),
 		shardLatency: make([]*obs.Histogram, len(cfg.Targets)),
 		shardFails:   make([]expvar.Int, len(cfg.Targets)),
+		routes:       make(map[string]*coordRoute, len(coordRoutes)),
+	}
+	for _, route := range coordRoutes {
+		c.routes[route] = &coordRoute{latency: obs.NewHistogram(obs.DefaultLatencyBuckets)}
 	}
 	for s, urls := range cfg.Targets {
 		rs, err := client.NewReplicaSet(urls, cfg.Client)
@@ -355,7 +366,11 @@ func (c *Coordinator) Score(ctx context.Context, queries [][]float64, allowDegra
 		}
 		c.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "serving degraded",
 			slog.Int("shard", se.shard), slog.String("cause", se.err.Error()))
-		scores, derr := st.degraded.ScoreBatchContext(ctx, queries)
+		dsp, dctx := trace.StartSpan(ctx, "coord/degraded")
+		dsp.SetAttrInt("shard", int64(se.shard))
+		dsp.SetAttr("cause", se.err.Error())
+		scores, derr := st.degraded.ScoreBatchContext(dctx, queries)
+		dsp.End()
 		if derr != nil {
 			return nil, "", fmt.Errorf("coord: degraded fallback after %v: %w", err, derr)
 		}
@@ -365,15 +380,20 @@ func (c *Coordinator) Score(ctx context.Context, queries [][]float64, allowDegra
 	return nil, "", err
 }
 
-// shardCall runs op against a shard's replica set with hedging and records
-// per-shard latency and failures.
-func shardCall[T any](ctx context.Context, c *Coordinator, s int, op func(context.Context, *client.Client) (T, error)) (T, error) {
+// shardCall runs op against a shard's replica set with hedging, records
+// per-shard latency and failures, and traces the whole hedged call as one
+// named span (replica attempts appear as its children).
+func shardCall[T any](ctx context.Context, c *Coordinator, s int, name string, op func(context.Context, *client.Client) (T, error)) (T, error) {
+	sp, sctx := trace.StartSpan(ctx, name)
+	sp.SetAttrInt("shard", int64(s))
 	start := time.Now()
-	v, err := client.Hedged(ctx, c.replicas[s], c.cfg.Hedge, op)
+	v, err := client.Hedged(sctx, c.replicas[s], c.cfg.Hedge, op)
 	c.shardLatency[s].Observe(time.Since(start))
 	if err != nil {
 		c.shardFails[s].Add(1)
+		sp.SetError(err.Error())
 	}
+	sp.End()
 	return v, err
 }
 
@@ -384,8 +404,10 @@ func (c *Coordinator) scoreExact(ctx context.Context, st *state, queries [][]flo
 
 	// Round 1: per-partition candidates from every shard, in parallel.
 	candsByShard := make([][][]shard.WireCandidate, len(c.replicas))
-	if err := c.eachShard(ctx, func(s int) error {
-		resp, err := shardCall(ctx, c, s, func(ctx context.Context, cl *client.Client) (*shard.CandidatesResponse, error) {
+	csp, cctx := trace.StartSpan(ctx, "coord/candidates")
+	csp.SetAttrInt("queries", int64(nq))
+	err := c.eachShard(cctx, func(s int) error {
+		resp, err := shardCall(cctx, c, s, "rpc/candidates", func(ctx context.Context, cl *client.Client) (*shard.CandidatesResponse, error) {
 			return cl.Candidates(ctx, st.version, queries)
 		})
 		if err != nil {
@@ -396,12 +418,18 @@ func (c *Coordinator) scoreExact(ctx context.Context, st *state, queries [][]flo
 		}
 		candsByShard[s] = resp.Candidates
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
+		csp.SetError(err.Error())
+	}
+	csp.End()
+	if err != nil {
 		return nil, err
 	}
 
 	// Merge each query's global row locally; coordinate lookups for
 	// distinct-rank recomputation come from the candidate payloads.
+	msp, _ := trace.StartSpan(ctx, "coord/merge")
 	qRows := make([]matdb.Row, nq)
 	coords := make([]map[int]geom.Point, nq)
 	mergeErrs := make([]error, nq)
@@ -434,9 +462,12 @@ func (c *Coordinator) scoreExact(ctx context.Context, st *state, queries [][]flo
 	})
 	for qi, err := range mergeErrs {
 		if err != nil {
+			msp.SetError(err.Error())
+			msp.End()
 			return nil, fmt.Errorf("coord: merging query %d: %w", qi, err)
 		}
 	}
+	msp.End()
 
 	// Rounds 2 and 3: fetch the two-hop merged-row closure.
 	rows := make([]map[int]matdb.Row, nq)
@@ -447,7 +478,7 @@ func (c *Coordinator) scoreExact(ctx context.Context, st *state, queries [][]flo
 	for qi := range need {
 		need[qi] = neighborIDs(qRows[qi], st.ub, qIdx, rows[qi])
 	}
-	if err := c.fetchRows(ctx, st, queries, need, rows); err != nil {
+	if err := c.fetchRowsSpan(ctx, st, queries, need, rows, 2); err != nil {
 		return nil, err
 	}
 	for qi := range need {
@@ -463,11 +494,13 @@ func (c *Coordinator) scoreExact(ctx context.Context, st *state, queries [][]flo
 		}
 		need[qi] = second
 	}
-	if err := c.fetchRows(ctx, st, queries, need, rows); err != nil {
+	if err := c.fetchRowsSpan(ctx, st, queries, need, rows, 3); err != nil {
 		return nil, err
 	}
 
 	// Evaluate: the same core.EvalAt the in-process scorer runs.
+	esp, _ := trace.StartSpan(ctx, "coord/eval")
+	defer esp.End()
 	out := make([]float64, nq)
 	evalErrs := make([]error, nq)
 	c.pool.Each(nq, func(qi int) {
@@ -534,6 +567,19 @@ func neighborIDs(row matdb.Row, ub, qIdx int, have map[int]matdb.Row) []int {
 	return out
 }
 
+// fetchRowsSpan wraps one fetchRows round in a "coord/rows" span labeled
+// with its scatter-gather round number.
+func (c *Coordinator) fetchRowsSpan(ctx context.Context, st *state, queries [][]float64, need [][]int, rows []map[int]matdb.Row, round int) error {
+	sp, sctx := trace.StartSpan(ctx, "coord/rows")
+	sp.SetAttrInt("round", int64(round))
+	err := c.fetchRows(sctx, st, queries, need, rows)
+	if err != nil {
+		sp.SetError(err.Error())
+	}
+	sp.End()
+	return err
+}
+
 // fetchRows fetches the merged rows of need[qi] for every query, grouped by
 // owning shard, and records them in rows[qi]. One Rows RPC per shard covers
 // the whole batch.
@@ -559,7 +605,7 @@ func (c *Coordinator) fetchRows(ctx context.Context, st *state, queries [][]floa
 		if len(reqs[s]) == 0 {
 			return nil
 		}
-		resp, err := shardCall(ctx, c, s, func(ctx context.Context, cl *client.Client) (*shard.RowsResponse, error) {
+		resp, err := shardCall(ctx, c, s, "rpc/rows", func(ctx context.Context, cl *client.Client) (*shard.RowsResponse, error) {
 			return cl.Rows(ctx, st.version, reqs[s])
 		})
 		if err != nil {

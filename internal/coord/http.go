@@ -7,10 +7,12 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"lof/internal/obs"
 	"lof/internal/server"
+	"lof/internal/trace"
 )
 
 // The coordinator's HTTP surface speaks the same JSON protocol as the
@@ -61,15 +63,96 @@ func (f jsonFloat) MarshalJSON() ([]byte, error) {
 	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
 }
 
+// coordRoutes fixes the exposition order of the coordinator's per-route
+// series.
+var coordRoutes = []string{"/v1/fit", "/v1/score", "/v1/model"}
+
+// coordRoute is the coordinator's per-route observability: a latency
+// histogram plus the slowest traced request and its trace ID (the exemplar
+// linking the histogram's top bucket to /v1/debug/traces).
+type coordRoute struct {
+	latency *obs.Histogram
+	mu      sync.Mutex
+	slowest time.Duration
+	trace   string
+}
+
+func (cr *coordRoute) record(d time.Duration, traceID string) {
+	cr.latency.Observe(d)
+	cr.mu.Lock()
+	if d > cr.slowest && traceID != "" {
+		cr.slowest = d
+		cr.trace = traceID
+	}
+	cr.mu.Unlock()
+}
+
+func (cr *coordRoute) exemplar() (time.Duration, string, bool) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	return cr.slowest, cr.trace, cr.trace != ""
+}
+
+// coordStatusWriter records the response status for span error marking.
+type coordStatusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *coordStatusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *coordStatusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// wrap is the coordinator's request middleware: it assigns (or continues)
+// the X-Request-ID, echoes it on the response, starts the request span —
+// continuing an inbound traceparent — and records per-route latency with
+// the slowest-request trace exemplar.
+func (c *Coordinator) wrap(route string, h http.HandlerFunc) http.Handler {
+	cr := c.routes[route]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := trace.IncomingRequestID(r)
+		ctx := trace.ContextWithRequestID(r.Context(), id)
+		sp, ctx := c.cfg.Trace.StartRequest(ctx, "http "+route, r.Header.Get(trace.Header))
+		sp.SetAttr("route", route)
+		sp.SetAttr("requestId", id)
+		w.Header().Set(trace.RequestIDHeader, id)
+		sw := &coordStatusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		sp.SetAttrInt("status", int64(status))
+		if status >= 500 {
+			sp.SetError(fmt.Sprintf("status %d", status))
+		}
+		sp.EndIn(elapsed)
+		cr.record(elapsed, sp.TraceIDString())
+	})
+}
+
 // Handler returns the coordinator's HTTP API.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/fit", c.handleFit)
-	mux.HandleFunc("POST /v1/score", c.handleScore)
-	mux.HandleFunc("GET /v1/model", c.handleModel)
+	mux.Handle("POST /v1/fit", c.wrap("/v1/fit", c.handleFit))
+	mux.Handle("POST /v1/score", c.wrap("/v1/score", c.handleScore))
+	mux.Handle("GET /v1/model", c.wrap("/v1/model", c.handleModel))
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /readyz", c.handleReadyz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.Handle("GET /v1/debug/traces", trace.DebugHandler(c.cfg.Trace))
 	return mux
 }
 
@@ -209,6 +292,24 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for s, h := range c.shardLatency {
 		p.Histo("lof_coord_shard_rpc_duration_seconds", h.Snapshot(), "shard", strconv.Itoa(s))
 	}
+	p.Family("lof_coord_http_request_duration_seconds", "histogram", "Coordinator HTTP request latency by route.")
+	for _, route := range coordRoutes {
+		p.Histo("lof_coord_http_request_duration_seconds", c.routes[route].latency.Snapshot(), "route", route)
+	}
+	p.Family("lof_coord_http_slowest_request_seconds", "gauge", "Slowest traced request per route, with its trace ID.")
+	for _, route := range coordRoutes {
+		if d, tid, ok := c.routes[route].exemplar(); ok {
+			p.Sample("lof_coord_http_slowest_request_seconds", d.Seconds(),
+				"route", route, "trace_id", tid)
+		}
+	}
+	ts := c.cfg.Trace.Stats()
+	p.Family("lof_trace_spans_total", "counter", "Trace spans started in this process.")
+	p.IntSample("lof_trace_spans_total", int64(ts.Started))
+	p.Family("lof_trace_recorded_total", "counter", "Trace spans recorded to the ring buffer.")
+	p.IntSample("lof_trace_recorded_total", int64(ts.Recorded))
+	p.Family("lof_trace_dropped_total", "counter", "Recorded trace spans evicted by the ring bound.")
+	p.IntSample("lof_trace_dropped_total", int64(ts.Dropped))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

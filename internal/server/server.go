@@ -34,8 +34,6 @@ package server
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -54,6 +52,7 @@ import (
 	"lof/internal/obs"
 	"lof/internal/shard"
 	"lof/internal/stream"
+	"lof/internal/trace"
 )
 
 // Config parameterizes a Server. The zero value serves with the defaults
@@ -84,6 +83,13 @@ type Config struct {
 	// Logger receives one structured line per request (route, status,
 	// duration, batch size, request ID). Nil discards logs.
 	Logger *slog.Logger
+	// Trace collects distributed-tracing spans for every wrapped request;
+	// nil disables tracing (spans become no-ops, /v1/debug/traces answers
+	// 404).
+	Trace *trace.Collector
+	// Now is the server clock, for wall-clock-dependent paths like stream
+	// age expiry; nil means time.Now. Tests inject a fake clock here.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +119,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -144,6 +153,12 @@ type routeStats struct {
 	latency *obs.Histogram
 	mu      sync.Mutex
 	byCode  map[int]int64
+	// slowest and slowTrace link the route's worst observed latency to its
+	// trace — the exemplar that lets an operator jump from the histogram's
+	// top bucket straight to /v1/debug/traces. slowTrace is empty until a
+	// traced request tops the route.
+	slowest   time.Duration
+	slowTrace string
 }
 
 func newRouteStats() *routeStats {
@@ -153,11 +168,23 @@ func newRouteStats() *routeStats {
 	}
 }
 
-func (rs *routeStats) record(code int, d time.Duration) {
+func (rs *routeStats) record(code int, d time.Duration, traceID string) {
 	rs.latency.Observe(d)
 	rs.mu.Lock()
 	rs.byCode[code]++
+	if d > rs.slowest && traceID != "" {
+		rs.slowest = d
+		rs.slowTrace = traceID
+	}
 	rs.mu.Unlock()
+}
+
+// exemplar returns the slowest traced latency and its trace ID, ok when a
+// traced request has been recorded.
+func (rs *routeStats) exemplar() (time.Duration, string, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.slowest, rs.slowTrace, rs.slowTrace != ""
 }
 
 // codes returns the observed status codes in ascending order with counts.
@@ -283,6 +310,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	// Unwrapped like /metrics: the debug read must stay available when the
+	// limiter is saturated — that is exactly when someone is reading traces.
+	mux.Handle("GET /v1/debug/traces", trace.DebugHandler(s.cfg.Trace))
 	return mux
 }
 
@@ -304,25 +334,16 @@ func infoFromContext(ctx context.Context) *requestInfo {
 	return info
 }
 
-// newRequestID returns 16 hex chars of crypto/rand entropy; collisions
-// within a debugging window are not a realistic concern at that size.
-func newRequestID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		return "unknown"
-	}
-	return hex.EncodeToString(b[:])
+// requestID picks the inbound X-Request-ID or mints a fresh one; the
+// logic lives in internal/trace so the coordinator assigns IDs the same
+// way.
+func requestID(r *http.Request) string {
+	return trace.IncomingRequestID(r)
 }
 
-// requestID picks the inbound X-Request-ID (so IDs correlate across
-// services) or mints a fresh one. IDs longer than 128 bytes are replaced,
-// not truncated, to keep log lines bounded without emitting half an ID.
-func requestID(r *http.Request) string {
-	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 128 {
-		return id
-	}
-	return newRequestID()
-}
+// now reads the configured server clock (time.Now unless a test injected
+// a fake).
+func (s *Server) now() time.Time { return s.cfg.Now() }
 
 // statusWriter records the response status code. The timeout middleware
 // serializes writes on the serving goroutine, so no lock is needed.
@@ -345,15 +366,21 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
-// wrap applies, outside-in: request-ID assignment, concurrency shedding,
-// in-flight accounting, request timeout, per-route histograms and counters,
-// and the one structured log line per request.
+// wrap applies, outside-in: request-ID assignment, trace-span start and
+// traceparent continuation, concurrency shedding, in-flight accounting,
+// request timeout, per-route histograms and counters, and the one
+// structured log line per request.
 func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 	timed := http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
 	rs := s.routes[route]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		info := &requestInfo{id: requestID(r)}
-		r = r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, info))
+		ctx := context.WithValue(r.Context(), requestInfoKey{}, info)
+		ctx = trace.ContextWithRequestID(ctx, info.id)
+		sp, ctx := s.cfg.Trace.StartRequest(ctx, "http "+route, r.Header.Get(trace.Header))
+		sp.SetAttr("route", route)
+		sp.SetAttr("requestId", info.id)
+		r = r.WithContext(ctx)
 		w.Header().Set("X-Request-ID", info.id)
 		admitted := false
 		select {
@@ -378,8 +405,11 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 			// the order of the request timeout, so hint a short retry delay.
 			w.Header().Set("Retry-After", "1")
 			writeError(w, r, http.StatusTooManyRequests, "server at capacity")
-			rs.record(http.StatusTooManyRequests, 0)
+			rs.record(http.StatusTooManyRequests, 0, sp.TraceIDString())
 			s.m.requests.Add(route, 1)
+			sp.SetAttrInt("status", http.StatusTooManyRequests)
+			sp.SetError("shed: server at capacity")
+			sp.End()
 			s.cfg.Logger.LogAttrs(r.Context(), slog.LevelWarn, "request shed",
 				slog.String("requestId", info.id),
 				slog.String("route", route),
@@ -396,7 +426,15 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 		if status == 0 {
 			status = http.StatusOK // handler wrote nothing; net/http defaults the status
 		}
-		rs.record(status, elapsed)
+		sp.SetAttrInt("status", int64(status))
+		if batch := info.batch.Load(); batch > 0 {
+			sp.SetAttrInt("batch", batch)
+		}
+		if status >= 500 {
+			sp.SetError(fmt.Sprintf("status %d", status))
+		}
+		sp.EndIn(elapsed)
+		rs.record(status, elapsed, sp.TraceIDString())
 		s.m.latencyUS.Add(route, elapsed.Microseconds())
 		s.m.requests.Add(route, 1)
 		level := slog.LevelInfo
@@ -648,7 +686,17 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if req.Workers > 0 {
 		m = m.WithWorkers(req.Workers)
 	}
+	// With an active trace span, score against a per-request copy carrying
+	// a fresh phase tracer, so core/matdb phase timings become child spans
+	// of this request instead of vanishing into the shared model.
+	sp := trace.SpanFrom(r.Context())
+	if sp != nil {
+		m = m.WithTrace()
+	}
 	scores, err := scoreChunked(r, m, req.Queries)
+	if err == nil && sp != nil {
+		emitPhaseSpans(sp, m.Stats())
+	}
 	if err != nil {
 		if r.Context().Err() != nil {
 			// The timeout middleware already answered; nothing to write.
@@ -698,6 +746,23 @@ func scoreChunked(r *http.Request, m *lof.Model, queries [][]float64) ([]float64
 		out = append(out, chunk...)
 	}
 	return out, nil
+}
+
+// emitPhaseSpans converts the phase tracer's aggregate timings into
+// synthetic child spans of sp. Phases overlap the request span rather
+// than tiling it — a phase span's duration is summed busy time across all
+// calls (and workers) of that phase, which is the quantity that answers
+// "where did this slow score go".
+func emitPhaseSpans(sp *trace.Span, stats *lof.RunStats) {
+	if stats == nil {
+		return
+	}
+	for _, ph := range stats.Phases {
+		child := sp.Child("phase/" + ph.Name)
+		child.SetAttrInt("count", ph.Count)
+		child.SetAttrInt("items", ph.Items)
+		child.EndIn(ph.Total)
+	}
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -766,11 +831,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.IntSample("lof_stream_epoch", int64(st.Seq))
 		p.Family("lof_stream_live", "gauge", "Live points in the stream window.")
 		p.IntSample("lof_stream_live", int64(st.Live))
+		p.Family("lof_stream_epoch_lag_seconds", "gauge", "Seconds since the current stream epoch was published.")
+		lag := 0.0
+		if st.LastPublishUnixNanos > 0 {
+			lag = s.now().Sub(time.Unix(0, st.LastPublishUnixNanos)).Seconds()
+			if lag < 0 {
+				lag = 0
+			}
+		}
+		p.Sample("lof_stream_epoch_lag_seconds", lag)
+		p.Family("lof_stream_replay_queue_depth", "gauge", "In-flight readers pinning the published epoch (writers drain behind them before replay).")
+		p.IntSample("lof_stream_replay_queue_depth", int64(st.Readers))
+		p.Family("lof_stream_window_occupancy", "gauge", "Fill fraction of the count-bounded stream window (0 when unbounded).")
+		occ := 0.0
+		if st.MaxPoints > 0 {
+			occ = float64(st.Live) / float64(st.MaxPoints)
+		}
+		p.Sample("lof_stream_window_occupancy", occ)
 	}
 	p.Family("lof_fit_points_total", "counter", "Data points fitted across all fit requests.")
 	p.IntSample("lof_fit_points_total", s.m.fitPoints.Value())
 	p.Family("lof_score_points_total", "counter", "Query points scored across all score requests.")
 	p.IntSample("lof_score_points_total", s.m.batchPoints.Value())
+	p.Family("lof_http_slowest_request_seconds", "gauge", "Slowest traced request per route, with its trace ID — the exemplar linking the latency histogram's top bucket to /v1/debug/traces.")
+	for _, route := range metricRoutes {
+		if d, tid, ok := s.routes[route].exemplar(); ok {
+			p.Sample("lof_http_slowest_request_seconds", d.Seconds(),
+				"route", route, "trace_id", tid)
+		}
+	}
+	ts := s.cfg.Trace.Stats()
+	p.Family("lof_trace_spans_total", "counter", "Trace spans started in this process.")
+	p.IntSample("lof_trace_spans_total", int64(ts.Started))
+	p.Family("lof_trace_recorded_total", "counter", "Trace spans recorded to the ring buffer.")
+	p.IntSample("lof_trace_recorded_total", int64(ts.Recorded))
+	p.Family("lof_trace_dropped_total", "counter", "Recorded trace spans evicted by the ring bound.")
+	p.IntSample("lof_trace_dropped_total", int64(ts.Dropped))
 }
 
 // handleMetricsJSON serves the counters as one JSON object, in expvar's

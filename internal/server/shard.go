@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"lof/internal/shard"
+	"lof/internal/trace"
 )
 
 // Shard role: a lofserve process can serve as one shard of a scatter-gather
@@ -103,6 +104,11 @@ func (s *Server) handleShardCandidates(w http.ResponseWriter, r *http.Request) {
 	if info := infoFromContext(r.Context()); info != nil {
 		info.batch.Store(int64(len(req.Queries)))
 	}
+	if sp := trace.SpanFrom(r.Context()); sp != nil {
+		sp.SetAttrInt("queries", int64(len(req.Queries)))
+		sp.SetAttrInt("version", int64(p.Version()))
+		sp.SetAttrInt("shard", int64(p.ShardID()))
+	}
 	out := make([][]shard.WireCandidate, len(req.Queries))
 	for i, q := range req.Queries {
 		cs, err := p.Candidates(q)
@@ -137,6 +143,11 @@ func (s *Server) handleShardRows(w http.ResponseWriter, r *http.Request) {
 	}
 	if info := infoFromContext(r.Context()); info != nil {
 		info.batch.Store(int64(len(req.Queries)))
+	}
+	if sp := trace.SpanFrom(r.Context()); sp != nil {
+		sp.SetAttrInt("queries", int64(len(req.Queries)))
+		sp.SetAttrInt("version", int64(p.Version()))
+		sp.SetAttrInt("shard", int64(p.ShardID()))
 	}
 	out := make([][]shard.WireRow, len(req.Queries))
 	for i, rq := range req.Queries {

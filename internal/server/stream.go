@@ -24,6 +24,7 @@ import (
 	"lof"
 	"lof/internal/geom"
 	"lof/internal/stream"
+	"lof/internal/trace"
 )
 
 // StreamConfig is the JSON shape of a stream init request's configuration,
@@ -158,7 +159,7 @@ func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
 	if info := infoFromContext(r.Context()); info != nil {
 		info.batch.Store(int64(len(req.Inserts) + len(req.Deletes)))
 	}
-	now := time.Now()
+	now := s.now()
 	if req.NowUnixNanos != 0 {
 		now = time.Unix(0, req.NowUnixNanos)
 	}
@@ -170,6 +171,24 @@ func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
+	}
+	if sp := trace.SpanFrom(r.Context()); sp != nil {
+		for _, stage := range []struct {
+			name string
+			d    time.Duration
+		}{
+			{"stream/plan", res.Timing.Plan},
+			{"stream/apply", res.Timing.Apply},
+			{"stream/drain", res.Timing.Drain},
+			{"stream/replay", res.Timing.Replay},
+		} {
+			child := sp.Child(stage.name)
+			child.SetAttrInt("epoch", int64(res.Seq))
+			child.EndIn(stage.d)
+		}
+		if len(res.Expired) > 0 {
+			sp.SetAttrInt("expired", int64(len(res.Expired)))
+		}
 	}
 	s.m.streamBatches.Add(1)
 	s.m.streamInserts.Add(int64(len(res.Inserted)))
@@ -244,10 +263,16 @@ func (s *Server) handleStreamFreeze(w http.ResponseWriter, r *http.Request) {
 	if pl == nil {
 		return
 	}
+	start := time.Now()
 	m, seq, err := s.FreezeStreamInstall()
 	if err != nil {
 		writeError(w, r, http.StatusConflict, err.Error())
 		return
+	}
+	if child, _ := trace.StartSpan(r.Context(), "stream/freeze"); child != nil {
+		child.SetAttrInt("epoch", int64(seq))
+		child.SetAttrInt("objects", int64(m.Len()))
+		child.EndIn(time.Since(start))
 	}
 	writeJSON(w, http.StatusOK, streamFreezeResponse{modelInfo: infoFor(m), Epoch: seq})
 }

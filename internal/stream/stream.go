@@ -66,6 +66,17 @@ type Update struct {
 	Now time.Time
 }
 
+// Timing breaks one Apply batch's wall time into the pipeline's stages,
+// for tracing: planning the op list, applying it to the back detector and
+// publishing, draining the previous epoch's readers, and replaying onto
+// the old detector.
+type Timing struct {
+	Plan   time.Duration
+	Apply  time.Duration
+	Drain  time.Duration
+	Replay time.Duration
+}
+
 // Result reports what one Apply batch did.
 type Result struct {
 	// Seq is the epoch published by this batch.
@@ -80,6 +91,8 @@ type Result struct {
 	Live int
 	// Compacted reports whether this batch also compacted the detectors.
 	Compacted bool
+	// Timing is the per-stage breakdown of this batch.
+	Timing Timing
 }
 
 // Stats is a point-in-time snapshot of the pipeline.
@@ -93,6 +106,15 @@ type Stats struct {
 	Compactions uint64 `json:"compactions_total"`
 	MinPts      int    `json:"min_pts"`
 	Dim         int    `json:"dim"`
+	// MaxPoints echoes the configured count bound (0 = unbounded), so
+	// window occupancy (Live/MaxPoints) can be derived by observers.
+	MaxPoints int `json:"max_points"`
+	// LastPublishUnixNanos is when the current epoch was published, zero
+	// before the first Apply — the basis of the epoch-lag gauge.
+	LastPublishUnixNanos int64 `json:"last_publish_unix_nanos"`
+	// Readers counts in-flight readers pinning the published epoch at
+	// snapshot time (the replay-queue depth a writer would drain behind).
+	Readers int `json:"readers"`
 }
 
 // epoch is one published immutable view. The detector it names is not
@@ -151,6 +173,8 @@ type Pipeline struct {
 	deletes     atomic.Uint64
 	expired     atomic.Uint64
 	compactions atomic.Uint64
+	// lastPublish is the UnixNano stamp of the latest epoch publish.
+	lastPublish atomic.Int64
 }
 
 // New validates cfg and returns an empty pipeline at epoch 0.
@@ -245,10 +269,12 @@ func (p *Pipeline) Apply(u Update) (Result, error) {
 		back = p.b
 	}
 
+	planStart := time.Now()
 	ops, res, err := p.plan(back, u)
 	if err != nil {
 		return Result{}, err
 	}
+	res.Timing.Plan = time.Since(planStart)
 
 	// Apply to the back detector, then publish it: readers switch to the
 	// new epoch while the old detector still holds the previous state.
@@ -259,6 +285,7 @@ func (p *Pipeline) Apply(u Update) (Result, error) {
 	if !u.Now.IsZero() {
 		ts = u.Now.UnixNano()
 	}
+	applyStart := time.Now()
 	remap := p.apply(back, ops)
 	p.bookkeep(ops, remap, &res, ts)
 	p.seq++
@@ -266,11 +293,17 @@ func (p *Pipeline) Apply(u Update) (Result, error) {
 	res.Live = back.Len()
 	next := p.newEpoch(back, p.seq)
 	prev := p.pub.Swap(next)
+	p.lastPublish.Store(time.Now().UnixNano())
+	res.Timing.Apply = time.Since(applyStart)
 
 	// Replay the identical list onto the previous epoch's detector once
 	// its readers are gone; both detectors are now bit-identical again.
+	drainStart := time.Now()
 	p.drain(prev)
+	res.Timing.Drain = time.Since(drainStart)
+	replayStart := time.Now()
 	p.apply(prev.det, ops)
+	res.Timing.Replay = time.Since(replayStart)
 
 	p.inserts.Add(uint64(len(res.Inserted)))
 	p.deletes.Add(uint64(res.Deleted))
@@ -495,16 +528,24 @@ func (p *Pipeline) Seq() uint64 { return p.pub.Load().seq }
 func (p *Pipeline) Stats() Stats {
 	e := p.acquire()
 	defer e.release()
+	// Stats' own acquire holds one of the refs it reads; report the others.
+	readers := int(e.refs.Load()) - 1
+	if readers < 0 {
+		readers = 0
+	}
 	return Stats{
-		Seq:         e.seq,
-		Live:        e.det.Len(),
-		Slots:       e.det.Size(),
-		Inserts:     p.inserts.Load(),
-		Deletes:     p.deletes.Load(),
-		Expired:     p.expired.Load(),
-		Compactions: p.compactions.Load(),
-		MinPts:      p.cfg.MinPts,
-		Dim:         p.cfg.Dim,
+		Seq:                  e.seq,
+		Live:                 e.det.Len(),
+		Slots:                e.det.Size(),
+		Inserts:              p.inserts.Load(),
+		Deletes:              p.deletes.Load(),
+		Expired:              p.expired.Load(),
+		Compactions:          p.compactions.Load(),
+		MinPts:               p.cfg.MinPts,
+		Dim:                  p.cfg.Dim,
+		MaxPoints:            p.cfg.MaxPoints,
+		LastPublishUnixNanos: p.lastPublish.Load(),
+		Readers:              readers,
 	}
 }
 

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// debugTrace is one trace in the /v1/debug/traces response: the spans this
+// process holds for a single trace ID, ordered by start time.
+type debugTrace struct {
+	TraceID string     `json:"traceId"`
+	Spans   []Recorded `json:"spans"`
+}
+
+type debugResponse struct {
+	Service string         `json:"service,omitempty"`
+	Stats   CollectorStats `json:"stats"`
+	Traces  []debugTrace   `json:"traces"`
+}
+
+// DebugHandler serves GET /v1/debug/traces from c's ring buffer: spans
+// grouped into traces, newest trace first. Query parameters:
+//
+//	trace=<32 hex>  only that trace
+//	min_ms=<float>  only spans at least that slow
+//	error=1         only spans that ended in error
+//	limit=<n>       at most n traces (default 100)
+//
+// A nil collector answers 404 with a hint, so the route can be registered
+// unconditionally.
+func DebugHandler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if c == nil {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{
+				"error": "tracing disabled; start with -trace-sample or -trace-slow",
+			})
+			return
+		}
+		q := Query{TraceID: r.URL.Query().Get("trace")}
+		if v := r.URL.Query().Get("min_ms"); v != "" {
+			ms, err := strconv.ParseFloat(v, 64)
+			if err != nil || ms < 0 {
+				w.WriteHeader(http.StatusBadRequest)
+				json.NewEncoder(w).Encode(map[string]string{
+					"error": "min_ms must be a non-negative number",
+				})
+				return
+			}
+			q.MinDuration = time.Duration(ms * float64(time.Millisecond))
+		}
+		if v := r.URL.Query().Get("error"); v == "1" || v == "true" {
+			q.ErrorOnly = true
+		}
+		limit := 100
+		if v := r.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				w.WriteHeader(http.StatusBadRequest)
+				json.NewEncoder(w).Encode(map[string]string{
+					"error": "limit must be a positive integer",
+				})
+				return
+			}
+			limit = n
+		}
+
+		spans := c.Spans(q)
+		byTrace := make(map[string][]Recorded)
+		order := make([]string, 0, 16)
+		for _, sp := range spans {
+			if _, seen := byTrace[sp.TraceID]; !seen {
+				order = append(order, sp.TraceID)
+			}
+			byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+		}
+		resp := debugResponse{
+			Service: c.cfg.Service,
+			Stats:   c.Stats(),
+			Traces:  make([]debugTrace, 0, len(order)),
+		}
+		for _, tid := range order {
+			group := byTrace[tid]
+			sort.SliceStable(group, func(i, j int) bool {
+				return group[i].Start.Before(group[j].Start)
+			})
+			resp.Traces = append(resp.Traces, debugTrace{TraceID: tid, Spans: group})
+		}
+		// Newest trace first, judged by each trace's earliest span.
+		sort.SliceStable(resp.Traces, func(i, j int) bool {
+			return resp.Traces[i].Spans[0].Start.After(resp.Traces[j].Spans[0].Start)
+		})
+		if len(resp.Traces) > limit {
+			resp.Traces = resp.Traces[:limit]
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+}

@@ -1,0 +1,210 @@
+// Package trace is the dependency-free distributed tracing subsystem of
+// the LOF serving tier. A request entering lofserve or lofcoord starts a
+// span; every hop it takes — coordinator scatter-gather rounds, hedged
+// replica RPCs, shard handlers, scoring phases, stream-pipeline stages —
+// becomes a child span sharing one trace ID, propagated across processes
+// in a W3C-style `traceparent` header. Each process keeps its finished
+// spans in a bounded ring buffer (Collector) served by GET
+// /v1/debug/traces, so a slow score can be walked hop by hop without any
+// external tracing infrastructure.
+//
+// Sampling is decided once, at the root, from the trace ID (head
+// sampling), and the decision rides the sampled flag of the traceparent
+// header so every process keeps or drops the same traces. Two tail
+// conditions override a negative head decision per process: a span that
+// ends with an error, and a span slower than the collector's slow
+// threshold, are always recorded.
+//
+// The X-Request-ID correlation header predates tracing (PR 3) and is
+// carried alongside it: the helpers here hold the ID in the context so
+// internal/client forwards it on every attempt, letting coordinator-side
+// and shard-side log lines for one request be joined even with tracing
+// disabled.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// Header is the propagation header, in W3C trace-context format:
+// "00-<32 hex trace id>-<16 hex span id>-<2 hex flags>".
+const Header = "traceparent"
+
+// RequestIDHeader is the log-correlation header propagated alongside the
+// trace context.
+const RequestIDHeader = "X-Request-ID"
+
+// flagSampled is the only trace flag in use (bit 0 of the flags byte).
+const flagSampled = 0x01
+
+// TraceID identifies one end-to-end request across processes.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the all-zero value (meaning "no span":
+// a root span's parent).
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated part of a span: enough to parent remote
+// children and to carry the head-sampling decision.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// NewTraceID returns a random trace ID. crypto/rand keeps IDs collision
+// free across unrelated processes; tracing is off the hot path, so the
+// cost does not matter.
+func NewTraceID() TraceID {
+	var t TraceID
+	if _, err := rand.Read(t[:]); err != nil {
+		t[0] = 1 // non-zero fallback; entropy exhaustion is not worth failing a request over
+	}
+	return t
+}
+
+// NewSpanID returns a random span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	if _, err := rand.Read(s[:]); err != nil {
+		s[0] = 1
+	}
+	return s
+}
+
+// Format renders sc as a traceparent header value.
+func Format(sc SpanContext) string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, "00-"...)
+	buf = hex.AppendEncode(buf, sc.TraceID[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, sc.SpanID[:])
+	flags := byte(0)
+	if sc.Sampled {
+		flags = flagSampled
+	}
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, []byte{flags})
+	return string(buf)
+}
+
+// Parse decodes a traceparent header value. Unknown versions, malformed
+// hex, and the invalid all-zero trace or span IDs all return ok == false —
+// a bad header starts a fresh trace rather than failing the request.
+func Parse(s string) (SpanContext, bool) {
+	var sc SpanContext
+	if len(s) != 55 || s[0] != '0' || s[1] != '0' ||
+		s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(s[3:35])); err != nil {
+		return sc, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(s[36:52])); err != nil {
+		return sc, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return sc, false
+	}
+	if sc.TraceID.IsZero() || sc.SpanID.IsZero() {
+		return sc, false
+	}
+	sc.Sampled = flags[0]&flagSampled != 0
+	return sc, true
+}
+
+// --- context plumbing ----------------------------------------------------
+
+type spanKey struct{}
+type remoteKey struct{}
+type requestIDKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFrom returns the current span, nil when ctx carries none (which
+// every Span method tolerates).
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// ContextWithRemote returns ctx carrying a remote span context to
+// propagate into outbound requests without a local collector — how lofload
+// tags generated traffic with trace IDs it never records itself.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, remoteKey{}, sc)
+}
+
+// SpanContextFrom returns the span context outbound requests should
+// propagate: the current local span's when one is active, else any remote
+// context planted by ContextWithRemote.
+func SpanContextFrom(ctx context.Context) (SpanContext, bool) {
+	if sp := SpanFrom(ctx); sp != nil {
+		return sp.Context(), true
+	}
+	sc, ok := ctx.Value(remoteKey{}).(SpanContext)
+	return sc, ok
+}
+
+// ContextWithRequestID returns ctx carrying the request's correlation ID
+// for outbound propagation.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the propagated request ID, "" when none is set.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// NewRequestID returns 16 hex chars of crypto/rand entropy; collisions
+// within a debugging window are not a realistic concern at that size.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// IncomingRequestID picks the inbound X-Request-ID (so IDs correlate
+// across services) or mints a fresh one. IDs longer than 128 bytes are
+// replaced, not truncated, to keep log lines bounded without emitting half
+// an ID.
+func IncomingRequestID(r *http.Request) string {
+	if id := r.Header.Get(RequestIDHeader); id != "" && len(id) <= 128 {
+		return id
+	}
+	return NewRequestID()
+}
+
+// Inject writes the propagated trace context and request ID from ctx into
+// h; fields without a value in ctx are left untouched.
+func Inject(ctx context.Context, h http.Header) {
+	if sc, ok := SpanContextFrom(ctx); ok {
+		h.Set(Header, Format(sc))
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		h.Set(RequestIDHeader, id)
+	}
+}

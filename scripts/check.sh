@@ -32,7 +32,9 @@ metrics_lint() {
 	server_pid=
 	trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
 	go build -o "$tmpdir/lofserve" ./cmd/lofserve
-	"$tmpdir/lofserve" -addr 127.0.0.1:0 >"$tmpdir/log" 2>&1 &
+	# A streaming pipeline and full-sample tracing are enabled so the
+	# lof_stream_* gauges and lof_trace_* counters are present to lint.
+	"$tmpdir/lofserve" -addr 127.0.0.1:0 -stream-dim 3 -trace-sample 1 >"$tmpdir/log" 2>&1 &
 	server_pid=$!
 
 	# The bound address appears in the startup log line
@@ -63,7 +65,14 @@ metrics_lint() {
 		'# TYPE lof_http_requests_total counter' \
 		'# TYPE lof_http_request_duration_seconds histogram' \
 		'# TYPE lof_http_in_flight gauge' \
-		'# TYPE lof_http_shed_total counter'; do
+		'# TYPE lof_http_shed_total counter' \
+		'# TYPE lof_stream_epoch_lag_seconds gauge' \
+		'# TYPE lof_stream_replay_queue_depth gauge' \
+		'# TYPE lof_stream_window_occupancy gauge' \
+		'# TYPE lof_http_slowest_request_seconds gauge' \
+		'# TYPE lof_trace_spans_total counter' \
+		'# TYPE lof_trace_recorded_total counter' \
+		'# TYPE lof_trace_dropped_total counter'; do
 		if ! grep -qF "$family" "$tmpdir/metrics.txt"; then
 			echo "/metrics missing family: $family" >&2
 			cat "$tmpdir/metrics.txt" >&2

@@ -45,7 +45,7 @@ echo "== start 3 shards + coordinator"
 i=0
 shard_urls=""
 while [ "$i" -lt 3 ]; do
-	"$tmpdir/lofserve" -addr 127.0.0.1:0 >"$tmpdir/shard$i.log" 2>&1 &
+	"$tmpdir/lofserve" -addr 127.0.0.1:0 -trace-sample 1 >"$tmpdir/shard$i.log" 2>&1 &
 	eval "shard${i}_pid=$!"
 	pids="$pids $!"
 	addr=$(wait_addr "$tmpdir/shard$i.log")
@@ -54,7 +54,7 @@ while [ "$i" -lt 3 ]; do
 	i=$((i + 1))
 done
 "$tmpdir/lofcoord" -addr 127.0.0.1:0 -shards "$shard_urls" \
-	-repair-interval 300ms >"$tmpdir/coord.log" 2>&1 &
+	-repair-interval 300ms -trace-sample 1 >"$tmpdir/coord.log" 2>&1 &
 coord_pid=$!
 pids="$pids $coord_pid"
 coord=http://$(wait_addr "$tmpdir/coord.log")
@@ -92,6 +92,35 @@ code=$(score "$tmpdir/scores_before.json" "")
 	exit 1
 }
 grep -q '"scores":' "$tmpdir/scores_before.json"
+
+echo "== cross-process trace"
+# The score just served must be one trace spanning the coordinator and the
+# shards: pull the newest trace from the coordinator's debug endpoint, then
+# find the same trace ID recorded by every shard process.
+curl -fsS "$coord/v1/debug/traces" >"$tmpdir/coord_traces.json"
+trace_id=$(sed -n 's/.*"traceId":"\([0-9a-f]\{32\}\)".*/\1/p' "$tmpdir/coord_traces.json" | head -n 1)
+if [ -z "$trace_id" ]; then
+	echo "coordinator recorded no traces:" >&2
+	cat "$tmpdir/coord_traces.json" >&2
+	exit 1
+fi
+grep -q '"name":"coord/candidates"' "$tmpdir/coord_traces.json" || {
+	echo "coordinator trace missing the scatter-gather round spans:" >&2
+	cat "$tmpdir/coord_traces.json" >&2
+	exit 1
+}
+i=0
+while [ "$i" -lt 3 ]; do
+	eval "addr=\$shard${i}_addr"
+	curl -fsS "http://$addr/v1/debug/traces?trace=$trace_id" >"$tmpdir/shard${i}_traces.json"
+	grep -q "\"traceId\":\"$trace_id\"" "$tmpdir/shard${i}_traces.json" || {
+		echo "shard $i has no spans for coordinator trace $trace_id:" >&2
+		cat "$tmpdir/shard${i}_traces.json" >&2
+		exit 1
+	}
+	i=$((i + 1))
+done
+echo "trace $trace_id spans the coordinator and all 3 shards"
 
 echo "== kill shard 1 mid-serving"
 kill -9 "$shard1_pid"
