@@ -170,15 +170,19 @@ func run(ctx context.Context, o options, logw io.Writer, ready chan<- string) er
 		return err
 	}
 	if o.modelPath != "" {
-		f, err := os.Open(o.modelPath)
-		if err != nil {
-			return err
-		}
-		m, err := lof.LoadModel(f)
-		f.Close()
+		m, info, err := lof.OpenModelFile(o.modelPath)
 		if err != nil {
 			return fmt.Errorf("loading %s: %w", o.modelPath, err)
 		}
+		mode := "copy"
+		if info.Mapped {
+			mode = "mmap"
+		}
+		logger.LogAttrs(ctx, slog.LevelInfo, "model snapshot opened",
+			slog.String("path", o.modelPath),
+			slog.Int("snapshot_version", info.Version),
+			slog.String("load_mode", mode),
+			slog.Int64("bytes", info.Bytes))
 		// Shards may still be starting; keep trying until the snapshot
 		// lands or shutdown wins.
 		go func() {

@@ -53,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lof"
 	"lof/internal/client"
 	"lof/internal/faults"
 	"lof/internal/obs"
@@ -63,6 +64,7 @@ import (
 type options struct {
 	addr      string
 	self      bool
+	model     string
 	duration  time.Duration
 	rps       float64
 	workers   int
@@ -90,6 +92,7 @@ func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", "", "comma-separated base URLs of running lofserve/lofcoord targets (round-robin)")
 	flag.BoolVar(&o.self, "self", false, "start an in-process server on a loopback port as the target")
+	flag.StringVar(&o.model, "model", "", "model snapshot to preload into the -self server (mmap'd when the format and platform allow)")
 	flag.DurationVar(&o.duration, "duration", 10*time.Second, "how long to drive load")
 	flag.Float64Var(&o.rps, "rps", 50, "target request rate per second (open loop)")
 	flag.IntVar(&o.workers, "workers", 8, "concurrent request senders")
@@ -230,7 +233,9 @@ func clusters(rng *rand.Rand, n, dim int) [][]float64 {
 // selfServer starts an in-process lofserve on a loopback port and returns
 // its base URL plus a shutdown func. With traced, the server records every
 // span so -self -trace is a self-contained demo of the straggler report.
-func selfServer(traced bool) (string, func(), error) {
+// A non-empty modelPath preloads a snapshot (mmap'd when possible) so a
+// score-only soak can run against a served model without fitting first.
+func selfServer(traced bool, modelPath string) (string, func(), error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
@@ -240,6 +245,20 @@ func selfServer(traced bool) (string, func(), error) {
 		cfg.Trace = trace.NewCollector(trace.Config{Service: "lofload-self", Sample: 1})
 	}
 	srv := server.New(cfg)
+	if modelPath != "" {
+		m, info, err := lof.OpenModelFile(modelPath)
+		if err != nil {
+			ln.Close()
+			return "", nil, fmt.Errorf("preloading %s: %w", modelPath, err)
+		}
+		srv.SetModel(m)
+		mode := "copy"
+		if info.Mapped {
+			mode = "mmap"
+		}
+		fmt.Fprintf(os.Stderr, "lofload: preloaded %s (v%d, %d bytes, %s, %d points)\n",
+			modelPath, info.Version, info.Bytes, mode, m.Len())
+	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go func() { _ = hs.Serve(ln) }()
 	stop := func() {
@@ -263,8 +282,11 @@ func run(ctx context.Context, o options, out io.Writer) (*report, error) {
 			targets = append(targets, u)
 		}
 	}
+	if o.model != "" && !o.self {
+		return nil, fmt.Errorf("-model requires -self; external targets load their own snapshots")
+	}
 	if o.self {
-		base, stop, err := selfServer(o.trace)
+		base, stop, err := selfServer(o.trace, o.model)
 		if err != nil {
 			return nil, err
 		}

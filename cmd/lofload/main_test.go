@@ -174,12 +174,12 @@ func TestRunValidation(t *testing.T) {
 // round-robin and checks the machine-readable report: both targets listed,
 // all requests accounted for, quantiles present, the file valid JSON.
 func TestMultiTargetJSONReport(t *testing.T) {
-	baseA, stopA, err := selfServer(false)
+	baseA, stopA, err := selfServer(false, "")
 	if err != nil {
 		t.Fatalf("selfServer: %v", err)
 	}
 	defer stopA()
-	baseB, stopB, err := selfServer(false)
+	baseB, stopB, err := selfServer(false, "")
 	if err != nil {
 		t.Fatalf("selfServer: %v", err)
 	}

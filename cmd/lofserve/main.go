@@ -194,20 +194,24 @@ func run(ctx context.Context, o options, logw io.Writer, ready chan<- [2]string)
 		Trace:            collector,
 	})
 	if o.modelPath != "" {
-		f, err := os.Open(o.modelPath)
-		if err != nil {
-			return err
-		}
-		m, err := lof.LoadModel(f)
-		f.Close()
+		start := time.Now()
+		m, info, err := lof.OpenModelFile(o.modelPath)
 		if err != nil {
 			return fmt.Errorf("loading %s: %w", o.modelPath, err)
 		}
 		srv.SetModel(m)
+		mode := "copy"
+		if info.Mapped {
+			mode = "mmap"
+		}
 		logger.LogAttrs(ctx, slog.LevelInfo, "model loaded",
 			slog.String("path", o.modelPath),
 			slog.Int("objects", m.Len()),
-			slog.Int("dims", m.Dim()))
+			slog.Int("dims", m.Dim()),
+			slog.Int("snapshot_version", info.Version),
+			slog.String("load_mode", mode),
+			slog.Int64("bytes", info.Bytes),
+			slog.Duration("elapsed", time.Since(start)))
 	}
 
 	var freezeDone chan struct{}

@@ -1,0 +1,84 @@
+package lof_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lof"
+)
+
+// fuzzSeedModel fits a tiny model whose v3 encoding seeds the fuzzer.
+func fuzzSeedModel(distinct bool) []byte {
+	rng := rand.New(rand.NewSource(41))
+	var rows [][]float64
+	for i := 0; i < 24; i++ {
+		rows = append(rows, []float64{rng.NormFloat64(), 5 * rng.NormFloat64()})
+	}
+	if distinct {
+		rows = append(rows, rows[0], rows[1], rows[1])
+	}
+	det, err := lof.New(lof.Config{MinPtsLB: 3, MinPtsUB: 5, Distinct: distinct, Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	res, err := det.Fit(rows)
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteModel(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSnapshotV3Roundtrip asserts the flat snapshot loader never panics on
+// arbitrary bytes, and that any bytes it does accept describe a model that
+// re-encodes deterministically, reloads, and scores identically to the
+// first load — i.e. acceptance implies a fully coherent model, never a
+// partially validated one.
+func FuzzSnapshotV3Roundtrip(f *testing.F) {
+	for _, distinct := range []bool{false, true} {
+		seed := fuzzSeedModel(distinct)
+		f.Add(seed)
+		for _, pos := range []int{5, 20, 50, 70, len(seed) / 2, len(seed) - 3} {
+			mut := append([]byte(nil), seed...)
+			mut[pos] ^= 0x81
+			f.Add(mut)
+		}
+		f.Add(seed[:len(seed)/2])
+	}
+	f.Add([]byte("LOFS"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := lof.LoadModelBytes(data)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted model failed to encode: %v", err)
+		}
+		m2, err := lof.LoadModelBytes(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded model failed to load: %v", err)
+		}
+		if m2.Len() != m.Len() || m2.Dim() != m.Dim() {
+			t.Fatalf("round-trip changed shape: %d×%d vs %d×%d",
+				m2.Len(), m2.Dim(), m.Len(), m.Dim())
+		}
+		q := make([]float64, m.Dim())
+		for j := range q {
+			q[j] = float64(j%3) - 1
+		}
+		a, errA := m.Score(q)
+		b, errB := m2.Score(q)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("score errors disagree: %v vs %v", errA, errB)
+		}
+		if errA == nil && math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("round-trip changed score: %v vs %v", a, b)
+		}
+	})
+}

@@ -27,6 +27,9 @@ type Scorer struct {
 	ix     index.Index
 	db     *matdb.DB
 	metric geom.Metric
+	// kern is the resolved distance kernel over pts; merged-row distances
+	// go through it instead of per-call metric dispatch.
+	kern   geom.Kernel
 	lb, ub int
 	// pool, when non-nil, parallelizes ScoreSeries across MinPts values.
 	pool *pool.Pool
@@ -57,7 +60,7 @@ func NewScorer(pts *geom.Points, ix index.Index, db *matdb.DB, metric geom.Metri
 		return nil, err
 	}
 	return &Scorer{
-		pts: pts, ix: ix, db: db, metric: metric, lb: lb, ub: ub,
+		pts: pts, ix: ix, db: db, metric: metric, kern: geom.NewKernel(pts, metric), lb: lb, ub: ub,
 		cursors: &sync.Pool{New: func() interface{} { return index.NewCursor(ix) }},
 	}, nil
 }
@@ -149,13 +152,29 @@ func (s *Scorer) ScoreSeriesCtx(ctx context.Context, q geom.Point) ([]float64, e
 // run across the pool into write-indexed slots; the map itself is
 // assembled sequentially and read-only afterwards.
 func (s *Scorer) mergedRows(ctx context.Context, q geom.Point, qIdx int, qRow matdb.Row) (map[int]matdb.Row, error) {
-	rows := make(map[int]matdb.Row)
+	// The closure is the ub-neighborhood plus its neighborhoods, but the
+	// second hop overlaps the first heavily in any clustered data, so a
+	// linear hint covers the common case without the bucket bloat a
+	// worst-case quadratic hint would carry on every query.
+	closureHint := 2 * (s.ub + 2)
+	rows := make(map[int]matdb.Row, closureHint)
+	seen := make(map[int]bool, closureHint)
 	var cancelled error
 	fill := func(need []int) []matdb.Row {
 		got := make([]matdb.Row, len(need))
+		// One arena holds every merged neighbor list of this wave; row j
+		// splices into its precomputed [offs[j], offs[j+1]) slot, so the
+		// parallel computes never contend and the wave costs two
+		// allocations instead of one per row.
+		offs := make([]int, len(need)+1)
+		for j, i := range need {
+			offs[j+1] = offs[j] + len(s.db.Neighbors[i]) + 1
+		}
+		arena := make([]index.Neighbor, offs[len(need)])
 		compute := func(j int) {
 			i := need[j]
-			got[j] = s.db.MergedRow(s.pts, i, q, qIdx, s.metric.Distance(s.pts.At(i), q))
+			dst := arena[offs[j]:offs[j]:offs[j+1]]
+			got[j] = s.db.MergedRowInto(dst, s.pts, i, q, qIdx, s.kern.Dist(i, q))
 		}
 		if ctx != nil {
 			if err := s.pool.EachCtx(ctx, len(need), compute); err != nil {
@@ -170,9 +189,7 @@ func (s *Scorer) mergedRows(ctx context.Context, q geom.Point, qIdx int, qRow ma
 		}
 		return got
 	}
-	seen := make(map[int]bool)
-	collect := func(nn []index.Neighbor) []int {
-		var need []int
+	collect := func(need []int, nn []index.Neighbor) []int {
 		for _, nb := range nn {
 			if nb.Index != qIdx && !seen[nb.Index] {
 				seen[nb.Index] = true
@@ -181,13 +198,14 @@ func (s *Scorer) mergedRows(ctx context.Context, q geom.Point, qIdx int, qRow ma
 		}
 		return need
 	}
-	hop1 := fill(collect(qRow.Neighborhood(s.ub)))
+	first := collect(make([]int, 0, s.ub+2), qRow.Neighborhood(s.ub))
+	hop1 := fill(first)
 	if cancelled != nil {
 		return nil, cancelled
 	}
-	var second []int
+	second := make([]int, 0, len(hop1)*(s.ub+2))
 	for _, r := range hop1 {
-		second = append(second, collect(r.Neighborhood(s.ub))...)
+		second = collect(second, r.Neighborhood(s.ub))
 	}
 	fill(second)
 	if cancelled != nil {
@@ -206,7 +224,7 @@ func (s *Scorer) scoreAt(q geom.Point, qIdx int, qRow matdb.Row, rows map[int]ma
 		if r, ok := rows[i]; ok {
 			return r
 		}
-		return s.db.MergedRow(s.pts, i, q, qIdx, s.metric.Distance(s.pts.At(i), q))
+		return s.db.MergedRow(s.pts, i, q, qIdx, s.kern.Dist(i, q))
 	}
 	return EvalAt(qIdx, qRow, rowOf, minPts)
 }

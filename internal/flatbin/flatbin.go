@@ -1,0 +1,189 @@
+// Package flatbin is the binary-layout toolkit shared by the snapshot
+// formats: explicit little-endian scalar encoding (no reflection), sectioned
+// file framing, and zero-copy reinterpretation of byte regions as numeric
+// slices where the platform allows it.
+//
+// Every multi-byte value in every snapshot format is little-endian. The
+// sectioned formats (model snapshot v3, shard part v2) store their bulk
+// payloads — coordinates, neighbor entries, offset tables — in exactly the
+// in-memory layout of the serving structures, at 8-byte-aligned offsets, so
+// a loader holding the file bytes (read or mmap'd) can serve straight out of
+// them: the cast functions below reinterpret the section bytes in place on
+// 64-bit little-endian platforms and fall back to an allocate-and-decode
+// copy everywhere else. Callers never need to know which happened, except
+// that a zero-copy result aliases the input bytes and inherits their
+// lifetime.
+package flatbin
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Writer encodes little-endian scalars onto an io.Writer with a sticky
+// error, so encoders read as straight-line field lists with one error check
+// per logical group.
+type Writer struct {
+	w   io.Writer
+	n   int64
+	err error
+	buf [8]byte
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// N returns the number of bytes successfully written.
+func (w *Writer) N() int64 { return w.n }
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.Write(p)
+	w.n += int64(n)
+	w.err = err
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) {
+	w.buf[0] = v
+	w.write(w.buf[:1])
+}
+
+// U16 writes a little-endian uint16.
+func (w *Writer) U16(v uint16) {
+	binary.LittleEndian.PutUint16(w.buf[:2], v)
+	w.write(w.buf[:2])
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.write(w.buf[:8])
+}
+
+// I32 writes a little-endian int32 (two's complement).
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// F64 writes a little-endian IEEE-754 float64 (its exact bit pattern).
+func (w *Writer) F64(v float64) { w.U64(Float64bitsOf(v)) }
+
+// Bytes writes p verbatim.
+func (w *Writer) Bytes(p []byte) { w.write(p) }
+
+// String writes s verbatim (no length prefix; the formats carry their own).
+func (w *Writer) String(s string) {
+	if w.err != nil {
+		return
+	}
+	n, err := io.WriteString(w.w, s)
+	w.n += int64(n)
+	w.err = err
+}
+
+// Reader decodes little-endian scalars from an io.Reader with a sticky
+// error. After the first failure every accessor returns zero, so decoders
+// can read a whole field group and check Err once; Context wraps the sticky
+// error with a field name for descriptive load errors.
+type Reader struct {
+	r   io.Reader
+	err error
+	buf [8]byte
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Err returns the first read error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Context returns nil if no error occurred, or the sticky error wrapped
+// with the given field description.
+func (r *Reader) Context(format string, args ...interface{}) error {
+	if r.err == nil {
+		return nil
+	}
+	return fmt.Errorf(format+": %w", append(args, r.err)...)
+}
+
+func (r *Reader) read(n int) []byte {
+	if r.err != nil {
+		return r.buf[:n] // zeroed below via prior failure contract
+	}
+	if _, err := io.ReadFull(r.r, r.buf[:n]); err != nil {
+		r.err = err
+		for i := range r.buf {
+			r.buf[i] = 0
+		}
+	}
+	return r.buf[:n]
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 { return r.read(1)[0] }
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 { return binary.LittleEndian.Uint16(r.read(2)) }
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 { return binary.LittleEndian.Uint32(r.read(4)) }
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 { return binary.LittleEndian.Uint64(r.read(8)) }
+
+// I32 reads a little-endian int32.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// F64 reads a little-endian float64.
+func (r *Reader) F64() float64 { return Float64frombitsOf(r.U64()) }
+
+// Full fills p or sets the sticky error.
+func (r *Reader) Full(p []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		r.err = err
+	}
+}
+
+// Append helpers for encoders that assemble a sized buffer directly.
+
+// AppendU16 appends a little-endian uint16 to b.
+func AppendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v), byte(v>>8))
+}
+
+// AppendU32 appends a little-endian uint32 to b.
+func AppendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// AppendU64 appends a little-endian uint64 to b.
+func AppendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// AppendI32 appends a little-endian int32 to b.
+func AppendI32(b []byte, v int32) []byte { return AppendU32(b, uint32(v)) }
+
+// AppendF64 appends a little-endian float64 to b.
+func AppendF64(b []byte, v float64) []byte { return AppendU64(b, Float64bitsOf(v)) }
+
+// Align8 returns n rounded up to the next multiple of 8. Section offsets in
+// the flat snapshot formats are all 8-aligned so the numeric casts above
+// apply; the padding bytes between sections are zero.
+func Align8(n int) int { return (n + 7) &^ 7 }

@@ -1,12 +1,13 @@
 // Package geom provides the point geometry and distance metrics underlying
 // the LOF library. All datasets are flat slices of float64 coordinates; a
-// Points value is an immutable-by-convention view of n points in d
-// dimensions stored row-major in a single backing slice.
+// Store (alias Points) is an immutable-by-convention flat point store of n
+// points in d dimensions held in a single contiguous backing block at an
+// explicit row stride. Distance kernels (kernel.go) run dimension-strided
+// loops over that block so the index hot paths never materialize per-row
+// slice headers.
 package geom
 
 import (
-	"errors"
-	"fmt"
 	"math"
 )
 
@@ -41,148 +42,4 @@ func (p Point) Valid() bool {
 		}
 	}
 	return true
-}
-
-// Points is a dense row-major collection of n points in d dimensions.
-// The zero value is an empty collection.
-type Points struct {
-	coords []float64
-	dim    int
-}
-
-// ErrDimension is returned when points of mismatched dimensionality are
-// combined.
-var ErrDimension = errors.New("geom: dimension mismatch")
-
-// ErrInvalidCoord is returned when a NaN or infinite coordinate is supplied.
-var ErrInvalidCoord = errors.New("geom: non-finite coordinate")
-
-// NewPoints creates an empty collection of points with the given
-// dimensionality and capacity hint.
-func NewPoints(dim, capHint int) *Points {
-	if dim <= 0 {
-		panic(fmt.Sprintf("geom: NewPoints dim must be positive, got %d", dim))
-	}
-	if capHint < 0 {
-		capHint = 0
-	}
-	return &Points{coords: make([]float64, 0, capHint*dim), dim: dim}
-}
-
-// FromSlice wraps a row-major coordinate slice as a Points collection.
-// The slice is used directly, not copied; its length must be a multiple
-// of dim.
-func FromSlice(coords []float64, dim int) (*Points, error) {
-	if dim <= 0 {
-		return nil, fmt.Errorf("geom: dimension must be positive, got %d", dim)
-	}
-	if len(coords)%dim != 0 {
-		return nil, fmt.Errorf("geom: coordinate slice length %d is not a multiple of dim %d", len(coords), dim)
-	}
-	for _, c := range coords {
-		if math.IsNaN(c) || math.IsInf(c, 0) {
-			return nil, ErrInvalidCoord
-		}
-	}
-	return &Points{coords: coords, dim: dim}, nil
-}
-
-// FromRows builds a Points collection from a slice of points. All rows must
-// share the same dimensionality and contain only finite coordinates.
-func FromRows(rows []Point) (*Points, error) {
-	if len(rows) == 0 {
-		return nil, errors.New("geom: FromRows requires at least one row")
-	}
-	dim := len(rows[0])
-	ps := NewPoints(dim, len(rows))
-	for i, r := range rows {
-		if err := ps.Append(r); err != nil {
-			return nil, fmt.Errorf("geom: row %d: %w", i, err)
-		}
-	}
-	return ps, nil
-}
-
-// Append adds one point to the collection.
-func (ps *Points) Append(p Point) error {
-	if len(p) != ps.dim {
-		return fmt.Errorf("%w: have %d, want %d", ErrDimension, len(p), ps.dim)
-	}
-	if !p.Valid() {
-		return ErrInvalidCoord
-	}
-	ps.coords = append(ps.coords, p...)
-	return nil
-}
-
-// Len returns the number of points in the collection.
-func (ps *Points) Len() int {
-	if ps == nil || ps.dim == 0 {
-		return 0
-	}
-	return len(ps.coords) / ps.dim
-}
-
-// Dim returns the dimensionality of the collection.
-func (ps *Points) Dim() int { return ps.dim }
-
-// At returns a view of point i. The returned slice aliases the backing
-// storage; callers must not modify it.
-func (ps *Points) At(i int) Point {
-	off := i * ps.dim
-	return Point(ps.coords[off : off+ps.dim : off+ps.dim])
-}
-
-// Row copies point i into dst, which must have length Dim, and returns dst.
-// If dst is nil a new slice is allocated.
-func (ps *Points) Row(i int, dst Point) Point {
-	if dst == nil {
-		dst = make(Point, ps.dim)
-	}
-	copy(dst, ps.At(i))
-	return dst
-}
-
-// Coords returns the backing row-major coordinate slice. Callers must not
-// modify it.
-func (ps *Points) Coords() []float64 { return ps.coords }
-
-// Clone returns a deep copy of the collection.
-func (ps *Points) Clone() *Points {
-	out := &Points{coords: make([]float64, len(ps.coords)), dim: ps.dim}
-	copy(out.coords, ps.coords)
-	return out
-}
-
-// Subset returns a new collection containing the points at the given
-// indices, in order.
-func (ps *Points) Subset(idx []int) *Points {
-	out := NewPoints(ps.dim, len(idx))
-	for _, i := range idx {
-		out.coords = append(out.coords, ps.At(i)...)
-	}
-	return out
-}
-
-// Bounds returns the coordinate-wise minimum and maximum over all points.
-// It panics on an empty collection.
-func (ps *Points) Bounds() (lo, hi Point) {
-	n := ps.Len()
-	if n == 0 {
-		panic("geom: Bounds of empty Points")
-	}
-	lo = ps.At(0).Clone()
-	hi = ps.At(0).Clone()
-	for i := 1; i < n; i++ {
-		p := ps.At(i)
-		for d := 0; d < ps.dim; d++ {
-			if p[d] < lo[d] {
-				lo[d] = p[d]
-			}
-			if p[d] > hi[d] {
-				hi[d] = p[d]
-			}
-		}
-	}
-	return lo, hi
 }

@@ -27,19 +27,6 @@ func (Euclidean) Distance(p, q Point) float64 {
 // Name returns "euclidean".
 func (Euclidean) Name() string { return "euclidean" }
 
-// SqDist returns the squared L2 distance between p and q. It is the hot
-// inner loop of every index structure, so it avoids bounds checks where the
-// compiler can prove them away.
-func SqDist(p, q Point) float64 {
-	var s float64
-	_ = q[len(p)-1]
-	for i, v := range p {
-		d := v - q[i]
-		s += d * d
-	}
-	return s
-}
-
 // Manhattan is the L1 metric.
 type Manhattan struct{}
 

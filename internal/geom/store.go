@@ -1,0 +1,234 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Store is the flat point store underlying every index, the materialization
+// database and the snapshot formats: one contiguous []float64 coordinate
+// block holding n rows of dim coordinates each, laid out at a fixed Stride
+// (Stride ≥ Dim; any padding floats are zero). Row-major contiguity is the
+// property the paper's cost analysis rewards — kNN materialization is a
+// sequential sweep over coordinates — and the explicit stride is what lets
+// the distance kernels in kernel.go address rows by raw offset instead of
+// materializing a slice header per candidate.
+//
+// A Store is immutable by convention once indexed or snapshotted: the
+// accessors return views into the backing block, and every consumer in this
+// module treats them as read-only. The zero value is an empty store.
+//
+// Points is an alias of Store kept for the historical name; constructors in
+// this package produce packed stores (Stride == Dim), which is also the
+// layout the snapshot coordinate sections use, so a snapshot's coords block
+// can be wrapped as a Store without copying. StrideAlign exists for callers
+// that want cache-line-aligned rows at the cost of padding.
+type Store struct {
+	coords []float64
+	n      int
+	dim    int
+	stride int
+}
+
+// Points is the historical name of the flat point store.
+type Points = Store
+
+// ErrDimension is returned when points of mismatched dimensionality are
+// combined.
+var ErrDimension = errors.New("geom: dimension mismatch")
+
+// ErrInvalidCoord is returned when a NaN or infinite coordinate is supplied.
+var ErrInvalidCoord = errors.New("geom: non-finite coordinate")
+
+// StrideAlign is the row granularity NewAligned pads to: 8 float64s, one
+// 64-byte cache line, so no row straddles a line it does not have to.
+const StrideAlign = 8
+
+// NewPoints creates an empty packed collection of points with the given
+// dimensionality and capacity hint.
+func NewPoints(dim, capHint int) *Store {
+	if dim <= 0 {
+		panic(fmt.Sprintf("geom: NewPoints dim must be positive, got %d", dim))
+	}
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &Store{coords: make([]float64, 0, capHint*dim), dim: dim, stride: dim}
+}
+
+// NewAligned creates an empty store whose rows are padded to a multiple of
+// StrideAlign floats, so every row starts on a 64-byte boundary when the
+// backing block does. The padding floats are zero and never observable
+// through the accessors.
+func NewAligned(dim, capHint int) *Store {
+	if dim <= 0 {
+		panic(fmt.Sprintf("geom: NewAligned dim must be positive, got %d", dim))
+	}
+	if capHint < 0 {
+		capHint = 0
+	}
+	stride := (dim + StrideAlign - 1) / StrideAlign * StrideAlign
+	return &Store{coords: make([]float64, 0, capHint*stride), dim: dim, stride: stride}
+}
+
+// FromSlice wraps a packed row-major coordinate slice as a Store. The slice
+// is used directly, not copied; its length must be a multiple of dim and
+// every coordinate must be finite. This is the zero-copy entry point the
+// snapshot loaders use: a coords section cast out of an mmap'd snapshot
+// becomes a servable Store without a decode pass.
+func FromSlice(coords []float64, dim int) (*Store, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("geom: dimension must be positive, got %d", dim)
+	}
+	if len(coords)%dim != 0 {
+		return nil, fmt.Errorf("geom: coordinate slice length %d is not a multiple of dim %d", len(coords), dim)
+	}
+	for _, c := range coords {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, ErrInvalidCoord
+		}
+	}
+	return &Store{coords: coords, n: len(coords) / dim, dim: dim, stride: dim}, nil
+}
+
+// FromRows builds a packed Store from a slice of points. All rows must
+// share the same dimensionality and contain only finite coordinates.
+func FromRows(rows []Point) (*Store, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("geom: FromRows requires at least one row")
+	}
+	dim := len(rows[0])
+	ps := NewPoints(dim, len(rows))
+	for i, r := range rows {
+		if err := ps.Append(r); err != nil {
+			return nil, fmt.Errorf("geom: row %d: %w", i, err)
+		}
+	}
+	return ps, nil
+}
+
+// Append adds one point to the store, zero-filling any stride padding.
+func (s *Store) Append(p Point) error {
+	if len(p) != s.dim {
+		return fmt.Errorf("%w: have %d, want %d", ErrDimension, len(p), s.dim)
+	}
+	if !p.Valid() {
+		return ErrInvalidCoord
+	}
+	s.coords = append(s.coords, p...)
+	for pad := s.stride - s.dim; pad > 0; pad-- {
+		s.coords = append(s.coords, 0)
+	}
+	s.n++
+	return nil
+}
+
+// Len returns the number of points in the store.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Dim returns the dimensionality of the store.
+func (s *Store) Dim() int { return s.dim }
+
+// Stride returns the row stride in floats (Stride ≥ Dim; equal for packed
+// stores).
+func (s *Store) Stride() int { return s.stride }
+
+// Packed reports whether the store has no inter-row padding, i.e. the
+// backing block is exactly the row-major coordinate matrix.
+func (s *Store) Packed() bool { return s.stride == s.dim }
+
+// At returns a view of point i. The returned slice aliases the backing
+// storage; callers must not modify it.
+func (s *Store) At(i int) Point {
+	off := i * s.stride
+	return Point(s.coords[off : off+s.dim : off+s.dim])
+}
+
+// Row copies point i into dst, which must have length Dim, and returns dst.
+// If dst is nil a new slice is allocated.
+func (s *Store) Row(i int, dst Point) Point {
+	if dst == nil {
+		dst = make(Point, s.dim)
+	}
+	copy(dst, s.At(i))
+	return dst
+}
+
+// Coords returns the packed row-major coordinate matrix of the store.
+//
+// Sharing contract: for packed stores (every store this package's
+// constructors produce, and every store restored from a snapshot) the
+// returned slice IS the backing block — it aliases the store, mutating it
+// corrupts every index and database built over the store, and it remains
+// reachable as long as the caller holds it. Callers that need ownership —
+// to serialize asynchronously, splice into another store, or outlive a
+// snapshot mapping — must use CloneCoords. For padded stores the padding
+// must be stripped, so the result is necessarily a fresh packed copy.
+func (s *Store) Coords() []float64 {
+	if s.Packed() {
+		return s.coords
+	}
+	return s.CloneCoords()
+}
+
+// CloneCoords returns a freshly allocated packed row-major copy of the
+// coordinates, sharing no storage with the store. It is the explicit-
+// ownership counterpart of Coords.
+func (s *Store) CloneCoords() []float64 {
+	out := make([]float64, s.n*s.dim)
+	if s.Packed() {
+		copy(out, s.coords[:s.n*s.dim])
+		return out
+	}
+	for i := 0; i < s.n; i++ {
+		copy(out[i*s.dim:(i+1)*s.dim], s.At(i))
+	}
+	return out
+}
+
+// Clone returns a deep copy of the store, preserving its stride.
+func (s *Store) Clone() *Store {
+	out := &Store{coords: make([]float64, len(s.coords)), n: s.n, dim: s.dim, stride: s.stride}
+	copy(out.coords, s.coords)
+	return out
+}
+
+// Subset returns a new packed store containing the points at the given
+// indices, in order.
+func (s *Store) Subset(idx []int) *Store {
+	out := NewPoints(s.dim, len(idx))
+	for _, i := range idx {
+		out.coords = append(out.coords, s.At(i)...)
+	}
+	out.n = len(idx)
+	return out
+}
+
+// Bounds returns the coordinate-wise minimum and maximum over all points.
+// It panics on an empty store.
+func (s *Store) Bounds() (lo, hi Point) {
+	n := s.Len()
+	if n == 0 {
+		panic("geom: Bounds of empty Points")
+	}
+	lo = s.At(0).Clone()
+	hi = s.At(0).Clone()
+	for i := 1; i < n; i++ {
+		p := s.At(i)
+		for d := 0; d < s.dim; d++ {
+			if p[d] < lo[d] {
+				lo[d] = p[d]
+			}
+			if p[d] > hi[d] {
+				hi[d] = p[d]
+			}
+		}
+	}
+	return lo, hi
+}

@@ -525,7 +525,7 @@ func (d *Detector) ScoreAtCursor(cur index.Cursor, q geom.Point) (float64, error
 		if r, ok := rows[o]; ok {
 			return r
 		}
-		doq := d.metric.Distance(d.ix.At(o), q)
+		doq := d.ix.DistTo(o, q)
 		r := mrow{nn: d.nn[o], kdist: d.kdist[o]}
 		if doq <= d.kdist[o] {
 			old := d.nn[o]

@@ -46,6 +46,10 @@ const rebuildMinOverlay = 32
 type Index struct {
 	pts    *geom.Points
 	metric geom.Metric
+	// kern is the resolved distance kernel over pts. It reads the store
+	// through the pointer on every call, so it survives appends that
+	// re-back the coordinate block.
+	kern geom.Kernel
 
 	deleted []bool
 	live    int
@@ -70,7 +74,8 @@ func New(dim int, m geom.Metric) *Index {
 	if m == nil {
 		m = geom.Euclidean{}
 	}
-	return &Index{pts: geom.NewPoints(dim, 0), metric: m}
+	pts := geom.NewPoints(dim, 0)
+	return &Index{pts: pts, metric: m, kern: geom.NewKernel(pts, m)}
 }
 
 // Len returns the number of live (inserted and not deleted) points.
@@ -87,6 +92,10 @@ func (ix *Index) Dim() int { return ix.pts.Dim() }
 
 // At returns a view of slot i's coordinates; callers must not modify it.
 func (ix *Index) At(i int) geom.Point { return ix.pts.At(i) }
+
+// DistTo returns the distance between slot i and q under the index's
+// metric, through the resolved kernel (no per-call metric dispatch).
+func (ix *Index) DistTo(i int, q geom.Point) float64 { return ix.kern.Dist(i, q) }
 
 // Deleted reports whether slot i is tombstoned (out-of-range slots report
 // true: there is no live point there).
@@ -250,7 +259,7 @@ func (c *Cursor) KNNInto(dst []index.Neighbor, q geom.Point, k int, exclude int)
 		if i == exclude || ix.deleted[i] {
 			continue
 		}
-		c.h.Push(index.Neighbor{Index: i, Dist: ix.metric.Distance(q, ix.pts.At(i))})
+		c.h.Push(index.Neighbor{Index: i, Dist: ix.kern.Dist(i, q)})
 	}
 	return c.h.AppendSorted(dst)
 }
@@ -281,7 +290,7 @@ func (c *Cursor) RangeInto(dst []index.Neighbor, q geom.Point, r float64, exclud
 		if i == exclude || ix.deleted[i] {
 			continue
 		}
-		if d := ix.metric.Distance(q, ix.pts.At(i)); d <= r {
+		if d := ix.kern.Dist(i, q); d <= r {
 			dst = append(dst, index.Neighbor{Index: i, Dist: d})
 		}
 	}

@@ -234,11 +234,12 @@ type Cursor struct {
 	coord        []int // ring recursion scratch
 	ring         []int32
 	boxLo, boxHi geom.Point
+	kern         geom.Kernel
 }
 
 // NewCursor returns a fresh cursor over the index.
 func (ix *Index) NewCursor() index.Cursor {
-	return &Cursor{ix: ix, h: index.NewHeap(0)}
+	return &Cursor{ix: ix, h: index.NewHeap(0), kern: geom.NewKernel(ix.pts, ix.metric)}
 }
 
 // Index returns the cursor's index.
@@ -286,7 +287,7 @@ func (c *Cursor) KNNInto(dst []index.Neighbor, q geom.Point, k int, exclude int)
 				if int(pi) == exclude {
 					continue
 				}
-				c.h.Push(index.Neighbor{Index: int(pi), Dist: ix.metric.Distance(q, ix.pts.At(int(pi)))})
+				c.h.Push(index.Neighbor{Index: int(pi), Dist: c.kern.Dist(int(pi), q)})
 			}
 		}
 	}
@@ -316,7 +317,7 @@ func (c *Cursor) RangeInto(dst []index.Neighbor, q geom.Point, r float64, exclud
 				if int(pi) == exclude {
 					continue
 				}
-				if d := ix.metric.Distance(q, ix.pts.At(int(pi))); d <= r {
+				if d := c.kern.Dist(int(pi), q); d <= r {
 					dst = append(dst, index.Neighbor{Index: int(pi), Dist: d})
 				}
 			}

@@ -121,13 +121,15 @@ func (ix *Index) Len() int { return ix.pts.Len() }
 func (ix *Index) Metric() geom.Metric { return ix.metric }
 
 // Cursor is a reusable query object over the tree: it owns the candidate
-// heap, the range accumulation buffer and the result sorter, so repeated
-// queries allocate nothing. Branch-and-bound descent state lives on the
-// call stack (method recursion), which costs no heap allocation.
+// heap, the range accumulation buffer, the result sorter and the resolved
+// distance kernel, so repeated queries allocate nothing and leaf scans pay
+// no per-candidate metric dispatch. Branch-and-bound descent state lives on
+// the call stack (method recursion), which costs no heap allocation.
 type Cursor struct {
 	ix     *Index
 	h      *index.Heap
 	sorter index.Sorter
+	kern   geom.Kernel
 	// out stages the in-flight RangeInto destination so the recursion can
 	// append without taking the address of a local slice (which would
 	// force a heap escape per query).
@@ -136,7 +138,7 @@ type Cursor struct {
 
 // NewCursor returns a fresh cursor over the index.
 func (ix *Index) NewCursor() index.Cursor {
-	return &Cursor{ix: ix, h: index.NewHeap(0)}
+	return &Cursor{ix: ix, h: index.NewHeap(0), kern: geom.NewKernel(ix.pts, ix.metric)}
 }
 
 // Index returns the cursor's index.
@@ -159,7 +161,7 @@ func (c *Cursor) knn(n *node, q geom.Point, exclude int) {
 			if pi == exclude {
 				continue
 			}
-			c.h.Push(index.Neighbor{Index: pi, Dist: ix.metric.Distance(q, ix.pts.At(pi))})
+			c.h.Push(index.Neighbor{Index: pi, Dist: c.kern.Dist(pi, q)})
 		}
 		return
 	}
@@ -197,7 +199,7 @@ func (c *Cursor) rangeQuery(n *node, q geom.Point, r float64, exclude int) {
 			if pi == exclude {
 				continue
 			}
-			if d := ix.metric.Distance(q, ix.pts.At(pi)); d <= r {
+			if d := c.kern.Dist(pi, q); d <= r {
 				c.out = append(c.out, index.Neighbor{Index: pi, Dist: d})
 			}
 		}

@@ -5,8 +5,6 @@
 package linear
 
 import (
-	"math"
-
 	"lof/internal/geom"
 	"lof/internal/index"
 )
@@ -35,77 +33,59 @@ func (ix *Index) Len() int { return ix.pts.Len() }
 func (ix *Index) Metric() geom.Metric { return ix.metric }
 
 // Cursor is a reusable query object over the scan: it owns the candidate
-// heap and result sorter, so repeated queries allocate nothing.
+// heap, result sorter and resolved distance kernel, so repeated queries
+// allocate nothing and the scan loop performs no per-candidate metric
+// dispatch.
 type Cursor struct {
 	ix     *Index
 	h      *index.Heap
 	sorter index.Sorter
+	kern   geom.Kernel
 }
 
 // NewCursor returns a fresh cursor over the index.
 func (ix *Index) NewCursor() index.Cursor {
-	return &Cursor{ix: ix, h: index.NewHeap(0)}
+	return &Cursor{ix: ix, h: index.NewHeap(0), kern: geom.NewKernel(ix.pts, ix.metric)}
 }
 
 // Index returns the cursor's index.
 func (c *Cursor) Index() index.Index { return c.ix }
 
-// KNNInto appends the k nearest neighbors of q to dst by full scan.
+// KNNInto appends the k nearest neighbors of q to dst by full scan. The
+// kernel addresses rows by strided offset into the store's contiguous
+// block; pruning and result distances use the same rounded value so
+// boundary ties stay consistent with Range.
 func (c *Cursor) KNNInto(dst []index.Neighbor, q geom.Point, k int, exclude int) []index.Neighbor {
 	if k <= 0 {
 		return dst
 	}
-	ix := c.ix
 	c.h.Reset(k)
-	n := ix.pts.Len()
-	if _, ok := ix.metric.(geom.Euclidean); ok {
-		for i := 0; i < n; i++ {
-			if i == exclude {
-				continue
-			}
-			// Pruning and result distances both use the rounded sqrt value
-			// so boundary ties stay consistent with Range.
-			c.h.Push(index.Neighbor{Index: i, Dist: sqrt(geom.SqDist(q, ix.pts.At(i)))})
-		}
-		return c.h.AppendSorted(dst)
-	}
+	n := c.ix.pts.Len()
 	for i := 0; i < n; i++ {
 		if i == exclude {
 			continue
 		}
-		c.h.Push(index.Neighbor{Index: i, Dist: ix.metric.Distance(q, ix.pts.At(i))})
+		c.h.Push(index.Neighbor{Index: i, Dist: c.kern.Dist(i, q)})
 	}
 	return c.h.AppendSorted(dst)
 }
 
-// RangeInto appends all points within distance r of q to dst.
+// RangeInto appends all points within distance r of q to dst. Distances are
+// compared in rounded (not squared) form: r is typically a k-distance
+// produced by KNN, and squaring it can round below the boundary point's
+// squared distance.
 func (c *Cursor) RangeInto(dst []index.Neighbor, q geom.Point, r float64, exclude int) []index.Neighbor {
 	if r < 0 {
 		return dst
 	}
-	ix := c.ix
 	start := len(dst)
-	n := ix.pts.Len()
-	if _, ok := ix.metric.(geom.Euclidean); ok {
-		for i := 0; i < n; i++ {
-			if i == exclude {
-				continue
-			}
-			// Compare rounded distances, not squares: r is typically a
-			// k-distance produced by KNN, and squaring it can round below
-			// the boundary point's squared distance.
-			if d := sqrt(geom.SqDist(q, ix.pts.At(i))); d <= r {
-				dst = append(dst, index.Neighbor{Index: i, Dist: d})
-			}
+	n := c.ix.pts.Len()
+	for i := 0; i < n; i++ {
+		if i == exclude {
+			continue
 		}
-	} else {
-		for i := 0; i < n; i++ {
-			if i == exclude {
-				continue
-			}
-			if d := ix.metric.Distance(q, ix.pts.At(i)); d <= r {
-				dst = append(dst, index.Neighbor{Index: i, Dist: d})
-			}
+		if d := c.kern.Dist(i, q); d <= r {
+			dst = append(dst, index.Neighbor{Index: i, Dist: d})
 		}
 	}
 	c.sorter.Sort(dst[start:])
@@ -121,11 +101,4 @@ func (ix *Index) KNN(q geom.Point, k int, exclude int) []index.Neighbor {
 // Range returns all points within distance r of q via a fresh cursor.
 func (ix *Index) Range(q geom.Point, r float64, exclude int) []index.Neighbor {
 	return ix.NewCursor().RangeInto(nil, q, r, exclude)
-}
-
-func sqrt(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	return math.Sqrt(x)
 }

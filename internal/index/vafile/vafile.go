@@ -158,8 +158,10 @@ func (s *candSorter) sort(cs []cand) {
 }
 
 // Cursor is a reusable query object over the VA-file: it owns the cell
-// rectangle scratch, the candidate set of the filter phase, both bound heaps
-// and the sorters, so repeated queries allocate nothing.
+// rectangle scratch, the candidate set of the filter phase, both bound
+// heaps, the sorters and the resolved distance kernel, so repeated queries
+// allocate nothing and the refinement phase pays no per-candidate metric
+// dispatch.
 type Cursor struct {
 	ix         *Index
 	h          *index.Heap // exact result heap
@@ -168,11 +170,12 @@ type Cursor struct {
 	candSorter candSorter
 	cands      []cand
 	lo, hi     geom.Point
+	kern       geom.Kernel
 }
 
 // NewCursor returns a fresh cursor over the index.
 func (ix *Index) NewCursor() index.Cursor {
-	return &Cursor{ix: ix, h: index.NewHeap(0), ubHeap: index.NewHeap(0)}
+	return &Cursor{ix: ix, h: index.NewHeap(0), ubHeap: index.NewHeap(0), kern: geom.NewKernel(ix.pts, ix.metric)}
 }
 
 // Index returns the cursor's index.
@@ -232,7 +235,7 @@ func (c *Cursor) KNNInto(dst []index.Neighbor, q geom.Point, k int, exclude int)
 		if w, full := c.h.Worst(); full && cd.lower > w {
 			break
 		}
-		c.h.Push(index.Neighbor{Index: cd.idx, Dist: ix.metric.Distance(q, ix.pts.At(cd.idx))})
+		c.h.Push(index.Neighbor{Index: cd.idx, Dist: c.kern.Dist(cd.idx, q)})
 	}
 	return c.h.AppendSorted(dst)
 }
@@ -255,7 +258,7 @@ func (c *Cursor) RangeInto(dst []index.Neighbor, q geom.Point, r float64, exclud
 		if geom.MinDistToRect(ix.metric, q, c.lo, c.hi) > r {
 			continue
 		}
-		if d := ix.metric.Distance(q, ix.pts.At(i)); d <= r {
+		if d := c.kern.Dist(i, q); d <= r {
 			dst = append(dst, index.Neighbor{Index: i, Dist: d})
 		}
 	}

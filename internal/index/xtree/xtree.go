@@ -403,13 +403,15 @@ func (f *frontier) pop() pqItem {
 }
 
 // Cursor is a reusable query object over the tree: it owns the candidate
-// heap, the best-first frontier, the range accumulation buffer and the
-// result sorter, so repeated queries allocate nothing.
+// heap, the best-first frontier, the range accumulation buffer, the result
+// sorter and the resolved distance kernel, so repeated queries allocate
+// nothing and leaf scans pay no per-candidate metric dispatch.
 type Cursor struct {
 	ix       *Index
 	h        *index.Heap
 	sorter   index.Sorter
 	frontier frontier
+	kern     geom.Kernel
 	// out stages the in-flight RangeInto destination so the recursion can
 	// append without forcing the slice to escape through a pointer.
 	out []index.Neighbor
@@ -417,7 +419,7 @@ type Cursor struct {
 
 // NewCursor returns a fresh cursor over the index.
 func (ix *Index) NewCursor() index.Cursor {
-	return &Cursor{ix: ix, h: index.NewHeap(0)}
+	return &Cursor{ix: ix, h: index.NewHeap(0), kern: geom.NewKernel(ix.pts, ix.metric)}
 }
 
 // Index returns the cursor's index.
@@ -443,7 +445,7 @@ func (c *Cursor) KNNInto(dst []index.Neighbor, qp geom.Point, k int, exclude int
 				if int(pi) == exclude {
 					continue
 				}
-				c.h.Push(index.Neighbor{Index: int(pi), Dist: ix.metric.Distance(qp, ix.pts.At(int(pi)))})
+				c.h.Push(index.Neighbor{Index: int(pi), Dist: c.kern.Dist(int(pi), qp)})
 			}
 			continue
 		}
@@ -482,7 +484,7 @@ func (c *Cursor) rangeQuery(n *node, qp geom.Point, r float64, exclude int) {
 			if int(pi) == exclude {
 				continue
 			}
-			if d := ix.metric.Distance(qp, ix.pts.At(int(pi))); d <= r {
+			if d := c.kern.Dist(int(pi), qp); d <= r {
 				c.out = append(c.out, index.Neighbor{Index: int(pi), Dist: d})
 			}
 		}

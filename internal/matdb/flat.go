@@ -1,0 +1,107 @@
+package matdb
+
+import (
+	"fmt"
+	"math"
+
+	"lof/internal/index"
+)
+
+// This file is the flat-layout face of the database: the accessors the
+// sectioned snapshot formats serialize from, and the constructor that
+// rebuilds a DB over flat arrays restored (possibly zero-copy, straight out
+// of an mmap'd snapshot) by a loader. The flat representation is exactly
+// what compact() produces in memory — one contiguous neighbor array plus
+// per-row offsets — so a snapshot written from these accessors and loaded
+// through FromFlat reproduces the in-memory database without a decode pass.
+
+// RankEntries returns the total number of stored distinct-rank entries,
+// zero for raw-mode databases. It is the rank analogue of Entries.
+func (db *DB) RankEntries() int {
+	total := 0
+	for _, rk := range db.distinctAt {
+		total += len(rk)
+	}
+	return total
+}
+
+// RanksOf returns the distinct-rank list of row i, nil for raw-mode
+// databases. The returned slice aliases the database; callers must not
+// modify it.
+func (db *DB) RanksOf(i int) []int32 {
+	if db.distinctAt == nil {
+		return nil
+	}
+	return db.distinctAt[i]
+}
+
+// FromFlat assembles a database over flat arrays: one contiguous neighbor
+// slice plus (n+1) prefix offsets delimiting each row, and — for distinct
+// databases — the analogous flat rank arrays. Row i is
+// flat[rowOffs[i]:rowOffs[i+1]]; the rows alias flat, so a caller handing
+// in a slice cast out of a snapshot mapping gets a database served straight
+// from the mapped bytes.
+//
+// Every structural invariant the serving path assumes is validated here:
+// offsets monotone and bounded, neighbor indices within [0, n), distances
+// neither NaN nor negative, ranks within their row. The arrays are the
+// caller's: FromFlat never copies or mutates them.
+func FromFlat(k int, n int, flat []index.Neighbor, rowOffs []uint64, ranks []int32, rankOffs []uint64, distinct bool) (*DB, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("matdb: materialized K must be positive, got %d", k)
+	}
+	if len(rowOffs) != n+1 {
+		return nil, fmt.Errorf("matdb: %d row offsets for %d points", len(rowOffs), n)
+	}
+	if rowOffs[0] != 0 || rowOffs[n] != uint64(len(flat)) {
+		return nil, fmt.Errorf("matdb: row offsets span [%d, %d), want [0, %d)", rowOffs[0], rowOffs[n], len(flat))
+	}
+	db := &DB{K: k, Neighbors: make([][]index.Neighbor, n)}
+	for i := 0; i < n; i++ {
+		lo, hi := rowOffs[i], rowOffs[i+1]
+		if lo > hi {
+			return nil, fmt.Errorf("matdb: row %d offsets decrease (%d > %d)", i, lo, hi)
+		}
+		row := flat[lo:hi:hi]
+		for j, nb := range row {
+			if nb.Index < 0 || nb.Index >= n {
+				return nil, fmt.Errorf("matdb: point %d references out-of-range neighbor %d", i, nb.Index)
+			}
+			if math.IsNaN(nb.Dist) || nb.Dist < 0 {
+				return nil, fmt.Errorf("matdb: point %d neighbor %d has invalid distance %v", i, j, nb.Dist)
+			}
+		}
+		db.Neighbors[i] = row
+	}
+	if !distinct {
+		if len(ranks) != 0 || len(rankOffs) != 0 {
+			return nil, fmt.Errorf("matdb: raw database carries %d ranks", len(ranks))
+		}
+		return db, nil
+	}
+	if len(rankOffs) != n+1 {
+		return nil, fmt.Errorf("matdb: %d rank offsets for %d points", len(rankOffs), n)
+	}
+	if rankOffs[0] != 0 || rankOffs[n] != uint64(len(ranks)) {
+		return nil, fmt.Errorf("matdb: rank offsets span [%d, %d), want [0, %d)", rankOffs[0], rankOffs[n], len(ranks))
+	}
+	db.distinctAt = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		lo, hi := rankOffs[i], rankOffs[i+1]
+		if lo > hi {
+			return nil, fmt.Errorf("matdb: row %d rank offsets decrease (%d > %d)", i, lo, hi)
+		}
+		rk := ranks[lo:hi:hi]
+		rowLen := len(db.Neighbors[i])
+		if len(rk) > rowLen {
+			return nil, fmt.Errorf("matdb: point %d has %d ranks for %d neighbors", i, len(rk), rowLen)
+		}
+		for _, r := range rk {
+			if r < 0 || int(r) >= rowLen {
+				return nil, fmt.Errorf("matdb: point %d rank %d out of range", i, r)
+			}
+		}
+		db.distinctAt[i] = rk
+	}
+	return db, nil
+}

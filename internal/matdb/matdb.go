@@ -8,12 +8,12 @@ package matdb
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 
+	"lof/internal/flatbin"
 	"lof/internal/geom"
 	"lof/internal/index"
 	"lof/internal/obs"
@@ -288,93 +288,62 @@ const (
 	version = 1
 )
 
-// WriteTo serializes the database. It implements io.WriterTo.
+// WriteTo serializes the database with explicit little-endian encoding (no
+// reflection). It implements io.WriterTo.
 func (db *DB) WriteTo(w io.Writer) (int64, error) {
-	var written int64
-	wr := func(v interface{}) error {
-		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
-			return err
-		}
-		written += int64(binary.Size(v))
-		return nil
-	}
-	n, err := w.Write([]byte(magic))
-	written += int64(n)
-	if err != nil {
-		return written, err
-	}
-	if err := wr(uint32(version)); err != nil {
-		return written, err
-	}
-	if err := wr(uint32(db.K)); err != nil {
-		return written, err
-	}
+	fw := flatbin.NewWriter(w)
+	fw.String(magic)
+	fw.U32(version)
+	fw.U32(uint32(db.K))
 	distinct := uint8(0)
 	if db.distinctAt != nil {
 		distinct = 1
 	}
-	if err := wr(distinct); err != nil {
-		return written, err
-	}
-	if err := wr(uint64(len(db.Neighbors))); err != nil {
-		return written, err
-	}
+	fw.U8(distinct)
+	fw.U64(uint64(len(db.Neighbors)))
 	for i, nn := range db.Neighbors {
-		if err := wr(uint32(len(nn))); err != nil {
-			return written, err
-		}
+		fw.U32(uint32(len(nn)))
 		for _, nb := range nn {
-			if err := wr(uint32(nb.Index)); err != nil {
-				return written, err
-			}
-			if err := wr(nb.Dist); err != nil {
-				return written, err
-			}
+			fw.U32(uint32(nb.Index))
+			fw.F64(nb.Dist)
 		}
 		if distinct == 1 {
 			ranks := db.distinctAt[i]
-			if err := wr(uint32(len(ranks))); err != nil {
-				return written, err
-			}
+			fw.U32(uint32(len(ranks)))
 			for _, rk := range ranks {
-				if err := wr(uint32(rk)); err != nil {
-					return written, err
-				}
+				fw.U32(uint32(rk))
 			}
 		}
 	}
-	return written, nil
+	return fw.N(), fw.Err()
 }
 
 // Read deserializes a database written by WriteTo.
 func Read(r io.Reader) (*DB, error) {
+	fr := flatbin.NewReader(r)
 	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(r, head); err != nil {
-		return nil, fmt.Errorf("matdb: reading magic: %w", err)
+	fr.Full(head)
+	if err := fr.Context("matdb: reading magic"); err != nil {
+		return nil, err
 	}
 	if string(head) != magic {
 		return nil, fmt.Errorf("matdb: bad magic %q", head)
 	}
-	var ver, k uint32
-	var n uint64
-	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
-		return nil, fmt.Errorf("matdb: reading version: %w", err)
+	ver := fr.U32()
+	if err := fr.Context("matdb: reading version"); err != nil {
+		return nil, err
 	}
 	if ver != version {
 		return nil, fmt.Errorf("matdb: unsupported version %d", ver)
 	}
-	if err := binary.Read(r, binary.LittleEndian, &k); err != nil {
-		return nil, fmt.Errorf("matdb: reading K: %w", err)
-	}
-	var distinct uint8
-	if err := binary.Read(r, binary.LittleEndian, &distinct); err != nil {
-		return nil, fmt.Errorf("matdb: reading distinct flag: %w", err)
+	k := fr.U32()
+	distinct := fr.U8()
+	n := fr.U64()
+	if err := fr.Context("matdb: reading header"); err != nil {
+		return nil, err
 	}
 	if distinct > 1 {
 		return nil, fmt.Errorf("matdb: invalid distinct flag %d", distinct)
-	}
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return nil, fmt.Errorf("matdb: reading count: %w", err)
 	}
 	const maxPoints = 1 << 40
 	if n > maxPoints {
@@ -388,22 +357,19 @@ func Read(r io.Reader) (*DB, error) {
 		db.distinctAt = make([][]int32, 0, min(n, 1024))
 	}
 	for i := uint64(0); i < n; i++ {
-		var count uint32
-		if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-			return nil, fmt.Errorf("matdb: reading point %d: %w", i, err)
+		count := fr.U32()
+		if err := fr.Context("matdb: reading point %d", i); err != nil {
+			return nil, err
 		}
 		if uint64(count) > n {
 			return nil, fmt.Errorf("matdb: point %d claims %d neighbors for %d points", i, count, n)
 		}
 		nn := make([]index.Neighbor, 0, min(uint64(count), 1024))
 		for j := uint32(0); j < count; j++ {
-			var idx uint32
-			var dist float64
-			if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
-				return nil, fmt.Errorf("matdb: reading point %d neighbor %d: %w", i, j, err)
-			}
-			if err := binary.Read(r, binary.LittleEndian, &dist); err != nil {
-				return nil, fmt.Errorf("matdb: reading point %d neighbor %d: %w", i, j, err)
+			idx := fr.U32()
+			dist := fr.F64()
+			if err := fr.Context("matdb: reading point %d neighbor %d", i, j); err != nil {
+				return nil, err
 			}
 			if uint64(idx) >= n {
 				return nil, fmt.Errorf("matdb: point %d references out-of-range neighbor %d", i, idx)
@@ -415,18 +381,18 @@ func Read(r io.Reader) (*DB, error) {
 		}
 		db.Neighbors = append(db.Neighbors, nn)
 		if distinct == 1 {
-			var rc uint32
-			if err := binary.Read(r, binary.LittleEndian, &rc); err != nil {
-				return nil, fmt.Errorf("matdb: reading point %d ranks: %w", i, err)
+			rc := fr.U32()
+			if err := fr.Context("matdb: reading point %d ranks", i); err != nil {
+				return nil, err
 			}
 			if rc > count {
 				return nil, fmt.Errorf("matdb: point %d has %d ranks for %d neighbors", i, rc, count)
 			}
 			ranks := make([]int32, 0, min(uint64(rc), 1024))
 			for j := uint32(0); j < rc; j++ {
-				var rk uint32
-				if err := binary.Read(r, binary.LittleEndian, &rk); err != nil {
-					return nil, fmt.Errorf("matdb: reading point %d rank %d: %w", i, j, err)
+				rk := fr.U32()
+				if err := fr.Context("matdb: reading point %d rank %d", i, j); err != nil {
+					return nil, err
 				}
 				if rk >= count {
 					return nil, fmt.Errorf("matdb: point %d rank %d out of range", i, rk)

@@ -54,6 +54,14 @@ func (r Row) IsDistinct() bool { return r.distinct }
 // applies it to its partition's rows with a resolver backed by its halo of
 // neighbor coordinates.
 func SpliceRow(stored Row, q geom.Point, qIdx int, d float64, at func(int) geom.Point, k int) Row {
+	return SpliceRowInto(make([]index.Neighbor, 0, len(stored.Neighbors)+1), stored, q, qIdx, d, at, k)
+}
+
+// SpliceRowInto is SpliceRow building the merged neighbor list in dst
+// (which must be empty with capacity for len(stored.Neighbors)+1 entries),
+// so a scorer filling many rows can carve them out of one arena instead of
+// allocating per row.
+func SpliceRowInto(dst []index.Neighbor, stored Row, q geom.Point, qIdx int, d float64, at func(int) geom.Point, k int) Row {
 	nn := stored.Neighbors
 	// q sorts after every stored tie at distance d: stored indexes are all
 	// smaller than the virtual index.
@@ -61,8 +69,7 @@ func SpliceRow(stored Row, q geom.Point, qIdx int, d float64, at func(int) geom.
 	for pos < len(nn) && nn[pos].Dist <= d {
 		pos++
 	}
-	merged := make([]index.Neighbor, 0, len(nn)+1)
-	merged = append(merged, nn[:pos]...)
+	merged := append(dst, nn[:pos]...)
 	merged = append(merged, index.Neighbor{Index: qIdx, Dist: d})
 	merged = append(merged, nn[pos:]...)
 	r := Row{Neighbors: merged, distinct: stored.distinct}

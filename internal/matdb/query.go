@@ -112,3 +112,8 @@ func (db *DB) QueryRowCursor(pts *geom.Points, cur index.Cursor, q geom.Point) R
 func (db *DB) MergedRow(pts *geom.Points, i int, q geom.Point, qIdx int, d float64) Row {
 	return SpliceRow(db.Row(i), q, qIdx, d, pts.At, db.K)
 }
+
+// MergedRowInto is MergedRow splicing into dst; see SpliceRowInto.
+func (db *DB) MergedRowInto(dst []index.Neighbor, pts *geom.Points, i int, q geom.Point, qIdx int, d float64) Row {
+	return SpliceRowInto(dst, db.Row(i), q, qIdx, d, pts.At, db.K)
+}

@@ -1,0 +1,102 @@
+package shard_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lof"
+	"lof/internal/dataset"
+	"lof/internal/shard"
+)
+
+// The golden parts under testdata were written by the pre-refactor
+// (version 1, streamed) encoder from a split of the oracle fit the root
+// package's testdata/oracle_prerefactor.json captures. Loading them and
+// re-encoding must produce byte-identical snapshots to a fresh split with
+// today's code: encoding is deterministic, so byte equality proves the
+// entire restored state — ids, coordinates, rows, ranks, halo, metadata —
+// survived both the format migration and the flat-store refactor exactly.
+
+func oracleParts(t *testing.T, distinct bool) []*shard.Part {
+	t.Helper()
+	d := dataset.RandomClusters(1234, 400, 3, 5)
+	rows := make([][]float64, d.Points.Len())
+	for i := range rows {
+		rows[i] = d.Points.At(i)
+	}
+	parter := shard.PartitionHash
+	if distinct {
+		for i := 0; i < 20; i++ {
+			rows = append(rows, rows[i*7%400])
+		}
+		parter = shard.PartitionRange
+	}
+	det, err := lof.New(lof.Config{MinPtsLB: 8, MinPtsUB: 12, Distinct: distinct, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Fit(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, db := m.Fitted()
+	parts, err := shard.Split(pts, db, shard.Meta{Metric: "euclidean"}, 3, parter, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parts
+}
+
+func TestGoldenPartV1BitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		file     string
+		distinct bool
+	}{
+		{"part_v1.bin", false},
+		{"part_v1_distinct.bin", true},
+	} {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", tc.file))
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			golden, err := shard.DecodePart(raw)
+			if err != nil {
+				t.Fatalf("DecodePart(v1): %v", err)
+			}
+			// ReadPart must accept the same stream.
+			if _, err := shard.ReadPart(bytes.NewReader(raw)); err != nil {
+				t.Fatalf("ReadPart(v1): %v", err)
+			}
+			fresh := oracleParts(t, tc.distinct)[1]
+			encGolden, err := shard.EncodePart(golden)
+			if err != nil {
+				t.Fatalf("EncodePart(golden): %v", err)
+			}
+			encFresh, err := shard.EncodePart(fresh)
+			if err != nil {
+				t.Fatalf("EncodePart(fresh): %v", err)
+			}
+			if !bytes.Equal(encGolden, encFresh) {
+				t.Fatalf("golden v1 part re-encodes to %d bytes differing from a fresh split's %d",
+					len(encGolden), len(encFresh))
+			}
+			// And the upgraded encoding round-trips through the flat loader.
+			up, err := shard.DecodePart(encGolden)
+			if err != nil {
+				t.Fatalf("DecodePart(v2): %v", err)
+			}
+			if up.Len() != golden.Len() || up.Version() != golden.Version() ||
+				up.ShardID() != golden.ShardID() || up.Meta().Distinct != tc.distinct {
+				t.Fatalf("upgraded part metadata mismatch: %+v", up.Meta())
+			}
+		})
+	}
+}

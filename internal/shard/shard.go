@@ -159,6 +159,7 @@ type Part struct {
 	local  map[uint32]int32
 	ix     index.Index
 	metric geom.Metric
+	kern   geom.Kernel
 }
 
 // Version returns the snapshot version the part was distributed under.
@@ -202,6 +203,7 @@ func (p *Part) finish() error {
 		return fmt.Errorf("shard: part metric: %w", err)
 	}
 	p.metric = m
+	p.kern = geom.NewKernel(p.pts, m)
 	p.local = make(map[uint32]int32, len(p.ids))
 	for i, id := range p.ids {
 		if i > 0 && id <= p.ids[i-1] {
@@ -300,7 +302,7 @@ func (p *Part) MergedRows(q []float64, ids []uint32) ([]WireRow, error) {
 			ranks = p.rks[pos]
 		}
 		stored := matdb.NewRow(p.rows[pos], ranks, p.meta.Distinct)
-		d := p.metric.Distance(p.pts.At(int(pos)), q)
+		d := p.kern.Dist(int(pos), q)
 		row := matdb.SpliceRow(stored, q, p.meta.Total, d, p.at, p.meta.K)
 		out[i] = encodeRow(id, row)
 	}

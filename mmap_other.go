@@ -1,0 +1,11 @@
+//go:build !unix
+
+package lof
+
+import "os"
+
+// mapFile is the no-mmap fallback: every load on this platform reads the
+// file into memory.
+func mapFile(f *os.File) (data []byte, unmap func() error, ok bool, err error) {
+	return nil, nil, false, nil
+}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package lof
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only. It returns the mapping, an unmap
+// function releasing it, and ok=false (with no error) when the platform or
+// the file (empty, for instance) cannot be mapped, letting the caller fall
+// back to reading.
+func mapFile(f *os.File) (data []byte, unmap func() error, ok bool, err error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// A filesystem without mmap support is a fallback case, not a
+		// failure.
+		return nil, nil, false, nil
+	}
+	return b, func() error {
+		if e := syscall.Munmap(b); e != nil {
+			return fmt.Errorf("lof: unmapping snapshot: %w", e)
+		}
+		return nil
+	}, true, nil
+}

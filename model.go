@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"lof/internal/core"
+	"lof/internal/flatbin"
 	"lof/internal/geom"
 	"lof/internal/index"
 	"lof/internal/matdb"
@@ -265,91 +266,49 @@ func (m *Model) Fitted() (*geom.Points, *matdb.DB) { return m.pts, m.db }
 // A snapshot is the minimum state a serving replica needs to score
 // queries: configuration, fitted coordinates, and the materialization
 // database. The index is rebuilt on load (it is derived state and its
-// in-memory layout is not worth freezing into a format):
+// in-memory layout is not worth freezing into a format).
 //
-//	magic "LOFS" | version u32
-//	minPtsLB u32 | minPtsUB u32 | aggregation u8 | distinct u8 | index u8
-//	metric name: len u16 + bytes
-//	weights: count u32 + count × f64
-//	dim u32 | n u64 | n×dim × f64 coordinates (row-major)
-//	materialization database (matdb's own self-describing format)
-//	crc32c u32 (version ≥ 2): Castagnoli checksum of every preceding byte,
-//	magic and version included
+// The current format (version 3) is sectioned and flat: a fixed header, a
+// section table, then 8-byte-aligned sections whose bytes are exactly the
+// in-memory layout of the serving structures — packed row-major float64
+// coordinates, 16-byte {index u64, dist f64} neighbor entries, u64 prefix
+// offsets — followed by a CRC-32C (Castagnoli) trailer over every preceding
+// byte. Because section bytes equal in-memory bytes, LoadModelBytes can
+// reinterpret an mmap'd snapshot in place and serve from the mapping; see
+// model_v3.go for the exact layout.
 //
-// The checksum makes corruption — a truncated download, a flipped bit in a
-// replicated snapshot — a descriptive load error instead of a decode panic
-// or, worse, a silently wrong model on a serving replica. Version-1
-// snapshots (no trailer) remain loadable; versions above the current one
-// are rejected up front so an old replica fails a new snapshot cleanly.
+// Versions 1 (streamed, no checksum) and 2 (streamed, CRC trailer) remain
+// loadable; versions above the current one are rejected up front so an old
+// replica fails a new snapshot cleanly. The checksum makes corruption — a
+// truncated download, a flipped bit in a replicated snapshot — a
+// descriptive load error instead of a decode panic or, worse, a silently
+// wrong model on a serving replica.
 
 const (
-	modelMagic         = "LOFS"
-	modelVersion       = 2
-	modelVersionLegacy = 1 // pre-checksum format, still readable
+	modelMagic    = "LOFS"
+	modelVersion  = 3
+	modelVersion2 = 2 // streamed format with CRC trailer, still readable
+	modelVersion1 = 1 // pre-checksum streamed format, still readable
 )
 
-// WriteTo serializes the model. It implements io.WriterTo.
+// maxSnapshotPoints bounds header-claimed sizes so a corrupt header cannot
+// trigger absurd allocations before any data is validated.
+const maxSnapshotPoints = 1 << 40
+
+// WriteTo serializes the model in the current (version 3) snapshot format.
+// It implements io.WriterTo.
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
-	bw := &countingWriter{w: w}
-	cw := &crcWriter{w: bw, sum: crc32.New(crcTable)}
-	buf := bufio.NewWriter(cw)
-	wr := func(v interface{}) error { return binary.Write(buf, binary.LittleEndian, v) }
-	if _, err := buf.WriteString(modelMagic); err != nil {
-		return bw.n, err
-	}
-	for _, v := range []interface{}{
-		uint32(modelVersion),
-		uint32(m.cfg.MinPtsLB), uint32(m.cfg.MinPtsUB),
-		uint8(m.cfg.Aggregation), boolByte(m.cfg.Distinct), uint8(m.cfg.Index),
-	} {
-		if err := wr(v); err != nil {
-			return bw.n, err
-		}
-	}
-	name := m.cfg.Metric
-	if err := wr(uint16(len(name))); err != nil {
-		return bw.n, err
-	}
-	if _, err := buf.WriteString(name); err != nil {
-		return bw.n, err
-	}
-	if err := wr(uint32(len(m.cfg.Weights))); err != nil {
-		return bw.n, err
-	}
-	for _, wt := range m.cfg.Weights {
-		if err := wr(wt); err != nil {
-			return bw.n, err
-		}
-	}
-	if err := wr(uint32(m.pts.Dim())); err != nil {
-		return bw.n, err
-	}
-	if err := wr(uint64(m.pts.Len())); err != nil {
-		return bw.n, err
-	}
-	if err := wr(m.pts.Coords()); err != nil {
-		return bw.n, err
-	}
-	if err := buf.Flush(); err != nil {
-		return bw.n, err
-	}
-	if _, err := m.db.WriteTo(cw); err != nil {
-		return bw.n, err
-	}
-	// The trailer is the checksum of everything before it, so it bypasses
-	// the hashing writer.
-	if err := binary.Write(bw, binary.LittleEndian, cw.sum.Sum32()); err != nil {
-		return bw.n, err
-	}
-	return bw.n, nil
+	b := m.encodeV3()
+	n, err := w.Write(b)
+	return int64(n), err
 }
 
 // LoadModel restores a model written by WriteTo (or Result.WriteModel),
-// rebuilding the k-NN index from the stored coordinates. Snapshots in the
-// current format carry a CRC32 trailer which is verified before the model
-// is returned: a corrupt or truncated snapshot loads as a descriptive
-// error, never as a silently wrong model. Snapshots from a newer format
-// version than this build understands are rejected up front.
+// rebuilding the k-NN index from the stored coordinates. All snapshot
+// versions are accepted: the current sectioned format (which is slurped and
+// handed to LoadModelBytes) and the streamed formats 1 and 2. Checksummed
+// snapshots are verified before the model is returned; newer-than-supported
+// versions are rejected up front.
 func LoadModel(r io.Reader) (*Model, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(modelMagic)+4)
@@ -360,12 +319,29 @@ func LoadModel(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("lof: bad model magic %q", head[:len(modelMagic)])
 	}
 	ver := binary.LittleEndian.Uint32(head[len(modelMagic):])
-	if ver > modelVersion {
+	switch {
+	case ver > modelVersion:
 		return nil, fmt.Errorf("lof: snapshot format version %d is newer than the supported %d; upgrade this binary", ver, modelVersion)
-	}
-	if ver != modelVersion && ver != modelVersionLegacy {
+	case ver == modelVersion:
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("lof: reading snapshot: %w", err)
+		}
+		// Re-assemble into one 8-aligned allocation so the flat loader's
+		// zero-copy casts apply to streamed loads too.
+		all := make([]byte, 0, len(head)+len(rest))
+		all = append(append(all, head...), rest...)
+		return LoadModelBytes(all)
+	case ver == modelVersion2 || ver == modelVersion1:
+		return loadModelStreamed(br, head, ver)
+	default:
 		return nil, fmt.Errorf("lof: unsupported model version %d", ver)
 	}
+}
+
+// loadModelStreamed decodes the streamed formats (versions 1 and 2) with
+// explicit little-endian field reads.
+func loadModelStreamed(br *bufio.Reader, head []byte, ver uint32) (*Model, error) {
 	// For checksummed snapshots every payload byte consumed from here on is
 	// hashed, seeded with the header already read; the trailer itself is
 	// read around the hash at the end.
@@ -376,64 +352,56 @@ func LoadModel(r io.Reader) (*Model, error) {
 		cr.sum.Write(head)
 		payload = cr
 	}
-	rd := func(v interface{}) error { return binary.Read(payload, binary.LittleEndian, v) }
-	var lb, ub uint32
-	var agg, distinct, kind uint8
-	for _, v := range []interface{}{&lb, &ub, &agg, &distinct, &kind} {
-		if err := rd(v); err != nil {
-			return nil, fmt.Errorf("lof: reading model header: %w", err)
-		}
+	fr := flatbin.NewReader(payload)
+	lb := fr.U32()
+	ub := fr.U32()
+	agg := fr.U8()
+	distinct := fr.U8()
+	kind := fr.U8()
+	if err := fr.Context("lof: reading model header"); err != nil {
+		return nil, err
 	}
 	if distinct > 1 {
 		return nil, fmt.Errorf("lof: invalid distinct flag %d", distinct)
 	}
-	var nameLen uint16
-	if err := rd(&nameLen); err != nil {
-		return nil, fmt.Errorf("lof: reading metric name: %w", err)
-	}
+	nameLen := fr.U16()
 	nameBuf := make([]byte, nameLen)
-	if _, err := io.ReadFull(payload, nameBuf); err != nil {
-		return nil, fmt.Errorf("lof: reading metric name: %w", err)
+	fr.Full(nameBuf)
+	if err := fr.Context("lof: reading metric name"); err != nil {
+		return nil, err
 	}
-	var wcount uint32
-	if err := rd(&wcount); err != nil {
-		return nil, fmt.Errorf("lof: reading weights: %w", err)
-	}
+	wcount := fr.U32()
 	var weights []float64
 	if wcount > 0 {
 		weights = make([]float64, 0, min(uint64(wcount), 1024))
 		for i := uint32(0); i < wcount; i++ {
-			var wt float64
-			if err := rd(&wt); err != nil {
-				return nil, fmt.Errorf("lof: reading weight %d: %w", i, err)
+			weights = append(weights, fr.F64())
+			if err := fr.Context("lof: reading weight %d", i); err != nil {
+				return nil, err
 			}
-			weights = append(weights, wt)
 		}
 	}
-	var dim uint32
-	var n uint64
-	if err := rd(&dim); err != nil {
-		return nil, fmt.Errorf("lof: reading dimensionality: %w", err)
-	}
-	if err := rd(&n); err != nil {
-		return nil, fmt.Errorf("lof: reading point count: %w", err)
+	dim := fr.U32()
+	n := fr.U64()
+	if err := fr.Context("lof: reading model dimensions"); err != nil {
+		return nil, err
 	}
 	if dim == 0 {
 		return nil, fmt.Errorf("lof: model has zero-dimensional points")
 	}
-	const maxPoints = 1 << 40
-	if n > maxPoints {
+	if n > maxSnapshotPoints {
 		return nil, fmt.Errorf("lof: implausible point count %d", n)
 	}
 	// Grow with parsed data, not with header claims, so a corrupt header
 	// cannot trigger a huge allocation.
 	coords := make([]float64, 0, min(n*uint64(dim), 1<<16))
-	row := make([]float64, dim)
 	for i := uint64(0); i < n; i++ {
-		if err := rd(row); err != nil {
-			return nil, fmt.Errorf("lof: reading point %d: %w", i, err)
+		for j := uint32(0); j < dim; j++ {
+			coords = append(coords, fr.F64())
 		}
-		coords = append(coords, row...)
+		if err := fr.Context("lof: reading point %d", i); err != nil {
+			return nil, err
+		}
 	}
 	pts, err := geom.FromSlice(coords, int(dim))
 	if err != nil {
@@ -444,19 +412,14 @@ func LoadModel(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("lof: model database: %w", err)
 	}
 	if cr != nil {
-		var want uint32
-		if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		var trailer [4]byte
+		if _, err := io.ReadFull(br, trailer[:]); err != nil {
 			return nil, fmt.Errorf("lof: reading snapshot checksum: %w", err)
 		}
+		want := binary.LittleEndian.Uint32(trailer[:])
 		if got := cr.sum.Sum32(); got != want {
 			return nil, fmt.Errorf("lof: snapshot checksum mismatch (stored %08x, computed %08x): corrupt or truncated snapshot", want, got)
 		}
-	}
-	if db.Len() != pts.Len() {
-		return nil, fmt.Errorf("lof: model has %d points but %d materialized rows", pts.Len(), db.Len())
-	}
-	if db.IsDistinct() != (distinct == 1) {
-		return nil, fmt.Errorf("lof: model distinct flag disagrees with its database")
 	}
 	cfg := Config{
 		MinPtsLB:    int(lb),
@@ -466,6 +429,19 @@ func LoadModel(r io.Reader) (*Model, error) {
 		Weights:     weights,
 		Index:       IndexKind(kind),
 		Distinct:    distinct == 1,
+	}
+	return assembleModel(cfg, pts, db)
+}
+
+// assembleModel performs the load-time consistency checks shared by every
+// snapshot version and derives the model's serving state (index, scorer)
+// from the restored points and database.
+func assembleModel(cfg Config, pts *geom.Points, db *matdb.DB) (*Model, error) {
+	if db.Len() != pts.Len() {
+		return nil, fmt.Errorf("lof: model has %d points but %d materialized rows", pts.Len(), db.Len())
+	}
+	if db.IsDistinct() != cfg.Distinct {
+		return nil, fmt.Errorf("lof: model distinct flag disagrees with its database")
 	}
 	det, err := New(cfg)
 	if err != nil {
@@ -502,35 +478,9 @@ func boolByte(b bool) uint8 {
 	return 0
 }
 
-// countingWriter tracks bytes written across the buffered and unbuffered
-// sections of a snapshot.
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
-}
-
 // crcTable is the Castagnoli polynomial, hardware-accelerated on the
 // platforms serving replicas run on.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
-
-// crcWriter hashes every byte it forwards, so a snapshot's checksum is
-// computed in the same single pass that writes it.
-type crcWriter struct {
-	w   io.Writer
-	sum hash.Hash32
-}
-
-func (c *crcWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.sum.Write(p[:n])
-	return n, err
-}
 
 // crcReader hashes every byte the decoder consumes. It sits above the
 // buffered reader, so read-ahead inside the buffer never contaminates the

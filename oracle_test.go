@@ -1,0 +1,173 @@
+package lof_test
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+
+	"lof"
+	"lof/internal/dataset"
+)
+
+// prerefactorOracle mirrors testdata/oracle_prerefactor.json: Float64bits of
+// every score the pre-refactor implementation produced on a fixed dataset,
+// captured before the flat-store/kernel refactor. The tests below refit and
+// rescore with the current code and require bit equality — the refactor's
+// "same arithmetic, same order" claim, checked exactly rather than within a
+// tolerance.
+type prerefactorOracle struct {
+	Seed              int64               `json:"seed"`
+	N                 int                 `json:"n"`
+	Dim               int                 `json:"dim"`
+	Clusters          int                 `json:"clusters"`
+	MinPtsLB          int                 `json:"min_pts_lb"`
+	MinPtsUB          int                 `json:"min_pts_ub"`
+	Queries           [][]float64         `json:"queries"`
+	LOFBits           map[string][]uint64 `json:"lof_bits"`
+	ScoreBits         []uint64            `json:"score_bits"`
+	DistinctScoreBits []uint64            `json:"distinct_score_bits"`
+}
+
+func loadOracle(t *testing.T) prerefactorOracle {
+	t.Helper()
+	b, err := os.ReadFile("testdata/oracle_prerefactor.json")
+	if err != nil {
+		t.Fatalf("reading oracle: %v", err)
+	}
+	var orc prerefactorOracle
+	if err := json.Unmarshal(b, &orc); err != nil {
+		t.Fatalf("parsing oracle: %v", err)
+	}
+	return orc
+}
+
+func oracleRows(orc prerefactorOracle) [][]float64 {
+	d := dataset.RandomClusters(orc.Seed, orc.N, orc.Dim, orc.Clusters)
+	rows := make([][]float64, d.Points.Len())
+	for i := range rows {
+		rows[i] = d.Points.At(i)
+	}
+	return rows
+}
+
+// TestOracleFitBitIdentical refits the oracle dataset under every index kind
+// and requires each point's LOF to match the pre-refactor bits exactly.
+func TestOracleFitBitIdentical(t *testing.T) {
+	orc := loadOracle(t)
+	rows := oracleRows(orc)
+	kinds := map[string]lof.IndexKind{
+		"linear": lof.IndexLinear,
+		"grid":   lof.IndexGrid,
+		"kdtree": lof.IndexKDTree,
+		"xtree":  lof.IndexXTree,
+		"vafile": lof.IndexVAFile,
+	}
+	for name, kind := range kinds {
+		name, kind := name, kind
+		t.Run(name, func(t *testing.T) {
+			want, ok := orc.LOFBits[name]
+			if !ok {
+				t.Fatalf("oracle has no lof_bits for %q", name)
+			}
+			det, err := lof.New(lof.Config{MinPtsLB: orc.MinPtsLB, MinPtsUB: orc.MinPtsUB, Index: kind, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := det.Fit(rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scores := res.Scores()
+			if len(scores) != len(want) {
+				t.Fatalf("got %d scores, oracle has %d", len(scores), len(want))
+			}
+			for i, v := range scores {
+				if got := math.Float64bits(v); got != want[i] {
+					t.Fatalf("point %d: score %v (bits %#x) != oracle bits %#x",
+						i, v, got, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestOracleScoreBitIdentical rescores the oracle's out-of-sample queries
+// against freshly fitted plain and distinct models and requires bit
+// equality with the pre-refactor scorer.
+func TestOracleScoreBitIdentical(t *testing.T) {
+	orc := loadOracle(t)
+	rows := oracleRows(orc)
+
+	check := func(t *testing.T, m *lof.Model, want []uint64) {
+		t.Helper()
+		if len(want) != len(orc.Queries) {
+			t.Fatalf("oracle has %d bit entries for %d queries", len(want), len(orc.Queries))
+		}
+		for i, q := range orc.Queries {
+			s, err := m.Score(q)
+			if err != nil {
+				t.Fatalf("query %d: %v", i, err)
+			}
+			if got := math.Float64bits(s); got != want[i] {
+				t.Fatalf("query %d: score %v (bits %#x) != oracle bits %#x", i, s, got, want[i])
+			}
+		}
+	}
+
+	t.Run("plain", func(t *testing.T) {
+		det, err := lof.New(lof.Config{MinPtsLB: orc.MinPtsLB, MinPtsUB: orc.MinPtsUB, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := det.Fit(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := res.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, m, orc.ScoreBits)
+	})
+
+	t.Run("distinct", func(t *testing.T) {
+		dup := append([][]float64(nil), rows...)
+		for i := 0; i < 20; i++ {
+			dup = append(dup, rows[i*7%orc.N])
+		}
+		det, err := lof.New(lof.Config{MinPtsLB: orc.MinPtsLB, MinPtsUB: orc.MinPtsUB, Distinct: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := det.Fit(dup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := res.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, m, orc.DistinctScoreBits)
+	})
+}
+
+// oracleQueries regenerates the query points the oracle was captured with;
+// the JSON stores them too, and they must agree — this guards the dataset
+// generator itself against drift.
+func TestOracleQueriesStable(t *testing.T) {
+	orc := loadOracle(t)
+	rng := rand.New(rand.NewSource(orc.Seed + 99))
+	for i, want := range orc.Queries {
+		q := make([]float64, orc.Dim)
+		for j := range q {
+			q[j] = 12 * rng.NormFloat64()
+		}
+		for j := range q {
+			if q[j] != want[j] {
+				t.Fatalf("query %d coord %d: regenerated %v != stored %v", i, j, q[j], want[j])
+			}
+		}
+	}
+}
