@@ -474,6 +474,102 @@ func BenchmarkScoreBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkApproxFit compares the exact MinPts sweep against the pruned
+// sweep (bound certification + exact frontier) on the recall-gate workload
+// shape. The certified fraction is reported so a bound regression that
+// silently certifies less shows up next to the timing.
+func BenchmarkApproxFit(b *testing.B) {
+	d := dataset.RandomClusters(benchSeed, 10000, 2, 5)
+	rows := make([][]float64, d.Len())
+	for i := range rows {
+		rows[i] = d.Points.At(i)
+	}
+	cfg := lof.Config{MinPtsLB: 10, MinPtsUB: 40}
+	b.Run("exact", func(b *testing.B) {
+		det, err := lof.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := det.Fit(rows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res.Scores()
+		}
+	})
+	b.Run("pruned", func(b *testing.B) {
+		det, err := lof.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pruned *lof.PrunedResult
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pruned, err = det.FitPruned(rows, lof.DefaultPruneEps)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(pruned.PrunedCount())/float64(len(rows)), "certified-frac")
+	})
+}
+
+// BenchmarkApproxScore measures out-of-sample scoring throughput of the
+// three serving paths — exact, pruned, and coreset — against the same
+// fitted model, re-scoring every fitted point as a query.
+func BenchmarkApproxScore(b *testing.B) {
+	d := dataset.RandomClusters(benchSeed, 10000, 2, 5)
+	rows := make([][]float64, d.Len())
+	for i := range rows {
+		rows[i] = d.Points.At(i)
+	}
+	det, err := lof.New(lof.Config{MinPtsLB: 10, MinPtsUB: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := det.Fit(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := res.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := model.ScoreBatch(rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	})
+	b.Run("pruned", func(b *testing.B) {
+		var batch *lof.PrunedBatch
+		for i := 0; i < b.N; i++ {
+			batch, err = model.ScoreBatchPruned(rows, lof.DefaultPruneEps)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		b.ReportMetric(float64(batch.Certified)/float64(len(rows)), "certified-frac")
+	})
+	coreset, err := model.Coreset(2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("coreset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := coreset.ScoreBatch(rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	})
+}
+
 // BenchmarkFitTraceOverhead compares a plain fit against the same fit with
 // Config.Trace enabled. The disabled-tracer path is the default and is
 // guarded separately by the deterministic zero-allocation test in

@@ -17,6 +17,14 @@
 //
 //	lofcli -in data.csv -minpts 10 -save-model model.bin
 //	lofcli score -model model.bin -in queries.csv
+//
+// -approx switches fit and score to the pruned fast path: dense-core
+// points are certified as LOF ≈ 1 from k-distance bounds and only the
+// uncertain frontier is evaluated exactly (bit-identical to the exact
+// path). -approx-eps widens or narrows the certification band:
+//
+//	lofcli -in data.csv -approx -top 10
+//	lofcli score -model model.bin -in queries.csv -approx
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -61,6 +70,8 @@ func main() {
 		saveModel = flag.String("save-model", "", "write a binary model snapshot for out-of-sample scoring")
 		workers   = flag.Int("workers", 0, "worker pool width for fit and scoring (0 = all CPUs, 1 = sequential)")
 		stats     = flag.Bool("stats", false, "trace the fit and print a per-phase timing breakdown")
+		approx    = flag.Bool("approx", false, "pruned fast path: certify dense-core points as LOF≈1, evaluate only the frontier")
+		approxEps = flag.Float64("approx-eps", 0, "certification half-width for -approx (0 = default)")
 	)
 	flag.Parse()
 
@@ -72,6 +83,7 @@ func main() {
 		distinct: *distinct, allScores: *allScores, explain: *explain,
 		weights: *weights, jsonOut: *jsonOut, saveModel: *saveModel,
 		workers: *workers, stats: *stats,
+		approx: *approx, approxEps: *approxEps,
 	}
 	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "lofcli: %v\n", err)
@@ -99,6 +111,8 @@ type options struct {
 	saveModel          string
 	workers            int
 	stats              bool
+	approx             bool
+	approxEps          float64
 }
 
 func run(w io.Writer, o options) error {
@@ -152,6 +166,9 @@ func run(w io.Writer, o options) error {
 	rows := make([][]float64, d.Len())
 	for i := range rows {
 		rows[i] = d.Points.At(i)
+	}
+	if o.approx {
+		return runApproxFit(w, d, det, rows, o)
 	}
 	fitStart := time.Now()
 	res, err := det.Fit(rows)
@@ -208,6 +225,67 @@ func run(w io.Writer, o options) error {
 	return nil
 }
 
+// runApproxFit runs the pruned fast path and prints the same ranked report
+// from its scores: frontier scores are bit-identical to the exact fit,
+// certified points report 1. The explain/save-model/stats/json machinery is
+// wired to the exact Result type and is rejected rather than silently
+// degraded.
+func runApproxFit(w io.Writer, d *dataset.Dataset, det *lof.Detector, rows [][]float64, o options) error {
+	for flag, set := range map[string]bool{
+		"-explain": o.explain, "-save-model": o.saveModel != "",
+		"-stats": o.stats, "-json": o.jsonOut,
+	} {
+		if set {
+			return fmt.Errorf("%s is not supported with -approx", flag)
+		}
+	}
+	fitStart := time.Now()
+	pruned, err := det.FitPruned(rows, o.approxEps)
+	if err != nil {
+		return err
+	}
+	fitWall := time.Since(fitStart)
+	if o.allScores {
+		for i, s := range pruned.Scores {
+			fmt.Fprintf(w, "%s,%.6f\n", d.Label(i), s)
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "# %d objects, %d dims, approx fit in %v: %d certified LOF≈1 (eps=%.2f), %d evaluated exactly\n",
+		d.Len(), d.Dim(), fitWall, pruned.PrunedCount(), pruned.Eps, pruned.Frontier)
+	order := make([]int, len(pruned.Scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return pruned.Scores[order[a]] > pruned.Scores[order[b]] })
+	if o.top > 0 {
+		n := o.top
+		if n > len(order) {
+			n = len(order)
+		}
+		fmt.Fprintf(w, "top %d outliers:\n", n)
+		for rank := 0; rank < n; rank++ {
+			i := order[rank]
+			fmt.Fprintf(w, "%4d  %8.3f  %s\n", rank+1, pruned.Scores[i], d.Label(i))
+		}
+	}
+	if o.threshold > 0 {
+		flagged := 0
+		for _, i := range order {
+			if pruned.Scores[i] > o.threshold {
+				flagged++
+			}
+		}
+		fmt.Fprintf(w, "objects with score > %g: %d\n", o.threshold, flagged)
+		for _, i := range order {
+			if pruned.Scores[i] > o.threshold {
+				fmt.Fprintf(w, "      %8.3f  %s\n", pruned.Scores[i], d.Label(i))
+			}
+		}
+	}
+	return nil
+}
+
 // writeStats prints the traced fit's phase breakdown after the report.
 // Scores() runs the aggregate phase, so the table is rendered after the
 // report has forced it.
@@ -242,6 +320,8 @@ func runScoreCmd(args []string, w io.Writer) error {
 		labelCol  = fs.Int("label-col", -1, "index of a non-numeric label column, -1 for none")
 		jsonOut   = fs.Bool("json", false, "emit scores as JSON")
 		workers   = fs.Int("workers", 0, "worker pool width for scoring (0 = all CPUs, 1 = sequential)")
+		approx    = fs.Bool("approx", false, "pruned fast path: certify dense-core queries as LOF≈1 instead of evaluating them")
+		approxEps = fs.Float64("approx-eps", 0, "certification half-width for -approx (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -284,14 +364,26 @@ func runScoreCmd(args []string, w io.Writer) error {
 	for i := range queries {
 		queries[i] = d.Points.At(i)
 	}
-	scores, err := model.ScoreBatch(queries)
-	if err != nil {
-		return err
+	var scores []float64
+	var certified []bool
+	if *approx {
+		batch, err := model.ScoreBatchPruned(queries, *approxEps)
+		if err != nil {
+			return err
+		}
+		scores, certified = batch.Scores, batch.Pruned
+	} else {
+		if scores, err = model.ScoreBatch(queries); err != nil {
+			return err
+		}
 	}
 	if *jsonOut {
 		out := make([]jsonOutlier, len(scores))
 		for i, s := range scores {
 			out[i] = jsonOutlier{Index: i, Label: d.Label(i), Score: s}
+			if certified != nil {
+				out[i].Certified = certified[i]
+			}
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -334,6 +426,9 @@ type jsonOutlier struct {
 	Index int     `json:"index"`
 	Label string  `json:"label"`
 	Score float64 `json:"score"`
+	// Certified marks scores answered from the pruning bound (score
+	// subcommand with -approx only).
+	Certified bool `json:"certified,omitempty"`
 }
 
 func writeJSON(w io.Writer, d *dataset.Dataset, res *lof.Result, top int, threshold float64, stats bool, fitWall time.Duration) error {

@@ -193,6 +193,26 @@ func experiments() []experiment {
 			}
 			return []*exp.Table{r.Table()}, nil
 		}},
+		{"approx", "approximate fast path: recall@n vs speedup (pruning + coresets)", func(seed int64, quick bool) ([]*exp.Table, error) {
+			r, err := exp.RunApprox(seed, quick)
+			if err != nil {
+				return nil, err
+			}
+			return []*exp.Table{r.Table()}, nil
+		}},
+		{"approx-gate", "CI recall gate: fixed-seed synthetic, prints a parseable GATE line", func(seed int64, quick bool) ([]*exp.Table, error) {
+			n := 20000
+			if quick {
+				n = 2000
+			}
+			r, err := exp.RunApproxGate(seed, n)
+			if err != nil {
+				return nil, err
+			}
+			// The trailing single-cell table renders the GATE line verbatim
+			// for scripts/approx_gate.sh to grep.
+			return []*exp.Table{r.Table(), {Rows: [][]string{{r.GateLine()}}}}, nil
+		}},
 	}
 }
 

@@ -12,6 +12,7 @@
 //	lofload -addr http://a:8080,http://b:8080 -rps 400  # round-robin fan-out
 //	lofload -self -error-prob 0.1 -latency-prob 0.2 -latency 5ms
 //	lofload -self -mode degraded -rps 200               # degraded opt-in
+//	lofload -self -mode pruned -rps 200                 # bound-certified fast path
 //	lofload -self -json report.json                     # machine-readable report
 //	lofload -self -stream -rps 500 -score-frac 0.5      # streaming ingest mix
 //	lofload -self -trace -json -                        # trace IDs of p99 stragglers
@@ -100,7 +101,7 @@ func main() {
 	flag.IntVar(&o.dim, "dim", 4, "data dimensionality")
 	flag.IntVar(&o.points, "points", 400, "data points per fit request")
 	flag.Float64Var(&o.scoreFrac, "score-frac", 0.95, "fraction of requests that score (the rest refit)")
-	flag.StringVar(&o.mode, "mode", "", `score mode: "" (exact), "full" or "degraded"`)
+	flag.StringVar(&o.mode, "mode", "", `score mode: "" (exact), "full", "pruned", "coreset" or "degraded"`)
 	flag.Int64Var(&o.seed, "seed", 1, "seed for workload and fault schedules")
 	flag.StringVar(&o.jsonPath, "json", "", `write a machine-readable JSON report to this path ("-" for stdout)`)
 	flag.BoolVar(&o.trace, "trace", false, "send a sampled traceparent with every request and report the trace IDs of p99 score stragglers (pair with the target's -trace-sample/-trace-slow and /v1/debug/traces)")

@@ -1,0 +1,109 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lof/internal/core"
+	"lof/internal/geom"
+	"lof/internal/index/kdtree"
+	"lof/internal/matdb"
+)
+
+// FuzzPruneBoundSafety is the safety net under the pruning proof: for
+// arbitrary point configurations (clustered, degenerate, duplicate-heavy)
+// and arbitrary swept ranges, every point the pruned sweep certifies must
+// really have its exact aggregated LOF inside the claimed band, every
+// unpruned point must score bit-identically to the full sweep, and the
+// Bounds interval must contain the exact LOF at every swept MinPts. A
+// violation of any of these means the certificate lies, which is the one
+// failure mode the approximate path must never have.
+func FuzzPruneBoundSafety(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint8(3), uint8(5), false)
+	f.Add(int64(7), uint8(120), uint8(5), uint8(9), false)
+	f.Add(int64(42), uint8(60), uint8(4), uint8(4), true)
+	f.Add(int64(99), uint8(200), uint8(10), uint8(20), false)
+	f.Add(int64(3), uint8(30), uint8(2), uint8(7), true)
+	f.Fuzz(func(t *testing.T, seed int64, n, lbRaw, span uint8, distinct bool) {
+		lb := int(lbRaw)%12 + 1
+		ub := lb + int(span)%12
+		num := int(n)
+		if num < ub+2 {
+			num = ub + 2
+		}
+		if num > 300 {
+			num = 300
+		}
+		rng := rand.New(rand.NewSource(seed))
+		pts := geom.NewPoints(2, num)
+		for i := 0; i < num; i++ {
+			var p geom.Point
+			switch rng.Intn(10) {
+			case 0: // far outlier
+				p = geom.Point{rng.Float64()*200 - 100, rng.Float64()*200 - 100}
+			case 1: // exact duplicate of an earlier point, when one exists
+				p = geom.Point{0, 0}
+				if pts.Len() > 0 {
+					src := pts.At(rng.Intn(pts.Len()))
+					p = geom.Point{src[0], src[1]}
+				}
+			default: // cluster member
+				c := float64(rng.Intn(3)) * 10
+				p = geom.Point{c + rng.NormFloat64(), c + rng.NormFloat64()}
+			}
+			if err := pts.Append(p); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+		var opts []matdb.Option
+		if distinct {
+			opts = append(opts, matdb.Distinct())
+		}
+		db, err := matdb.Materialize(pts, kdtree.New(pts, nil), ub, opts...)
+		if err != nil {
+			t.Skip("materialization rejected the configuration")
+		}
+		lower, upper, err := Bounds(db, lb, ub, nil)
+		if err != nil {
+			t.Fatalf("Bounds: %v", err)
+		}
+		sw, err := core.SweepCtx(nil, db, lb, ub, nil, nil)
+		if err != nil {
+			t.Fatalf("sweep: %v", err)
+		}
+		for j := range sw.MinPts {
+			for i, v := range sw.Values[j] {
+				if math.IsNaN(v) {
+					continue
+				}
+				if v < lower[i]*(1-1e-9)-1e-12 || v > upper[i]*(1+1e-9)+1e-12 {
+					t.Fatalf("LOF_%d(%d)=%v outside bound [%v, %v]", sw.MinPts[j], i, v, lower[i], upper[i])
+				}
+			}
+		}
+		for _, agg := range []core.Aggregate{core.AggMax, core.AggMean, core.AggMin} {
+			res, err := PruneSweep(nil, db, lb, ub, 0, agg, nil)
+			if err != nil {
+				t.Fatalf("prune sweep: %v", err)
+			}
+			exact := sw.Aggregate(agg)
+			for i, v := range exact {
+				if res.Pruned[i] {
+					lo, hi := 1/(1+res.Eps), 1+res.Eps
+					if !(v >= lo*(1-1e-9) && v <= hi*(1+1e-9)) {
+						t.Fatalf("agg %v: pruned point %d has exact score %v outside certified band [%v, %v]",
+							agg, i, v, lo, hi)
+					}
+					if res.Scores[i] != 1 {
+						t.Fatalf("agg %v: pruned point %d reported %v, want 1", agg, i, res.Scores[i])
+					}
+					continue
+				}
+				if math.Float64bits(res.Scores[i]) != math.Float64bits(v) {
+					t.Fatalf("agg %v: frontier point %d diverged: pruned sweep %v, exact %v", agg, i, res.Scores[i], v)
+				}
+			}
+		}
+	})
+}

@@ -428,8 +428,11 @@ func (c *Client) Score(ctx context.Context, queries [][]float64) ([]float64, err
 }
 
 // ScoreMode scores with an explicit mode: "" or "full" for exact scores,
-// "degraded" to accept approximate scores from the server's subsampled
-// model (and its reserve capacity when the server is saturated).
+// "pruned" for the bound-certified fast path (exact except for queries
+// certified as LOF ≈ 1), "coreset" to score against the server's
+// sensitivity-sampled coreset model, and "degraded" to accept approximate
+// scores from the server's fallback model (and its reserve capacity when
+// the server is saturated).
 func (c *Client) ScoreMode(ctx context.Context, queries [][]float64, mode string) (*ScoreResult, error) {
 	body, err := json.Marshal(struct {
 		Queries [][]float64 `json:"queries"`

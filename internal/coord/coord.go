@@ -19,10 +19,23 @@
 //
 // Failure policy: per-shard calls hedge across replicas (first success
 // wins); when a whole shard is unreachable, a request that opted into
-// ?mode=degraded is answered from a local subsampled model with the
+// ?mode=degraded is answered from a local approximate model with the
 // response marked "degraded", and any other request fails with a gateway
 // error — never a silently wrong exact score. A background repair loop
 // re-pushes snapshots to replicas that report unready or stale.
+//
+// Approximate modes ride the same scatter-gather machinery:
+//
+//	?mode=pruned   rounds 1 and 2 run as usual, but instead of fetching
+//	               the full second-hop row closure, the coordinator
+//	               fetches lightweight stored k-distance envelopes
+//	               (POST /v1/shard/kdists) and certifies queries whose
+//	               LOF interval (approx.MergedQueryBounds) lies inside
+//	               the 1±eps band as exactly 1; only uncertain queries
+//	               pay for round 3 and exact evaluation
+//	?mode=coreset  answered from a local sensitivity-sampled coreset
+//	               model derived at fit time (lof.Model.Coreset), no
+//	               shard RPCs at all; falls back to exact when disabled
 package coord
 
 import (
@@ -36,6 +49,7 @@ import (
 	"time"
 
 	"lof"
+	"lof/internal/approx"
 	"lof/internal/client"
 	"lof/internal/core"
 	"lof/internal/geom"
@@ -66,6 +80,14 @@ type Config struct {
 	// degraded-mode fallback for shard outages. Zero means 2048; negative
 	// disables degraded serving.
 	DegradedSample int
+	// CoresetSample sizes the sensitivity-sampled coreset model kept for
+	// ?mode=coreset serving and preferred by the degraded fallback. Zero
+	// means 2048; negative disables coreset derivation.
+	CoresetSample int
+	// PruneEps is the ?mode=pruned certification band half-width: queries
+	// whose LOF interval lies inside [1/(1+eps), 1+eps] are answered 1
+	// without exact evaluation. Zero means lof.DefaultPruneEps.
+	PruneEps float64
 	// Workers bounds the coordinator-side merge/eval parallelism per batch.
 	// Zero means GOMAXPROCS.
 	Workers int
@@ -89,6 +111,7 @@ type state struct {
 	info     ModelInfo
 	encoded  [][]byte // per-shard snapshots, kept for repair re-pushes
 	degraded *lof.Model
+	coreset  *lof.Model
 }
 
 // ModelInfo mirrors the single-node server's model summary, so the same
@@ -122,6 +145,11 @@ type Coordinator struct {
 	repairPushes expvar.Int
 	fits         expvar.Int
 	scoreQueries expvar.Int
+	// scoreModes counts score requests by the mode that actually served
+	// them; certified counts pruned-mode queries certified without exact
+	// evaluation.
+	scoreModes expvar.Map
+	certified  expvar.Int
 
 	// Per-route HTTP observability (see http.go's wrap middleware).
 	routes map[string]*coordRoute
@@ -134,6 +162,12 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.DegradedSample == 0 {
 		cfg.DegradedSample = 2048
+	}
+	if cfg.CoresetSample == 0 {
+		cfg.CoresetSample = 2048
+	}
+	if cfg.PruneEps == 0 {
+		cfg.PruneEps = lof.DefaultPruneEps
 	}
 	if cfg.RepairInterval <= 0 {
 		cfg.RepairInterval = 2 * time.Second
@@ -151,6 +185,11 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	for _, route := range coordRoutes {
 		c.routes[route] = &coordRoute{latency: obs.NewHistogram(obs.DefaultLatencyBuckets)}
+	}
+	// Pre-seed every mode label so the metrics exposition shape is stable
+	// from the first scrape.
+	for _, mode := range []string{"full", "pruned", "coreset", "degraded"} {
+		c.scoreModes.Add(mode, 0)
 	}
 	for s, urls := range cfg.Targets {
 		rs, err := client.NewReplicaSet(urls, cfg.Client)
@@ -279,6 +318,11 @@ func (c *Coordinator) buildState(m *lof.Model) (*state, error) {
 			st.degraded = d
 		}
 	}
+	if c.cfg.CoresetSample > 0 {
+		if cs, err := m.Coreset(c.cfg.CoresetSample); err == nil {
+			st.coreset = cs
+		}
+	}
 	return st, nil
 }
 
@@ -337,47 +381,80 @@ func (e *shardError) Error() string {
 
 func (e *shardError) Unwrap() error { return e.err }
 
-// Score answers a batch of queries. allowDegraded governs the failure
-// policy: when a shard is unreachable, an allowDegraded request is served
-// from the local subsampled model (mode "degraded" in the return), any
-// other fails. Exact answers return mode "".
-func (c *Coordinator) Score(ctx context.Context, queries [][]float64, allowDegraded bool) ([]float64, string, error) {
+// Score answers a batch of queries under the requested mode:
+//
+//	""/"full"  exact scatter-gather; a shard outage fails the request
+//	"degraded" exact, but a shard outage is absorbed by the local
+//	           approximate fallback (coreset preferred, stride subsample
+//	           otherwise), the return marked "degraded"
+//	"pruned"   band-certified: queries whose LOF interval lies inside
+//	           1±eps answer 1 without round 3; the rest answer exactly
+//	"coreset"  served from the local coreset model; exact when disabled
+//
+// The returned mode is what actually served ("" for exact), and certified
+// is the number of pruned-mode queries answered from the bound alone.
+func (c *Coordinator) Score(ctx context.Context, queries [][]float64, mode string) ([]float64, string, int, error) {
 	st := c.state.Load()
 	if st == nil {
-		return nil, "", errNoModel
+		return nil, "", 0, errNoModel
 	}
 	for i, q := range queries {
 		if len(q) != st.dim {
-			return nil, "", fmt.Errorf("coord: batch row %d has %d dimensions, model expects %d", i, len(q), st.dim)
+			return nil, "", 0, fmt.Errorf("coord: batch row %d has %d dimensions, model expects %d", i, len(q), st.dim)
 		}
 		if !geom.Point(q).Valid() {
-			return nil, "", fmt.Errorf("coord: batch row %d has non-finite coordinates", i)
+			return nil, "", 0, fmt.Errorf("coord: batch row %d has non-finite coordinates", i)
 		}
+	}
+	if mode == "coreset" && st.coreset != nil {
+		scores, err := st.coreset.ScoreBatchContext(ctx, queries)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		c.scoreQueries.Add(int64(len(queries)))
+		c.scoreModes.Add("coreset", 1)
+		return scores, "coreset", 0, nil
+	}
+	if mode == "pruned" {
+		scores, certified, err := c.scorePruned(ctx, st, queries)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		c.scoreQueries.Add(int64(len(queries)))
+		c.scoreModes.Add("pruned", 1)
+		c.certified.Add(int64(certified))
+		return scores, "pruned", certified, nil
 	}
 	scores, err := c.scoreExact(ctx, st, queries)
 	if err == nil {
 		c.scoreQueries.Add(int64(len(queries)))
-		return scores, "", nil
+		c.scoreModes.Add("full", 1)
+		return scores, "", 0, nil
 	}
 	var se *shardError
-	if errors.As(err, &se) && allowDegraded && st.degraded != nil {
+	fallback := st.coreset
+	if fallback == nil {
+		fallback = st.degraded
+	}
+	if errors.As(err, &se) && mode == "degraded" && c.cfg.DegradedSample > 0 && fallback != nil {
 		if ctx.Err() != nil {
-			return nil, "", err
+			return nil, "", 0, err
 		}
 		c.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "serving degraded",
 			slog.Int("shard", se.shard), slog.String("cause", se.err.Error()))
 		dsp, dctx := trace.StartSpan(ctx, "coord/degraded")
 		dsp.SetAttrInt("shard", int64(se.shard))
 		dsp.SetAttr("cause", se.err.Error())
-		scores, derr := st.degraded.ScoreBatchContext(dctx, queries)
+		scores, derr := fallback.ScoreBatchContext(dctx, queries)
 		dsp.End()
 		if derr != nil {
-			return nil, "", fmt.Errorf("coord: degraded fallback after %v: %w", err, derr)
+			return nil, "", 0, fmt.Errorf("coord: degraded fallback after %v: %w", err, derr)
 		}
 		c.degradedHits.Add(int64(len(queries)))
-		return scores, "degraded", nil
+		c.scoreModes.Add("degraded", 1)
+		return scores, "degraded", 0, nil
 	}
-	return nil, "", err
+	return nil, "", 0, err
 }
 
 // shardCall runs op against a shard's replica set with hedging, records
@@ -397,8 +474,173 @@ func shardCall[T any](ctx context.Context, c *Coordinator, s int, name string, o
 	return v, err
 }
 
+// gathered is the product of scatter-gather rounds 1 and 2, shared by the
+// exact and pruned scoring paths: each query's merged global row, its
+// first-hop neighbor ids, and the merged rows fetched so far.
+type gathered struct {
+	qRows []matdb.Row
+	first [][]int
+	rows  []map[int]matdb.Row
+}
+
+// secondHopIDs returns the ids of query qi's second-hop closure — the
+// neighbors of its first-hop rows not yet fetched — deduplicated.
+func (g *gathered) secondHopIDs(st *state, qi int) []int {
+	var second []int
+	seen := make(map[int]bool)
+	for _, id := range g.first[qi] {
+		for _, nid := range neighborIDs(g.rows[qi][id], st.ub, st.meta.Total, g.rows[qi]) {
+			if !seen[nid] {
+				seen[nid] = true
+				second = append(second, nid)
+			}
+		}
+	}
+	return second
+}
+
 // scoreExact runs the three-round scatter-gather and evaluation.
 func (c *Coordinator) scoreExact(ctx context.Context, st *state, queries [][]float64) ([]float64, error) {
+	g, err := c.gatherFirstHop(ctx, st, queries)
+	if err != nil {
+		return nil, err
+	}
+	need := make([][]int, len(queries))
+	for qi := range need {
+		need[qi] = g.secondHopIDs(st, qi)
+	}
+	if err := c.fetchRowsSpan(ctx, st, queries, need, g.rows, 3); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(queries))
+	if err := c.evalInto(ctx, st, g, out, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scorePruned is the band-certified scoring path: rounds 1 and 2 run as in
+// the exact path, then — instead of the round-3 row closure — the
+// coordinator fetches stored k-distance envelopes for the second-hop ids
+// and brackets every query's whole LOF series (approx.MergedQueryBounds).
+// A query whose interval lies inside 1±eps is certified ≈1 and answered 1
+// on the spot; the uncertain remainder pays for round 3 and evaluates
+// exactly, bit-identical to scoreExact.
+func (c *Coordinator) scorePruned(ctx context.Context, st *state, queries [][]float64) ([]float64, int, error) {
+	g, err := c.gatherFirstHop(ctx, st, queries)
+	if err != nil {
+		return nil, 0, err
+	}
+	nq := len(queries)
+	qIdx := st.meta.Total
+	second := make([][]int, nq)
+	var union []int
+	inUnion := make(map[int]bool)
+	for qi := range second {
+		second[qi] = g.secondHopIDs(st, qi)
+		for _, id := range second[qi] {
+			if !inUnion[id] {
+				inUnion[id] = true
+				union = append(union, id)
+			}
+		}
+	}
+	env, err := c.fetchKDists(ctx, st, union)
+	if err != nil {
+		return nil, 0, err
+	}
+	eps := c.cfg.PruneEps
+	out := make([]float64, nq)
+	skip := make([]bool, nq)
+	uncertain := make([][]int, nq)
+	c.pool.Each(nq, func(qi int) {
+		rowOf := func(i int) (matdb.Row, bool) {
+			r, ok := g.rows[qi][i]
+			return r, ok
+		}
+		kdEnv := func(i int) (lo, hi float64, ok bool) {
+			// First-hop rows are merged (the query already spliced in), so
+			// their k-distances are exact at both range ends; everything
+			// else uses the stored envelope from the kdists round.
+			if r, found := g.rows[qi][i]; found {
+				return r.KDistance(st.lb), r.KDistance(st.ub), true
+			}
+			e, found := env[i]
+			return e[0], e[1], found
+		}
+		lower, upper := approx.MergedQueryBounds(g.qRows[qi], qIdx, rowOf, kdEnv, st.lb, st.ub)
+		if approx.Certified(lower, upper, eps) {
+			out[qi] = 1
+			skip[qi] = true
+		} else {
+			uncertain[qi] = second[qi]
+		}
+	})
+	certified := 0
+	for _, s := range skip {
+		if s {
+			certified++
+		}
+	}
+	if certified < nq {
+		if err := c.fetchRowsSpan(ctx, st, queries, uncertain, g.rows, 3); err != nil {
+			return nil, 0, err
+		}
+		if err := c.evalInto(ctx, st, g, out, skip); err != nil {
+			return nil, 0, err
+		}
+	}
+	return out, certified, nil
+}
+
+// fetchKDists fetches the stored k-distance envelopes [kd_{lb-1}, kd_ub]
+// of ids from their owning shards — the lightweight substitute for the
+// round-3 row closure on the pruned path. The lower rank is lb-1 because
+// splicing the query into a stored neighborhood can shift every rank down
+// by at most one.
+func (c *Coordinator) fetchKDists(ctx context.Context, st *state, ids []int) (map[int][2]float64, error) {
+	sp, sctx := trace.StartSpan(ctx, "coord/kdists")
+	sp.SetAttrInt("ids", int64(len(ids)))
+	defer sp.End()
+	byShard := make([][]uint32, len(c.replicas))
+	for _, id := range ids {
+		s := c.cfg.Partitioner.Shard(uint32(id), len(c.replicas), st.meta.Total)
+		byShard[s] = append(byShard[s], uint32(id))
+	}
+	env := make(map[int][2]float64, len(ids))
+	var mu sync.Mutex
+	err := c.eachShard(sctx, func(s int) error {
+		if len(byShard[s]) == 0 {
+			return nil
+		}
+		resp, err := shardCall(sctx, c, s, "rpc/kdists", func(ctx context.Context, cl *client.Client) (*shard.KDistsResponse, error) {
+			return cl.KDists(ctx, st.version, byShard[s], st.lb-1, st.ub)
+		})
+		if err != nil {
+			return err
+		}
+		if len(resp.Lo) != len(byShard[s]) || len(resp.Hi) != len(byShard[s]) {
+			return fmt.Errorf("shard %d returned %d/%d envelopes for %d ids",
+				s, len(resp.Lo), len(resp.Hi), len(byShard[s]))
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for i, id := range byShard[s] {
+			env[int(id)] = [2]float64{resp.Lo[i], resp.Hi[i]}
+		}
+		return nil
+	})
+	if err != nil {
+		sp.SetError(err.Error())
+		return nil, err
+	}
+	return env, nil
+}
+
+// gatherFirstHop runs scatter-gather rounds 1 and 2: merge every query's
+// global row from per-shard candidates, then fetch the merged rows of its
+// first-hop neighborhood.
+func (c *Coordinator) gatherFirstHop(ctx context.Context, st *state, queries [][]float64) (*gathered, error) {
 	nq := len(queries)
 	qIdx := st.meta.Total
 
@@ -469,44 +711,38 @@ func (c *Coordinator) scoreExact(ctx context.Context, st *state, queries [][]flo
 	}
 	msp.End()
 
-	// Rounds 2 and 3: fetch the two-hop merged-row closure.
+	// Round 2: fetch the merged rows of each query's first-hop
+	// neighborhood.
 	rows := make([]map[int]matdb.Row, nq)
 	for qi := range rows {
 		rows[qi] = make(map[int]matdb.Row)
 	}
-	need := make([][]int, nq)
-	for qi := range need {
-		need[qi] = neighborIDs(qRows[qi], st.ub, qIdx, rows[qi])
+	first := make([][]int, nq)
+	for qi := range first {
+		first[qi] = neighborIDs(qRows[qi], st.ub, qIdx, rows[qi])
 	}
-	if err := c.fetchRowsSpan(ctx, st, queries, need, rows, 2); err != nil {
+	if err := c.fetchRowsSpan(ctx, st, queries, first, rows, 2); err != nil {
 		return nil, err
 	}
-	for qi := range need {
-		var second []int
-		seen := make(map[int]bool)
-		for _, id := range need[qi] {
-			for _, nid := range neighborIDs(rows[qi][id], st.ub, qIdx, rows[qi]) {
-				if !seen[nid] {
-					seen[nid] = true
-					second = append(second, nid)
-				}
-			}
-		}
-		need[qi] = second
-	}
-	if err := c.fetchRowsSpan(ctx, st, queries, need, rows, 3); err != nil {
-		return nil, err
-	}
+	return &gathered{qRows: qRows, first: first, rows: rows}, nil
+}
 
-	// Evaluate: the same core.EvalAt the in-process scorer runs.
+// evalInto evaluates every query not marked in skip — the same core.EvalAt
+// the in-process scorer runs — writing scores into out. A nil skip
+// evaluates everything.
+func (c *Coordinator) evalInto(ctx context.Context, st *state, g *gathered, out []float64, skip []bool) error {
 	esp, _ := trace.StartSpan(ctx, "coord/eval")
 	defer esp.End()
-	out := make([]float64, nq)
+	nq := len(out)
+	qIdx := st.meta.Total
 	evalErrs := make([]error, nq)
 	c.pool.Each(nq, func(qi int) {
+		if skip != nil && skip[qi] {
+			return
+		}
 		missing := -1
 		rowOf := func(i int) matdb.Row {
-			r, ok := rows[qi][i]
+			r, ok := g.rows[qi][i]
 			if !ok && missing < 0 {
 				missing = i
 			}
@@ -514,7 +750,7 @@ func (c *Coordinator) scoreExact(ctx context.Context, st *state, queries [][]flo
 		}
 		series := make([]float64, st.ub-st.lb+1)
 		for j := range series {
-			series[j] = core.EvalAt(qIdx, qRows[qi], rowOf, st.lb+j)
+			series[j] = core.EvalAt(qIdx, g.qRows[qi], rowOf, st.lb+j)
 		}
 		if missing >= 0 {
 			evalErrs[qi] = fmt.Errorf("coord: query %d: merged row %d missing from the fetched closure", qi, missing)
@@ -524,10 +760,10 @@ func (c *Coordinator) scoreExact(ctx context.Context, st *state, queries [][]flo
 	})
 	for _, err := range evalErrs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // eachShard runs fn for every shard concurrently and returns the first
@@ -689,7 +925,7 @@ func coreAggregate(a lof.Aggregation) core.Aggregate {
 }
 
 // discardHandler is a slog.Handler that drops everything (slog.DiscardHandler
-// arrived in Go 1.24; this build supports 1.22).
+// arrived in Go 1.24; this build supports 1.23).
 type discardHandler struct{}
 
 func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }

@@ -144,7 +144,7 @@ func TestOracle(t *testing.T) {
 					if _, err := c.Install(context.Background(), m); err != nil {
 						t.Fatalf("shards=%d part=%v: Install: %v", shards, part, err)
 					}
-					got, mode, err := c.Score(context.Background(), queries, false)
+					got, mode, _, err := c.Score(context.Background(), queries, "")
 					if err != nil {
 						t.Fatalf("shards=%d part=%v: Score: %v", shards, part, err)
 					}
@@ -256,7 +256,7 @@ func TestChaosFaultyShard(t *testing.T) {
 	}
 	answered := 0
 	for round := 0; round < 25; round++ {
-		got, mode, err := c.Score(context.Background(), queries, false)
+		got, mode, _, err := c.Score(context.Background(), queries, "")
 		if err != nil {
 			// A shard exhausting its retries is an acceptable, explicit
 			// outcome; a silent wrong answer is not.
@@ -300,10 +300,10 @@ func TestChaosShardDown(t *testing.T) {
 	queries := testQueries()
 	down.Store(true)
 
-	if _, _, err := c.Score(context.Background(), queries, false); err == nil {
+	if _, _, _, err := c.Score(context.Background(), queries, ""); err == nil {
 		t.Fatal("exact score succeeded with a shard down")
 	}
-	scores, mode, err := c.Score(context.Background(), queries, true)
+	scores, mode, _, err := c.Score(context.Background(), queries, "degraded")
 	if err != nil {
 		t.Fatalf("degraded score with a shard down: %v", err)
 	}
@@ -322,7 +322,7 @@ func TestChaosShardDown(t *testing.T) {
 	// Recovery: the shard comes back, exact serving resumes bit-identically.
 	down.Store(false)
 	want, _ := m.ScoreBatchContext(context.Background(), queries)
-	got, mode, err := c.Score(context.Background(), queries, false)
+	got, mode, _, err := c.Score(context.Background(), queries, "")
 	if err != nil || mode != "" {
 		t.Fatalf("exact score after recovery: mode=%q err=%v", mode, err)
 	}
@@ -360,7 +360,7 @@ func TestRepairAndFailover(t *testing.T) {
 	if _, err := c.Install(context.Background(), m); err != nil {
 		t.Fatalf("Install with one replica down: %v", err)
 	}
-	got, _, err := c.Score(context.Background(), queries, false)
+	got, _, _, err := c.Score(context.Background(), queries, "")
 	if err != nil {
 		t.Fatalf("Score via primary: %v", err)
 	}
@@ -377,7 +377,7 @@ func TestRepairAndFailover(t *testing.T) {
 
 	// The primary dies; failover serves exact scores from the secondary.
 	primaryDead.Store(true)
-	got, mode, err := c.Score(context.Background(), queries, false)
+	got, mode, _, err := c.Score(context.Background(), queries, "")
 	if err != nil || mode != "" {
 		t.Fatalf("Score after failover: mode=%q err=%v", mode, err)
 	}
@@ -388,17 +388,17 @@ func TestRepairAndFailover(t *testing.T) {
 func TestScoreValidation(t *testing.T) {
 	c := newCoord(t, startShards(t, 2, nil), shard.PartitionHash)
 	ctx := context.Background()
-	if _, _, err := c.Score(ctx, [][]float64{{0, 0}}, false); err == nil {
+	if _, _, _, err := c.Score(ctx, [][]float64{{0, 0}}, ""); err == nil {
 		t.Fatal("Score before any fit succeeded")
 	}
 	m := fitModel(t, lof.Config{MinPtsLB: 2, MinPtsUB: 4})
 	if _, err := c.Install(ctx, m); err != nil {
 		t.Fatalf("Install: %v", err)
 	}
-	if _, _, err := c.Score(ctx, [][]float64{{1, 2, 3}}, false); err == nil {
+	if _, _, _, err := c.Score(ctx, [][]float64{{1, 2, 3}}, ""); err == nil {
 		t.Fatal("dimension mismatch accepted")
 	}
-	if _, _, err := c.Score(ctx, [][]float64{{math.NaN(), 0}}, false); err == nil {
+	if _, _, _, err := c.Score(ctx, [][]float64{{math.NaN(), 0}}, ""); err == nil {
 		t.Fatal("NaN query accepted")
 	}
 }

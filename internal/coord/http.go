@@ -3,6 +3,7 @@ package coord
 import (
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"math"
 	"net/http"
@@ -43,6 +44,9 @@ type scoreRequest struct {
 type scoreResponse struct {
 	Scores []jsonFloat `json:"scores"`
 	Mode   string      `json:"mode,omitempty"`
+	// Certified is the number of pruned-mode queries answered from the
+	// LOF bound alone, without exact evaluation.
+	Certified int `json:"certified,omitempty"`
 }
 
 // jsonFloat mirrors the server's non-finite-tolerant float rendering:
@@ -198,9 +202,12 @@ func (c *Coordinator) handleFit(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleScore(w http.ResponseWriter, r *http.Request) {
 	mode := r.URL.Query().Get("mode")
-	if mode != "" && mode != "full" && mode != "degraded" {
+	switch mode {
+	case "", "full", "degraded", "pruned", "coreset":
+	default:
 		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("unknown mode %q; valid modes are %q and %q", mode, "full", "degraded"))
+			fmt.Sprintf("unknown mode %q; valid modes are %q, %q, %q and %q",
+				mode, "full", "degraded", "pruned", "coreset"))
 		return
 	}
 	var req scoreRequest
@@ -211,7 +218,7 @@ func (c *Coordinator) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "score requires a non-empty queries array")
 		return
 	}
-	scores, servedMode, err := c.Score(r.Context(), req.Queries, mode == "degraded")
+	scores, servedMode, certified, err := c.Score(r.Context(), req.Queries, mode)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return
@@ -226,7 +233,7 @@ func (c *Coordinator) handleScore(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	resp := scoreResponse{Scores: make([]jsonFloat, len(scores)), Mode: servedMode}
+	resp := scoreResponse{Scores: make([]jsonFloat, len(scores)), Mode: servedMode, Certified: certified}
 	for i, v := range scores {
 		resp.Scores[i] = jsonFloat(v)
 	}
@@ -280,6 +287,14 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.IntSample("lof_coord_score_points_total", c.scoreQueries.Value())
 	p.Family("lof_coord_degraded_total", "counter", "Query points answered from the local degraded model.")
 	p.IntSample("lof_coord_degraded_total", c.degradedHits.Value())
+	p.Family("lof_coord_score_mode_total", "counter", "Score requests by the mode that served them.")
+	c.scoreModes.Do(func(kv expvar.KeyValue) {
+		if v, ok := kv.Value.(*expvar.Int); ok {
+			p.IntSample("lof_coord_score_mode_total", v.Value(), "mode", kv.Key)
+		}
+	})
+	p.Family("lof_coord_pruned_certified_total", "counter", "Pruned-mode queries certified without exact evaluation.")
+	p.IntSample("lof_coord_pruned_certified_total", c.certified.Value())
 	p.Family("lof_coord_repair_pushes_total", "counter", "Snapshot re-pushes performed by the repair loop.")
 	p.IntSample("lof_coord_repair_pushes_total", c.repairPushes.Value())
 	p.Family("lof_coord_snapshot_version", "gauge", "Installed snapshot version.")

@@ -163,6 +163,14 @@ func lofsFromLRDsChunked(ctx context.Context, db *matdb.DB, minPts int, lrds []f
 	return lofs
 }
 
+// DensityRatio returns lrdO / lrdP with the package's infinity semantics
+// (Inf/Inf = 1, finite/Inf = 0, Inf/finite = +Inf). Exported for the
+// approximate frontier evaluator in internal/approx, which must reproduce
+// the sweep's arithmetic bit for bit.
+func DensityRatio(lrdO, lrdP float64) float64 {
+	return densityRatio(lrdO, lrdP)
+}
+
 // densityRatio returns lrdO / lrdP with infinity semantics.
 func densityRatio(lrdO, lrdP float64) float64 {
 	oInf, pInf := math.IsInf(lrdO, 1), math.IsInf(lrdP, 1)

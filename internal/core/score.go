@@ -116,16 +116,55 @@ func (s *Scorer) ScoreSeriesCtx(ctx context.Context, q geom.Point) ([]float64, e
 	total := tr.Phase(obs.PhaseScore)
 	total.AddItems(1)
 	sp := tr.Phase(obs.PhaseScoreKNN)
-	qIdx := s.pts.Len() // the row number q would receive in a refit
+	qRow := s.QueryRow(q)
+	sp.End()
+	out, err := s.seriesFromRow(ctx, tr, q, qRow)
+	total.End()
+	return out, err
+}
+
+// QueryRow probes the row q would occupy in data ∪ {q} — the query's
+// merged neighborhood — through the scorer's recycled cursors. The row is
+// the input both to bound certification (approx.QueryBounds) and to full
+// evaluation (ScoreSeriesFromRow), so the pruned serving path probes once
+// and decides afterwards how much more to compute.
+func (s *Scorer) QueryRow(q geom.Point) matdb.Row {
 	cur := s.cursors.Get().(index.Cursor)
 	qRow := s.db.QueryRowCursor(s.pts, cur, q)
 	s.cursors.Put(cur)
-	sp.End()
-	sp = tr.Phase(obs.PhaseScoreMerge)
+	return qRow
+}
+
+// ScoreSeriesFromRow is ScoreSeriesCtx for a caller that already probed
+// the query's merged row with QueryRow (e.g. to test pruning bounds before
+// committing to a full evaluation): the kNN probe is skipped, everything
+// downstream — merged-row closure, per-MinPts evaluation — is identical,
+// so the series is bit-identical to ScoreSeriesCtx on the same q.
+func (s *Scorer) ScoreSeriesFromRow(ctx context.Context, q geom.Point, qRow matdb.Row) ([]float64, error) {
+	if len(q) != s.pts.Dim() {
+		return nil, fmt.Errorf("core: query has %d dimensions, model has %d", len(q), s.pts.Dim())
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	tr := obs.Resolve(s.tr)
+	total := tr.Phase(obs.PhaseScore)
+	total.AddItems(1)
+	out, err := s.seriesFromRow(ctx, tr, q, qRow)
+	total.End()
+	return out, err
+}
+
+// seriesFromRow runs the post-probe pipeline shared by ScoreSeriesCtx and
+// ScoreSeriesFromRow: merged-row closure, then per-MinPts evaluation.
+func (s *Scorer) seriesFromRow(ctx context.Context, tr *obs.Tracer, q geom.Point, qRow matdb.Row) ([]float64, error) {
+	qIdx := s.pts.Len() // the row number q would receive in a refit
+	sp := tr.Phase(obs.PhaseScoreMerge)
 	rows, err := s.mergedRows(ctx, q, qIdx, qRow)
 	sp.End()
 	if err != nil {
-		total.End()
 		return nil, err
 	}
 	out := make([]float64, s.ub-s.lb+1)
@@ -137,7 +176,6 @@ func (s *Scorer) ScoreSeriesCtx(ctx context.Context, q geom.Point) ([]float64, e
 	} else {
 		s.pool.Each(len(out), eval)
 	}
-	total.End()
 	if err != nil {
 		return nil, err
 	}

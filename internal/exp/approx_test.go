@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecallAt(t *testing.T) {
+	exact := []float64{5, 4, 3, 2, 1}
+	if got := recallAt(exact, exact, 3); got != 1 {
+		t.Fatalf("identical rankings: recall=%v want 1", got)
+	}
+	// Reversed ranking shares no top-2 member with the exact one.
+	reversed := []float64{1, 2, 3, 4, 5}
+	if got := recallAt(exact, reversed, 2); got != 0 {
+		t.Fatalf("disjoint top-2: recall=%v want 0", got)
+	}
+	// Swapping the order inside the top set does not change recall.
+	swapped := []float64{4, 5, 3, 2, 1}
+	if got := recallAt(exact, swapped, 2); got != 1 {
+		t.Fatalf("permuted top-2: recall=%v want 1", got)
+	}
+	if got := recallAt(exact, reversed, 0); got != 1 {
+		t.Fatalf("n=0: recall=%v want 1 (vacuous)", got)
+	}
+}
+
+// The quick harness run is the integration assertion: every dataset row
+// measures, the pruned path keeps near-perfect recall (its uncertain scores
+// are bit-exact; only certified ≈1 points can reorder), and the table
+// renders one line per dataset.
+func TestRunApproxQuickShape(t *testing.T) {
+	r, err := RunApprox(42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows=%d want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.N == 0 || row.TopN == 0 {
+			t.Fatalf("%s: empty measurement %+v", row.Dataset, row)
+		}
+		if row.CertifiedFrac < 0 || row.CertifiedFrac > 1 {
+			t.Fatalf("%s: certified fraction %v out of range", row.Dataset, row.CertifiedFrac)
+		}
+		if row.PrunedRecall < 0.9 {
+			t.Fatalf("%s: pruned recall %v below 0.9", row.Dataset, row.PrunedRecall)
+		}
+		if row.FitExactMS <= 0 || row.FitPrunedMS <= 0 || row.ScoreExactMS <= 0 {
+			t.Fatalf("%s: non-positive timing %+v", row.Dataset, row)
+		}
+	}
+	if got := len(r.Table().Rows); got != 3 {
+		t.Fatalf("table rows=%d want 3", got)
+	}
+}
+
+func TestRunApproxGateLine(t *testing.T) {
+	r, err := RunApproxGate(42, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := r.GateLine()
+	for _, key := range []string{"GATE ", "pruned_recall@50=", "pruned_speedup=",
+		"coreset_recall@50=", "coreset_speedup=", "fit_speedup=", "certified="} {
+		if !strings.Contains(line, key) {
+			t.Fatalf("gate line %q missing %q", line, key)
+		}
+	}
+	if r.PrunedRecall < 0.9 {
+		t.Fatalf("gate pruned recall %v below 0.9 on the fixed seed", r.PrunedRecall)
+	}
+	if r.N != 800 || r.TopN != 50 {
+		t.Fatalf("gate shape n=%d topn=%d", r.N, r.TopN)
+	}
+}

@@ -9,11 +9,15 @@
 // Endpoints:
 //
 //	POST /v1/fit              {"config": {...}, "data": [[...], ...]}
-//	POST /v1/score            {"queries": [[...], ...]}
+//	POST /v1/score            {"queries": [[...], ...]}; ?mode= full (default),
+//	                          pruned (bound-certified fast path), coreset
+//	                          (sensitivity-sampled model), degraded (best
+//	                          available approximation under load)
 //	GET  /v1/model            current model summary
 //	POST /v1/shard/snapshot   install a pushed shard partition (octet-stream)
 //	POST /v1/shard/candidates per-partition kNN candidates (shard role)
 //	POST /v1/shard/rows       merged rows of owned points (shard role)
+//	POST /v1/shard/kdists     stored k-distance envelopes (shard role)
 //	POST /v1/stream/init      create (or replace) the streaming pipeline
 //	POST /v1/stream           apply one ingestion batch (inserts/deletes/expiry)
 //	POST /v1/stream/score     score queries against the published stream epoch
@@ -73,10 +77,19 @@ type Config struct {
 	// alongside each installed model for degraded-mode serving (see
 	// Model.Subsample). Zero means 2048; negative disables degraded mode.
 	DegradedSample int
+	// CoresetSample sizes the sensitivity-sampled approximate model (see
+	// Model.Coreset) maintained alongside each installed model for
+	// ?mode=coreset serving; ?mode=degraded prefers it over the stride
+	// subsample. Zero means 2048; negative disables coreset serving.
+	CoresetSample int
+	// PruneEps is the certification half-width of ?mode=pruned serving:
+	// queries whose LOF provably lies in [1/(1+eps), 1+eps] answer 1 without
+	// a full evaluation. Zero means lof.DefaultPruneEps.
+	PruneEps float64
 	// DegradedMaxInFlight sizes the reserve concurrency pool that admits
-	// ?mode=degraded score requests after the main limiter is full, so
-	// clients that opt into approximate answers are served instead of shed.
-	// Default max(4, MaxInFlight/8).
+	// ?mode=degraded and ?mode=coreset score requests after the main limiter
+	// is full, so clients that opt into approximate answers are served
+	// instead of shed. Default max(4, MaxInFlight/8).
 	DegradedMaxInFlight int
 	// MaxSnapshotBytes bounds pushed shard snapshots. Default 1 GiB.
 	MaxSnapshotBytes int64
@@ -108,6 +121,12 @@ func (c Config) withDefaults() Config {
 	if c.DegradedSample == 0 {
 		c.DegradedSample = 2048
 	}
+	if c.CoresetSample == 0 {
+		c.CoresetSample = 2048
+	}
+	if c.PruneEps == 0 {
+		c.PruneEps = lof.DefaultPruneEps
+	}
 	if c.DegradedMaxInFlight <= 0 {
 		c.DegradedMaxInFlight = c.MaxInFlight / 8
 		if c.DegradedMaxInFlight < 4 {
@@ -137,6 +156,8 @@ type metrics struct {
 	inFlight    expvar.Int // gauge: requests currently being served
 	shed        expvar.Int // requests rejected by the concurrency limiter
 	degraded    expvar.Int // score responses served from the degraded model
+	scoreModes  expvar.Map // score responses by the mode that actually served
+	certified   expvar.Int // pruned-mode queries answered from the bound certificate
 	snapshots   expvar.Int // shard snapshots installed
 	stale       expvar.Int // shard data requests refused for version mismatch
 
@@ -205,6 +226,7 @@ func (rs *routeStats) codes() ([]int, map[int]int64) {
 var metricRoutes = []string{
 	"/v1/fit", "/v1/score", "/v1/model",
 	"/v1/shard/snapshot", "/v1/shard/candidates", "/v1/shard/rows",
+	"/v1/shard/kdists",
 	"/v1/stream/init", "/v1/stream", "/v1/stream/score",
 	"/v1/stream/lofs", "/v1/stream/stats", "/v1/stream/freeze",
 }
@@ -215,6 +237,10 @@ type Server struct {
 	cfg      Config
 	model    atomic.Pointer[lof.Model]
 	degraded atomic.Pointer[lof.Model]
+	// coreset is the sensitivity-sampled approximate model derived at
+	// SetModel time; ?mode=coreset serves from it, and ?mode=degraded
+	// prefers it over the stride subsample.
+	coreset atomic.Pointer[lof.Model]
 	// part is the installed shard partition when this process serves as one
 	// shard of a scatter-gather tier; version mirrors the snapshot version
 	// of the current state (part pushes set it, fits advance it) and is what
@@ -258,6 +284,13 @@ func New(cfg Config) *Server {
 	}
 	s.m.requests.Init()
 	s.m.latencyUS.Init()
+	s.m.scoreModes.Init()
+	// Pre-seed every mode so the exposition is deterministic from the first
+	// scrape — expvar.Map iterates sorted, and the metrics lint relies on a
+	// stable family shape.
+	for _, mode := range []string{modeFull, modePruned, modeCoreset, modeDegraded} {
+		s.m.scoreModes.Add(mode, 0)
+	}
 	s.routes = make(map[string]*routeStats, len(metricRoutes))
 	for _, route := range metricRoutes {
 		s.routes[route] = newRouteStats()
@@ -267,23 +300,30 @@ func New(cfg Config) *Server {
 
 // SetModel installs m as the serving model, replacing any previous one.
 // In-flight requests finish against the model they started with. When
-// degraded serving is enabled, a subsampled approximate model is derived
-// from m (synchronously — the subsample refit is small) and installed
-// alongside it; if that derivation fails, degraded requests fall back to
-// the full model rather than erroring.
+// approximate serving is enabled, a stride-subsampled model (degraded
+// mode) and a sensitivity-sampled coreset model (coreset mode, preferred
+// by degraded mode) are derived from m — synchronously; both refits are
+// small — and installed alongside it; if a derivation fails, requests for
+// that mode fall back per the mode's fallback chain rather than erroring.
 func (s *Server) SetModel(m *lof.Model) {
 	s.model.Store(m)
 	// Installing a model is a state change the readiness report must
 	// reflect; each install gets a fresh (monotonic, process-local) version.
 	s.version.Add(1)
-	if m == nil || s.cfg.DegradedSample < 0 {
-		s.degraded.Store(nil)
+	s.degraded.Store(nil)
+	s.coreset.Store(nil)
+	if m == nil {
 		return
 	}
-	if d, err := m.Subsample(s.cfg.DegradedSample); err == nil {
-		s.degraded.Store(d)
-	} else {
-		s.degraded.Store(nil)
+	if s.cfg.DegradedSample >= 0 {
+		if d, err := m.Subsample(s.cfg.DegradedSample); err == nil {
+			s.degraded.Store(d)
+		}
+	}
+	if s.cfg.CoresetSample >= 0 {
+		if c, err := m.Coreset(s.cfg.CoresetSample); err == nil {
+			s.coreset.Store(c)
+		}
 	}
 }
 
@@ -300,6 +340,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/shard/snapshot", s.wrap("/v1/shard/snapshot", s.handleShardSnapshot))
 	mux.Handle("POST /v1/shard/candidates", s.wrap("/v1/shard/candidates", s.handleShardCandidates))
 	mux.Handle("POST /v1/shard/rows", s.wrap("/v1/shard/rows", s.handleShardRows))
+	mux.Handle("POST /v1/shard/kdists", s.wrap("/v1/shard/kdists", s.handleShardKDists))
 	mux.Handle("POST /v1/stream/init", s.wrap("/v1/stream/init", s.handleStreamInit))
 	mux.Handle("POST /v1/stream", s.wrap("/v1/stream", s.handleStreamPush))
 	mux.Handle("POST /v1/stream/score", s.wrap("/v1/stream/score", s.handleStreamScore))
@@ -388,9 +429,9 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 			admitted = true
 			defer func() { <-s.limiter }()
 		default:
-			// Main limiter full. Score requests that opted into degraded
-			// mode may still enter through the small reserve pool.
-			if route == "/v1/score" && r.URL.Query().Get("mode") == modeDegraded {
+			// Main limiter full. Score requests that opted into an
+			// approximate mode may still enter through the small reserve pool.
+			if route == "/v1/score" && approximateMode(r.URL.Query().Get("mode")) {
 				select {
 				case s.degradedLimiter <- struct{}{}:
 					admitted = true
@@ -521,19 +562,34 @@ type scoreRequest struct {
 const maxScoreWorkers = 256
 
 // Score-mode query parameter values: full (the default) serves exact
-// scores from the installed model; degraded serves approximate scores from
-// the subsampled snapshot and is admitted through the reserve limiter when
-// the server is saturated.
+// scores from the installed model; pruned serves the bound-certified fast
+// path — exact scores for uncertain queries, a certified 1 for dense-core
+// ones; coreset serves approximate scores from the sensitivity-sampled
+// model; degraded serves the best available approximation (coreset, then
+// stride subsample, then full) and — like coreset — is admitted through
+// the reserve limiter when the server is saturated.
 const (
 	modeFull     = "full"
+	modePruned   = "pruned"
+	modeCoreset  = "coreset"
 	modeDegraded = "degraded"
 )
 
+// approximateMode reports whether a requested score mode opts into
+// approximate answers, which the reserve limiter may admit under load.
+func approximateMode(mode string) bool {
+	return mode == modeDegraded || mode == modeCoreset
+}
+
 type scoreResponse struct {
 	Scores []jsonFloat `json:"scores"`
-	// Mode is "degraded" when the scores came from the subsampled model;
-	// omitted for exact full-model scores.
+	// Mode is the mode that actually served: "pruned", "coreset" or
+	// "degraded"; omitted for exact full-model scores (including approximate
+	// requests that fell back to the full model).
 	Mode string `json:"mode,omitempty"`
+	// Certified is the number of queries answered from the pruning
+	// certificate alone; present only in pruned mode.
+	Certified int `json:"certified,omitempty"`
 }
 
 // jsonFloat marshals non-finite LOF values (possible for duplicate-heavy
@@ -642,9 +698,12 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		hook()
 	}
 	mode := r.URL.Query().Get("mode")
-	if mode != "" && mode != modeFull && mode != modeDegraded {
+	switch mode {
+	case "", modeFull, modePruned, modeCoreset, modeDegraded:
+	default:
 		writeError(w, r, http.StatusBadRequest,
-			fmt.Sprintf("unknown mode %q; valid modes are %q and %q", mode, modeFull, modeDegraded))
+			fmt.Sprintf("unknown mode %q; valid modes are %q, %q, %q and %q",
+				mode, modeFull, modePruned, modeCoreset, modeDegraded))
 		return
 	}
 	m := s.Model()
@@ -652,15 +711,32 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusConflict, "no fitted model; POST /v1/fit first or start with -model")
 		return
 	}
-	servedDegraded := false
-	if mode == modeDegraded {
-		// Serve from the subsampled snapshot when one exists; when degraded
-		// serving is disabled (or derivation failed) the full model answers,
-		// so opting in never makes a request fail.
-		if d := s.degraded.Load(); d != nil {
-			m = d
-			servedDegraded = true
+	// served is the mode that actually answers. Approximate modes fall back
+	// rather than fail: coreset falls back to the full model when no coreset
+	// is installed; degraded prefers the coreset (the better approximation
+	// at the same size), then the stride subsample, then the full model.
+	served := modeFull
+	switch mode {
+	case modeCoreset:
+		if c := s.coreset.Load(); c != nil {
+			m = c
+			served = modeCoreset
 		}
+	case modeDegraded:
+		// A negative DegradedSample turns the degraded feature off entirely:
+		// opting in serves the full model, whatever other approximate models
+		// exist.
+		if s.cfg.DegradedSample >= 0 {
+			if c := s.coreset.Load(); c != nil {
+				m = c
+				served = modeDegraded
+			} else if d := s.degraded.Load(); d != nil {
+				m = d
+				served = modeDegraded
+			}
+		}
+	case modePruned:
+		served = modePruned
 	}
 	var req scoreRequest
 	if !s.decode(w, r, &req) {
@@ -693,7 +769,14 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if sp != nil {
 		m = m.WithTrace()
 	}
-	scores, err := scoreChunked(r, m, req.Queries)
+	var scores []float64
+	var certified int
+	var err error
+	if served == modePruned {
+		scores, certified, err = scoreChunkedPruned(r, m, req.Queries, s.cfg.PruneEps)
+	} else {
+		scores, err = scoreChunked(r, m, req.Queries)
+	}
 	if err == nil && sp != nil {
 		emitPhaseSpans(sp, m.Stats())
 	}
@@ -710,9 +793,16 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	for i, v := range scores {
 		resp.Scores[i] = jsonFloat(v)
 	}
-	if servedDegraded {
-		resp.Mode = modeDegraded
+	s.m.scoreModes.Add(served, 1)
+	if served != modeFull {
+		resp.Mode = served
+	}
+	if served == modeDegraded {
 		s.m.degraded.Add(1)
+	}
+	if served == modePruned {
+		resp.Certified = certified
+		s.m.certified.Add(int64(certified))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -746,6 +836,35 @@ func scoreChunked(r *http.Request, m *lof.Model, queries [][]float64) ([]float64
 		out = append(out, chunk...)
 	}
 	return out, nil
+}
+
+// scoreChunkedPruned is scoreChunked over the bound-certified fast path:
+// certified queries answer 1 from the pruning bounds alone, uncertain ones
+// are evaluated exactly. Returns the total certified count alongside the
+// scores.
+func scoreChunkedPruned(r *http.Request, m *lof.Model, queries [][]float64, eps float64) ([]float64, int, error) {
+	ctx := r.Context()
+	out := make([]float64, 0, len(queries))
+	certified := 0
+	for off := 0; off < len(queries); off += scoreChunkSize {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		end := off + scoreChunkSize
+		if end > len(queries) {
+			end = len(queries)
+		}
+		chunk, err := m.ScoreBatchPrunedContext(ctx, queries[off:end], eps)
+		if err != nil {
+			if ctx.Err() != nil || off == 0 {
+				return nil, 0, err
+			}
+			return nil, 0, fmt.Errorf("batch offset %d: %w", off, err)
+		}
+		out = append(out, chunk.Scores...)
+		certified += chunk.Certified
+	}
+	return out, certified, nil
 }
 
 // emitPhaseSpans converts the phase tracer's aggregate timings into
@@ -811,6 +930,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.IntSample("lof_http_shed_total", s.m.shed.Value())
 	p.Family("lof_http_degraded_total", "counter", "Score responses served from the degraded (subsampled) model.")
 	p.IntSample("lof_http_degraded_total", s.m.degraded.Value())
+	p.Family("lof_http_score_mode_total", "counter", "Score responses by the mode that actually served them.")
+	s.m.scoreModes.Do(func(kv expvar.KeyValue) {
+		if v, ok := kv.Value.(*expvar.Int); ok {
+			p.IntSample("lof_http_score_mode_total", v.Value(), "mode", kv.Key)
+		}
+	})
+	p.Family("lof_http_pruned_certified_total", "counter", "Pruned-mode queries answered from the bound certificate alone.")
+	p.IntSample("lof_http_pruned_certified_total", s.m.certified.Value())
 	p.Family("lof_shard_snapshots_total", "counter", "Shard partition snapshots installed.")
 	p.IntSample("lof_shard_snapshots_total", s.m.snapshots.Value())
 	p.Family("lof_shard_stale_total", "counter", "Shard data requests refused for a stale snapshot version.")

@@ -166,6 +166,50 @@ func (s *Server) handleShardRows(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleShardKDists(w http.ResponseWriter, r *http.Request) {
+	var req shard.KDistsRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeError(w, r, http.StatusBadRequest, "kdists requires a non-empty ids array")
+		return
+	}
+	if len(req.IDs) > s.cfg.MaxBatch*maxKDistsPerQuery {
+		writeError(w, r, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d ids exceeds limit %d", len(req.IDs), s.cfg.MaxBatch*maxKDistsPerQuery))
+		return
+	}
+	p := s.shardPart(w, r, req.Version)
+	if p == nil {
+		return
+	}
+	if info := infoFromContext(r.Context()); info != nil {
+		info.batch.Store(int64(len(req.IDs)))
+	}
+	if sp := trace.SpanFrom(r.Context()); sp != nil {
+		sp.SetAttrInt("ids", int64(len(req.IDs)))
+		sp.SetAttrInt("version", int64(p.Version()))
+		sp.SetAttrInt("shard", int64(p.ShardID()))
+	}
+	lo, hi, err := p.KDists(req.IDs, req.Lo, req.Hi)
+	if err != nil {
+		// Unowned ids and out-of-range ranks mean the caller disagrees with
+		// the installed layout — permanent for this request, like rows.
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("kdists request: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, shard.KDistsResponse{
+		Version: p.Version(), Shard: p.ShardID(), Lo: lo, Hi: hi,
+	})
+}
+
+// maxKDistsPerQuery scales the kdists id limit relative to MaxBatch: each
+// scored query contributes at most its candidate closure (~K ids), so the
+// id batch for a full query batch is legitimately much larger than the
+// query batch itself.
+const maxKDistsPerQuery = 64
+
 // ReadyInfo is the /readyz body: whether this process should receive
 // routed traffic, and the snapshot version its answers would be pinned to.
 type ReadyInfo struct {

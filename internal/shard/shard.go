@@ -309,6 +309,37 @@ func (p *Part) MergedRows(q []float64, ids []uint32) ([]WireRow, error) {
 	return out, nil
 }
 
+// KDists reads the stored k-distances of the requested owned ids at ranks
+// lo and hi — O(1) per id from the materialized global rows, no splicing.
+// Rank 0 is the defined floor kd_0 = 0. It backs the coordinator's pruned
+// scoring path, whose certificate only needs a k-distance envelope
+// [kd_lo, kd_hi] for second-hop points, not their full merged rows; the
+// rank-shift argument in internal/approx absorbs the inserted query.
+// Requesting an unowned id is a routing error, as in MergedRows.
+func (p *Part) KDists(ids []uint32, lo, hi int) (loD, hiD []float64, err error) {
+	if lo < 0 || hi < 1 || lo > hi || hi > p.meta.K {
+		return nil, nil, fmt.Errorf("shard: k-distance ranks [%d, %d] outside [0, %d]", lo, hi, p.meta.K)
+	}
+	loD = make([]float64, len(ids))
+	hiD = make([]float64, len(ids))
+	for i, id := range ids {
+		pos, ok := p.local[id]
+		if !ok {
+			return nil, nil, fmt.Errorf("shard: point %d is not owned by shard %d/%d", id, p.shardID, p.numShards)
+		}
+		var ranks []int32
+		if p.meta.Distinct {
+			ranks = p.rks[pos]
+		}
+		row := matdb.NewRow(p.rows[pos], ranks, p.meta.Distinct)
+		if lo > 0 {
+			loD[i] = row.KDistance(lo)
+		}
+		hiD[i] = row.KDistance(hi)
+	}
+	return loD, hiD, nil
+}
+
 // Split partitions a globally fitted model — its points and materialization
 // database — into n parts under the given assignment, stamped with the
 // snapshot version. Each part receives its points' global rows verbatim

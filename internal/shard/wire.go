@@ -108,3 +108,24 @@ type RowsResponse struct {
 	Shard   int         `json:"shard"`
 	Rows    [][]WireRow `json:"rows"`
 }
+
+// KDistsRequest asks a shard for the stored k-distances of owned points at
+// two neighborhood ranks — the envelope the coordinator's pruned scoring
+// path certifies against instead of fetching full second-hop rows. Lo may
+// be zero, meaning the degenerate 0-distance (the envelope floor when the
+// swept lower bound is 1).
+type KDistsRequest struct {
+	Version uint64   `json:"version"`
+	Lo      int      `json:"lo"`
+	Hi      int      `json:"hi"`
+	IDs     []uint32 `json:"ids"`
+}
+
+// KDistsResponse carries the two per-id k-distance arrays, in request
+// order.
+type KDistsResponse struct {
+	Version uint64    `json:"version"`
+	Shard   int       `json:"shard"`
+	Lo      []float64 `json:"lo"`
+	Hi      []float64 `json:"hi"`
+}

@@ -1,0 +1,72 @@
+#!/bin/sh
+# approx_gate.sh is the CI recall gate for the approximate fast path. It
+# runs the lofexp recall@n harness on the fixed-seed synthetic cluster
+# dataset (exact vs pruned vs coreset, see internal/exp/approx.go) and
+# fails when the pruned serving path loses ranking quality or its speedup
+# over exact evaporates:
+#
+#   - recall@50 of the pruned ranking must stay >= 0.95, and
+#   - the pruned out-of-sample scoring speedup must stay >= 3x.
+#
+# The coreset numbers ride along in the table for the workflow artifact
+# but are not gated: scoring the full dataset against a 2048-point coreset
+# shifts the density baseline, so its recall is workload-dependent by
+# design (see DESIGN.md §12).
+#
+# Usage:
+#   ./scripts/approx_gate.sh [table-out.txt]
+#
+# The full harness output (table + GATE line) is written to table-out.txt
+# (default approx_recall.txt) so CI can upload it as an artifact.
+# APPROX_GATE_QUICK=1 shrinks the dataset for a fast local smoke run —
+# speedup is not meaningful at that size, so only recall is enforced.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=${1:-approx_recall.txt}
+min_recall=${APPROX_GATE_MIN_RECALL:-0.95}
+min_speedup=${APPROX_GATE_MIN_SPEEDUP:-3.0}
+
+quick_flag=""
+if [ "${APPROX_GATE_QUICK:-0}" = "1" ]; then
+	quick_flag="-quick"
+	min_speedup=0
+fi
+
+go run ./cmd/lofexp -exp approx-gate -seed 42 $quick_flag | tee "$out"
+
+gate=$(grep '^GATE ' "$out" || true)
+if [ -z "$gate" ]; then
+	echo "approx_gate.sh: no GATE line in harness output" >&2
+	exit 1
+fi
+
+echo "$gate" | awk -v min_recall="$min_recall" -v min_speedup="$min_speedup" '
+{
+	for (i = 2; i <= NF; i++) {
+		split($i, kv, "=")
+		v = kv[2]
+		sub(/x$/, "", v)
+		val[kv[1]] = v + 0
+	}
+	failures = 0
+	if (val["pruned_recall@50"] < min_recall) {
+		printf "FAIL pruned recall@50 %.4f < %.2f\n", val["pruned_recall@50"], min_recall
+		failures++
+	} else {
+		printf "ok   pruned recall@50 %.4f >= %.2f\n", val["pruned_recall@50"], min_recall
+	}
+	if (val["pruned_speedup"] < min_speedup) {
+		printf "FAIL pruned speedup %.2fx < %.2fx\n", val["pruned_speedup"], min_speedup
+		failures++
+	} else {
+		printf "ok   pruned speedup %.2fx >= %.2fx\n", val["pruned_speedup"], min_speedup
+	}
+	if (failures > 0) {
+		printf "approx_gate.sh: %d gate failure(s)\n", failures > "/dev/stderr"
+		exit 1
+	}
+}'
+
+echo "approx_gate.sh: gate passed (table in $out)"

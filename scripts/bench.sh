@@ -7,21 +7,21 @@
 # Usage:
 #   ./scripts/bench.sh [out.json] [benchtime]
 #
-# out.json defaults to BENCH_6.json; benchtime defaults to 1x, which is a
+# out.json defaults to BENCH_7.json; benchtime defaults to 1x, which is a
 # smoke run — pass e.g. 2s for stable numbers.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_6.json}
+out=${1:-BENCH_7.json}
 benchtime=${2:-1x}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-# Fit/score pipeline and snapshot-load benchmarks (repo root), per-index
-# KNN benchmarks (legacy and cursor paths), and streaming ingestion
-# benchmarks.
-go test -run NONE -bench 'Fit|ScoreBatch|SnapshotLoad' -benchtime "$benchtime" -benchmem . | tee -a "$tmp"
+# Fit/score pipeline, approximate-path, and snapshot-load benchmarks
+# (repo root), per-index KNN benchmarks (legacy and cursor paths), and
+# streaming ingestion benchmarks.
+go test -run NONE -bench 'Fit|ScoreBatch|SnapshotLoad|ApproxScore' -benchtime "$benchtime" -benchmem . | tee -a "$tmp"
 go test -run NONE -bench 'KNN' -benchtime "$benchtime" -benchmem ./internal/index/... | tee -a "$tmp"
 go test -run NONE -bench 'Stream' -benchtime "$benchtime" -benchmem ./internal/stream | tee -a "$tmp"
 

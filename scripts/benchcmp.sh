@@ -1,13 +1,14 @@
 #!/bin/sh
 # benchcmp.sh re-runs the benchmark suite and compares it against a
-# committed baseline (BENCH_6.json by default), failing on regressions:
+# committed baseline (BENCH_7.json by default), failing on regressions:
 #
 #   - ns/op more than 30% above the baseline on any benchmark, or
 #   - any allocs/op increase on the allocation-gated benchmarks: the
 #     deterministic kNN hot paths (BenchmarkKNN*), snapshot loading
-#     (BenchmarkSnapshotLoad*), and out-of-sample scoring
-#     (BenchmarkScoreBatch*). Fit allocation counts vary with scheduling
-#     and are only reported, never gated.
+#     (BenchmarkSnapshotLoad*), and out-of-sample scoring, exact and
+#     approximate (BenchmarkScoreBatch*, BenchmarkApproxScore*). Fit
+#     allocation counts vary with scheduling and are only reported,
+#     never gated.
 #
 # Duplicate benchmark names (BenchmarkKNN exists once per index package)
 # are matched by occurrence order, which is stable because bench.sh runs
@@ -19,8 +20,8 @@
 # verdict but always exits 0. Run without it on the machine that produced
 # the baseline to enforce the thresholds:
 #
-#   ./scripts/benchcmp.sh                  # compare against BENCH_6.json
-#   ./scripts/benchcmp.sh BENCH_6.json 2s  # longer benchtime, stabler ns/op
+#   ./scripts/benchcmp.sh                  # compare against BENCH_7.json
+#   ./scripts/benchcmp.sh BENCH_7.json 2s  # longer benchtime, stabler ns/op
 #
 # A baseline produced by stream_bench.sh (recognized by its
 # "inserts_per_sec" field, BENCH_5.json by convention) switches to the
@@ -34,7 +35,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-baseline=${1:-BENCH_6.json}
+baseline=${1:-BENCH_7.json}
 benchtime=${2:-1x}
 threshold=1.30
 
@@ -139,8 +140,8 @@ NR == FNR {
 		(ratio > threshold ? "SLOW" : "ok"), ratio, $1, base_ns[key], $2
 	if (ratio > threshold) regressions++
 	# Alloc gate: the deterministic kNN hot paths, snapshot loading, and
-	# batch scoring.
-	if ($1 ~ /^Benchmark(KNN|SnapshotLoad|ScoreBatch)/ && $3 != "null" && base_allocs[key] != "null" && $3 + 0 > base_allocs[key] + 0) {
+	# batch scoring (exact and approximate).
+	if ($1 ~ /^Benchmark(KNN|SnapshotLoad|ScoreBatch|ApproxScore)/ && $3 != "null" && base_allocs[key] != "null" && $3 + 0 > base_allocs[key] + 0) {
 		printf "ALLOC          %s (%s -> %s allocs/op)\n", $1, base_allocs[key], $3
 		regressions++
 	}

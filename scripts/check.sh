@@ -10,6 +10,7 @@
 #   ./scripts/check.sh coverage       # coverage run with floor enforcement
 #   ./scripts/check.sh shard-smoke    # only the sharded-tier smoke test
 #   ./scripts/check.sh stream-soak    # only the streaming ingest soak
+#   ./scripts/check.sh approx-gate    # only the approximate-path recall gate
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -66,6 +67,8 @@ metrics_lint() {
 		'# TYPE lof_http_request_duration_seconds histogram' \
 		'# TYPE lof_http_in_flight gauge' \
 		'# TYPE lof_http_shed_total counter' \
+		'# TYPE lof_http_score_mode_total counter' \
+		'# TYPE lof_http_pruned_certified_total counter' \
 		'# TYPE lof_stream_epoch_lag_seconds gauge' \
 		'# TYPE lof_stream_replay_queue_depth gauge' \
 		'# TYPE lof_stream_window_occupancy gauge' \
@@ -144,6 +147,10 @@ shard-smoke)
 	;;
 stream-soak)
 	stream_soak
+	exit 0
+	;;
+approx-gate)
+	./scripts/approx_gate.sh
 	exit 0
 	;;
 esac
